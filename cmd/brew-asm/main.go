@@ -1,0 +1,82 @@
+// brew-asm assembles a VX64 assembly file, optionally disassembles it back
+// and runs a label on the simulated machine.
+//
+//	brew-asm -f prog.s -dis
+//	brew-asm -f prog.s -run main -args 1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		file   = flag.String("f", "", "assembly source file")
+		dis    = flag.Bool("dis", false, "print the disassembled code image")
+		run    = flag.String("run", "", "label to call after loading")
+		argStr = flag.String("args", "", "comma-separated integer arguments for -run")
+		syms   = flag.Bool("syms", false, "print the symbol table")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := repro.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := sys.LoadAsm(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code: %d bytes at 0x%x; data: %d bytes at 0x%x\n",
+		len(im.Code), im.CodeBase, len(im.Data), im.DataBase)
+	if *syms {
+		names := make([]string, 0, len(im.Labels))
+		for n := range im.Labels {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return im.Labels[names[i]] < im.Labels[names[j]] })
+		for _, n := range names {
+			fmt.Printf("%08x  %s\n", im.Labels[n], n)
+		}
+	}
+	if *dis {
+		fmt.Print(isa.Disassemble(im.Code, im.CodeBase, false))
+	}
+	if *run != "" {
+		var args []uint64
+		if *argStr != "" {
+			for _, p := range strings.Split(*argStr, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(p), 0, 64)
+				if err != nil {
+					log.Fatal(err)
+				}
+				args = append(args, uint64(v))
+			}
+		}
+		addr, err := im.Entry(*run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := sys.Call(addr, args...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s(...) = %d (0x%x)\n", *run, int64(v), v)
+	}
+}

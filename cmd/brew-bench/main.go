@@ -1,0 +1,66 @@
+// brew-bench regenerates the paper's evaluation (Section V, E1a..E3b) and
+// the DESIGN.md ablations/use cases (X1..X5) and prints the comparison
+// tables EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		xs    = flag.Int("xs", 0, "stencil matrix width (0 = default)")
+		ys    = flag.Int("ys", 0, "stencil matrix height (0 = default)")
+		iters = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
+		nodes = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
+		bs    = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
+		only  = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas")
+	)
+	flag.Parse()
+
+	o := exp.Options{XS: *xs, YS: *ys, Iters: *iters, PgasNodes: *nodes, PgasBS: *bs}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type family struct {
+		key, title string
+		run        func(exp.Options) ([]exp.Row, error)
+	}
+	families := []family{
+		{"stencil", "E1-E3: Section V stencil evaluation (paper column = reported runtime ratio)", exp.RunStencil},
+		{"unroll", "X1: loop-unrolling policy (Sections III.F / V.C)", exp.RunUnrolling},
+		{"inline", "X2: inlining and register renaming (Sections IV / VIII)", exp.RunInlining},
+		{"variants", "X3: variant threshold and state migration (Section III.F; cycles column = code bytes)", exp.RunVariants},
+		{"guarded", "X4: value-profile guarded specialization (Section III.D)", exp.RunGuarded},
+		{"vectorize", "X6: greedy vectorization pass (Sections IV / V.B, opt-in)", exp.RunVectorize},
+		{"cache", "X7: working-set sensitivity (ratio = rewritten/generic; cycles = rewritten cyc/pt)", exp.RunCacheSweep},
+		{"pgas", "X5: PGAS global reduction (Sections V / VIII)", exp.RunPgas},
+	}
+	ran := 0
+	for _, f := range families {
+		if !sel(f.key) {
+			continue
+		}
+		rows, err := f.run(o)
+		if err != nil {
+			log.Fatalf("%s: %v", f.key, err)
+		}
+		fmt.Println(exp.FormatTable(f.title, rows))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiment family selected")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// brew-dis decodes raw VX64 machine code from a binary file (or compiles
+// a minc file and disassembles one function), producing an
+// address-annotated listing.
+//
+//	brew-dis -bin code.bin -base 0x10000
+//	brew-dis -c prog.c -fn apply
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		bin  = flag.String("bin", "", "raw machine-code file")
+		base = flag.Uint64("base", 0x10000, "load address for -bin")
+		csrc = flag.String("c", "", "minc source file")
+		fn   = flag.String("fn", "", "function to disassemble (with -c)")
+	)
+	flag.Parse()
+	switch {
+	case *bin != "":
+		code, err := os.ReadFile(*bin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(isa.Disassemble(code, *base, false))
+	case *csrc != "" && *fn != "":
+		src, err := os.ReadFile(*csrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := repro.NewSystem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := sys.CompileC(string(src), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := prog.Disassemble(*fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(d)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

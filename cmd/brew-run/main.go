@@ -1,0 +1,140 @@
+// brew-run compiles a minc (C subset) source file, optionally rewrites a
+// function with the BREW rewriter, and calls an entry point on the
+// simulated machine.
+//
+//	brew-run -f prog.c -entry main -args 10,20
+//	brew-run -f prog.c -entry kernel -args 0,64 -known 2 -dis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		file   = flag.String("f", "", "minc source file")
+		entry  = flag.String("entry", "main", "function to call")
+		argStr = flag.String("args", "", "comma-separated integer arguments")
+		fArg   = flag.String("fargs", "", "comma-separated float arguments")
+		known  = flag.String("known", "", "comma-separated 1-based parameter indices to specialize on")
+		dis    = flag.Bool("dis", false, "disassemble the (possibly rewritten) entry")
+		fres   = flag.Bool("float", false, "print the float result (F0) instead of R0")
+		stats  = flag.Bool("stats", true, "print execution statistics")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := repro.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := sys.CompileC(string(src), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := prog.FuncAddr(*entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	args, err := parseInts(*argStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fargs, err := parseFloats(*fArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res *repro.Result
+	if *known != "" {
+		cfg := repro.NewConfig()
+		for _, s := range strings.Split(*known, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("-known: %v", err)
+			}
+			cfg.SetParam(idx, repro.ParamKnown)
+		}
+		res, err = sys.Rewrite(cfg, fn, args, fargs)
+		if err != nil {
+			log.Fatalf("rewrite: %v", err)
+		}
+		fmt.Printf("rewritten %s: %d bytes, %d blocks (original kept at 0x%x)\n",
+			*entry, res.CodeSize, res.Blocks, fn)
+		fn = res.Addr
+	}
+	if *dis {
+		if res != nil {
+			fmt.Println(res.Listing())
+		} else {
+			d, err := prog.Disassemble(*entry)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(d)
+		}
+	}
+
+	if *fres {
+		v, err := sys.CallFloat(fn, args, fargs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s(...) = %g\n", *entry, v)
+	} else {
+		v, err := sys.Call(fn, args...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s(...) = %d (0x%x)\n", *entry, int64(v), v)
+	}
+	if *stats {
+		st := sys.VM.Stats
+		fmt.Printf("instructions=%d cycles=%d loads=%d stores=%d branches=%d calls=%d\n",
+			st.Instructions, st.Cycles, st.Loads, st.Stores, st.Branches, st.Calls)
+	}
+}
+
+func parseInts(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-args: %v", err)
+		}
+		out = append(out, uint64(v))
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-fargs: %v", err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+// Distributed stencil: the capstone integration of the paper's Section
+// VIII vision. A node computes a 1D stencil over a block of a PGAS array
+// it does NOT own (think work stealing after a load imbalance): every
+// access through the generic operator[] is a fine-grained remote fetch.
+//
+// The optimized pipeline is fully automatic:
+//
+//  1. rewrite the user's stencil kernel with an injected load handler that
+//     records which remote addresses the code actually touches
+//     ("detect remote memory accesses in arbitrary code"),
+//  2. bulk-preload the detected window over simulated RDMA,
+//  3. rewrite the kernel a second time against the prefetch-aware access
+//     path ("a second rewritten version of the same code which redirects
+//     memory access to the local pre-loaded data").
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/pgas"
+	"repro/internal/vm"
+)
+
+// The user kernel: an ordinary minc function over the PGAS access
+// abstraction. It never mentions locality.
+const kernelSrc = `
+struct GArr;
+typedef double (*getter_t)(struct GArr*, long);
+
+double dstencil(struct GArr *a, double *out, long from, long to, getter_t get) {
+    double acc = 0.0;
+    for (long i = from; i < to; i++) {
+        double v = 0.25 * (get(a, i - 1) + get(a, i + 1)) + 0.5 * get(a, i);
+        out[i - from] = v;
+        acc += v;
+    }
+    return acc;
+}
+`
+
+func main() {
+	const nodes, bs, me = 4, 512, 1
+	m := vm.MustNew()
+	s, err := pgas.New(m, nodes, bs, me)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Fill(func(i int) float64 { return math.Sin(float64(i) * 0.01) }); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := minc.CompileAndLink(m, kernelSrc, map[string]uint64{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, _ := l.FuncAddr("dstencil")
+
+	out, err := m.AllocHeap(bs * 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Node 2's interior: every access is remote for node 1.
+	from, to := 2*bs+1, 3*bs-1
+	run := func(name string, fn, getter uint64) float64 {
+		c0, r0 := m.Stats.Cycles, s.RemoteAccesses()
+		acc, err := m.CallFloat(fn, []uint64{s.Garr, out, uint64(from), uint64(to), getter}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s acc=%-12.6f %9d cycles  %5d fine-grained remote accesses\n",
+			name, acc, m.Stats.Cycles-c0, s.RemoteAccesses()-r0)
+		return acc
+	}
+
+	fmt.Printf("node %d computes the stencil over node 2's block [%d, %d)\n\n", me, from, to)
+	want := run("generic operator[] kernel", kernel, s.PgasGet)
+
+	// Step 1: detection run. Same kernel, rewritten with the access
+	// handler injected; distribution descriptor and getter folded so the
+	// PGAS loads are visible to the handler.
+	handler, err := s.DetectionHandler()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := brew.NewConfig().
+		SetParamPtrToKnown(1, pgas.DescriptorSize).
+		SetParam(5, brew.ParamKnown)
+	cfg.SetFuncOpts(kernel, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
+	cfg.LoadHandler = handler
+	probe, err := brew.Rewrite(m, cfg, kernel, []uint64{s.Garr, 0, 0, 0, s.PgasGet}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.ResetDetection(); err != nil {
+		log.Fatal(err)
+	}
+	got := run("detection run (instrumented)", probe.Addr, s.PgasGet)
+	lo, hi, ok, err := s.DetectedWindow()
+	if err != nil || !ok {
+		log.Fatalf("detection failed: %v ok=%v", err, ok)
+	}
+	fmt.Printf("\n  -> detected remote window: global indices [%d, %d)\n\n", lo, hi)
+
+	// Steps 2+3: bulk preload and respecialize against the redirected
+	// access path.
+	if err := s.Preload(lo, hi); err != nil {
+		log.Fatal(err)
+	}
+	cfg2 := brew.NewConfig().
+		SetParamPtrToKnown(1, pgas.DescriptorSize).
+		SetParam(5, brew.ParamKnown)
+	cfg2.SetFuncOpts(kernel, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
+	opt, err := brew.Rewrite(m, cfg2, kernel, []uint64{s.Garr, 0, 0, 0, s.PgasGetPref}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got2 := run("preloaded + respecialized kernel", opt.Addr, s.PgasGetPref)
+
+	if math.Abs(want-got) > 1e-9 || math.Abs(want-got2) > 1e-9 {
+		log.Fatalf("results diverge: %g %g %g", want, got, got2)
+	}
+	fmt.Println("\nall three runs agree; the optimized kernel made zero fine-grained remote accesses.")
+}

@@ -1,0 +1,34 @@
+// Stencil: the paper's Section V "First Experiences" evaluation, end to
+// end — generic vs manual vs rewritten stencil kernels, the grouped
+// representation, and the whole-sweep rewrite (E1a..E3b per DESIGN.md).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+func main() {
+	// The specialized kernel listing (the paper's Figure 6).
+	w, err := stencil.New(vm.MustNew(), 64, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := w.RewriteApply()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("specialized generic apply for the 5-point stencil (cf. paper Figure 6):")
+	fmt.Println(res.Listing())
+
+	rows, err := exp.RunStencil(exp.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.FormatTable("Section V reproduction (emulated cycles; paper column = reported runtime ratio)", rows))
+	fmt.Println("ratios are relative to E1a; see EXPERIMENTS.md for the discussion.")
+}

@@ -1,0 +1,631 @@
+// Package asm implements a two-pass textual assembler for VX64. It exists
+// for three reasons: hand-written library kernels (the paper's rewriter is
+// meant to consume compiled code it does not control), readable tests for
+// the emulator and the rewriter, and the cmd/brew-asm tool.
+//
+// Syntax (one statement per line, ';' or '#' start a comment):
+//
+//	label:                     ; code label
+//	    movi r1, 42
+//	    movi r2, buf           ; labels usable as immediates
+//	    load r3, [r1+r2*8+16]  ; memory operands
+//	    fmovi f1, 2.5
+//	    jlt  loop              ; j<cc> conditional jumps
+//	    seteq r4               ; set<cc>
+//	    call fn
+//	    ret
+//	.data                      ; switch to data section (".text" switches back)
+//	buf: .quad 1, 2, -3
+//	fv:  .double 3.14, 0.5
+//	sp8: .space 64
+//	bs:  .byte 1, 2, 0xff
+//	.equ N, 500                ; assemble-time constant
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ErrSyntax is wrapped by all assembly-time errors.
+var ErrSyntax = errors.New("asm: syntax error")
+
+// Program is the output of AssembleAt: two raw images and the symbol table.
+type Program struct {
+	CodeBase uint64
+	DataBase uint64
+	Code     []byte
+	Data     []byte
+	Labels   map[string]uint64
+}
+
+// Disassembled renders the code image as an address-annotated listing.
+func Disassembled(p *Program) string {
+	return isa.Disassemble(p.Code, p.CodeBase, false)
+}
+
+// Entry returns the address of a label, or an error naming it.
+func (p *Program) Entry(label string) (uint64, error) {
+	a, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("%w: undefined label %q", ErrSyntax, label)
+	}
+	return a, nil
+}
+
+type section int
+
+const (
+	secCode section = iota
+	secData
+)
+
+// stmt is one parsed source statement retained between passes.
+type stmt struct {
+	line  int
+	sec   section
+	label string // non-empty for label definitions
+	mnem  string
+	args  []string
+	// data directive payload sizing (pass 1) and emission (pass 2) are
+	// recomputed from mnem/args.
+}
+
+type assembler struct {
+	stmts  []stmt
+	labels map[string]uint64
+	equs   map[string]int64
+}
+
+// AssembleAt assembles src with the code image based at codeBase and the
+// data image at dataBase.
+func AssembleAt(src string, codeBase, dataBase uint64) (*Program, error) {
+	a := &assembler{labels: make(map[string]uint64), equs: make(map[string]int64)}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(codeBase, dataBase); err != nil {
+		return nil, err
+	}
+	return a.emit(codeBase, dataBase)
+}
+
+func (a *assembler) parse(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := raw
+		if idx := strings.IndexAny(s, ";#"); idx >= 0 {
+			s = s[:idx]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		// Leading label(s).
+		for {
+			idx := strings.Index(s, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:idx])
+			if !isIdent(name) {
+				break
+			}
+			a.stmts = append(a.stmts, stmt{line: line, label: name})
+			s = strings.TrimSpace(s[idx+1:])
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.SplitN(s, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var args []string
+		if len(fields) == 2 {
+			args = splitArgs(fields[1])
+		}
+		if mnem == ".equ" {
+			if len(args) != 2 {
+				return fmt.Errorf("%w: line %d: .equ needs name, value", ErrSyntax, line)
+			}
+			v, err := strconv.ParseInt(args[1], 0, 64)
+			if err != nil {
+				return fmt.Errorf("%w: line %d: .equ value: %v", ErrSyntax, line, err)
+			}
+			a.equs[args[0]] = v
+			continue
+		}
+		a.stmts = append(a.stmts, stmt{line: line, mnem: mnem, args: args})
+	}
+	// Assign sections in order.
+	cur := secCode
+	for i := range a.stmts {
+		switch a.stmts[i].mnem {
+		case ".data":
+			cur = secData
+		case ".text", ".code":
+			cur = secCode
+		}
+		a.stmts[i].sec = cur
+	}
+	return nil
+}
+
+// splitArgs splits on top-level commas, keeping bracketed operands intact.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// layout runs pass 1: compute the address of every label.
+func (a *assembler) layout(codeBase, dataBase uint64) error {
+	code, data := codeBase, dataBase
+	for _, st := range a.stmts {
+		pc := &code
+		if st.sec == secData {
+			pc = &data
+		}
+		if st.label != "" {
+			if _, dup := a.labels[st.label]; dup {
+				return fmt.Errorf("%w: line %d: duplicate label %q", ErrSyntax, st.line, st.label)
+			}
+			a.labels[st.label] = *pc
+			continue
+		}
+		n, err := a.stmtSize(st)
+		if err != nil {
+			return err
+		}
+		*pc += uint64(n)
+	}
+	return nil
+}
+
+func (a *assembler) stmtSize(st stmt) (int, error) {
+	switch st.mnem {
+	case ".data", ".text", ".code":
+		return 0, nil
+	case ".quad":
+		return 8 * len(st.args), nil
+	case ".double":
+		return 8 * len(st.args), nil
+	case ".byte":
+		return len(st.args), nil
+	case ".space":
+		n, err := a.constVal(st.args, st.line)
+		return int(n), err
+	case ".align":
+		// Worst case: alignment-1 bytes of padding. Using worst case in
+		// pass 1 would desync passes, so .align is not supported.
+		return 0, fmt.Errorf("%w: line %d: .align not supported", ErrSyntax, st.line)
+	}
+	ins, err := a.buildInstr(st, true)
+	if err != nil {
+		return 0, err
+	}
+	return isa.EncodedLen(ins)
+}
+
+func (a *assembler) constVal(args []string, line int) (int64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%w: line %d: need one constant", ErrSyntax, line)
+	}
+	if v, ok := a.equs[args[0]]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(args[0], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: line %d: %v", ErrSyntax, line, err)
+	}
+	return v, nil
+}
+
+// emit runs pass 2.
+func (a *assembler) emit(codeBase, dataBase uint64) (*Program, error) {
+	p := &Program{CodeBase: codeBase, DataBase: dataBase, Labels: a.labels}
+	for _, st := range a.stmts {
+		if st.label != "" {
+			continue
+		}
+		switch st.mnem {
+		case ".data", ".text", ".code":
+			continue
+		case ".quad":
+			for _, arg := range st.args {
+				v, _, err := a.intOrLabel(arg, st.line)
+				if err != nil {
+					return nil, err
+				}
+				p.Data = appendLE(p.Data, uint64(v), 8)
+			}
+			continue
+		case ".double":
+			for _, arg := range st.args {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, st.line, err)
+				}
+				p.Data = appendLE(p.Data, math.Float64bits(f), 8)
+			}
+			continue
+		case ".byte":
+			for _, arg := range st.args {
+				v, err := strconv.ParseInt(arg, 0, 16)
+				if err != nil || v < -128 || v > 255 {
+					return nil, fmt.Errorf("%w: line %d: byte %q", ErrSyntax, st.line, arg)
+				}
+				p.Data = append(p.Data, byte(v))
+			}
+			continue
+		case ".space":
+			n, err := a.constVal(st.args, st.line)
+			if err != nil {
+				return nil, err
+			}
+			p.Data = append(p.Data, make([]byte, n)...)
+			continue
+		}
+		if st.sec == secData {
+			return nil, fmt.Errorf("%w: line %d: instruction in .data section", ErrSyntax, st.line)
+		}
+		ins, err := a.buildInstr(st, false)
+		if err != nil {
+			return nil, err
+		}
+		ins.Addr = codeBase + uint64(len(p.Code))
+		p.Code, err = isa.AppendEncode(p.Code, ins)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, st.line, err)
+		}
+	}
+	return p, nil
+}
+
+func appendLE(b []byte, v uint64, n int) []byte {
+	for i := 0; i < n; i++ {
+		b = append(b, byte(v))
+		v >>= 8
+	}
+	return b
+}
+
+// buildInstr turns a parsed statement into an isa.Instr. In pass 1
+// (sizing=true) undefined labels resolve to a wide placeholder.
+func (a *assembler) buildInstr(st stmt, sizing bool) (isa.Instr, error) {
+	mnem := st.mnem
+	bad := func(format string, args ...any) (isa.Instr, error) {
+		return isa.Instr{}, fmt.Errorf("%w: line %d: %s", ErrSyntax, st.line, fmt.Sprintf(format, args...))
+	}
+
+	// j<cc> and set<cc> aliases.
+	var cc isa.Cond
+	hasCC := false
+	if strings.HasPrefix(mnem, "j") && mnem != "jmp" && mnem != "jmpr" {
+		if c, ok := isa.CondFromName(mnem[1:]); ok {
+			cc, hasCC = c, true
+			mnem = "jcc"
+		}
+	}
+	if strings.HasPrefix(mnem, "set") && mnem != "setcc" {
+		if c, ok := isa.CondFromName(mnem[3:]); ok {
+			cc, hasCC = c, true
+			mnem = "setcc"
+		}
+	}
+
+	op, ok := isa.OpcodeFromName(mnem)
+	if !ok {
+		return bad("unknown mnemonic %q", st.mnem)
+	}
+	info := isa.Info(op)
+	ins := isa.Instr{Op: op, CC: cc}
+
+	nargs := map[isa.Format]int{
+		isa.FNone: 0, isa.FR: 1, isa.FRR: 2, isa.FRI: 2, isa.FRM: 2,
+		isa.FMR: 2, isa.FRel: 1, isa.FCC: 1, isa.FCCR: 1,
+	}[info.Format]
+	if (op == isa.JCC || op == isa.SETCC) && !hasCC {
+		return bad("use j<cc>/set<cc> spelling")
+	}
+	if len(st.args) != nargs {
+		return bad("%s takes %d operand(s), got %d", st.mnem, nargs, len(st.args))
+	}
+
+	reg := func(s string, file isa.RegFile) (isa.Reg, error) {
+		r, f, err := parseReg(s)
+		if err != nil {
+			return 0, err
+		}
+		if f != file {
+			return 0, fmt.Errorf("register %s has wrong file for %s", s, st.mnem)
+		}
+		return r, nil
+	}
+
+	switch info.Format {
+	case isa.FNone:
+		return ins, nil
+
+	case isa.FR:
+		r, err := reg(st.args[0], info.DstFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.Operand{Kind: kindFor(info.DstFile), Reg: r}
+		return ins, nil
+
+	case isa.FRR:
+		d, err := reg(st.args[0], info.DstFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		s, err := reg(st.args[1], info.SrcFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.Operand{Kind: kindFor(info.DstFile), Reg: d}
+		ins.Src = isa.Operand{Kind: kindFor(info.SrcFile), Reg: s}
+		return ins, nil
+
+	case isa.FRI:
+		d, err := reg(st.args[0], info.DstFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.Operand{Kind: kindFor(info.DstFile), Reg: d}
+		if op == isa.FMOVI {
+			f, ferr := strconv.ParseFloat(st.args[1], 64)
+			if ferr != nil {
+				return bad("float immediate: %v", ferr)
+			}
+			ins.Src = isa.FImmOp(f)
+			return ins, nil
+		}
+		v, isLabel, err := a.resolve(st.args[1], sizing)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Src = isa.ImmOp(v)
+		ins.Wide = isLabel
+		return ins, nil
+
+	case isa.FRM:
+		d, err := reg(st.args[0], info.DstFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		m, err := a.parseMem(st.args[1], sizing)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.Operand{Kind: kindFor(info.DstFile), Reg: d}
+		ins.Src = isa.MemOp(m)
+		return ins, nil
+
+	case isa.FMR:
+		m, err := a.parseMem(st.args[0], sizing)
+		if err != nil {
+			return bad("%v", err)
+		}
+		s, err := reg(st.args[1], info.DstFile)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.MemOp(m)
+		ins.Src = isa.Operand{Kind: kindFor(info.DstFile), Reg: s}
+		return ins, nil
+
+	case isa.FRel, isa.FCC:
+		v, _, err := a.resolve(st.args[0], sizing)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.ImmOp(v)
+		return ins, nil
+
+	case isa.FCCR:
+		r, err := reg(st.args[0], isa.RFInt)
+		if err != nil {
+			return bad("%v", err)
+		}
+		ins.Dst = isa.RegOp(r)
+		return ins, nil
+	}
+	return bad("unhandled format")
+}
+
+// resolve evaluates an immediate: a number, an .equ constant, or a label.
+// The second result reports whether the value came from a label (and must
+// therefore be encoded wide for stable sizing).
+func (a *assembler) resolve(s string, sizing bool) (int64, bool, error) {
+	if v, ok := a.equs[s]; ok {
+		return v, false, nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, false, nil
+	}
+	if !isIdent(s) {
+		return 0, false, fmt.Errorf("bad immediate %q", s)
+	}
+	if v, ok := a.labels[s]; ok {
+		return int64(v), true, nil
+	}
+	if sizing {
+		return 0x7FFF_0000, true, nil // wide placeholder
+	}
+	return 0, false, fmt.Errorf("undefined label %q", s)
+}
+
+func (a *assembler) intOrLabel(s string, line int) (int64, bool, error) {
+	v, isLabel, err := a.resolve(s, false)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: line %d: %v", ErrSyntax, line, err)
+	}
+	return v, isLabel, nil
+}
+
+// parseMem parses "[base + index*scale + disp]".
+func (a *assembler) parseMem(s string, sizing bool) (isa.MemRef, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return isa.MemRef{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	m := isa.MemRef{Base: isa.RegNone, Index: isa.RegNone, Scale: 1}
+	var disp int64
+	for _, term := range splitTerms(s[1 : len(s)-1]) {
+		t := strings.TrimSpace(term.text)
+		if t == "" {
+			return isa.MemRef{}, fmt.Errorf("empty term in %q", s)
+		}
+		if r, file, err := parseReg(t); err == nil {
+			if file != isa.RFInt {
+				return isa.MemRef{}, fmt.Errorf("non-integer register %q in address", t)
+			}
+			if term.neg {
+				return isa.MemRef{}, fmt.Errorf("negated register in %q", s)
+			}
+			switch {
+			case !m.HasBase():
+				m.Base = r
+			case !m.HasIndex():
+				m.Index, m.Scale = r, 1
+			default:
+				return isa.MemRef{}, fmt.Errorf("too many registers in %q", s)
+			}
+			continue
+		}
+		if i := strings.IndexByte(t, '*'); i >= 0 {
+			r, file, err := parseReg(strings.TrimSpace(t[:i]))
+			if err != nil || file != isa.RFInt {
+				return isa.MemRef{}, fmt.Errorf("bad index %q", t)
+			}
+			sc, err := strconv.Atoi(strings.TrimSpace(t[i+1:]))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return isa.MemRef{}, fmt.Errorf("bad scale in %q", t)
+			}
+			if m.HasIndex() || term.neg {
+				return isa.MemRef{}, fmt.Errorf("bad index use in %q", s)
+			}
+			m.Index, m.Scale = r, uint8(sc)
+			continue
+		}
+		v, isLabel, err := a.resolve(t, sizing)
+		if err != nil {
+			return isa.MemRef{}, err
+		}
+		if isLabel {
+			m.Wide = true
+		}
+		if term.neg {
+			v = -v
+		}
+		disp += v
+	}
+	if disp < math.MinInt32 || disp > math.MaxInt32 {
+		return isa.MemRef{}, fmt.Errorf("displacement %d out of range", disp)
+	}
+	m.Disp = int32(disp)
+	return m, nil
+}
+
+type term struct {
+	text string
+	neg  bool
+}
+
+func splitTerms(s string) []term {
+	var out []term
+	neg := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			if t := strings.TrimSpace(s[start:i]); t != "" {
+				out = append(out, term{t, neg})
+			} else if neg {
+				// "--" or "+-": fold into pending sign.
+				out = append(out, term{"", neg})
+			}
+			neg = s[i] == '-'
+			start = i + 1
+		}
+	}
+	out = append(out, term{strings.TrimSpace(s[start:]), neg})
+	return out
+}
+
+func parseReg(s string) (isa.Reg, isa.RegFile, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return isa.SP, isa.RFInt, nil
+	}
+	if len(s) < 2 {
+		return 0, isa.RFNone, fmt.Errorf("not a register: %q", s)
+	}
+	var file isa.RegFile
+	var limit int
+	switch s[0] {
+	case 'r':
+		file, limit = isa.RFInt, isa.NumRegs
+	case 'f':
+		file, limit = isa.RFFloat, isa.NumRegs
+	case 'v':
+		file, limit = isa.RFVec, isa.NumVRegs
+	default:
+		return 0, isa.RFNone, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= limit {
+		return 0, isa.RFNone, fmt.Errorf("not a register: %q", s)
+	}
+	return isa.Reg(n), file, nil
+}
+
+func kindFor(f isa.RegFile) isa.OpKind {
+	switch f {
+	case isa.RFFloat:
+		return isa.KindFReg
+	case isa.RFVec:
+		return isa.KindVReg
+	default:
+		return isa.KindReg
+	}
+}

@@ -1,0 +1,258 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := AssembleAt(`
+start:
+    movi r1, 10
+    movi r2, 32
+    add  r1, r2
+    ret
+`, 0x1000, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["start"] != 0x1000 {
+		t.Errorf("start = 0x%x", p.Labels["start"])
+	}
+	ins, err := isa.DecodeAll(p.Code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"movi r1, 10", "movi r2, 32", "add r1, r2", "ret"}
+	if len(ins) != len(want) {
+		t.Fatalf("decoded %d instrs, want %d", len(ins), len(want))
+	}
+	for i, w := range want {
+		if ins[i].String() != w {
+			t.Errorf("instr %d: %q, want %q", i, ins[i], w)
+		}
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p, err := AssembleAt(`
+loop:
+    subi r1, 1
+    jne loop
+    jmp done
+    nop
+done:
+    ret
+`, 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := isa.DecodeAll(p.Code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[1].Target() != 0x1000 {
+		t.Errorf("backward target 0x%x", ins[1].Target())
+	}
+	if ins[2].Target() != p.Labels["done"] {
+		t.Errorf("forward target 0x%x, want 0x%x", ins[2].Target(), p.Labels["done"])
+	}
+}
+
+func TestDataDirectivesAndLabelImmediates(t *testing.T) {
+	p, err := AssembleAt(`
+    movi r1, tbl
+    load r2, [tbl+8]
+    fload f1, [r1]
+.data
+tbl: .quad 7, -9
+fv:  .double 2.5
+pad: .space 4
+b:   .byte 1, 0xff
+`, 0x1000, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["tbl"] != 0x4000 || p.Labels["fv"] != 0x4010 || p.Labels["pad"] != 0x4018 || p.Labels["b"] != 0x401c {
+		t.Errorf("data labels: %v", p.Labels)
+	}
+	if len(p.Data) != 8+8+8+4+2 {
+		t.Errorf("data size %d", len(p.Data))
+	}
+	if p.Data[0] != 7 || p.Data[8] != 0xF7 /* -9 LE */ {
+		t.Errorf("quad payloads wrong: % x", p.Data[:16])
+	}
+	ins, err := isa.DecodeAll(p.Code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].Src.Imm != 0x4000 {
+		t.Errorf("movi imm 0x%x", ins[0].Src.Imm)
+	}
+	if ins[1].Src.Mem.Disp != 0x4008 {
+		t.Errorf("load disp 0x%x", ins[1].Src.Mem.Disp)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p, err := AssembleAt(`
+    load r1, [r2]
+    load r1, [r2+8]
+    load r1, [r2-8]
+    load r1, [r2+r3*8]
+    load r1, [r2+r3*8+16]
+    load r1, [r3*4+32]
+    store [sp-16], r1
+    load r1, [0x5000]
+`, 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := isa.DecodeAll(p.Code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"load r1, [r2]",
+		"load r1, [r2+8]",
+		"load r1, [r2-8]",
+		"load r1, [r2+r3*8]",
+		"load r1, [r2+r3*8+16]",
+		"load r1, [r3*4+32]",
+		"store [r15-16], r1",
+		"load r1, [0x5000]",
+	}
+	for i, w := range want {
+		if ins[i].String() != w {
+			t.Errorf("instr %d: %q, want %q", i, ins[i], w)
+		}
+	}
+}
+
+func TestCCAliases(t *testing.T) {
+	p, err := AssembleAt(`
+x:
+    jlt x
+    jae x
+    seteq r1
+    setgt r2
+`, 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := isa.DecodeAll(p.Code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].CC != isa.CondLT || ins[1].CC != isa.CondAE {
+		t.Errorf("jump conds: %v %v", ins[0].CC, ins[1].CC)
+	}
+	if ins[2].CC != isa.CondEQ || ins[3].CC != isa.CondGT {
+		t.Errorf("set conds: %v %v", ins[2].CC, ins[3].CC)
+	}
+}
+
+func TestEqu(t *testing.T) {
+	p, err := AssembleAt(`
+.equ N, 500
+.equ SZ, 8
+    movi r1, N
+    load r2, [r3+SZ]
+`, 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := isa.DecodeAll(p.Code, 0x1000)
+	if ins[0].Src.Imm != 500 || ins[1].Src.Mem.Disp != 8 {
+		t.Errorf("equ values: %v", ins)
+	}
+}
+
+func TestFloatImmediate(t *testing.T) {
+	p, err := AssembleAt("fmovi f3, -2.5\n", 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := isa.DecodeAll(p.Code, 0x1000)
+	if ins[0].String() != "fmovi f3, -2.5" {
+		t.Errorf("got %q", ins[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1",              // operand count
+		"add r1, f2",          // wrong file
+		"movi f1, 3",          // wrong file
+		"jmp",                 // missing target
+		"jmp nosuchlabel",     // undefined label
+		"x:\nx:\nret",         // duplicate label
+		".data\nadd r1, r2",   // instr in data
+		"load r1, [r2+r3+r4]", // too many regs
+		"load r1, [r2*3]",     // bad scale
+		"setcc r1",            // must use set<cc>
+		".space 1, 2",         // bad operand count for space
+		".quad zzz",           // bad quad — undefined label
+	}
+	for _, src := range cases {
+		if _, err := AssembleAt(src, 0x1000, 0x4000); !errors.Is(err, ErrSyntax) {
+			t.Errorf("src %q: err = %v, want syntax error", src, err)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := AssembleAt(`
+; full line comment
+# another
+   ret ; trailing
+`, 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 1 {
+		t.Errorf("code size %d", len(p.Code))
+	}
+}
+
+func TestTwoPassSizeStability(t *testing.T) {
+	// A label immediate that would fit in 1 byte if resolved eagerly: wide
+	// encoding must keep pass sizes identical.
+	src := `
+    movi r1, tiny
+    ret
+.data
+tiny: .quad 1
+`
+	p1, err := AssembleAt(src, 0x1000, 0x10) // label value 0x10 fits in int8
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := AssembleAt(src, 0x1000, 0x7000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Code) != len(p2.Code) {
+		t.Errorf("code sizes differ: %d vs %d", len(p1.Code), len(p2.Code))
+	}
+}
+
+func TestEntry(t *testing.T) {
+	p, err := AssembleAt("main: ret\n", 0x1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err := p.Entry("main"); err != nil || a != 0x1000 {
+		t.Errorf("Entry: 0x%x, %v", a, err)
+	}
+	if _, err := p.Entry("nope"); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if !strings.Contains(Disassembled(p), "ret") {
+		t.Error("Disassembled missing ret")
+	}
+}

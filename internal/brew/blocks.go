@@ -1,0 +1,246 @@
+package brew
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// termKind describes how an emitted block ends.
+type termKind uint8
+
+const (
+	// termFall: control continues in block succ (a JMP is emitted unless
+	// the layout places succ immediately after).
+	termFall termKind = iota
+	// termJcc: conditional jump to jccTarget, else fall through to succ.
+	termJcc
+	// termEnd: the body's last instruction leaves the function (RET or
+	// HALT); no successors.
+	termEnd
+)
+
+// eblock is one captured (generated) basic block. Captured instructions are
+// kept in decoded form until final code generation (paper, Section III.G).
+type eblock struct {
+	id     int
+	addr   uint64 // original address (0 for compensation trampolines)
+	fnAddr uint64 // function the original address belongs to
+	ins    []isa.Instr
+	meta   []insMeta // parallel to ins: frame-access annotations
+	term   termKind
+	cc     isa.Cond
+	succ   int // fallthrough successor block id
+	jcc    int // taken successor block id (termJcc)
+
+	// entry world snapshot (owned); nil once the block has been traced and
+	// is no longer needed for compatibility checks... kept for migration.
+	world  *world
+	frames []frame
+	bytes  int // encoded size of ins (maintained incrementally)
+}
+
+// frame is one shadow-stack entry for an inlined call (paper, Section
+// III.E: "we maintain a shadow stack remembering traced call instructions
+// and corresponding return addresses").
+type frame struct {
+	retAddr uint64 // where tracing continues after the callee returns
+	fn      uint64 // inlined callee start address
+	delta   int64  // symbolic SP offset at the call site
+	opts    FuncOpts
+}
+
+func framesKey(frames []frame) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, f := range frames {
+		mix(f.retAddr)
+		mix(f.fn)
+		mix(uint64(f.delta))
+	}
+	return h
+}
+
+// blockKey identifies a translation: same original start address but
+// different known-world state (or inline context) is a different block
+// (paper, Section III.F).
+type blockKey struct {
+	addr uint64
+	wkey uint64
+	fkey uint64
+}
+
+// variantSite groups translations of the same original address in the same
+// inline context, for the variant threshold.
+type variantSite struct {
+	addr uint64
+	fkey uint64
+}
+
+// layout orders the blocks, fixes jump forms, encodes everything and
+// returns the final image based at base.
+func layoutAndEncode(blocks []*eblock, base uint64, maxBytes int) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%w: no blocks generated", ErrUnsupported)
+	}
+	order := blockOrder(blocks)
+
+	// Pass 1: assign addresses. Jump encodings are fixed-width, so sizes
+	// are final before targets are known (paper: "Do relocation of all
+	// needed jumps, given start addresses from the previous step").
+	pos := make([]uint64, len(blocks))
+	addr := base
+	next := make([]int, len(blocks)) // block physically following, -1 at end
+	for i, id := range order {
+		if i+1 < len(order) {
+			next[id] = order[i+1]
+		} else {
+			next[id] = -1
+		}
+	}
+	for _, id := range order {
+		b := blocks[id]
+		pos[id] = addr
+		addr += uint64(b.bytes)
+		addr += uint64(termSize(b, next[id]))
+	}
+	if int(addr-base) > maxBytes {
+		return nil, fmt.Errorf("%w: %d bytes > limit %d", ErrCodeBufferFull, addr-base, maxBytes)
+	}
+
+	// Pass 2: encode.
+	out := make([]byte, 0, addr-base)
+	for _, id := range order {
+		b := blocks[id]
+		blockStart := base + uint64(len(out))
+		if blockStart != pos[id] {
+			return nil, fmt.Errorf("%w: layout desync at block %d", ErrUnsupported, id)
+		}
+		var err error
+		for _, ins := range b.ins {
+			ins.Addr = base + uint64(len(out))
+			out, err = isa.AppendEncode(out, ins)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+			}
+		}
+		switch b.term {
+		case termEnd:
+		case termFall:
+			if b.succ != next[id] {
+				j := isa.MakeRel(isa.JMP, pos[b.succ])
+				j.Addr = base + uint64(len(out))
+				out, err = isa.AppendEncode(out, j)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case termJcc:
+			j := isa.MakeJCC(b.cc, pos[b.jcc])
+			j.Addr = base + uint64(len(out))
+			out, err = isa.AppendEncode(out, j)
+			if err != nil {
+				return nil, err
+			}
+			if b.succ != next[id] {
+				j2 := isa.MakeRel(isa.JMP, pos[b.succ])
+				j2.Addr = base + uint64(len(out))
+				out, err = isa.AppendEncode(out, j2)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// termSize returns the encoded size of the block terminator given the
+// physically following block.
+func termSize(b *eblock, next int) int {
+	const jmpLen, jccLen = 5, 6
+	switch b.term {
+	case termEnd:
+		return 0
+	case termFall:
+		if b.succ == next {
+			return 0
+		}
+		return jmpLen
+	case termJcc:
+		n := jccLen
+		if b.succ != next {
+			n += jmpLen
+		}
+		return n
+	}
+	return 0
+}
+
+// blockOrder determines the final order of generated blocks, preferring
+// fallthrough chains (paper: "Determination of the best order of generated
+// blocks for the final rewritten code").
+func blockOrder(blocks []*eblock) []int {
+	seen := make([]bool, len(blocks))
+	var order []int
+	var chain func(id int)
+	chain = func(id int) {
+		for id >= 0 && !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+			b := blocks[id]
+			switch b.term {
+			case termFall:
+				id = b.succ
+			case termJcc:
+				id = b.succ // prefer the fallthrough path
+			default:
+				id = -1
+			}
+		}
+	}
+	chain(0)
+	// Remaining blocks: chase taken edges and anything unvisited.
+	for id := 0; id < len(blocks); id++ {
+		if seen[id] {
+			if blocks[id].term == termJcc && !seen[blocks[id].jcc] {
+				chain(blocks[id].jcc)
+			}
+			continue
+		}
+		chain(id)
+	}
+	// A second sweep for jcc targets discovered late.
+	for id := 0; id < len(blocks); id++ {
+		if blocks[id].term == termJcc && !seen[blocks[id].jcc] {
+			chain(blocks[id].jcc)
+		}
+		if blocks[id].term == termFall && !seen[blocks[id].succ] {
+			chain(blocks[id].succ)
+		}
+	}
+	return order
+}
+
+// dump renders the captured blocks for debugging and the paper's Figure 6
+// style listings.
+func dumpBlocks(blocks []*eblock) string {
+	var sb strings.Builder
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "block %d (orig 0x%x):\n", b.id, b.addr)
+		for _, ins := range b.ins {
+			fmt.Fprintf(&sb, "    %s\n", ins)
+		}
+		switch b.term {
+		case termFall:
+			fmt.Fprintf(&sb, "    -> b%d\n", b.succ)
+		case termJcc:
+			fmt.Fprintf(&sb, "    j%s -> b%d else b%d\n", b.cc, b.jcc, b.succ)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package brew
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// ParamGuard is one equality condition on an integer parameter (1-based,
+// ABI register).
+type ParamGuard struct {
+	Param int
+	Value uint64
+}
+
+// GuardedResult describes a guarded specialization.
+type GuardedResult struct {
+	// Addr is the dispatcher entry: it checks the guards and jumps to the
+	// specialized version on match, else to the original function.
+	Addr uint64
+	// Specialized is the unconditional specialized entry.
+	Specialized uint64
+	// Rewrite carries the underlying specialization result.
+	Rewrite *Result
+}
+
+// RewriteGuarded implements the paper's profile-driven specialization
+// (Section III.D): "it may be observed that a parameter to a function
+// often is 42. In this case, a specific variant can be generated which is
+// called after a check for the parameter actually being 42. Otherwise, the
+// original function should be executed."
+//
+// The cfg is augmented with ParamKnown for each guarded parameter; args
+// must carry the guard values in the corresponding positions. The returned
+// dispatcher is a drop-in replacement for fn.
+func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
+	if len(guards) == 0 {
+		return nil, fmt.Errorf("%w: no guards", ErrBadConfig)
+	}
+	nargs := append([]uint64(nil), args...)
+	for _, g := range guards {
+		if g.Param < 1 || g.Param > len(isa.IntArgRegs) {
+			return nil, fmt.Errorf("%w: guard on parameter %d", ErrBadConfig, g.Param)
+		}
+		cfg.SetParam(g.Param, ParamKnown)
+		for len(nargs) < g.Param {
+			nargs = append(nargs, 0)
+		}
+		nargs[g.Param-1] = g.Value
+	}
+	res, err := Rewrite(m, cfg, fn, nargs, fargs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Dispatcher: cmpi argN, value; jne original; ... jmp specialized.
+	var ins []isa.Instr
+	for _, g := range guards {
+		ins = append(ins,
+			isa.MakeRI(isa.CMPI, isa.IntArgRegs[g.Param-1], int64(g.Value)),
+			isa.MakeJCC(isa.CondNE, fn),
+		)
+	}
+	ins = append(ins, isa.MakeRel(isa.JMP, res.Addr))
+
+	size := 0
+	for _, in := range ins {
+		n, err := isa.EncodedLen(in)
+		if err != nil {
+			return nil, err
+		}
+		size += n
+	}
+	addr, err := m.JITAlloc.Alloc(uint64(size))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodeBufferFull, err)
+	}
+	var code []byte
+	for _, in := range ins {
+		in.Addr = addr + uint64(len(code))
+		code, err = isa.AppendEncode(code, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := m.WriteJIT(addr, code); err != nil {
+		return nil, err
+	}
+	return &GuardedResult{Addr: addr, Specialized: res.Addr, Rewrite: res}, nil
+}

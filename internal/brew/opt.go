@@ -1,0 +1,1222 @@
+package brew
+
+import "repro/internal/isa"
+
+// optimize runs local passes over the captured blocks. The paper's
+// prototype ships without optimization passes ("there currently are no
+// optimization passes implemented") but names the needed ones explicitly:
+// removing redundant loads (Section V.B), avoiding register spills to the
+// stack "when free register space becomes available due to specialization"
+// (Section IV), and register renaming (Section VIII). The passes here
+// implement exactly that profile:
+//
+//   - store-to-load forwarding and dead store elimination on the private
+//     frame (spill traffic left behind by folding)
+//   - copy-dance coalescing (two-address copy churn)
+//   - liveness-based dead code elimination (ABI-dead registers at return)
+//   - duplicate load elimination
+//   - dead callee-saved save/restore removal with frame shrinking
+//
+// frameSafe is true when every emitted stack access was precisely
+// attributed and no frame address escaped, which licenses treating the
+// private frame (deltas below the entry SP) as invisible memory.
+func optimize(blocks []*eblock, frameSafe, vectorizeOpt bool) {
+	for pass := 0; pass < 2; pass++ {
+		if frameSafe {
+			for _, b := range blocks {
+				forwardFrameStores(b)
+			}
+			deadFrameStores(blocks)
+		}
+		for _, b := range blocks {
+			copyDance(b)
+			addrFold(b)
+		}
+		deadCodeGlobal(blocks)
+		for _, b := range blocks {
+			redundantLoads(b)
+		}
+	}
+	if frameSafe {
+		renameCalleeSaved(blocks)
+		removeDeadSaves(blocks)
+		deadCodeGlobal(blocks)
+		removeDeadSaves(blocks)
+	}
+	if vectorizeOpt {
+		vectorize(blocks)
+		deadCodeGlobal(blocks)
+	}
+}
+
+// --- addressing-chain folding ---
+
+// addrFold folds register copy/add chains into memory operands:
+//
+//	mov r8, r2 ; addi r8, C ; fload f, [r8+D]  ->  fload f, [r2+C+D]
+//
+// The mov/addi become dead and are removed by deadCode. A tiny local value
+// numbering with generation counters keeps the rewrite sound.
+func addrFold(b *eblock) {
+	type expr struct {
+		valid   bool
+		hasBase bool
+		base    isa.Reg
+		baseGen int
+		off     int64
+	}
+	var exprs [isa.NumRegs]expr
+	var gen [isa.NumRegs]int
+	kill := func(r isa.Reg) {
+		gen[r]++
+		exprs[r] = expr{}
+	}
+	record := func(dst isa.Reg, e expr) {
+		gen[dst]++
+		exprs[dst] = e
+	}
+	fold := func(m *isa.MemRef) {
+		if !m.HasBase() || m.Base == isa.SP {
+			return
+		}
+		e := exprs[m.Base]
+		if !e.valid {
+			return
+		}
+		nd := int64(m.Disp) + e.off
+		if nd < -1<<31 || nd >= 1<<31 {
+			return
+		}
+		if e.hasBase {
+			if gen[e.base] != e.baseGen || e.base == m.Index {
+				return
+			}
+			m.Base = e.base
+			m.Disp = int32(nd)
+			return
+		}
+		// Constant address.
+		if m.HasIndex() || nd < 0 {
+			return
+		}
+		*m = isa.Abs(int32(nd))
+	}
+	for i := range b.ins {
+		in := &b.ins[i]
+		// Fold the memory operand first (uses pre-instruction state).
+		switch isa.Info(in.Op).Format {
+		case isa.FRM:
+			if in.Op != isa.LEA { // LEA result tracking handled below
+				fold(&in.Src.Mem)
+			}
+		case isa.FMR:
+			fold(&in.Dst.Mem)
+		}
+		// Update tracked expressions.
+		switch in.Op {
+		case isa.MOVI:
+			record(in.Dst.Reg, expr{valid: true, off: in.Src.Imm})
+		case isa.MOV:
+			src := in.Src.Reg
+			if e := exprs[src]; e.valid {
+				ne := e
+				if ne.hasBase && gen[ne.base] != ne.baseGen {
+					ne = expr{valid: true, hasBase: true, base: src, baseGen: gen[src]}
+				}
+				record(in.Dst.Reg, ne)
+			} else {
+				record(in.Dst.Reg, expr{valid: true, hasBase: true, base: src, baseGen: gen[src]})
+			}
+		case isa.ADDI, isa.SUBI:
+			d := in.Dst.Reg
+			delta := in.Src.Imm
+			if in.Op == isa.SUBI {
+				delta = -delta
+			}
+			if e := exprs[d]; e.valid && (!e.hasBase || gen[e.base] == e.baseGen) {
+				e.off += delta
+				record(d, e)
+			} else {
+				kill(d)
+			}
+		default:
+			for _, dreg := range insDefs(*in) {
+				if dreg.file == isa.RFInt {
+					kill(dreg.reg)
+				}
+			}
+			if isBarrier(in.Op) {
+				for r := range exprs {
+					kill(isa.Reg(r))
+				}
+			}
+		}
+	}
+}
+
+// --- register renaming ---
+
+// renameCalleeSaved renames callee-saved registers that generated code
+// still uses to unused caller-saved registers, making their save/restore
+// sequences dead (the paper's Section VIII "register renaming" next step).
+// Only valid when the code contains no calls (a call would clobber the
+// caller-saved replacement).
+func renameCalleeSaved(blocks []*eblock) {
+	for _, b := range blocks {
+		for _, in := range b.ins {
+			if in.Op == isa.CALL || in.Op == isa.CALLR {
+				return
+			}
+		}
+	}
+	usedInt := map[isa.Reg]bool{}
+	usedFloat := map[isa.Reg]bool{}
+	for _, b := range blocks {
+		for _, in := range b.ins {
+			for _, u := range insUses(in) {
+				markUsed(u, usedInt, usedFloat)
+			}
+			for _, d := range insDefs(in) {
+				markUsed(d, usedInt, usedFloat)
+			}
+		}
+	}
+	freeFloat := func() (isa.Reg, bool) {
+		for r := isa.Reg(1); r < isa.NumRegs; r++ {
+			if isa.CallerSavedFloat(r) && !usedFloat[r] {
+				usedFloat[r] = true
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	freeInt := func() (isa.Reg, bool) {
+		for r := isa.Reg(1); r < isa.NumRegs; r++ {
+			if r != isa.SP && isa.CallerSavedInt(r) && !usedInt[r] {
+				usedInt[r] = true
+				return r, true
+			}
+		}
+		return 0, false
+	}
+
+	// Float save/restore pairs: FSTORE [sp+X], fR early in the entry
+	// block (before any other use of fR), FLOAD fR, [sp+X] in every RET
+	// block with no later use of fR. Process one pair at a time because
+	// deleting instructions shifts indices.
+	entry := blocks[0]
+	for {
+		renamed := false
+		for _, cand := range floatSaves(entry) {
+			fR, disp := cand.reg, cand.disp
+			restores := map[*eblock]int{}
+			ok := true
+			for _, b := range blocks {
+				if len(b.ins) == 0 || b.ins[len(b.ins)-1].Op != isa.RET {
+					continue
+				}
+				idx := -1
+				for i, in := range b.ins {
+					if in.Op == isa.FLOAD && in.Dst.Reg == fR &&
+						in.Src.Mem.Base == isa.SP && !in.Src.Mem.HasIndex() && in.Src.Mem.Disp == disp {
+						idx = i
+					}
+				}
+				if idx < 0 {
+					ok = false
+					break
+				}
+				for i := idx + 1; i < len(b.ins); i++ {
+					for _, u := range insUses(b.ins[i]) {
+						if u == (regRef{isa.RFFloat, fR}) {
+							ok = false
+						}
+					}
+				}
+				restores[b] = idx
+			}
+			if !ok || len(restores) == 0 {
+				continue
+			}
+			// The body must never read the *incoming* value of fR:
+			// renaming would then read garbage.
+			skip := func(b *eblock, i int) bool {
+				if b == entry && i == cand.idx {
+					return true
+				}
+				ri, isR := restores[b]
+				return isR && i == ri
+			}
+			if readsIncoming(blocks, regRef{isa.RFFloat, fR}, skip) {
+				continue
+			}
+			nr, found := freeFloat()
+			if !found {
+				continue
+			}
+			for _, b := range blocks {
+				dead := make([]bool, len(b.ins))
+				for i := range b.ins {
+					if skip(b, i) {
+						dead[i] = true
+						continue
+					}
+					renameFloatReg(&b.ins[i], fR, nr)
+				}
+				compactBlock(b, dead)
+			}
+			renamed = true
+			break
+		}
+		if !renamed {
+			break
+		}
+	}
+
+	// Integer callee-saved registers: rename body occurrences, leaving
+	// the PUSH/POP pairs for removeDeadSaves to collect.
+	pushed := map[isa.Reg]bool{}
+	start := 0
+	for start < len(entry.ins) && entry.ins[start].Op == isa.CALL {
+		start++
+	}
+	for i := start; i < len(entry.ins) && entry.ins[i].Op == isa.PUSH; i++ {
+		pushed[entry.ins[i].Dst.Reg] = true
+	}
+	skipPushPop := func(b *eblock, i int) bool {
+		op := b.ins[i].Op
+		return op == isa.PUSH || op == isa.POP
+	}
+	for r := range pushed {
+		if !isa.CalleeSavedInt(r) {
+			continue
+		}
+		if readsIncoming(blocks, regRef{isa.RFInt, r}, skipPushPop) {
+			continue
+		}
+		nr, found := freeInt()
+		if !found {
+			continue
+		}
+		for _, b := range blocks {
+			for i := range b.ins {
+				if skipPushPop(b, i) {
+					continue
+				}
+				renameIntReg(&b.ins[i], r, nr)
+			}
+		}
+	}
+}
+
+// readsIncoming reports whether any execution path from the entry may read
+// register r before writing it (ignoring instructions skip selects, such
+// as save/restore pairs). Backward may-analysis over the block graph.
+func readsIncoming(blocks []*eblock, r regRef, skip func(*eblock, int) bool) bool {
+	// needIn[b]: executing from b's start may read r before writing it.
+	needIn := make([]bool, len(blocks))
+	localNeed := make([]int, len(blocks)) // 1 reads-first, -1 writes-first, 0 transparent
+	for bi, b := range blocks {
+	scan:
+		for i, in := range b.ins {
+			if skip != nil && skip(b, i) {
+				continue
+			}
+			for _, u := range insUses(in) {
+				if u == r {
+					localNeed[bi] = 1
+					break scan
+				}
+			}
+			for _, d := range insDefs(in) {
+				if d == r {
+					localNeed[bi] = -1
+					break scan
+				}
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range blocks {
+			if needIn[bi] || localNeed[bi] == -1 {
+				continue
+			}
+			v := localNeed[bi] == 1
+			if !v && localNeed[bi] == 0 {
+				if b.term == termFall && b.succ >= 0 {
+					v = needIn[b.succ]
+				}
+				if b.term == termJcc {
+					v = (b.succ >= 0 && needIn[b.succ]) || (b.jcc >= 0 && needIn[b.jcc])
+				}
+			}
+			if v && !needIn[bi] {
+				needIn[bi] = true
+				changed = true
+			}
+		}
+	}
+	return needIn[0]
+}
+
+type floatSave struct {
+	idx  int
+	reg  isa.Reg
+	disp int32
+}
+
+// floatSaves finds prologue FSTOREs of callee-saved float registers that
+// occur before any other use or definition of the register.
+func floatSaves(entry *eblock) []floatSave {
+	var out []floatSave
+	seen := map[isa.Reg]bool{}
+	for i, in := range entry.ins {
+		if in.Op == isa.FSTORE && in.Dst.Mem.Base == isa.SP && !in.Dst.Mem.HasIndex() &&
+			isa.CalleeSavedFloat(in.Src.Reg) && !seen[in.Src.Reg] {
+			out = append(out, floatSave{idx: i, reg: in.Src.Reg, disp: in.Dst.Mem.Disp})
+			seen[in.Src.Reg] = true
+			continue
+		}
+		for _, u := range insUses(in) {
+			if u.file == isa.RFFloat {
+				seen[u.reg] = true
+			}
+		}
+		for _, d := range insDefs(in) {
+			if d.file == isa.RFFloat {
+				seen[d.reg] = true
+			}
+		}
+	}
+	return out
+}
+
+func markUsed(r regRef, ints, floats map[isa.Reg]bool) {
+	switch r.file {
+	case isa.RFInt:
+		ints[r.reg] = true
+	case isa.RFFloat:
+		floats[r.reg] = true
+	}
+}
+
+func renameFloatReg(in *isa.Instr, from, to isa.Reg) {
+	if in.Dst.Kind == isa.KindFReg && in.Dst.Reg == from {
+		in.Dst.Reg = to
+	}
+	if in.Src.Kind == isa.KindFReg && in.Src.Reg == from {
+		in.Src.Reg = to
+	}
+}
+
+func renameIntReg(in *isa.Instr, from, to isa.Reg) {
+	if in.Dst.Kind == isa.KindReg && in.Dst.Reg == from {
+		in.Dst.Reg = to
+	}
+	if in.Src.Kind == isa.KindReg && in.Src.Reg == from {
+		in.Src.Reg = to
+	}
+	if in.Dst.Kind == isa.KindMem {
+		if in.Dst.Mem.HasBase() && in.Dst.Mem.Base == from {
+			in.Dst.Mem.Base = to
+		}
+		if in.Dst.Mem.HasIndex() && in.Dst.Mem.Index == from {
+			in.Dst.Mem.Index = to
+		}
+	}
+	if in.Src.Kind == isa.KindMem {
+		if in.Src.Mem.HasBase() && in.Src.Mem.Base == from {
+			in.Src.Mem.Base = to
+		}
+		if in.Src.Mem.HasIndex() && in.Src.Mem.Index == from {
+			in.Src.Mem.Index = to
+		}
+	}
+}
+
+// --- store-to-load forwarding (frame slots) ---
+
+// forwardFrameStores replaces a load from a frame slot with a register
+// move (or nothing) when the slot was just stored from a register that
+// still holds the value. Only SP-based, index-free accesses participate;
+// with frameSafe, non-frame stores cannot alias them.
+func forwardFrameStores(b *eblock) {
+	type fwd struct {
+		reg   isa.Reg
+		float bool
+		ok    bool
+	}
+	avail := map[int32]fwd{} // keyed by SP displacement
+	dead := make([]bool, len(b.ins))
+	invalidateReg := func(r regRef) {
+		for k, f := range avail {
+			if f.ok && f.reg == r.reg && (f.float == (r.file == isa.RFFloat)) {
+				delete(avail, k)
+			}
+		}
+	}
+	for i := range b.ins {
+		ins := &b.ins[i]
+		switch ins.Op {
+		case isa.STORE, isa.FSTORE:
+			m := ins.Dst.Mem
+			if m.Base == isa.SP && !m.HasIndex() {
+				// Overlapping slots are invalidated.
+				for k := range avail {
+					if k > m.Disp-8 && k < m.Disp+8 {
+						delete(avail, k)
+					}
+				}
+				avail[m.Disp] = fwd{reg: ins.Src.Reg, float: ins.Op == isa.FSTORE, ok: true}
+				continue
+			}
+			// Non-frame store: cannot alias the private frame (frameSafe).
+			continue
+		case isa.STOREB, isa.VSTORE:
+			m := ins.Dst.Mem
+			if m.Base == isa.SP && !m.HasIndex() {
+				for k := range avail {
+					if k > m.Disp-int32(8*isa.VecLanes) && k < m.Disp+int32(8*isa.VecLanes) {
+						delete(avail, k)
+					}
+				}
+			}
+			continue
+		case isa.LOAD, isa.FLOAD:
+			m := ins.Src.Mem
+			if m.Base == isa.SP && !m.HasIndex() {
+				if f, ok := avail[m.Disp]; ok && f.ok && f.float == (ins.Op == isa.FLOAD) {
+					if f.reg == ins.Dst.Reg {
+						dead[i] = true
+					} else {
+						op := isa.MOV
+						if ins.Op == isa.FLOAD {
+							op = isa.FMOV
+						}
+						*ins = isa.MakeRR(op, ins.Dst.Reg, f.reg)
+						b.meta[i] = insMeta{}
+						invalidateReg(regRef{fileOf(ins.Op), ins.Dst.Reg})
+						avail[m.Disp] = f // still valid
+					}
+					continue
+				}
+			}
+		case isa.PUSH, isa.POP:
+			// SP changes: displacement keys are relative to SP, so all
+			// tracked slots shift meaning.
+			avail = map[int32]fwd{}
+		}
+		if isBarrier(ins.Op) {
+			avail = map[int32]fwd{}
+		}
+		for _, d := range insDefs(b.ins[i]) {
+			if d.reg == isa.SP && d.file == isa.RFInt {
+				avail = map[int32]fwd{}
+				break
+			}
+			invalidateReg(d)
+		}
+	}
+	compactBlock(b, dead)
+}
+
+func fileOf(op isa.Opcode) isa.RegFile {
+	if op == isa.FLOAD || op == isa.FMOV {
+		return isa.RFFloat
+	}
+	return isa.RFInt
+}
+
+// --- dead frame stores ---
+
+// deadFrameStores removes plain stores into private frame slots (delta
+// below the entry SP) that no emitted load ever reads.
+func deadFrameStores(blocks []*eblock) {
+	type span struct{ lo, hi int64 }
+	var loads []span
+	for _, b := range blocks {
+		for i := range b.meta {
+			if m := b.meta[i]; m.frameLoad {
+				loads = append(loads, span{m.delta, m.delta + m.size})
+			}
+		}
+	}
+	overlapsLoad := func(lo, hi int64) bool {
+		for _, l := range loads {
+			if lo < l.hi && l.lo < hi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blocks {
+		dead := make([]bool, len(b.ins))
+		for i := range b.ins {
+			if i >= len(b.meta) {
+				break
+			}
+			m := b.meta[i]
+			if !m.frameStore || m.delta >= 0 {
+				continue
+			}
+			switch b.ins[i].Op {
+			case isa.STORE, isa.STOREB, isa.FSTORE, isa.VSTORE:
+				if !overlapsLoad(m.delta, m.delta+m.size) {
+					dead[i] = true
+				}
+			}
+			// PUSH also stores, but carries an SP side effect; dead
+			// save/restore pairs are removed by removeDeadSaves.
+		}
+		compactBlock(b, dead)
+	}
+}
+
+// --- copy-dance coalescing ---
+
+// copyDance rewrites the two-address copy pattern compilers emit for
+// "a = a op b":
+//
+//	mov t, a ; op t, b ; mov a, t   ->   op a, b
+//
+// when t is not read again before being overwritten in the block.
+func copyDance(b *eblock) {
+	dead := make([]bool, len(b.ins))
+	for i := 0; i+2 < len(b.ins); i++ {
+		c1, c2, c3 := b.ins[i], b.ins[i+1], b.ins[i+2]
+		if dead[i] || dead[i+1] || dead[i+2] {
+			continue
+		}
+		isCopy := func(in isa.Instr) bool { return in.Op == isa.MOV || in.Op == isa.FMOV }
+		if !isCopy(c1) || !isCopy(c3) || c1.Op != c3.Op {
+			continue
+		}
+		t, a := c1.Dst.Reg, c1.Src.Reg
+		if c3.Dst.Reg != a || c3.Src.Reg != t || t == a {
+			continue
+		}
+		info := isa.Info(c2.Op)
+		if info.Format != isa.FRR && info.Format != isa.FRI {
+			continue
+		}
+		if !isALUish(c2.Op) || c2.Dst.Reg != t {
+			continue
+		}
+		wantFile := isa.RFInt
+		if c1.Op == isa.FMOV {
+			wantFile = isa.RFFloat
+		}
+		if info.DstFile != wantFile {
+			continue
+		}
+		if info.Format == isa.FRR && c2.Src.Reg == a && info.SrcFile == wantFile {
+			continue // op reads a: rewriting would read the new a mid-op
+		}
+		// t must not be read later before being redefined.
+		if regReadBeforeRedefined(b, i+3, regRef{wantFile, t}) {
+			continue
+		}
+		n2 := c2
+		n2.Dst.Reg = a
+		if info.Format == isa.FRR && c2.Src.Reg == t && info.SrcFile == wantFile {
+			n2.Src.Reg = a
+		}
+		b.ins[i+1] = n2
+		dead[i], dead[i+2] = true, true
+	}
+	compactBlock(b, dead)
+}
+
+func isALUish(op isa.Opcode) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.IMUL, isa.IDIV, isa.IREM, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SAR,
+		isa.ADDI, isa.SUBI, isa.IMULI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		return true
+	}
+	return false
+}
+
+// regReadBeforeRedefined reports whether r is read at or after index from,
+// before being written, within the block (conservatively true when the
+// block ends without redefinition, unless it ends in RET and r is
+// ABI-dead there).
+func regReadBeforeRedefined(b *eblock, from int, r regRef) bool {
+	for j := from; j < len(b.ins); j++ {
+		in := b.ins[j]
+		if isBarrier(in.Op) && in.Op != isa.RET {
+			return true // call may consume anything
+		}
+		for _, u := range insUses(in) {
+			if u == r {
+				return true
+			}
+		}
+		if in.Op == isa.RET {
+			return !abiDeadAtReturn(r)
+		}
+		for _, d := range insDefs(in) {
+			if d == r {
+				return false
+			}
+		}
+	}
+	return true // live out of the block (conservative)
+}
+
+func abiDeadAtReturn(r regRef) bool {
+	if r.file == isa.RFVec {
+		return true
+	}
+	if r.reg == 0 {
+		return false // return registers R0/F0
+	}
+	if r.file == isa.RFInt {
+		return isa.CallerSavedInt(r.reg)
+	}
+	return isa.CallerSavedFloat(r.reg)
+}
+
+// --- liveness-based dead code elimination ---
+
+// liveSet is a register set with an "everything" top element (used around
+// calls, whose callees may read any register).
+type liveSet struct {
+	all  bool
+	regs map[regRef]bool
+	flag bool // condition flags live
+}
+
+func (s *liveSet) has(r regRef) bool { return s.all || s.regs[r] }
+
+func (s *liveSet) clone() *liveSet {
+	n := &liveSet{all: s.all, flag: s.flag, regs: make(map[regRef]bool, len(s.regs))}
+	for k := range s.regs {
+		n.regs[k] = true
+	}
+	return n
+}
+
+func (s *liveSet) union(o *liveSet) bool {
+	changed := false
+	if o.all && !s.all {
+		s.all = true
+		changed = true
+	}
+	if o.flag && !s.flag {
+		s.flag = true
+		changed = true
+	}
+	for k := range o.regs {
+		if !s.regs[k] {
+			s.regs[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// abiReturnLive is the live-out set of a returning block: the return
+// registers, SP, and everything callee-saved.
+func abiReturnLive() *liveSet {
+	s := &liveSet{regs: map[regRef]bool{}}
+	s.regs[regRef{isa.RFInt, isa.R0}] = true
+	s.regs[regRef{isa.RFFloat, 0}] = true
+	s.regs[regRef{isa.RFInt, isa.SP}] = true
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if isa.CalleeSavedInt(r) {
+			s.regs[regRef{isa.RFInt, r}] = true
+		}
+		if isa.CalleeSavedFloat(r) {
+			s.regs[regRef{isa.RFFloat, r}] = true
+		}
+	}
+	return s
+}
+
+// scanBackward walks a block from its live-out to its live-in, optionally
+// marking removable pure instructions in dead.
+func scanBackward(b *eblock, out *liveSet, dead []bool) *liveSet {
+	live := out.clone()
+	for i := len(b.ins) - 1; i >= 0; i-- {
+		in := b.ins[i]
+		defs := insDefs(in)
+		if dead != nil && isPure(in.Op) && len(defs) > 0 && !live.all {
+			needed := false
+			for _, d := range defs {
+				if live.has(d) {
+					needed = true
+					break
+				}
+			}
+			if isa.SetsFlags(in.Op) && live.flag {
+				needed = true
+			}
+			if !needed {
+				dead[i] = true
+				continue
+			}
+		}
+		if in.Op == isa.CALL || in.Op == isa.CALLR {
+			live.all = true
+			live.flag = false
+		}
+		if isa.ReadsFlags(in.Op) {
+			live.flag = true
+		} else if isa.SetsFlags(in.Op) {
+			live.flag = false
+		}
+		for _, d := range defs {
+			delete(live.regs, d)
+		}
+		for _, u := range insUses(in) {
+			live.regs[u] = true
+		}
+	}
+	return live
+}
+
+// deadCodeGlobal removes pure instructions whose results are never used,
+// using liveness computed across the whole block graph. Returning blocks
+// end with the ABI live set (caller-saved registers other than the return
+// registers are dead); the flags are live into a conditional terminator.
+func deadCodeGlobal(blocks []*eblock) {
+	n := len(blocks)
+	liveIn := make([]*liveSet, n)
+	liveOut := make([]*liveSet, n)
+	for i, b := range blocks {
+		switch {
+		case b.term == termEnd && len(b.ins) > 0 && b.ins[len(b.ins)-1].Op == isa.RET:
+			liveOut[i] = abiReturnLive()
+		case b.term == termEnd:
+			// HALT or failure tail: nothing provably read afterwards,
+			// but stay conservative.
+			liveOut[i] = &liveSet{all: true, regs: map[regRef]bool{}}
+		default:
+			liveOut[i] = &liveSet{regs: map[regRef]bool{}, flag: b.term == termJcc}
+		}
+		liveIn[i] = &liveSet{regs: map[regRef]bool{}}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := blocks[i]
+			if b.term == termFall && b.succ >= 0 {
+				if liveOut[i].union(liveIn[b.succ]) {
+					changed = true
+				}
+			}
+			if b.term == termJcc {
+				if b.succ >= 0 && liveOut[i].union(liveIn[b.succ]) {
+					changed = true
+				}
+				if b.jcc >= 0 && liveOut[i].union(liveIn[b.jcc]) {
+					changed = true
+				}
+				liveOut[i].flag = true
+			}
+			in := scanBackward(b, liveOut[i], nil)
+			if liveIn[i].union(in) {
+				changed = true
+			}
+		}
+	}
+	for i, b := range blocks {
+		dead := make([]bool, len(b.ins))
+		scanBackward(b, liveOut[i], dead)
+		compactBlock(b, dead)
+	}
+}
+
+// isPure reports whether an instruction only writes registers (and flags):
+// no memory effects, no control transfer.
+func isPure(op isa.Opcode) bool {
+	switch op {
+	case isa.MOV, isa.MOVI, isa.LEA, isa.ADD, isa.SUB, isa.IMUL, isa.AND,
+		isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR, isa.ADDI, isa.SUBI,
+		isa.IMULI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI,
+		isa.SARI, isa.NEG, isa.NOT, isa.SETCC, isa.FMOV, isa.FMOVI,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FNEG, isa.FSQRT, isa.CVTIF,
+		isa.CVTFI, isa.FMOVFI, isa.FMOVIF, isa.VADD, isa.VSUB, isa.VMUL,
+		isa.VBCAST, isa.VHADD, isa.NOP:
+		// Note: IDIV/IREM/FDIV excluded (fault/IEEE side conditions kept).
+		return true
+	}
+	return false
+}
+
+// --- duplicate loads ---
+
+// redundantLoads removes a LOAD/FLOAD whose exact memory operand was
+// loaded into the same register immediately before, with no intervening
+// stores, calls or writes to the operand's registers (Section V.B:
+// "instruction reordering removing redundant loads").
+func redundantLoads(b *eblock) {
+	n := len(b.ins)
+	dead := make([]bool, n)
+	type lastLoad struct {
+		op  isa.Opcode
+		mem isa.MemRef
+		ok  bool
+	}
+	var last [isa.NumRegs]lastLoad  // integer file
+	var lastF [isa.NumRegs]lastLoad // float file
+	invalidateAll := func() {
+		for i := range last {
+			last[i].ok = false
+			lastF[i].ok = false
+		}
+	}
+	invalidateReg := func(r regRef) {
+		switch r.file {
+		case isa.RFInt:
+			last[r.reg].ok = false
+			for i := range last {
+				if last[i].ok && memUsesReg(last[i].mem, r.reg) {
+					last[i].ok = false
+				}
+				if lastF[i].ok && memUsesReg(lastF[i].mem, r.reg) {
+					lastF[i].ok = false
+				}
+			}
+		case isa.RFFloat:
+			lastF[r.reg].ok = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		ins := b.ins[i]
+		switch ins.Op {
+		case isa.LOAD:
+			if l := last[ins.Dst.Reg]; l.ok && l.op == isa.LOAD && l.mem == ins.Src.Mem {
+				dead[i] = true
+				continue
+			}
+			for _, d := range insDefs(ins) {
+				invalidateReg(d)
+			}
+			if !memUsesReg(ins.Src.Mem, ins.Dst.Reg) {
+				last[ins.Dst.Reg] = lastLoad{isa.LOAD, ins.Src.Mem, true}
+			}
+			continue
+		case isa.FLOAD:
+			if l := lastF[ins.Dst.Reg]; l.ok && l.op == isa.FLOAD && l.mem == ins.Src.Mem {
+				dead[i] = true
+				continue
+			}
+			lastF[ins.Dst.Reg] = lastLoad{isa.FLOAD, ins.Src.Mem, true}
+			continue
+		case isa.STORE, isa.STOREB, isa.FSTORE, isa.VSTORE, isa.PUSH, isa.POP:
+			invalidateAll()
+		}
+		if isBarrier(ins.Op) {
+			invalidateAll()
+		}
+		for _, d := range insDefs(ins) {
+			invalidateReg(d)
+		}
+	}
+	compactBlock(b, dead)
+}
+
+func memUsesReg(m isa.MemRef, r isa.Reg) bool {
+	return (m.HasBase() && m.Base == r) || (m.HasIndex() && m.Index == r)
+}
+
+// --- dead callee-saved saves and frame shrinking ---
+
+// removeDeadSaves drops PUSH/POP pairs of callee-saved registers the
+// generated code never uses (specialization freed them), and removes the
+// frame allocation entirely when no stack slot remains. All SP-relative
+// displacements are rebased accordingly. This is the payoff the paper
+// sketches as "register renaming ... avoiding register spills to the
+// stack" (Sections IV and VIII).
+func removeDeadSaves(blocks []*eblock) {
+	if len(blocks) == 0 {
+		return
+	}
+	// Removing prologue pushes shifts the private frame up uniformly.
+	// That is invisible as long as every remaining SP-relative access
+	// targets the private region (delta < 0): sp-relative addressing
+	// moves with the frame. Accesses into the caller region (delta >= 0)
+	// would land 8 bytes off per removed push, so their presence blocks
+	// the pass.
+	for _, b := range blocks {
+		for i, in := range b.ins {
+			if !usesSPMem(in) {
+				continue
+			}
+			if i >= len(b.meta) {
+				return
+			}
+			m := b.meta[i]
+			if !(m.frameLoad || m.frameStore) || m.delta >= 0 {
+				return
+			}
+		}
+	}
+	entry := blocks[0]
+	// Locate the prologue push run (allowing a leading handler call).
+	start := 0
+	for start < len(entry.ins) && entry.ins[start].Op == isa.CALL {
+		start++
+	}
+	var pushes []int // indices in entry.ins
+	for i := start; i < len(entry.ins) && entry.ins[i].Op == isa.PUSH; i++ {
+		pushes = append(pushes, i)
+	}
+	if len(pushes) == 0 {
+		shrinkFrame(blocks)
+		return
+	}
+	// No SP-relative accesses may precede the push run.
+	for i := 0; i < pushes[0]; i++ {
+		if usesSPMem(entry.ins[i]) {
+			return
+		}
+	}
+	// Every RET block must end with the mirrored pop run.
+	type retBlock struct {
+		b    *eblock
+		pops []int // indices, aligned with pushes reversed
+	}
+	var rets []retBlock
+	for _, b := range blocks {
+		if len(b.ins) == 0 || b.ins[len(b.ins)-1].Op != isa.RET {
+			continue
+		}
+		// Allow an exit-handler CALL between pops and RET.
+		end := len(b.ins) - 1
+		for end > 0 && b.ins[end-1].Op == isa.CALL {
+			end--
+		}
+		if end < len(pushes) {
+			return
+		}
+		pops := make([]int, len(pushes))
+		for k := range pushes {
+			idx := end - 1 - k
+			in := b.ins[idx]
+			if in.Op != isa.POP || in.Dst.Reg != entry.ins[pushes[k]].Dst.Reg {
+				return
+			}
+			pops[k] = idx
+		}
+		rets = append(rets, retBlock{b: b, pops: pops})
+	}
+	if len(rets) == 0 {
+		return
+	}
+	// Which saved registers are actually used elsewhere?
+	used := map[isa.Reg]bool{}
+	skip := map[*eblock]map[int]bool{entry: {}}
+	for _, r := range rets {
+		if skip[r.b] == nil {
+			skip[r.b] = map[int]bool{}
+		}
+		for _, idx := range r.pops {
+			skip[r.b][idx] = true
+		}
+	}
+	for _, idx := range pushes {
+		skip[entry][idx] = true
+	}
+	for _, b := range blocks {
+		for i, in := range b.ins {
+			if skip[b] != nil && skip[b][i] {
+				continue
+			}
+			for _, u := range insUses(in) {
+				if u.file == isa.RFInt {
+					used[u.reg] = true
+				}
+			}
+			for _, d := range insDefs(in) {
+				if d.file == isa.RFInt {
+					used[d.reg] = true
+				}
+			}
+		}
+	}
+	// Remove unused pairs.
+	removed := 0
+	deadEntry := make([]bool, len(entry.ins))
+	deadRet := map[*eblock][]bool{}
+	for _, r := range rets {
+		deadRet[r.b] = make([]bool, len(r.b.ins))
+	}
+	for k, idx := range pushes {
+		reg := entry.ins[idx].Dst.Reg
+		if used[reg] {
+			continue
+		}
+		deadEntry[idx] = true
+		for _, r := range rets {
+			deadRet[r.b][r.pops[k]] = true
+		}
+		removed++
+	}
+	if removed > 0 {
+		// Entry may itself be a RET block: merge the masks.
+		for _, r := range rets {
+			if r.b == entry {
+				for i, d := range deadRet[r.b] {
+					if d {
+						deadEntry[i] = true
+					}
+				}
+				deadRet[r.b] = nil
+			}
+		}
+		compactBlock(entry, deadEntry)
+		for _, r := range rets {
+			if r.b != entry && deadRet[r.b] != nil {
+				compactBlock(r.b, deadRet[r.b])
+			}
+		}
+	}
+	shrinkFrame(blocks)
+}
+
+// usesSPMem reports whether the instruction has an SP-based memory
+// operand.
+func usesSPMem(in isa.Instr) bool {
+	m, ok := memOperand(in)
+	return ok && ((m.HasBase() && m.Base == isa.SP) || (m.HasIndex() && m.Index == isa.SP))
+}
+
+func memOperand(in isa.Instr) (isa.MemRef, bool) {
+	switch isa.Info(in.Op).Format {
+	case isa.FRM:
+		return in.Src.Mem, true
+	case isa.FMR:
+		return in.Dst.Mem, true
+	}
+	return isa.MemRef{}, false
+}
+
+// shrinkFrame removes a "subi sp, K" / "addi sp, K" frame allocation when
+// no SP-relative memory access remains anywhere in the generated code.
+func shrinkFrame(blocks []*eblock) {
+	if len(blocks) == 0 {
+		return
+	}
+	for _, b := range blocks {
+		for _, in := range b.ins {
+			if usesSPMem(in) {
+				return
+			}
+		}
+	}
+	entry := blocks[0]
+	subIdx := -1
+	var k int64
+	for i, in := range entry.ins {
+		if in.Op == isa.SUBI && in.Dst.Reg == isa.SP {
+			subIdx, k = i, in.Src.Imm
+			break
+		}
+		if in.Op == isa.PUSH || in.Op == isa.CALL || in.Op == isa.MOVI || in.Op == isa.NOP {
+			continue
+		}
+		break
+	}
+	if subIdx < 0 {
+		return
+	}
+	// Flags from the SUBI must be dead: another setter must follow in the
+	// entry block before any reader, or no reader may exist at all.
+	if flagsReadBeforeSet(entry, subIdx+1) {
+		return
+	}
+	// Every RET block needs the matching ADDI with no flag reader after.
+	type hit struct {
+		b   *eblock
+		idx int
+	}
+	var hits []hit
+	for _, b := range blocks {
+		if len(b.ins) == 0 || b.ins[len(b.ins)-1].Op != isa.RET {
+			continue
+		}
+		found := -1
+		for i := len(b.ins) - 1; i >= 0; i-- {
+			in := b.ins[i]
+			if in.Op == isa.ADDI && in.Dst.Reg == isa.SP && in.Src.Imm == k {
+				found = i
+				break
+			}
+			if in.Op == isa.POP || in.Op == isa.RET || in.Op == isa.CALL || in.Op == isa.FMOV || in.Op == isa.MOV {
+				continue
+			}
+			break
+		}
+		if found < 0 || flagsReadBeforeSet(b, found+1) {
+			return
+		}
+		hits = append(hits, hit{b, found})
+	}
+	if len(hits) == 0 {
+		return
+	}
+	dead := make([]bool, len(entry.ins))
+	dead[subIdx] = true
+	compactBlock(entry, dead)
+	for _, h := range hits {
+		d := make([]bool, len(h.b.ins))
+		idx := h.idx
+		if h.b == entry && idx > subIdx {
+			idx--
+		}
+		d[idx] = true
+		compactBlock(h.b, d)
+	}
+}
+
+// flagsReadBeforeSet reports whether, scanning forward from index i, a
+// flag reader appears before the next flag setter (conservatively true at
+// block end unless the block returns).
+func flagsReadBeforeSet(b *eblock, i int) bool {
+	for ; i < len(b.ins); i++ {
+		in := b.ins[i]
+		if isa.ReadsFlags(in.Op) {
+			return true
+		}
+		if isa.SetsFlags(in.Op) {
+			return false
+		}
+		if in.Op == isa.RET {
+			return false
+		}
+	}
+	return b.term == termJcc || b.term == termFall
+}
+
+// compactBlock drops marked instructions and fixes the size accounting,
+// keeping the metadata aligned.
+func compactBlock(b *eblock, dead []bool) {
+	out := b.ins[:0]
+	meta := b.meta[:0]
+	bytes := 0
+	for i, ins := range b.ins {
+		if dead[i] {
+			continue
+		}
+		out = append(out, ins)
+		if i < len(b.meta) {
+			meta = append(meta, b.meta[i])
+		} else {
+			meta = append(meta, insMeta{})
+		}
+		if n, err := isa.EncodedLen(ins); err == nil {
+			bytes += n
+		}
+	}
+	b.ins = out
+	b.meta = meta
+	b.bytes = bytes
+}

@@ -1,0 +1,106 @@
+package brew
+
+import "repro/internal/isa"
+
+// regRef names a register in a specific file.
+type regRef struct {
+	file isa.RegFile
+	reg  isa.Reg
+}
+
+// readsDstALU reports whether an integer two-operand opcode reads its
+// destination.
+func readsDstALU(op isa.Opcode) bool {
+	return op != isa.MOV && op != isa.MOVI
+}
+
+// insUses returns the registers an emitted instruction reads.
+func insUses(ins isa.Instr) []regRef {
+	var out []regRef
+	add := func(file isa.RegFile, r isa.Reg) {
+		out = append(out, regRef{file, r})
+	}
+	addMem := func(m isa.MemRef) {
+		if m.HasBase() {
+			add(isa.RFInt, m.Base)
+		}
+		if m.HasIndex() {
+			add(isa.RFInt, m.Index)
+		}
+	}
+	info := isa.Info(ins.Op)
+	switch info.Format {
+	case isa.FNone:
+		// RET reads the stack; handled as a barrier by passes.
+	case isa.FR:
+		switch ins.Op {
+		case isa.PUSH, isa.JMPR, isa.CALLR:
+			add(isa.RFInt, ins.Dst.Reg)
+		case isa.NEG, isa.NOT:
+			add(isa.RFInt, ins.Dst.Reg)
+		case isa.FNEG:
+			add(isa.RFFloat, ins.Dst.Reg)
+		case isa.POP:
+		}
+		if ins.Op == isa.PUSH || ins.Op == isa.POP {
+			add(isa.RFInt, isa.SP)
+		}
+	case isa.FRR:
+		add(info.SrcFile, ins.Src.Reg)
+		if info.DstFile == isa.RFInt && readsDstALU(ins.Op) {
+			add(info.DstFile, ins.Dst.Reg)
+		}
+		if info.DstFile == isa.RFFloat && ins.Op != isa.FMOV && ins.Op != isa.FSQRT &&
+			ins.Op != isa.CVTIF && ins.Op != isa.FMOVIF {
+			add(info.DstFile, ins.Dst.Reg)
+		}
+		if info.DstFile == isa.RFVec && ins.Op != isa.VBCAST {
+			add(info.DstFile, ins.Dst.Reg)
+		}
+	case isa.FRI:
+		if readsDstALU(ins.Op) && ins.Op != isa.FMOVI {
+			add(info.DstFile, ins.Dst.Reg)
+		}
+	case isa.FRM:
+		addMem(ins.Src.Mem)
+	case isa.FMR:
+		add(info.DstFile, ins.Src.Reg)
+		addMem(ins.Dst.Mem)
+	case isa.FRel, isa.FCC, isa.FCCR:
+	}
+	return out
+}
+
+// insDefs returns the registers an emitted instruction writes.
+func insDefs(ins isa.Instr) []regRef {
+	info := isa.Info(ins.Op)
+	switch ins.Op {
+	case isa.CMP, isa.CMPI, isa.TEST, isa.FCMP, isa.STORE, isa.STOREB,
+		isa.FSTORE, isa.VSTORE, isa.JMP, isa.JMPR, isa.JCC, isa.RET,
+		isa.NOP, isa.HALT, isa.BRK:
+		return nil
+	case isa.PUSH:
+		return []regRef{{isa.RFInt, isa.SP}}
+	case isa.POP:
+		return []regRef{{info.DstFile, ins.Dst.Reg}, {isa.RFInt, isa.SP}}
+	case isa.CALL, isa.CALLR:
+		// Calls clobber all caller-saved registers; passes treat them as
+		// barriers instead of enumerating defs.
+		return nil
+	}
+	switch info.Format {
+	case isa.FR, isa.FRR, isa.FRI, isa.FRM, isa.FCCR:
+		return []regRef{{info.DstFile, ins.Dst.Reg}}
+	}
+	return nil
+}
+
+// isBarrier reports whether an instruction must not be reordered or
+// analyzed across by local passes (calls, returns, indirect jumps).
+func isBarrier(op isa.Opcode) bool {
+	switch op {
+	case isa.CALL, isa.CALLR, isa.RET, isa.JMP, isa.JMPR, isa.JCC, isa.HALT, isa.BRK:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package brew
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Result describes a successful rewrite.
+type Result struct {
+	// Addr is the entry point of the generated function: a drop-in
+	// replacement with the original's signature (paper, Section III.E).
+	Addr uint64
+	// CodeSize is the generated code size in bytes.
+	CodeSize int
+	// Blocks is the number of captured basic blocks (including
+	// compensation trampolines).
+	Blocks int
+	// TracedInstrs counts original instructions visited during tracing.
+	TracedInstrs int
+
+	listing string
+}
+
+// Listing returns a human-readable dump of the captured blocks (the
+// reproduction of the paper's Figure 6).
+func (r *Result) Listing() string { return r.listing }
+
+// Rewrite generates a specialized drop-in replacement for the function at
+// fn, the analogue of the paper's
+//
+//	newfunc = brew_rewrite(rConf, func, arg1, arg2, ...);
+//
+// args and fargs supply the emulated call's parameter setting (Section
+// III.B: "The rewriting process essentially emulates a call to the
+// function. This requires that a parameter setting is provided."); only
+// parameters declared known in cfg are consulted.
+//
+// On error the original function remains valid; rewriting failure is not
+// catastrophic (Section III.G).
+func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := newTracer(m, cfg)
+
+	// Declared-known memory: explicit ranges plus pointer parameters.
+	t.ranges = append(t.ranges, cfg.knownRanges...)
+
+	w0 := newWorld()
+	for i, spec := range cfg.intParams {
+		if spec.class == ParamUnknown {
+			continue
+		}
+		if i >= len(args) {
+			return nil, fmt.Errorf("%w: parameter %d declared known but only %d arguments given", ErrBadConfig, i+1, len(args))
+		}
+		reg := isa.IntArgRegs[i]
+		w0.r[reg] = konst(args[i])
+		if spec.class == ParamPtrToKnown && spec.size > 0 {
+			t.ranges = append(t.ranges, MemRange{Start: args[i], End: args[i] + spec.size})
+		}
+	}
+	for i, class := range cfg.floatParams {
+		if class == ParamUnknown {
+			continue
+		}
+		if i >= len(fargs) {
+			return nil, fmt.Errorf("%w: float parameter %d declared known but only %d float arguments given", ErrBadConfig, i+1, len(fargs))
+		}
+		w0.f[isa.FloatArgRegs[i]] = fval{known: true, val: fargs[i]}
+	}
+
+	if err := t.run(fn, w0); err != nil {
+		return nil, err
+	}
+
+	// Optimization passes over the captured blocks (Section III.G: "we run
+	// optimization passes over the newly generated, captured blocks").
+	optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize)
+
+	// Size probe at base 0, then allocation and final relocation under
+	// the machine's JIT lock (several rewrites may run concurrently).
+	probe, err := layoutAndEncode(t.blocks, 0, cfg.MaxCodeBytes)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := m.InstallJIT(len(probe), func(at uint64) ([]byte, error) {
+		return layoutAndEncode(t.blocks, at, cfg.MaxCodeBytes)
+	})
+	if err != nil {
+		if errors.Is(err, mem.ErrNoSpace) {
+			return nil, fmt.Errorf("%w: %v", ErrCodeBufferFull, err)
+		}
+		return nil, err
+	}
+	code := probe // size bookkeeping only; the installed bytes are relocated
+	return &Result{
+		Addr:         addr,
+		CodeSize:     len(code),
+		Blocks:       len(t.blocks),
+		TracedInstrs: t.tracedN,
+		listing:      dumpBlocks(t.blocks),
+	}, nil
+}
+
+// BatchRequest is one rewrite in a RewriteBatch call.
+type BatchRequest struct {
+	Cfg   *Config
+	Fn    uint64
+	Args  []uint64
+	FArgs []float64
+}
+
+// RewriteBatch performs several rewrites concurrently. Tracing only reads
+// machine memory and code installation is serialized internally, so the
+// requests are independent; the machine must not execute code while the
+// batch runs. Results and errors are positional: a failed request leaves
+// its Result nil and the other requests unaffected (the paper's
+// incremental-failure model, per function).
+func RewriteBatch(m *vm.Machine, reqs []BatchRequest) ([]*Result, []error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := reqs[i]
+			results[i], errs[i] = Rewrite(m, r.Cfg, r.Fn, r.Args, r.FArgs)
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}

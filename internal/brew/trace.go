@@ -1,0 +1,1122 @@
+package brew
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// tracer carries the state of one Rewrite call: the block queue, the
+// already-generated translations, and the state of the path currently being
+// traced.
+type tracer struct {
+	cfg    *Config
+	m      *vm.Machine
+	ranges []MemRange // declared-known memory: config ranges + pointer params
+
+	blocks    []*eblock
+	keyed     map[blockKey]int
+	sites     map[variantSite][]int
+	queue     []int
+	tracedN   int
+	codeBytes int
+
+	// Current path state.
+	cur     *eblock
+	w       *world
+	frames  []frame
+	curFn   uint64
+	curOpts FuncOpts
+	pc      uint64
+	// Per-block trace-over counts for bounding inline unrolling of
+	// unconditional back edges.
+	overCount map[uint64]int
+	// escapedEver / frameOpaque gate the dead frame-store elimination
+	// pass: it only runs when every frame access was precisely
+	// attributable and no frame address ever escaped.
+	escapedEver bool
+	frameOpaque bool
+}
+
+func newTracer(m *vm.Machine, cfg *Config) *tracer {
+	return &tracer{
+		cfg:   cfg,
+		m:     m,
+		keyed: make(map[blockKey]int),
+		sites: make(map[variantSite][]int),
+	}
+}
+
+// newBlock registers a pending translation for (addr, world, frames).
+func (t *tracer) newBlock(addr uint64, w *world, frames []frame, fn uint64) (int, error) {
+	if len(t.blocks) >= t.cfg.MaxBlocks {
+		return 0, ErrTooManyBlocks
+	}
+	b := &eblock{
+		id:     len(t.blocks),
+		addr:   addr,
+		world:  w,
+		frames: append([]frame(nil), frames...),
+		term:   termEnd,
+		succ:   -1,
+		jcc:    -1,
+	}
+	t.blocks = append(t.blocks, b)
+	key := blockKey{addr: addr, wkey: w.key(), fkey: framesKey(b.frames)}
+	t.keyed[key] = b.id
+	site := variantSite{addr: addr, fkey: key.fkey}
+	t.sites[site] = append(t.sites[site], b.id)
+	t.queue = append(t.queue, b.id)
+	// fn: function containing addr, used to look up per-function options.
+	b.fnAddr = fn
+	return b.id, nil
+}
+
+// run drives the yet-to-be-rewritten queue (paper, Section III.G).
+func (t *tracer) run(entry uint64, w0 *world) error {
+	if _, err := t.newBlock(entry, w0, nil, entry); err != nil {
+		return err
+	}
+	for len(t.queue) > 0 {
+		id := t.queue[0]
+		t.queue = t.queue[1:]
+		if err := t.traceBlock(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tracer) traceBlock(id int) error {
+	b := t.blocks[id]
+	t.cur = b
+	t.w = b.world.clone()
+	t.frames = append([]frame(nil), b.frames...)
+	t.pc = b.addr
+	t.curFn = b.fnAddr
+	t.curOpts = t.cfg.optsFor(b.fnAddr)
+	t.overCount = make(map[uint64]int)
+	if t.cfg.EntryHandler != 0 && id == 0 {
+		// Handlers preserve all registers by contract; only the runtime
+		// flags are clobbered (Section III.D, injected profiling calls).
+		if err := t.emit(isa.MakeRel(isa.CALL, t.cfg.EntryHandler)); err != nil {
+			return err
+		}
+		t.w.flags = flagval{}
+		t.w.fdirty = false
+	}
+	for {
+		if t.tracedN >= t.cfg.MaxTracedInstrs {
+			return ErrTraceTooLong
+		}
+		t.tracedN++
+		ins, err := t.decode(t.pc)
+		if err != nil {
+			return err
+		}
+		done, err := t.step(ins)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+func (t *tracer) decode(pc uint64) (isa.Instr, error) {
+	bs, err := t.m.Mem.FetchSlice(pc)
+	if err != nil {
+		return isa.Instr{}, fmt.Errorf("%w: %v", ErrBadCode, err)
+	}
+	ins, err := isa.Decode(bs, pc)
+	if err != nil {
+		return isa.Instr{}, fmt.Errorf("%w: %v", ErrBadCode, err)
+	}
+	return ins, nil
+}
+
+// step processes one traced instruction. It returns done=true when the
+// current block is finished.
+func (t *tracer) step(ins isa.Instr) (bool, error) {
+	next := ins.Addr + uint64(ins.Len)
+	t.pc = next
+
+	switch ins.Op {
+	case isa.NOP:
+		return false, nil
+
+	case isa.BRK:
+		return false, t.emit(ins)
+
+	case isa.HALT:
+		if err := t.emit(ins); err != nil {
+			return true, err
+		}
+		t.endBlock(termEnd, -1, -1, 0)
+		return true, nil
+
+	case isa.MOV, isa.ADD, isa.SUB, isa.IMUL, isa.IDIV, isa.IREM, isa.AND,
+		isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR, isa.CMP, isa.TEST:
+		return false, t.stepALU(ins, t.w.r[ins.Src.Reg], true)
+
+	case isa.MOVI, isa.ADDI, isa.SUBI, isa.IMULI, isa.ANDI, isa.ORI,
+		isa.XORI, isa.SHLI, isa.SHRI, isa.SARI, isa.CMPI:
+		return false, t.stepALU(ins, konst(uint64(ins.Src.Imm)), false)
+
+	case isa.NEG, isa.NOT:
+		return false, t.stepALU1(ins)
+
+	case isa.LEA:
+		return false, t.stepLEA(ins)
+
+	case isa.LOAD, isa.LOADB:
+		return false, t.stepLoad(ins)
+
+	case isa.STORE, isa.STOREB:
+		return false, t.stepStore(ins)
+
+	case isa.PUSH:
+		return false, t.stepPush(ins)
+
+	case isa.POP:
+		return false, t.stepPop(ins)
+
+	case isa.PUSHF:
+		if err := t.emit(ins); err != nil {
+			return false, err
+		}
+		if delta, ok := t.w.spDelta(); ok {
+			nd := delta - 8
+			t.setInt(isa.SP, ival{kind: vStackRel, val: uint64(nd), mat: true})
+			t.w.writeStack(nd, 8, unknown())
+		} else {
+			t.w.clearStack()
+		}
+		return false, nil
+
+	case isa.POPF:
+		if err := t.emit(ins); err != nil {
+			return false, err
+		}
+		if delta, ok := t.w.spDelta(); ok {
+			t.setInt(isa.SP, ival{kind: vStackRel, val: uint64(delta + 8), mat: true})
+		}
+		// The restored runtime flags correspond to the traced flags at
+		// the matching PUSHF, which we do not track: conservative
+		// unknown+dirty (a later runtime flag reader fails the rewrite).
+		t.w.flags = flagval{}
+		t.w.fdirty = true
+		return false, nil
+
+	case isa.SETCC:
+		return false, t.stepSetcc(ins)
+
+	case isa.JMP:
+		return t.stepJump(ins.Target())
+
+	case isa.JMPR:
+		v := t.w.r[ins.Dst.Reg]
+		if !v.isConst() {
+			return true, fmt.Errorf("%w: jmpr %s at 0x%x", ErrIndirectJump, ins.Dst.Reg, ins.Addr)
+		}
+		return t.stepJump(v.val)
+
+	case isa.JCC:
+		return t.stepJcc(ins)
+
+	case isa.CALL:
+		return t.stepCall(ins.Target(), next)
+
+	case isa.CALLR:
+		v := t.w.r[ins.Dst.Reg]
+		if v.isConst() {
+			return t.stepCall(v.val, next)
+		}
+		if v.kind == vStackRel {
+			return true, fmt.Errorf("%w: call through stack address", ErrUnsupported)
+		}
+		// Unknown indirect call: keep it; the register holds the runtime
+		// target.
+		return false, t.emitCallInstr(ins)
+
+	case isa.RET:
+		return t.stepRet(ins)
+
+	case isa.FMOV, isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FSQRT, isa.FCMP:
+		return false, t.stepFPU(ins)
+
+	case isa.FMOVI:
+		t.w.f[ins.Dst.Reg] = fval{known: true, val: math.Float64frombits(uint64(ins.Src.Imm))}
+		return false, nil
+
+	case isa.FNEG:
+		f := t.w.f[ins.Dst.Reg]
+		if f.known {
+			t.w.f[ins.Dst.Reg] = fval{known: true, val: -f.val}
+			return false, nil
+		}
+		return false, t.emit(ins)
+
+	case isa.FLOAD:
+		return false, t.stepFLoad(ins)
+
+	case isa.FSTORE:
+		return false, t.stepStore(ins)
+
+	case isa.CVTIF:
+		v := t.w.r[ins.Src.Reg]
+		if v.isConst() {
+			t.w.f[ins.Dst.Reg] = fval{known: true, val: float64(int64(v.val))}
+			return false, nil
+		}
+		if err := t.matInt(ins.Src.Reg); err != nil {
+			return false, err
+		}
+		t.w.f[ins.Dst.Reg] = fval{}
+		return false, t.emit(ins)
+
+	case isa.CVTFI:
+		f := t.w.f[ins.Src.Reg]
+		if f.known {
+			t.setInt(ins.Dst.Reg, konst(uint64(int64(f.val))))
+			return false, nil
+		}
+		if err := t.matFloat(ins.Src.Reg); err != nil {
+			return false, err
+		}
+		t.setInt(ins.Dst.Reg, unknown())
+		return false, t.emit(ins)
+
+	case isa.FMOVFI:
+		f := t.w.f[ins.Src.Reg]
+		if f.known {
+			t.setInt(ins.Dst.Reg, konst(math.Float64bits(f.val)))
+			return false, nil
+		}
+		if err := t.matFloat(ins.Src.Reg); err != nil {
+			return false, err
+		}
+		t.setInt(ins.Dst.Reg, unknown())
+		return false, t.emit(ins)
+
+	case isa.FMOVIF:
+		v := t.w.r[ins.Src.Reg]
+		if v.isConst() {
+			t.w.f[ins.Dst.Reg] = fval{known: true, val: math.Float64frombits(v.val)}
+			return false, nil
+		}
+		if err := t.matInt(ins.Src.Reg); err != nil {
+			return false, err
+		}
+		t.w.f[ins.Dst.Reg] = fval{}
+		return false, t.emit(ins)
+
+	case isa.VLOAD, isa.VSTORE, isa.VADD, isa.VSUB, isa.VMUL, isa.VBCAST, isa.VHADD:
+		return false, t.stepVector(ins)
+	}
+	return true, fmt.Errorf("%w: opcode %s", ErrUnsupported, ins.Op)
+}
+
+// setInt writes an integer register's tracked state. A stack-relative
+// value landing in a general register means a frame address is now
+// observable by arbitrary code: the frame is marked escaped (see
+// world.escaped).
+func (t *tracer) setInt(r isa.Reg, v ival) {
+	if v.kind == vStackRel && r != isa.SP {
+		t.w.escaped = true
+		t.escapedEver = true
+	}
+	t.w.r[r] = v
+}
+
+// silentFlags records flag effects of a silently evaluated instruction.
+func (t *tracer) silentFlags(op isa.Opcode, fl isa.Flags, known bool) {
+	if !isa.SetsFlags(op) {
+		return
+	}
+	t.w.flags = flagval{known: known, fl: fl}
+	t.w.fdirty = true
+}
+
+// emittedFlags records flag effects of an emitted instruction: the runtime
+// flags become the live, true flags.
+func (t *tracer) emittedFlags(op isa.Opcode) {
+	if !isa.SetsFlags(op) {
+		return
+	}
+	t.w.flags = flagval{}
+	t.w.fdirty = false
+}
+
+// stepALU handles two-operand integer instructions; src is the tracked
+// state of the source operand (a constant for immediate forms).
+func (t *tracer) stepALU(ins isa.Instr, src ival, srcIsReg bool) error {
+	op := ins.Op
+	dst := ins.Dst.Reg
+	d := t.w.r[dst]
+	spDst := dst == isa.SP
+
+	// ResultsUnknown (Section V.C): operations still execute, but their
+	// results are forced unknown, which forces the emit path below. SP
+	// stays exempt so frame addressing keeps working, and so do direct
+	// constant loads: the paper notes that "called functions still get
+	// specialized ... due to constant values directly passed through as
+	// parameter", which requires plain MOV/MOVI of constants to stay
+	// known.
+	forceUnknown := t.curOpts.ResultsUnknown && !spDst &&
+		op != isa.MOVI && !(op == isa.MOV && src.isKnown())
+
+	// Fully known operands: evaluate silently. Under BranchesUnknown,
+	// flag-setting operations are emitted anyway (the conditional jumps
+	// they feed will be kept and need live runtime flags), but the result
+	// stays known AND materialized because the emitted instruction
+	// computes it at runtime.
+	readsDst := op != isa.MOV && op != isa.MOVI
+	if !forceUnknown && src.isConst() && (!readsDst || d.isConst()) && !spDst {
+		a := d.val
+		r, fl, writes, err := isa.EvalALU(op, a, src.val)
+		if err != nil {
+			return fmt.Errorf("%w: %v at 0x%x", ErrUnsupported, err, ins.Addr)
+		}
+		if t.curOpts.BranchesUnknown && isa.SetsFlags(op) {
+			if err := t.emitALU(ins, src, srcIsReg); err != nil {
+				return err
+			}
+			if writes {
+				t.setInt(dst, ival{kind: vConst, val: r, mat: true})
+			}
+			t.emittedFlags(op)
+			return nil
+		}
+		if writes {
+			t.setInt(dst, konst(r))
+		}
+		t.silentFlags(op, fl, true)
+		return nil
+	}
+
+	// MOV of a rematerializable value is a pure copy and can be elided;
+	// MOV of an unknown (runtime) value must be emitted, because the value
+	// only exists in the source register.
+	if op == isa.MOV && !spDst && !forceUnknown && src.isKnown() {
+		nv := src
+		nv.mat = false
+		t.setInt(dst, nv)
+		return nil
+	}
+	if op == isa.MOVI && !spDst && !forceUnknown {
+		t.setInt(dst, konst(src.val))
+		return nil
+	}
+
+	// Stack-relative arithmetic: ADD/SUB of a constant keeps the value
+	// symbolic. Anything writing SP is emitted so the runtime SP follows.
+	if (op == isa.ADD || op == isa.ADDI || op == isa.SUB || op == isa.SUBI) && !forceUnknown {
+		var nv ival
+		ok := false
+		switch {
+		case d.kind == vStackRel && src.isConst():
+			if op == isa.ADD || op == isa.ADDI {
+				nv, ok = stackRel(d.delta()+int64(src.val)), true
+			} else {
+				nv, ok = stackRel(d.delta()-int64(src.val)), true
+			}
+		case d.isConst() && src.kind == vStackRel && (op == isa.ADD):
+			nv, ok = stackRel(src.delta()+int64(d.val)), true
+		}
+		if ok && !spDst {
+			t.setInt(dst, nv)
+			t.w.flags = flagval{}
+			t.w.fdirty = true
+			return nil
+		}
+		if ok && spDst {
+			// Emit the SP adjustment, folding the source into an
+			// immediate when possible; runtime SP tracks symbolic SP.
+			if err := t.emitALU(ins, src, srcIsReg); err != nil {
+				return err
+			}
+			nv.mat = true
+			t.setInt(dst, nv)
+			t.emittedFlags(op)
+			return nil
+		}
+	}
+
+	// MOV into SP with a known stack-relative source.
+	if (op == isa.MOV || op == isa.MOVI) && spDst {
+		if srcIsReg && src.kind == vStackRel {
+			if err := t.matInt(ins.Src.Reg); err != nil {
+				return err
+			}
+			if err := t.emit(ins); err != nil {
+				return err
+			}
+			t.setInt(dst, ival{kind: vStackRel, val: src.val, mat: true})
+			return nil
+		}
+		// SP becomes a constant or runtime value: emit and track.
+		if err := t.emitALU(ins, src, srcIsReg); err != nil {
+			return err
+		}
+		nv := unknown()
+		if src.isConst() {
+			nv = ival{kind: vConst, val: src.val, mat: true}
+		}
+		t.setInt(dst, nv)
+		t.w.clearStack()
+		return nil
+	}
+
+	// Known power-of-two divisors strength-reduce (Section III.A: index
+	// computations depending on the runtime data distribution become
+	// optimizable once the application has started).
+	if (op == isa.IDIV || op == isa.IREM) && src.isConst() && !forceUnknown {
+		if done, err := t.stepDivPow2(ins, src.val); done || err != nil {
+			return err
+		}
+	}
+
+	// Emit path.
+	if err := t.emitALU(ins, src, srcIsReg); err != nil {
+		return err
+	}
+	if op != isa.CMP && op != isa.CMPI && op != isa.TEST {
+		nv := unknown()
+		if spDst {
+			// An emitted unexpected SP write: runtime value unknown.
+			t.w.clearStack()
+		}
+		t.setInt(dst, nv)
+	}
+	t.emittedFlags(op)
+	return nil
+}
+
+// emitALU emits a two-operand integer instruction, folding a constant
+// source into the immediate form and materializing remaining known
+// operands.
+func (t *tracer) emitALU(ins isa.Instr, src ival, srcIsReg bool) error {
+	op := ins.Op
+	readsDst := op != isa.MOV && op != isa.MOVI
+	if readsDst {
+		if err := t.matInt(ins.Dst.Reg); err != nil {
+			return err
+		}
+	}
+	if srcIsReg {
+		if src.isConst() {
+			if ri, ok := isa.ImmForm(op); ok {
+				ni := isa.MakeRI(ri, ins.Dst.Reg, int64(src.val))
+				return t.emit(ni)
+			}
+		}
+		if err := t.matInt(ins.Src.Reg); err != nil {
+			return err
+		}
+	}
+	return t.emit(ins)
+}
+
+func (t *tracer) stepALU1(ins isa.Instr) error {
+	d := t.w.r[ins.Dst.Reg]
+	if ins.Dst.Reg != isa.SP && d.isConst() && !t.curOpts.ResultsUnknown &&
+		!(ins.Op == isa.NEG && t.curOpts.BranchesUnknown) {
+		r, fl, setsFl := isa.EvalALU1(ins.Op, d.val)
+		t.setInt(ins.Dst.Reg, konst(r))
+		if setsFl {
+			t.silentFlags(ins.Op, fl, true)
+		}
+		return nil
+	}
+	if err := t.matInt(ins.Dst.Reg); err != nil {
+		return err
+	}
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	t.setInt(ins.Dst.Reg, unknown())
+	if ins.Op == isa.NEG {
+		t.emittedFlags(ins.Op)
+	}
+	return nil
+}
+
+func (t *tracer) stepLEA(ins isa.Instr) error {
+	st := t.memAddr(ins.Src.Mem)
+	if ins.Dst.Reg != isa.SP && !t.curOpts.ResultsUnknown {
+		switch st.kind {
+		case vConst:
+			t.setInt(ins.Dst.Reg, konst(st.val))
+			return nil
+		case vStackRel:
+			t.setInt(ins.Dst.Reg, ival{kind: vStackRel, val: st.val})
+			return nil
+		}
+	}
+	m, err := t.foldMem(ins.Src.Mem, st)
+	if err != nil {
+		return err
+	}
+	if err := t.emit(isa.MakeRM(isa.LEA, ins.Dst.Reg, m)); err != nil {
+		return err
+	}
+	if ins.Dst.Reg == isa.SP {
+		switch st.kind {
+		case vStackRel:
+			t.setInt(isa.SP, ival{kind: vStackRel, val: st.val, mat: true})
+		case vConst:
+			t.setInt(isa.SP, ival{kind: vConst, val: st.val, mat: true})
+			t.w.clearStack()
+		default:
+			t.setInt(isa.SP, unknown())
+			t.w.clearStack()
+		}
+		return nil
+	}
+	t.setInt(ins.Dst.Reg, unknown())
+	return nil
+}
+
+func (t *tracer) stepSetcc(ins isa.Instr) error {
+	if t.w.flags.known && !t.curOpts.ResultsUnknown {
+		v := uint64(0)
+		if ins.CC.Holds(t.w.flags.fl) {
+			v = 1
+		}
+		t.setInt(ins.Dst.Reg, konst(v))
+		return nil
+	}
+	if t.w.fdirty {
+		return fmt.Errorf("%w: setcc reads dirty runtime flags at 0x%x", ErrUnsupported, ins.Addr)
+	}
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	t.setInt(ins.Dst.Reg, unknown())
+	return nil
+}
+
+func (t *tracer) stepFPU(ins isa.Instr) error {
+	d, s := t.w.f[ins.Dst.Reg], t.w.f[ins.Src.Reg]
+	op := ins.Op
+	readsDst := op != isa.FMOV && op != isa.FSQRT
+	if s.known && (!readsDst || d.known) && !t.curOpts.ResultsUnknown &&
+		!(op == isa.FCMP && t.curOpts.BranchesUnknown) {
+		r, fl, writes := isa.EvalFPU(op, d.val, s.val)
+		if writes {
+			t.w.f[ins.Dst.Reg] = fval{known: true, val: r}
+		}
+		if op == isa.FCMP {
+			t.w.flags = flagval{known: true, fl: fl}
+			t.w.fdirty = true
+		}
+		return nil
+	}
+	if op == isa.FMOV && !t.curOpts.ResultsUnknown && s.known {
+		nv := s
+		nv.mat = false
+		t.w.f[ins.Dst.Reg] = nv
+		return nil
+	}
+	if readsDst {
+		if err := t.matFloat(ins.Dst.Reg); err != nil {
+			return err
+		}
+	}
+	if err := t.matFloat(ins.Src.Reg); err != nil {
+		return err
+	}
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	if op != isa.FCMP {
+		t.w.f[ins.Dst.Reg] = fval{}
+	} else {
+		t.w.flags = flagval{}
+		t.w.fdirty = false
+	}
+	return nil
+}
+
+func (t *tracer) stepVector(ins isa.Instr) error {
+	// Vector state is not tracked: operands fold, results are runtime
+	// values. VBCAST needs its float source materialized.
+	switch ins.Op {
+	case isa.VLOAD:
+		st := t.memAddr(ins.Src.Mem)
+		m, err := t.foldMem(ins.Src.Mem, st)
+		if err != nil {
+			return err
+		}
+		if err := t.emitMemHandler(t.cfg.LoadHandler, m); err != nil {
+			return err
+		}
+		return t.emit(isa.MakeRM(isa.VLOAD, ins.Dst.Reg, m))
+	case isa.VSTORE:
+		st := t.memAddr(ins.Dst.Mem)
+		m, err := t.foldMem(ins.Dst.Mem, st)
+		if err != nil {
+			return err
+		}
+		t.noteStore(st, 8*isa.VecLanes, unknown())
+		if err := t.emitMemHandler(t.cfg.StoreHandler, m); err != nil {
+			return err
+		}
+		return t.emit(isa.MakeMR(isa.VSTORE, m, ins.Src.Reg))
+	case isa.VBCAST:
+		if err := t.matFloat(ins.Src.Reg); err != nil {
+			return err
+		}
+		return t.emit(ins)
+	case isa.VHADD:
+		if err := t.emit(ins); err != nil {
+			return err
+		}
+		t.w.f[ins.Dst.Reg] = fval{}
+		return nil
+	default:
+		return t.emit(ins)
+	}
+}
+
+func (t *tracer) stepPush(ins isa.Instr) error {
+	if err := t.matInt(ins.Dst.Reg); err != nil {
+		return err
+	}
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	if delta, ok := t.w.spDelta(); ok {
+		nd := delta - 8
+		t.setInt(isa.SP, ival{kind: vStackRel, val: uint64(nd), mat: true})
+		v := t.w.r[ins.Dst.Reg]
+		v.mat = false
+		t.w.writeStack(nd, 8, v)
+	} else {
+		t.w.clearStack()
+	}
+	return nil
+}
+
+func (t *tracer) stepPop(ins isa.Instr) error {
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	if delta, ok := t.w.spDelta(); ok {
+		nv := unknown()
+		if slot, found := t.w.readStack(delta, 8); found && slot.isKnown() {
+			// The runtime stack always holds the true value because
+			// stores are always emitted; the popped register is therefore
+			// known AND materialized.
+			nv = slot
+			nv.mat = true
+		}
+		if ins.Dst.Reg == isa.SP {
+			if nv.kind != vStackRel {
+				t.w.clearStack()
+			}
+			nv.mat = true
+			t.setInt(isa.SP, nv)
+			return nil
+		}
+		t.setInt(ins.Dst.Reg, nv)
+		t.setInt(isa.SP, ival{kind: vStackRel, val: uint64(delta + 8), mat: true})
+	} else {
+		t.setInt(ins.Dst.Reg, unknown())
+	}
+	return nil
+}
+
+// stepJump processes a direct jump or a trace-over to a known target.
+func (t *tracer) stepJump(target uint64) (bool, error) {
+	// If an identical translation exists, link to it.
+	key := blockKey{addr: target, wkey: t.w.key(), fkey: framesKey(t.frames)}
+	if id, ok := t.keyed[key]; ok {
+		t.endBlock(termFall, id, -1, 0)
+		return true, nil
+	}
+	// Bound unrolling of unconditional back edges within one block chain.
+	// This is a backstop against no-progress loops; genuine full unrolls
+	// are bounded by the instruction and code-size budgets.
+	const traceOverBudget = 4096
+	t.overCount[target]++
+	if t.overCount[target] > traceOverBudget {
+		id, err := t.edgeTo(target)
+		if err != nil {
+			return true, err
+		}
+		t.endBlock(termFall, id, -1, 0)
+		return true, nil
+	}
+	// Trace over the jump (paper: "For unconditional jumps, we can proceed
+	// as with calls without changes to the shadow stack").
+	t.pc = target
+	return false, nil
+}
+
+func (t *tracer) stepJcc(ins isa.Instr) (bool, error) {
+	if t.w.flags.known && !t.curOpts.BranchesUnknown {
+		if ins.CC.Holds(t.w.flags.fl) {
+			return t.stepJump(ins.Target())
+		}
+		return false, nil
+	}
+	if t.w.fdirty {
+		return true, fmt.Errorf("%w: conditional jump on dirty runtime flags at 0x%x", ErrUnsupported, ins.Addr)
+	}
+	// Diverging path: save the known-world state and enqueue both
+	// successors (paper, Section III.F).
+	takenID, err := t.edgeTo(ins.Target())
+	if err != nil {
+		return true, err
+	}
+	fallID, err := t.edgeTo(t.pc)
+	if err != nil {
+		return true, err
+	}
+	t.endBlock(termJcc, fallID, takenID, ins.CC)
+	return true, nil
+}
+
+func (t *tracer) stepRet(ins isa.Instr) (bool, error) {
+	if len(t.frames) == 0 {
+		delta, ok := t.w.spDelta()
+		if !ok || delta != 0 {
+			return true, fmt.Errorf("%w: return with unbalanced stack (delta=%d, tracked=%v)", ErrUnsupported, delta, ok)
+		}
+		// The return registers are live out: materialize known results.
+		if err := t.matInt(isa.IntRet); err != nil {
+			return true, err
+		}
+		if err := t.matFloat(0); err != nil {
+			return true, err
+		}
+		if t.cfg.ExitHandler != 0 {
+			if err := t.emit(isa.MakeRel(isa.CALL, t.cfg.ExitHandler)); err != nil {
+				return true, err
+			}
+		}
+		if err := t.emit(ins); err != nil {
+			return true, err
+		}
+		t.endBlock(termEnd, -1, -1, 0)
+		return true, nil
+	}
+	// Inlined return: continue at the saved return address (paper,
+	// Section III.E).
+	fr := t.frames[len(t.frames)-1]
+	delta, ok := t.w.spDelta()
+	if !ok || delta != fr.delta {
+		return true, fmt.Errorf("%w: inlined callee returns with unbalanced stack", ErrUnsupported)
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	t.curOpts = fr.opts
+	t.curFn = fr.fn
+	t.pc = fr.retAddr
+	return false, nil
+}
+
+func (t *tracer) stepCall(target, next uint64) (bool, error) {
+	if t.cfg.dynMarkers[target] {
+		return false, t.stepMakeDynamic()
+	}
+	opts := t.cfg.optsFor(target)
+	if opts.NoInline {
+		return false, t.emitCallInstr(isa.MakeRel(isa.CALL, target))
+	}
+	if len(t.frames) >= t.cfg.MaxInlineDepth {
+		return true, fmt.Errorf("%w: inlining %d deep at call to 0x%x", ErrInlineDepth, len(t.frames), target)
+	}
+	delta, ok := t.w.spDelta()
+	if !ok {
+		return true, fmt.Errorf("%w: call with untracked stack pointer", ErrUnsupported)
+	}
+	// Inline: no return-address push is emitted; the shadow stack
+	// remembers where to continue.
+	t.frames = append(t.frames, frame{retAddr: next, fn: t.curFn, delta: delta, opts: t.curOpts})
+	t.curFn = target
+	t.curOpts = opts
+	t.pc = target
+	return false, nil
+}
+
+// stepMakeDynamic replaces a call to a registered makeDynamic marker with
+// "result = argument, result unknown" (paper, Section V.C).
+func (t *tracer) stepMakeDynamic() error {
+	if err := t.matInt(isa.IntArgRegs[0]); err != nil {
+		return err
+	}
+	if err := t.emit(isa.MakeRR(isa.MOV, isa.IntRet, isa.IntArgRegs[0])); err != nil {
+		return err
+	}
+	t.setInt(isa.IntRet, unknown())
+	// The marker behaves like a call: caller-saved registers are dead.
+	t.clobberCallerSaved()
+	return nil
+}
+
+// stepDivPow2 strength-reduces a signed division/remainder by a known
+// positive power-of-two divisor. It needs a scratch register; any register
+// whose tracked value is rematerializable can be clobbered (its runtime
+// content is recreated on the next materialization). Returns done=false
+// when no reduction applies, leaving the generic emit path to handle the
+// instruction.
+func (t *tracer) stepDivPow2(ins isa.Instr, d uint64) (bool, error) {
+	dst := ins.Dst.Reg
+	if d == 0 || d&(d-1) != 0 {
+		return false, nil
+	}
+	if d == 1 {
+		// x/1 = x (even for unknown x); x%1 = 0. Original flags are based
+		// on the result; runtime flags go stale.
+		if ins.Op == isa.IREM {
+			t.setInt(dst, konst(0))
+			t.silentFlags(isa.IREM, isa.Flags{Z: true}, true)
+		} else {
+			dv := t.w.r[dst]
+			fl := isa.Flags{}
+			known := false
+			if dv.isConst() {
+				fl = isa.Flags{Z: dv.val == 0, S: int64(dv.val) < 0}
+				known = true
+			}
+			t.w.flags = flagval{known: known, fl: fl}
+			t.w.fdirty = true
+		}
+		return true, nil
+	}
+	var k int64
+	for v := d; v > 1; v >>= 1 {
+		k++
+	}
+	// Scratch: a rematerializable register other than the dividend. The
+	// divisor register itself qualifies — its value is folded into
+	// immediates and recreated on the next materialization.
+	scratch := isa.RegNone
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r == dst || r == isa.SP {
+			continue
+		}
+		if t.w.r[r].isKnown() {
+			scratch = r
+			break
+		}
+	}
+	if scratch == isa.RegNone {
+		return false, nil
+	}
+	if err := t.matInt(dst); err != nil {
+		return true, err
+	}
+	mask := int64(d) - 1
+	var seq []isa.Instr
+	if ins.Op == isa.IDIV {
+		// q = (x + ((x >> 63) & (d-1))) >> k, rounding toward zero.
+		seq = []isa.Instr{
+			isa.MakeRR(isa.MOV, scratch, dst),
+			isa.MakeRI(isa.SARI, scratch, 63),
+			isa.MakeRI(isa.ANDI, scratch, mask),
+			isa.MakeRR(isa.ADD, dst, scratch),
+			isa.MakeRI(isa.SARI, dst, k),
+		}
+	} else {
+		// r = x - ((x + bias) &^ (d-1)), where bias = (x>>63) & (d-1).
+		seq = []isa.Instr{
+			isa.MakeRR(isa.MOV, scratch, dst),
+			isa.MakeRI(isa.SARI, dst, 63),
+			isa.MakeRI(isa.ANDI, dst, mask),
+			isa.MakeRR(isa.ADD, dst, scratch),
+			isa.MakeRI(isa.ANDI, dst, ^mask),
+			isa.MakeRR(isa.SUB, scratch, dst),
+			isa.MakeRR(isa.MOV, dst, scratch),
+		}
+	}
+	for _, s := range seq {
+		if err := t.emit(s); err != nil {
+			return true, err
+		}
+	}
+	// The scratch register's runtime content is garbage now; its tracked
+	// value survives unmaterialized.
+	sv := t.w.r[scratch]
+	sv.mat = false
+	t.w.r[scratch] = sv
+	t.setInt(dst, unknown())
+	// Runtime flags do not match the original IDIV/IREM result flags.
+	t.w.flags = flagval{}
+	t.w.fdirty = true
+	return true, nil
+}
+
+// emitCallInstr emits a kept (non-inlined) call: known ABI argument
+// registers are materialized ("compensation code to make registers
+// 'unknown' which are parameters according to the ABI"), caller-saved
+// registers are dead afterwards, callee-saved registers keep their state.
+func (t *tracer) emitCallInstr(ins isa.Instr) error {
+	for _, r := range isa.IntArgRegs {
+		if err := t.matInt(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range isa.FloatArgRegs {
+		if err := t.matFloat(r); err != nil {
+			return err
+		}
+	}
+	if err := t.emit(ins); err != nil {
+		return err
+	}
+	t.clobberCallerSaved()
+	return nil
+}
+
+func (t *tracer) clobberCallerSaved() {
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if isa.CallerSavedInt(r) {
+			t.setInt(r, unknown())
+		}
+		if isa.CallerSavedFloat(r) {
+			t.w.f[r] = fval{}
+		}
+	}
+	t.w.flags = flagval{}
+	t.w.fdirty = false
+	// The callee clobbers dead space below the current SP and — if frame
+	// addresses escaped — possibly the whole frame; the caller-visible
+	// region may be written through any pointer the callee holds.
+	if t.w.escaped {
+		t.w.clearStack()
+	} else {
+		if delta, ok := t.w.spDelta(); ok {
+			t.w.clearStackBelow(delta)
+		} else {
+			t.w.clearStack()
+		}
+		t.w.clearStackCallerVisible()
+	}
+	t.w.clearMem()
+}
+
+// endBlock finalizes the current block's terminator.
+func (t *tracer) endBlock(kind termKind, succ, jccTarget int, cc isa.Cond) {
+	t.cur.term = kind
+	t.cur.succ = succ
+	t.cur.jcc = jccTarget
+	t.cur.cc = cc
+}
+
+// edgeTo resolves a control-flow edge into state (addr, current world,
+// current frames): an existing identical translation, a new pending block,
+// or — once the per-address variant threshold is reached — a migration to
+// an existing or generalized known-world state with compensation code
+// (paper, Section III.F).
+func (t *tracer) edgeTo(addr uint64) (int, error) {
+	key := blockKey{addr: addr, wkey: t.w.key(), fkey: framesKey(t.frames)}
+	if id, ok := t.keyed[key]; ok {
+		return id, nil
+	}
+	site := variantSite{addr: addr, fkey: key.fkey}
+	ids := t.sites[site]
+	if len(ids) < t.cfg.maxVariants(t.curOpts) {
+		return t.newBlock(addr, t.w.clone(), t.frames, t.curFn)
+	}
+	// Threshold reached: find the compatible existing translation needing
+	// the least compensation.
+	best, bestCost := -1, int(^uint(0)>>1)
+	var bestI, bestF []isa.Reg
+	for _, id := range ids {
+		tb := t.blocks[id]
+		ic, fc, ok := compat(t.w, tb.world)
+		if ok && len(ic)+len(fc) < bestCost {
+			best, bestCost, bestI, bestF = id, len(ic)+len(fc), ic, fc
+		}
+	}
+	if best >= 0 {
+		return t.trampolineTo(best, bestI, bestF)
+	}
+	// No migration possible: generalize towards unknown (terminates at
+	// the all-unknown state).
+	others := make([]*world, 0, len(ids))
+	for _, id := range ids {
+		others = append(others, t.blocks[id].world)
+	}
+	gw := generalize(t.w, others)
+	gkey := blockKey{addr: addr, wkey: gw.key(), fkey: key.fkey}
+	if id, ok := t.keyed[gkey]; ok {
+		ic, fc, ok2 := compat(t.w, t.blocks[id].world)
+		if !ok2 {
+			return 0, fmt.Errorf("%w: generalized world incompatible", ErrUnsupported)
+		}
+		return t.trampolineTo(id, ic, fc)
+	}
+	id, err := t.newBlock(addr, gw, t.frames, t.curFn)
+	if err != nil {
+		return 0, err
+	}
+	ic, fc, ok := compat(t.w, gw)
+	if !ok {
+		return 0, fmt.Errorf("%w: world does not reach its own generalization", ErrUnsupported)
+	}
+	return t.trampolineTo(id, ic, fc)
+}
+
+// trampolineTo links to target, inserting a compensation block that
+// materializes the listed registers when needed.
+func (t *tracer) trampolineTo(target int, intRegs, fRegs []isa.Reg) (int, error) {
+	if len(intRegs) == 0 && len(fRegs) == 0 {
+		return target, nil
+	}
+	if len(t.blocks) >= t.cfg.MaxBlocks {
+		return 0, ErrTooManyBlocks
+	}
+	tb := &eblock{id: len(t.blocks), term: termFall, succ: target, jcc: -1}
+	t.blocks = append(t.blocks, tb)
+	delta, _ := t.w.spDelta()
+	for _, r := range intRegs {
+		v := t.w.r[r]
+		var ins isa.Instr
+		switch v.kind {
+		case vConst:
+			ins = isa.MakeRI(isa.MOVI, r, int64(v.val))
+		case vStackRel:
+			off := v.delta() - delta
+			if off < math.MinInt32 || off > math.MaxInt32 {
+				return 0, fmt.Errorf("%w: compensation offset out of range", ErrUnsupported)
+			}
+			ins = isa.MakeRM(isa.LEA, r, isa.BaseDisp(isa.SP, int32(off)))
+		default:
+			continue
+		}
+		n, err := isa.EncodedLen(ins)
+		if err != nil {
+			return 0, err
+		}
+		tb.ins = append(tb.ins, ins)
+		tb.meta = append(tb.meta, insMeta{})
+		tb.bytes += n
+		t.codeBytes += n
+	}
+	for _, r := range fRegs {
+		f := t.w.f[r]
+		if !f.known {
+			continue
+		}
+		ins := isa.Instr{Op: isa.FMOVI, Dst: isa.FRegOp(r), Src: isa.FImmOp(f.val)}
+		n, err := isa.EncodedLen(ins)
+		if err != nil {
+			return 0, err
+		}
+		tb.ins = append(tb.ins, ins)
+		tb.meta = append(tb.meta, insMeta{})
+		tb.bytes += n
+		t.codeBytes += n
+	}
+	if t.codeBytes > t.cfg.MaxCodeBytes {
+		return 0, ErrCodeBufferFull
+	}
+	return tb.id, nil
+}

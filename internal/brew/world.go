@@ -1,0 +1,390 @@
+package brew
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// vKind classifies a tracked integer value.
+type vKind uint8
+
+const (
+	// vUnknown: a runtime value; the register holds it in generated code.
+	vUnknown vKind = iota
+	// vConst: a compile-time (rewrite-time) constant.
+	vConst
+	// vStackRel: entrySP + delta, where entrySP is the runtime stack
+	// pointer at entry of the rewritten function. Stack-relative values
+	// keep frame addressing correct in generated code even though the
+	// runtime stack position is unknown at rewrite time.
+	vStackRel
+)
+
+// ival is the tracked state of one integer register or stack slot. mat
+// ("materialized") records whether the generated code, at this program
+// point, holds the value in the corresponding register; known values start
+// unmaterialized and are materialized lazily when an emitted instruction
+// needs them (the paper's compensation code).
+type ival struct {
+	kind vKind
+	val  uint64 // constant, or stack delta (as uint64 bit pattern of int64)
+	mat  bool
+}
+
+func unknown() ival          { return ival{kind: vUnknown} }
+func konst(v uint64) ival    { return ival{kind: vConst, val: v} }
+func stackRel(d int64) ival  { return ival{kind: vStackRel, val: uint64(d)} }
+func (v ival) isConst() bool { return v.kind == vConst }
+func (v ival) isKnown() bool { return v.kind != vUnknown }
+func (v ival) delta() int64  { return int64(v.val) }
+
+// fval is the tracked state of one floating-point register.
+type fval struct {
+	known bool
+	val   float64
+	mat   bool
+}
+
+// flagval is the tracked state of the condition flags.
+type flagval struct {
+	known bool
+	fl    isa.Flags
+}
+
+// stackSlot is a traced stack-memory cell keyed by its delta from entry SP.
+type stackSlot struct {
+	size uint8 // 1 or 8
+	v    ival  // float bits are stored as vConst raw bits
+}
+
+// memByte is one byte of the traced-writes overlay on top of declared-known
+// memory.
+type memByte struct {
+	known bool
+	b     byte
+}
+
+// world is the known-world state (paper, Section III.F): for every value
+// location, whether its content is known, and if so what it is.
+type world struct {
+	r     [isa.NumRegs]ival
+	f     [isa.NumRegs]fval
+	flags flagval
+	// fdirty records that the runtime condition flags may differ from the
+	// traced ones because a flag-setting instruction was evaluated
+	// silently. Generated code must not read the runtime flags while
+	// dirty; an emitted flag-setting instruction cleans them.
+	fdirty bool
+	// escaped records that a frame address was observed flowing into a
+	// general register (LEA of a stack slot, SP copy, reload of a spilled
+	// frame pointer). Until then, the frame below the entry SP is private
+	// to the traced function (C forbids callers from aliasing it), so
+	// stores through unknown pointers cannot touch tracked slots below
+	// the entry SP.
+	escaped bool
+	stack   map[int64]stackSlot
+	mem     map[uint64]memByte
+}
+
+func newWorld() *world {
+	w := &world{
+		stack: make(map[int64]stackSlot),
+		mem:   make(map[uint64]memByte),
+	}
+	w.r[isa.SP] = ival{kind: vStackRel, val: 0, mat: true}
+	return w
+}
+
+func (w *world) clone() *world {
+	nw := &world{r: w.r, f: w.f, flags: w.flags, fdirty: w.fdirty, escaped: w.escaped}
+	nw.stack = make(map[int64]stackSlot, len(w.stack))
+	for k, v := range w.stack {
+		nw.stack[k] = v
+	}
+	nw.mem = make(map[uint64]memByte, len(w.mem))
+	for k, v := range w.mem {
+		nw.mem[k] = v
+	}
+	return nw
+}
+
+// spDelta returns the current symbolic stack-pointer offset from entry SP.
+// ok is false when the traced code moved SP to a non-stack-relative value.
+func (w *world) spDelta() (int64, bool) {
+	sp := w.r[isa.SP]
+	if sp.kind != vStackRel {
+		return 0, false
+	}
+	return sp.delta(), true
+}
+
+// writeStack records a traced stack store, invalidating overlapping slots.
+func (w *world) writeStack(delta int64, size uint8, v ival) {
+	for off := delta - 7; off < delta+int64(size); off++ {
+		if s, ok := w.stack[off]; ok {
+			if off+int64(s.size) > delta && off < delta+int64(size) {
+				delete(w.stack, off)
+			}
+		}
+	}
+	w.stack[delta] = stackSlot{size: size, v: v}
+}
+
+// readStack returns the traced content of a stack slot, if exactly tracked.
+func (w *world) readStack(delta int64, size uint8) (ival, bool) {
+	s, ok := w.stack[delta]
+	if !ok || s.size != size {
+		return ival{}, false
+	}
+	return s.v, true
+}
+
+// clearStack forgets all traced stack contents (conservative treatment of
+// emitted calls: the callee may overwrite the frame through escaped
+// pointers and certainly overwrites memory below SP).
+func (w *world) clearStack() {
+	for k := range w.stack {
+		delete(w.stack, k)
+	}
+}
+
+// clearStackCallerVisible drops tracked slots at or above the entry SP
+// (delta >= 0): that region belongs to the caller and may legally be
+// aliased by pointers the traced function received.
+func (w *world) clearStackCallerVisible() {
+	for k := range w.stack {
+		if k >= 0 {
+			delete(w.stack, k)
+		}
+	}
+}
+
+// clearStackBelow drops tracked slots strictly below the given delta: dead
+// space a callee is free to clobber.
+func (w *world) clearStackBelow(delta int64) {
+	for k := range w.stack {
+		if k < delta {
+			delete(w.stack, k)
+		}
+	}
+}
+
+// clearMem forgets the traced-writes overlay.
+func (w *world) clearMem() {
+	for k := range w.mem {
+		delete(w.mem, k)
+	}
+}
+
+// poisonMem marks size bytes at addr as runtime-valued, shadowing any
+// declared-known range.
+func (w *world) poisonMem(addr uint64, size int) {
+	for i := 0; i < size; i++ {
+		w.mem[addr+uint64(i)] = memByte{known: false}
+	}
+}
+
+// overlayWrite records a traced write of a known value to known memory.
+func (w *world) overlayWrite(addr uint64, v uint64, size int) {
+	for i := 0; i < size; i++ {
+		w.mem[addr+uint64(i)] = memByte{known: true, b: byte(v)}
+		v >>= 8
+	}
+}
+
+// key produces a collision-resistant-enough identity of the world for
+// block keying: FNV-1a over a canonical serialization. Blocks starting at
+// the same original address are different translations when their
+// known-world state differs (paper, Section III.F).
+func (w *world) key() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 512)
+	put := func(v uint64) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	for i := range w.r {
+		put(uint64(w.r[i].kind) | boolBit(w.r[i].mat)<<8)
+		if w.r[i].isKnown() {
+			put(w.r[i].val)
+		}
+	}
+	for i := range w.f {
+		put(boolBit(w.f[i].known) | boolBit(w.f[i].mat)<<1)
+		if w.f[i].known {
+			put(math.Float64bits(w.f[i].val))
+		}
+	}
+	put(boolBit(w.flags.known) | boolBit(w.flags.fl.Z)<<1 | boolBit(w.flags.fl.S)<<2 |
+		boolBit(w.flags.fl.C)<<3 | boolBit(w.flags.fl.O)<<4 | boolBit(w.fdirty)<<5 |
+		boolBit(w.escaped)<<6)
+
+	stackKeys := make([]int64, 0, len(w.stack))
+	for k := range w.stack {
+		stackKeys = append(stackKeys, k)
+	}
+	sort.Slice(stackKeys, func(i, j int) bool { return stackKeys[i] < stackKeys[j] })
+	for _, k := range stackKeys {
+		s := w.stack[k]
+		put(uint64(k))
+		put(uint64(s.size) | uint64(s.v.kind)<<8)
+		put(s.v.val)
+	}
+
+	memKeys := make([]uint64, 0, len(w.mem))
+	for k := range w.mem {
+		memKeys = append(memKeys, k)
+	}
+	sort.Slice(memKeys, func(i, j int) bool { return memKeys[i] < memKeys[j] })
+	for _, k := range memKeys {
+		mb := w.mem[k]
+		put(k)
+		put(boolBit(mb.known) | uint64(mb.b)<<8)
+	}
+
+	h.Write(buf)
+	return h.Sum64()
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// compat reports whether control flow in state w may jump into a block
+// traced with entry state t, and if so which registers need materializing
+// compensation first (paper: "we can produce compensation code for
+// migrating between world states as long as there are only values changing
+// from known to unknown").
+//
+// Requirements:
+//   - wherever t assumes a known value, w must know the same value;
+//   - flags known in t must be known and equal in w (flags cannot be
+//     re-materialized);
+//   - stack slots and memory overlay entries known in t must match in w
+//     (the runtime always holds the true values because stores are always
+//     emitted; known-ness only licenses folding in t's code);
+//   - registers that t's code reads from the machine (t unknown, or t
+//     materialized) must actually hold their value at runtime: w-known
+//     unmaterialized registers migrating to such a spot need
+//     materialization.
+func compat(w, t *world) (intComp []isa.Reg, fComp []isa.Reg, ok bool) {
+	for i := range w.r {
+		wv, tv := w.r[i], t.r[i]
+		if tv.isKnown() {
+			if wv.kind != tv.kind || wv.val != tv.val {
+				return nil, nil, false
+			}
+			if tv.mat && !wv.mat {
+				intComp = append(intComp, isa.Reg(i))
+			}
+		} else if wv.isKnown() && !wv.mat {
+			intComp = append(intComp, isa.Reg(i))
+		}
+	}
+	for i := range w.f {
+		wv, tv := w.f[i], t.f[i]
+		if tv.known {
+			if !wv.known || math.Float64bits(wv.val) != math.Float64bits(tv.val) {
+				return nil, nil, false
+			}
+			if tv.mat && !wv.mat {
+				fComp = append(fComp, isa.Reg(i))
+			}
+		} else if wv.known && !wv.mat {
+			fComp = append(fComp, isa.Reg(i))
+		}
+	}
+	if t.flags.known {
+		if !w.flags.known || w.flags.fl != t.flags.fl {
+			return nil, nil, false
+		}
+	} else if !t.fdirty {
+		// t's code may read the runtime flags, which it assumed were
+		// produced by the original flag-setter sequence; w must arrive
+		// with clean runtime flags and no silently-tracked state.
+		if w.flags.known || w.fdirty {
+			return nil, nil, false
+		}
+	}
+	// t traced without frame escape may fold slots across unknown stores;
+	// arriving with an escaped frame would make those folds stale.
+	if w.escaped && !t.escaped {
+		return nil, nil, false
+	}
+	for k, ts := range t.stack {
+		ws, okk := w.stack[k]
+		if ts.v.isKnown() {
+			if !okk || ws.size != ts.size || ws.v.kind != ts.v.kind || ws.v.val != ts.v.val {
+				return nil, nil, false
+			}
+		}
+	}
+	for k, tb := range t.mem {
+		wb, okk := w.mem[k]
+		if tb.known {
+			if !okk || !wb.known || wb.b != tb.b {
+				return nil, nil, false
+			}
+		}
+		// t poisoned (unknown) entries are fine: t's code treats those
+		// bytes as runtime memory, which always holds the truth.
+	}
+	return intComp, fComp, true
+}
+
+// generalize returns a copy of w with every location that is not known
+// identically in all of the given worlds made unknown. Migrating to the
+// generalized world always terminates at all-unknown (paper, Section
+// III.F).
+func generalize(w *world, others []*world) *world {
+	g := w.clone()
+	for i := range g.r {
+		if i == int(isa.SP) {
+			continue // SP stays symbolic
+		}
+		for _, o := range others {
+			if o.r[i].kind != g.r[i].kind || o.r[i].val != g.r[i].val {
+				g.r[i] = unknown()
+				break
+			}
+		}
+	}
+	for i := range g.f {
+		for _, o := range others {
+			if o.f[i].known != g.f[i].known ||
+				(g.f[i].known && math.Float64bits(o.f[i].val) != math.Float64bits(g.f[i].val)) {
+				g.f[i] = fval{}
+				break
+			}
+		}
+	}
+	g.flags = flagval{}
+	g.fdirty = true  // incoming runtime flags are arbitrary
+	g.escaped = true // most conservative: accept any incoming frame state
+	// Keep only stack slots agreeing across all worlds.
+	for k, s := range g.stack {
+		for _, o := range others {
+			os, ok := o.stack[k]
+			if !ok || os != s {
+				delete(g.stack, k)
+				break
+			}
+		}
+	}
+	for k, b := range g.mem {
+		for _, o := range others {
+			ob, ok := o.mem[k]
+			if !ok || ob != b {
+				g.mem[k] = memByte{known: false}
+				break
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func single(t *testing.T, size, line, assoc, lat, memLat int) *Hierarchy {
+	t.Helper()
+	h, err := New([]Level{{Name: "L1", Size: size, LineSize: line, Assoc: assoc, Latency: lat}}, memLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := single(t, 1024, 64, 2, 4, 100)
+	if lat := h.Access(0, 8); lat != 104 {
+		t.Errorf("cold miss latency = %d, want 104", lat)
+	}
+	if lat := h.Access(0, 8); lat != 4 {
+		t.Errorf("hit latency = %d, want 4", lat)
+	}
+	// Same line, different offset: still a hit.
+	if lat := h.Access(56, 8); lat != 4 {
+		t.Errorf("same-line hit latency = %d, want 4", lat)
+	}
+	// Next line: miss.
+	if lat := h.Access(64, 8); lat != 104 {
+		t.Errorf("next-line latency = %d, want 104", lat)
+	}
+}
+
+func TestStraddlingAccessChargesBothLines(t *testing.T) {
+	h := single(t, 1024, 64, 2, 4, 100)
+	if lat := h.Access(60, 8); lat != 208 {
+		t.Errorf("straddling cold access = %d, want 208", lat)
+	}
+	if lat := h.Access(60, 8); lat != 8 {
+		t.Errorf("straddling warm access = %d, want 8", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, one line per way per set; sets = 1024/(64*2) = 8.
+	h := single(t, 1024, 64, 2, 4, 100)
+	// Three lines mapping to the same set (stride = nsets*line = 512).
+	a, b, c := uint64(0), uint64(512), uint64(1024)
+	h.Access(a, 1)
+	h.Access(b, 1)
+	h.Access(a, 1) // a is now MRU, b LRU
+	h.Access(c, 1) // evicts b
+	if lat := h.Access(a, 1); lat != 4 {
+		t.Errorf("a should still hit, lat=%d", lat)
+	}
+	if lat := h.Access(b, 1); lat != 104 {
+		t.Errorf("b should have been evicted, lat=%d", lat)
+	}
+}
+
+func TestMultiLevelFill(t *testing.T) {
+	h, err := New([]Level{
+		{Name: "L1", Size: 128, LineSize: 64, Assoc: 1, Latency: 4},
+		{Name: "L2", Size: 1024, LineSize: 64, Assoc: 2, Latency: 12},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := h.Access(0, 1); lat != 116 {
+		t.Errorf("cold = %d, want 116", lat)
+	}
+	// Evict line 0 from tiny L1 (2 sets, 1 way: line 0 -> set 0, 128 -> set 0).
+	h.Access(128, 1)
+	// Line 0 should now hit in L2: L1 miss(4) + L2 hit(12).
+	if lat := h.Access(0, 1); lat != 16 {
+		t.Errorf("L2 hit = %d, want 16", lat)
+	}
+	st := h.Stats()
+	if st[0].Name != "L1" || st[1].Name != "L2" {
+		t.Fatalf("stats order: %+v", st)
+	}
+	if st[1].Hits != 1 {
+		t.Errorf("L2 hits = %d, want 1", st[1].Hits)
+	}
+}
+
+func TestWorkingSetFitsVsThrashes(t *testing.T) {
+	// The paper's key locality argument: a working set within capacity is
+	// fast on re-traversal; beyond capacity it keeps missing.
+	h := single(t, 8192, 64, 8, 4, 100)
+	sweep := func(bytes int) int {
+		total := 0
+		for a := 0; a < bytes; a += 8 {
+			total += h.Access(uint64(a), 8)
+		}
+		return total
+	}
+	sweep(4096)         // warm small set
+	warm := sweep(4096) // must hit everywhere
+	if warm != 4*4096/8 {
+		t.Errorf("warm sweep latency = %d, want all-hit %d", warm, 4*4096/8)
+	}
+	h.Reset()
+	sweep(1 << 20)        // way beyond capacity
+	big := sweep(1 << 20) // still mostly misses
+	if big <= 4*(1<<20)/8*2 {
+		t.Errorf("thrashing sweep too fast: %d", big)
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := New([]Level{{Name: "x", Size: 100, LineSize: 60, Assoc: 1, Latency: 1}}, 1); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New([]Level{{Name: "x", Size: 0, LineSize: 64, Assoc: 1, Latency: 1}}, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New([]Level{{Name: "x", Size: 64 * 3, LineSize: 64, Assoc: 1, Latency: 1}}, 1); err == nil {
+		t.Error("3 sets accepted")
+	}
+}
+
+func TestResetAndFlush(t *testing.T) {
+	h := single(t, 1024, 64, 2, 4, 100)
+	h.Access(0, 8)
+	h.Access(0, 8)
+	h.Flush()
+	if lat := h.Access(0, 8); lat != 104 {
+		t.Errorf("after flush: %d, want miss", lat)
+	}
+	if h.Stats()[0].Hits != 1 {
+		t.Errorf("flush cleared stats: %+v", h.Stats()[0])
+	}
+	h.Reset()
+	if s := h.Stats()[0]; s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("reset kept stats: %+v", s)
+	}
+}
+
+func TestDefaultHierarchy(t *testing.T) {
+	h := Default()
+	if len(h.levels) != 3 {
+		t.Fatalf("default levels = %d", len(h.levels))
+	}
+	h.Access(0, 8)
+	st := h.Stats()
+	if st[0].Misses != 1 || st[1].Misses != 1 || st[2].Misses != 1 {
+		t.Errorf("cold access should miss all levels: %+v", st)
+	}
+}
+
+// Property: hit rate of repeated accesses within a small working set is 100%
+// after warmup, for random geometries.
+func TestWarmWorkingSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lineLog := 4 + r.Intn(3) // 16..64
+		line := 1 << lineLog
+		assoc := 1 + r.Intn(4)
+		nsets := 1 << (1 + r.Intn(5))
+		size := line * assoc * nsets
+		h, err := New([]Level{{Name: "p", Size: size, LineSize: line, Assoc: assoc, Latency: 1}}, 50)
+		if err != nil {
+			return false
+		}
+		ws := size / 2
+		for a := 0; a < ws; a += 8 {
+			h.Access(uint64(a), 8)
+		}
+		before := h.Stats()[0]
+		for a := 0; a < ws; a += 8 {
+			h.Access(uint64(a), 8)
+		}
+		after := h.Stats()[0]
+		return after.Misses == before.Misses // second pass all hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 || s.Accesses() != 4 {
+		t.Errorf("hit rate %v accesses %d", s.HitRate(), s.Accesses())
+	}
+}

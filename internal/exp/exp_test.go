@@ -1,0 +1,158 @@
+package exp
+
+import "testing"
+
+// Small sizing keeps the full experiment matrix fast in CI while still
+// exercising every code path end to end.
+func small() Options {
+	return Options{XS: 20, YS: 12, Iters: 2, PgasNodes: 4, PgasBS: 64, PgasMe: 1}
+}
+
+func TestRunStencilShape(t *testing.T) {
+	rows, err := RunStencil(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byID := map[string]Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+		if r.Cycles == 0 {
+			t.Errorf("%s has no cycles", r.ID)
+		}
+	}
+	// The paper's qualitative ordering.
+	if !(byID["E1c"].Ratio < byID["E1a"].Ratio) {
+		t.Errorf("rewritten (%.2f) must beat generic (1.0)", byID["E1c"].Ratio)
+	}
+	if !(byID["E1b"].Ratio < byID["E1a"].Ratio) {
+		t.Errorf("manual (%.2f) must beat generic", byID["E1b"].Ratio)
+	}
+	if !(byID["E2a"].Ratio > 1.0) {
+		t.Errorf("grouped generic (%.2f) must be slower than generic", byID["E2a"].Ratio)
+	}
+	if !(byID["E2b"].Ratio < byID["E1c"].Ratio*1.05) {
+		t.Errorf("grouped rewrite (%.2f) must be at least as good as plain rewrite (%.2f)",
+			byID["E2b"].Ratio, byID["E1c"].Ratio)
+	}
+	if !(byID["E3a"].Ratio < byID["E1b"].Ratio) {
+		t.Errorf("same-unit manual (%.2f) must beat separate-unit manual (%.2f)",
+			byID["E3a"].Ratio, byID["E1b"].Ratio)
+	}
+	out := FormatTable("stencil", rows)
+	if len(out) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestRunUnrolling(t *testing.T) {
+	rows, err := RunUnrolling(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Both must work; the unrolled variant should not be slower.
+	if rows[0].Cycles > rows[1].Cycles {
+		t.Errorf("full unroll (%d) slower than no-unroll (%d)", rows[0].Cycles, rows[1].Cycles)
+	}
+}
+
+func TestRunInlining(t *testing.T) {
+	rows, err := RunInlining(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[2].Cycles < rows[1].Cycles) {
+		t.Errorf("inlined (%d) must beat kept calls (%d)", rows[2].Cycles, rows[1].Cycles)
+	}
+	if !(rows[2].Cycles < rows[0].Cycles) {
+		t.Errorf("inlined (%d) must beat original (%d)", rows[2].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	rows, err := RunVariants(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Higher thresholds admit more specialized variants: code grows.
+	if !(rows[0].Cycles <= rows[2].Cycles) {
+		t.Errorf("threshold 2 code (%d B) bigger than threshold 64 (%d B)", rows[0].Cycles, rows[2].Cycles)
+	}
+}
+
+func TestRunGuarded(t *testing.T) {
+	rows, err := RunGuarded(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[1].Cycles < rows[0].Cycles) {
+		t.Errorf("hot path (%d) must beat original (%d)", rows[1].Cycles, rows[0].Cycles)
+	}
+	if rows[2].Cycles < rows[0].Cycles {
+		t.Logf("cold path unexpectedly fast: %d vs %d", rows[2].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestRunPgas(t *testing.T) {
+	rows, err := RunPgas(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[1].Cycles < rows[0].Cycles) {
+		t.Errorf("specialized local (%d) must beat generic local (%d)", rows[1].Cycles, rows[0].Cycles)
+	}
+	if !(rows[3].Cycles < rows[2].Cycles) {
+		t.Errorf("preload (%d) must beat fine-grained remote (%d)", rows[3].Cycles, rows[2].Cycles)
+	}
+}
+
+func TestRunVectorize(t *testing.T) {
+	rows, err := RunVectorize(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[1].Cycles < rows[0].Cycles) {
+		t.Errorf("vectorized (%d) must beat scalar (%d)", rows[1].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestRunCacheSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megabyte grids")
+	}
+	rows, err := RunCacheSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Cycles per point grow with the working set, and the specialization
+	// advantage narrows (ratio toward 1) once L3 capacity is exceeded.
+	if !(rows[2].Cycles > rows[0].Cycles) {
+		t.Errorf("cyc/pt did not grow: %d -> %d", rows[0].Cycles, rows[2].Cycles)
+	}
+	if !(rows[2].Ratio > rows[0].Ratio) {
+		t.Errorf("ratio did not narrow: %.3f -> %.3f", rows[0].Ratio, rows[2].Ratio)
+	}
+}

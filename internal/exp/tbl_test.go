@@ -1,0 +1,14 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrintFull(t *testing.T) {
+	rows, err := RunStencil(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatTable("stencil (default sizing)", rows))
+}

@@ -1,0 +1,202 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports that the byte stream ended inside an instruction.
+var ErrTruncated = errors.New("isa: truncated instruction")
+
+// ErrUndecodable reports bytes that do not form a valid instruction. The
+// rewriter treats this as a non-catastrophic failure: the original function
+// keeps being used (paper, Section III.G).
+var ErrUndecodable = errors.New("isa: undecodable instruction")
+
+// Decode decodes one instruction from b, which must start at the
+// instruction's first byte. addr is the address b[0] is mapped at; it is
+// needed to materialize absolute targets of relative branches and is stored
+// in the result. Decode fills Instr.Len with the encoded size.
+func Decode(b []byte, addr uint64) (Instr, error) {
+	if len(b) == 0 {
+		return Instr{}, ErrTruncated
+	}
+	op := Opcode(b[0])
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("%w: opcode byte 0x%02x at 0x%x", ErrUndecodable, b[0], addr)
+	}
+	info := Info(op)
+	ins := Instr{Op: op, Addr: addr}
+	p := 1 // read cursor
+
+	need := func(n int) error {
+		if len(b) < p+n {
+			return fmt.Errorf("%w: %s at 0x%x", ErrTruncated, info.Name, addr)
+		}
+		return nil
+	}
+
+	switch info.Format {
+	case FNone:
+
+	case FR:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		r := Reg(b[p] & 0x0F)
+		p++
+		if err := regOK(r, info.DstFile); err != nil {
+			return Instr{}, decodeErr(info.Name, addr, err)
+		}
+		ins.Dst = Operand{Kind: kindFor(info.DstFile), Reg: r}
+
+	case FRR:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		d, s := Reg(b[p]>>4), Reg(b[p]&0x0F)
+		p++
+		if err := regOK(d, info.DstFile); err != nil {
+			return Instr{}, decodeErr(info.Name, addr, err)
+		}
+		if err := regOK(s, info.SrcFile); err != nil {
+			return Instr{}, decodeErr(info.Name, addr, err)
+		}
+		ins.Dst = Operand{Kind: kindFor(info.DstFile), Reg: d}
+		ins.Src = Operand{Kind: kindFor(info.SrcFile), Reg: s}
+
+	case FRI:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		d, sz := Reg(b[p]>>4), int(b[p]&0x03)
+		p++
+		if err := regOK(d, info.DstFile); err != nil {
+			return Instr{}, decodeErr(info.Name, addr, err)
+		}
+		n := immBytes[sz]
+		if err := need(n); err != nil {
+			return Instr{}, err
+		}
+		ins.Dst = Operand{Kind: kindFor(info.DstFile), Reg: d}
+		ins.Src = ImmOp(readInt(b[p:p+n], n))
+		p += n
+
+	case FRM, FMR:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		r, mode := Reg(b[p]>>4), b[p]&0x0F
+		p++
+		if err := regOK(r, info.DstFile); err != nil {
+			return Instr{}, decodeErr(info.Name, addr, err)
+		}
+		m := MemRef{Base: RegNone, Index: RegNone, Scale: 1}
+		if mode&(memHasBase|memHasIndex) != 0 {
+			if err := need(1); err != nil {
+				return Instr{}, err
+			}
+			bx := b[p]
+			p++
+			if mode&memHasBase != 0 {
+				m.Base = Reg(bx >> 4)
+			}
+			if mode&memHasIndex != 0 {
+				m.Index = Reg(bx & 0x0F)
+			}
+		}
+		if mode&memHasIndex != 0 {
+			if err := need(1); err != nil {
+				return Instr{}, err
+			}
+			lg := b[p]
+			p++
+			if lg > 3 {
+				return Instr{}, fmt.Errorf("%w: scale log %d in %s at 0x%x", ErrUndecodable, lg, info.Name, addr)
+			}
+			m.Scale = 1 << lg
+		}
+		if mode&memHasDisp != 0 {
+			n := 1
+			if mode&memDisp32 != 0 {
+				n = 4
+			}
+			if err := need(n); err != nil {
+				return Instr{}, err
+			}
+			m.Disp = int32(readInt(b[p:p+n], n))
+			p += n
+		}
+		reg := Operand{Kind: kindFor(info.DstFile), Reg: r}
+		if info.Format == FRM {
+			ins.Dst, ins.Src = reg, MemOp(m)
+		} else {
+			ins.Dst, ins.Src = MemOp(m), reg
+		}
+
+	case FRel:
+		if err := need(4); err != nil {
+			return Instr{}, err
+		}
+		rel := readInt(b[p:p+4], 4)
+		p += 4
+		ins.Dst = ImmOp(int64(addr) + int64(p) + rel)
+
+	case FCC:
+		if err := need(5); err != nil {
+			return Instr{}, err
+		}
+		cc := Cond(b[p])
+		p++
+		if !cc.Valid() {
+			return Instr{}, fmt.Errorf("%w: condition 0x%02x at 0x%x", ErrUndecodable, b[p-1], addr)
+		}
+		rel := readInt(b[p:p+4], 4)
+		p += 4
+		ins.CC = cc
+		ins.Dst = ImmOp(int64(addr) + int64(p) + rel)
+
+	case FCCR:
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		cc, r := Cond(b[p]>>4), Reg(b[p]&0x0F)
+		p++
+		if !cc.Valid() {
+			return Instr{}, fmt.Errorf("%w: condition %d at 0x%x", ErrUndecodable, cc, addr)
+		}
+		ins.CC = cc
+		ins.Dst = RegOp(r)
+
+	default:
+		return Instr{}, fmt.Errorf("%w: %s has no format", ErrUndecodable, info.Name)
+	}
+
+	ins.Len = p
+	return ins, nil
+}
+
+func regOK(r Reg, file RegFile) error {
+	limit := Reg(NumRegs)
+	if file == RFVec {
+		limit = NumVRegs
+	}
+	if r >= limit {
+		return fmt.Errorf("%w: %d", ErrBadReg, r)
+	}
+	return nil
+}
+
+func decodeErr(name string, addr uint64, err error) error {
+	return fmt.Errorf("%w: %v in %s at 0x%x", ErrUndecodable, err, name, addr)
+}
+
+// readInt reads an n-byte little-endian signed integer.
+func readInt(b []byte, n int) int64 {
+	var u uint64
+	for i := 0; i < n; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	shift := 64 - 8*n
+	return int64(u<<shift) >> shift
+}

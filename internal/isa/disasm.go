@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DecodeAll decodes instructions from b starting at address addr until the
+// buffer is exhausted or an instruction fails to decode. It returns the
+// instructions decoded so far together with the error, so callers can
+// render partial disassembly.
+func DecodeAll(b []byte, addr uint64) ([]Instr, error) {
+	var out []Instr
+	off := 0
+	for off < len(b) {
+		ins, err := Decode(b[off:], addr+uint64(off))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ins)
+		off += ins.Len
+	}
+	return out, nil
+}
+
+// Disassemble renders the instructions in b as an address-annotated listing.
+// Decoding stops at the first HALT when stopAtHalt is set, which is how
+// function-sized listings are produced from a larger code segment.
+func Disassemble(b []byte, addr uint64, stopAtHalt bool) string {
+	var sb strings.Builder
+	off := 0
+	for off < len(b) {
+		ins, err := Decode(b[off:], addr+uint64(off))
+		if err != nil {
+			fmt.Fprintf(&sb, "%08x:  <%v>\n", addr+uint64(off), err)
+			break
+		}
+		fmt.Fprintf(&sb, "%08x:  %s\n", ins.Addr, ins)
+		off += ins.Len
+		if stopAtHalt && ins.Op == HALT {
+			break
+		}
+	}
+	return sb.String()
+}

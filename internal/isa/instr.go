@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OpKind classifies an Operand.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	KindNone OpKind = iota
+	KindReg         // integer register
+	KindFReg        // floating-point register
+	KindVReg        // vector register
+	KindImm         // immediate value (sign-extended int64; FMOVI: raw f64 bits)
+	KindMem         // memory reference
+)
+
+// MemRef is a memory operand: [base + index*scale + disp]. Base and Index
+// are integer registers or RegNone. Scale is 1, 2, 4 or 8. Wide forces a
+// 4-byte displacement encoding (see Instr.Wide).
+type MemRef struct {
+	Base  Reg
+	Index Reg
+	Scale uint8
+	Disp  int32
+	Wide  bool
+}
+
+// HasBase reports whether the operand uses a base register.
+func (m MemRef) HasBase() bool { return m.Base != RegNone }
+
+// HasIndex reports whether the operand uses an index register.
+func (m MemRef) HasIndex() bool { return m.Index != RegNone }
+
+// Abs constructs an absolute-address memory operand.
+func Abs(addr int32) MemRef { return MemRef{Base: RegNone, Index: RegNone, Scale: 1, Disp: addr} }
+
+// BaseDisp constructs a [base + disp] memory operand.
+func BaseDisp(base Reg, disp int32) MemRef {
+	return MemRef{Base: base, Index: RegNone, Scale: 1, Disp: disp}
+}
+
+// BaseIndex constructs a [base + index*scale + disp] memory operand.
+func BaseIndex(base, index Reg, scale uint8, disp int32) MemRef {
+	return MemRef{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+func (m MemRef) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	wrote := false
+	if m.HasBase() {
+		b.WriteString(m.Base.String())
+		wrote = true
+	}
+	if m.HasIndex() {
+		if wrote {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s*%d", m.Index, m.Scale)
+		wrote = true
+	}
+	if m.Disp != 0 || !wrote {
+		if wrote {
+			if m.Disp < 0 {
+				fmt.Fprintf(&b, "-%d", -int64(m.Disp))
+			} else {
+				fmt.Fprintf(&b, "+%d", m.Disp)
+			}
+		} else {
+			fmt.Fprintf(&b, "0x%x", uint32(m.Disp))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind OpKind
+	Reg  Reg
+	Imm  int64
+	Mem  MemRef
+}
+
+// RegOp returns an integer-register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// FRegOp returns a floating-point-register operand.
+func FRegOp(r Reg) Operand { return Operand{Kind: KindFReg, Reg: r} }
+
+// VRegOp returns a vector-register operand.
+func VRegOp(r Reg) Operand { return Operand{Kind: KindVReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// FImmOp returns an immediate operand holding the raw bits of v.
+func FImmOp(v float64) Operand { return Operand{Kind: KindImm, Imm: int64(math.Float64bits(v))} }
+
+// MemOp returns a memory operand.
+func MemOp(m MemRef) Operand { return Operand{Kind: KindMem, Mem: m} }
+
+// IsReg reports whether the operand is a register in any file.
+func (o Operand) IsReg() bool {
+	return o.Kind == KindReg || o.Kind == KindFReg || o.Kind == KindVReg
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return ""
+	case KindReg:
+		return o.Reg.String()
+	case KindFReg:
+		return o.Reg.FName()
+	case KindVReg:
+		return o.Reg.VName()
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindMem:
+		return o.Mem.String()
+	}
+	return "?"
+}
+
+// Instr is one decoded (or to-be-encoded) instruction.
+//
+// Operand conventions by format:
+//
+//	FNone:  no operands
+//	FR:     Dst = register
+//	FRR:    Dst, Src = registers (files per OpInfo)
+//	FRI:    Dst = register, Src = immediate
+//	FRM:    Dst = register, Src = memory
+//	FMR:    Dst = memory, Src = register
+//	FRel:   Dst = immediate holding the absolute target address
+//	FCC:    CC set, Dst = immediate absolute target address
+//	FCCR:   CC set, Dst = register
+type Instr struct {
+	Op   Opcode
+	CC   Cond
+	Dst  Operand
+	Src  Operand
+	Addr uint64 // address the instruction was decoded from (0 if synthetic)
+	Len  int    // encoded length in bytes (0 if not yet encoded/decoded)
+	// Wide forces a 4-byte immediate (FRI) so that two-pass assemblers can
+	// compute instruction sizes before label values are known. It does not
+	// survive a decode round trip (the decoder reports the actual size).
+	Wide bool
+}
+
+// Target returns the absolute branch/call target for FRel/FCC instructions.
+func (i Instr) Target() uint64 { return uint64(i.Dst.Imm) }
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	info := Info(i.Op)
+	switch info.Format {
+	case FNone:
+		return info.Name
+	case FR:
+		return fmt.Sprintf("%s %s", info.Name, regName(i.Dst.Reg, info.DstFile))
+	case FRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, regName(i.Dst.Reg, info.DstFile), regName(i.Src.Reg, info.SrcFile))
+	case FRI:
+		if i.Op == FMOVI {
+			return fmt.Sprintf("%s %s, %g", info.Name, i.Dst.Reg.FName(), math.Float64frombits(uint64(i.Src.Imm)))
+		}
+		return fmt.Sprintf("%s %s, %d", info.Name, regName(i.Dst.Reg, info.DstFile), i.Src.Imm)
+	case FRM:
+		return fmt.Sprintf("%s %s, %s", info.Name, regName(i.Dst.Reg, info.DstFile), i.Src.Mem)
+	case FMR:
+		return fmt.Sprintf("%s %s, %s", info.Name, i.Dst.Mem, regName(i.Src.Reg, info.DstFile))
+	case FRel:
+		return fmt.Sprintf("%s 0x%x", info.Name, i.Target())
+	case FCC:
+		return fmt.Sprintf("j%s 0x%x", i.CC, i.Target())
+	case FCCR:
+		return fmt.Sprintf("set%s %s", i.CC, i.Dst.Reg)
+	}
+	return info.Name + " ???"
+}
+
+func regName(r Reg, f RegFile) string {
+	switch f {
+	case RFFloat:
+		return r.FName()
+	case RFVec:
+		return r.VName()
+	default:
+		return r.String()
+	}
+}
+
+// Convenience constructors used heavily by the rewriter and the compiler
+// back end.
+
+// MakeNone builds a no-operand instruction.
+func MakeNone(op Opcode) Instr { return Instr{Op: op} }
+
+// MakeR builds a single-register instruction.
+func MakeR(op Opcode, r Reg) Instr {
+	k := KindReg
+	if Info(op).DstFile == RFFloat {
+		k = KindFReg
+	}
+	return Instr{Op: op, Dst: Operand{Kind: k, Reg: r}}
+}
+
+// MakeRR builds a register-register instruction.
+func MakeRR(op Opcode, dst, src Reg) Instr {
+	info := Info(op)
+	return Instr{
+		Op:  op,
+		Dst: Operand{Kind: kindFor(info.DstFile), Reg: dst},
+		Src: Operand{Kind: kindFor(info.SrcFile), Reg: src},
+	}
+}
+
+// MakeRI builds a register-immediate instruction.
+func MakeRI(op Opcode, dst Reg, imm int64) Instr {
+	return Instr{Op: op, Dst: Operand{Kind: kindFor(Info(op).DstFile), Reg: dst}, Src: ImmOp(imm)}
+}
+
+// MakeRM builds a register-from-memory instruction.
+func MakeRM(op Opcode, dst Reg, m MemRef) Instr {
+	return Instr{Op: op, Dst: Operand{Kind: kindFor(Info(op).DstFile), Reg: dst}, Src: MemOp(m)}
+}
+
+// MakeMR builds a memory-from-register instruction.
+func MakeMR(op Opcode, m MemRef, src Reg) Instr {
+	return Instr{Op: op, Dst: MemOp(m), Src: Operand{Kind: kindFor(Info(op).DstFile), Reg: src}}
+}
+
+// MakeRel builds a relative branch/call with an absolute target address.
+func MakeRel(op Opcode, target uint64) Instr {
+	return Instr{Op: op, Dst: ImmOp(int64(target))}
+}
+
+// MakeJCC builds a conditional jump with an absolute target address.
+func MakeJCC(cc Cond, target uint64) Instr {
+	return Instr{Op: JCC, CC: cc, Dst: ImmOp(int64(target))}
+}
+
+// MakeSetCC builds a SETCC instruction.
+func MakeSetCC(cc Cond, dst Reg) Instr {
+	return Instr{Op: SETCC, CC: cc, Dst: RegOp(dst)}
+}
+
+func kindFor(f RegFile) OpKind {
+	switch f {
+	case RFFloat:
+		return KindFReg
+	case RFVec:
+		return KindVReg
+	case RFInt:
+		return KindReg
+	}
+	return KindReg
+}

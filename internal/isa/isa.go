@@ -1,0 +1,213 @@
+// Package isa defines VX64, the simulated 64-bit instruction set used by the
+// BREW runtime binary rewriter and its substrates.
+//
+// VX64 is deliberately x86-64-like where the paper's mechanism depends on it:
+// a variable-length binary encoding that must be decoded byte-by-byte,
+// condition flags set implicitly by ALU instructions, memory operands of the
+// form [base + index*scale + disp], push/pop/call/ret stack semantics, and a
+// register-based calling convention (see abi.go). It is simulated because Go
+// cannot safely patch native machine code in-process; the substitution is
+// documented in DESIGN.md.
+package isa
+
+import "fmt"
+
+// Reg names a register. The same index space is used for the integer file
+// (R0..R15), the floating-point file (F0..F15) and the vector file (V0..V7);
+// an Operand's Kind selects the file.
+type Reg uint8
+
+// Integer register names. R15 doubles as the stack pointer (see abi.go).
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// RegNone marks an absent base or index register in a memory operand.
+	RegNone Reg = 0xFF
+)
+
+// SP is the stack pointer register.
+const SP = R15
+
+// NumRegs is the size of the integer and floating-point register files.
+const NumRegs = 16
+
+// NumVRegs is the size of the vector register file.
+const NumVRegs = 8
+
+// VecLanes is the number of float64 lanes in a vector register.
+const VecLanes = 4
+
+// Flags holds the condition flags. ALU instructions set them as on x86:
+// Z (zero), S (sign), C (carry/borrow, unsigned overflow), O (signed
+// overflow). FCMP sets Z and C like x86 UCOMISD (C = "below").
+type Flags struct {
+	Z, S, C, O bool
+}
+
+// Bits encodes the flags for PUSHF.
+func (f Flags) Bits() uint64 {
+	var v uint64
+	if f.Z {
+		v |= 1
+	}
+	if f.S {
+		v |= 2
+	}
+	if f.C {
+		v |= 4
+	}
+	if f.O {
+		v |= 8
+	}
+	return v
+}
+
+// FlagsFromBits decodes a PUSHF image (POPF).
+func FlagsFromBits(v uint64) Flags {
+	return Flags{Z: v&1 != 0, S: v&2 != 0, C: v&4 != 0, O: v&8 != 0}
+}
+
+// Cond is a condition code tested by JCC and SETCC.
+type Cond uint8
+
+// Condition codes.
+const (
+	CondEQ Cond = iota // Z
+	CondNE             // !Z
+	CondLT             // S != O (signed less)
+	CondLE             // Z || S != O
+	CondGT             // !Z && S == O
+	CondGE             // S == O
+	CondB              // C (unsigned below)
+	CondBE             // C || Z
+	CondA              // !C && !Z
+	CondAE             // !C
+	CondS              // S
+	CondNS             // !S
+	CondO              // O
+	CondNO             // !O
+	numConds
+)
+
+var condNames = [numConds]string{
+	"eq", "ne", "lt", "le", "gt", "ge", "b", "be", "a", "ae", "s", "ns", "o", "no",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined condition code.
+func (c Cond) Valid() bool { return c < numConds }
+
+// Negate returns the condition with the opposite outcome.
+func (c Cond) Negate() Cond {
+	// Codes are laid out in true/false pairs except the signed/unsigned
+	// relational ones, which we map explicitly.
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondB:
+		return CondAE
+	case CondAE:
+		return CondB
+	case CondBE:
+		return CondA
+	case CondA:
+		return CondBE
+	case CondS:
+		return CondNS
+	case CondNS:
+		return CondS
+	case CondO:
+		return CondNO
+	case CondNO:
+		return CondO
+	}
+	return c
+}
+
+// Holds reports whether the condition is satisfied by the given flags.
+func (c Cond) Holds(f Flags) bool {
+	switch c {
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondLT:
+		return f.S != f.O
+	case CondLE:
+		return f.Z || f.S != f.O
+	case CondGT:
+		return !f.Z && f.S == f.O
+	case CondGE:
+		return f.S == f.O
+	case CondB:
+		return f.C
+	case CondBE:
+		return f.C || f.Z
+	case CondA:
+		return !f.C && !f.Z
+	case CondAE:
+		return !f.C
+	case CondS:
+		return f.S
+	case CondNS:
+		return !f.S
+	case CondO:
+		return f.O
+	case CondNO:
+		return !f.O
+	}
+	return false
+}
+
+// CondFromName parses a condition-code mnemonic ("eq", "ne", ...).
+func CondFromName(s string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == s {
+			return Cond(i), true
+		}
+	}
+	return 0, false
+}
+
+func (r Reg) String() string {
+	if r == RegNone {
+		return "rnone"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// FName returns the floating-point spelling of the register index.
+func (r Reg) FName() string { return fmt.Sprintf("f%d", uint8(r)) }
+
+// VName returns the vector spelling of the register index.
+func (r Reg) VName() string { return fmt.Sprintf("v%d", uint8(r)) }

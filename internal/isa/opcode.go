@@ -1,0 +1,347 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies a VX64 instruction.
+type Opcode uint8
+
+// Instruction opcodes. The numeric values are the first byte of the binary
+// encoding and therefore part of the stable "machine" format.
+const (
+	NOP Opcode = iota
+	HALT
+	BRK
+
+	// Data movement (integer).
+	MOV   // rr: dst = src
+	MOVI  // ri: dst = imm
+	LOAD  // rm: dst = *(int64*)mem
+	STORE // mr: *(int64*)mem = src
+	LOADB // rm: dst = zero-extended byte
+	STOREB
+	LEA // rm: dst = effective address of mem
+	PUSH
+	POP
+
+	// Integer ALU, register-register. Set Z,S,C,O.
+	ADD
+	SUB
+	IMUL
+	IDIV // dst = dst / src (signed, truncating); flags undefined->cleared
+	IREM // dst = dst % src
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SAR
+	CMP  // flags only
+	TEST // flags only: AND without result
+
+	// Integer ALU, register-immediate forms.
+	ADDI
+	SUBI
+	IMULI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SARI
+	CMPI
+
+	// Single-register integer ops.
+	NEG
+	NOT
+
+	SETCC // cc byte + reg: dst = cond ? 1 : 0
+
+	// Control flow.
+	JMP   // rel32
+	JMPR  // indirect through integer register
+	JCC   // cc byte + rel32
+	CALL  // rel32; pushes return address
+	CALLR // indirect call through integer register
+	RET
+
+	// Floating point (float64).
+	FMOV   // ff
+	FMOVI  // f + 8-byte immediate (raw IEEE-754 bits)
+	FLOAD  // fm
+	FSTORE // mf
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FSQRT
+	FCMP   // sets Z (equal), C (less); clears S,O. Unordered sets Z&C.
+	CVTIF  // f = (double) r
+	CVTFI  // r = (int64) f, truncating
+	FMOVFI // r = raw bits of f
+	FMOVIF // f = raw bits of r
+
+	// Vector (4 x float64).
+	VLOAD  // vm
+	VSTORE // mv
+	VADD
+	VSUB
+	VMUL
+	VBCAST // v = broadcast f
+	VHADD  // f = horizontal sum of v
+
+	// Flag save/restore (used by injected handler calls to preserve the
+	// condition flags across callbacks, like x86 PUSHF/POPF).
+	PUSHF
+	POPF
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// Format describes the byte layout following the opcode byte.
+type Format uint8
+
+// Instruction formats.
+const (
+	FNone Format = iota // [op]
+	FR                  // [op][reg]            single register in low nibble
+	FRR                 // [op][dst<<4|src]
+	FRI                 // [op][dst<<4|size][imm...]   size: 0=1B 1=2B 2=4B 3=8B, sign-extended
+	FRM                 // [op][dst<<4|mode][mem...]   register <- memory
+	FMR                 // [op][src<<4|mode][mem...]   memory <- register
+	FRel                // [op][rel32]
+	FCC                 // [op][cc][rel32]
+	FCCR                // [op][cc<<4|reg]
+)
+
+// RegFile selects which register file an operand's register indexes.
+type RegFile uint8
+
+// Register files.
+const (
+	RFNone RegFile = iota
+	RFInt
+	RFFloat
+	RFVec
+)
+
+// OpInfo is static metadata about an opcode.
+type OpInfo struct {
+	Name    string
+	Format  Format
+	DstFile RegFile // file of the register operand named first in asm
+	SrcFile RegFile // file of the second register operand (FRR only)
+	Cost    int     // base cycle cost, excluding memory hierarchy latency
+}
+
+var opInfo = [numOpcodes]OpInfo{
+	NOP:  {"nop", FNone, RFNone, RFNone, 1},
+	HALT: {"halt", FNone, RFNone, RFNone, 1},
+	BRK:  {"brk", FNone, RFNone, RFNone, 1},
+
+	MOV:    {"mov", FRR, RFInt, RFInt, 1},
+	MOVI:   {"movi", FRI, RFInt, RFNone, 1},
+	LOAD:   {"load", FRM, RFInt, RFNone, 1},
+	STORE:  {"store", FMR, RFInt, RFNone, 1},
+	LOADB:  {"loadb", FRM, RFInt, RFNone, 1},
+	STOREB: {"storeb", FMR, RFInt, RFNone, 1},
+	LEA:    {"lea", FRM, RFInt, RFNone, 1},
+	PUSH:   {"push", FR, RFInt, RFNone, 1},
+	POP:    {"pop", FR, RFInt, RFNone, 1},
+
+	ADD:  {"add", FRR, RFInt, RFInt, 1},
+	SUB:  {"sub", FRR, RFInt, RFInt, 1},
+	IMUL: {"imul", FRR, RFInt, RFInt, 3},
+	IDIV: {"idiv", FRR, RFInt, RFInt, 22},
+	IREM: {"irem", FRR, RFInt, RFInt, 22},
+	AND:  {"and", FRR, RFInt, RFInt, 1},
+	OR:   {"or", FRR, RFInt, RFInt, 1},
+	XOR:  {"xor", FRR, RFInt, RFInt, 1},
+	SHL:  {"shl", FRR, RFInt, RFInt, 1},
+	SHR:  {"shr", FRR, RFInt, RFInt, 1},
+	SAR:  {"sar", FRR, RFInt, RFInt, 1},
+	CMP:  {"cmp", FRR, RFInt, RFInt, 1},
+	TEST: {"test", FRR, RFInt, RFInt, 1},
+
+	ADDI:  {"addi", FRI, RFInt, RFNone, 1},
+	SUBI:  {"subi", FRI, RFInt, RFNone, 1},
+	IMULI: {"imuli", FRI, RFInt, RFNone, 3},
+	ANDI:  {"andi", FRI, RFInt, RFNone, 1},
+	ORI:   {"ori", FRI, RFInt, RFNone, 1},
+	XORI:  {"xori", FRI, RFInt, RFNone, 1},
+	SHLI:  {"shli", FRI, RFInt, RFNone, 1},
+	SHRI:  {"shri", FRI, RFInt, RFNone, 1},
+	SARI:  {"sari", FRI, RFInt, RFNone, 1},
+	CMPI:  {"cmpi", FRI, RFInt, RFNone, 1},
+
+	NEG: {"neg", FR, RFInt, RFNone, 1},
+	NOT: {"not", FR, RFInt, RFNone, 1},
+
+	SETCC: {"setcc", FCCR, RFInt, RFNone, 1},
+
+	JMP:   {"jmp", FRel, RFNone, RFNone, 1},
+	JMPR:  {"jmpr", FR, RFInt, RFNone, 2},
+	JCC:   {"jcc", FCC, RFNone, RFNone, 1},
+	CALL:  {"call", FRel, RFNone, RFNone, 2},
+	CALLR: {"callr", FR, RFInt, RFNone, 3},
+	RET:   {"ret", FNone, RFNone, RFNone, 2},
+
+	FMOV:   {"fmov", FRR, RFFloat, RFFloat, 1},
+	FMOVI:  {"fmovi", FRI, RFFloat, RFNone, 1},
+	FLOAD:  {"fload", FRM, RFFloat, RFNone, 1},
+	FSTORE: {"fstore", FMR, RFFloat, RFNone, 1},
+	FADD:   {"fadd", FRR, RFFloat, RFFloat, 3},
+	FSUB:   {"fsub", FRR, RFFloat, RFFloat, 3},
+	FMUL:   {"fmul", FRR, RFFloat, RFFloat, 4},
+	FDIV:   {"fdiv", FRR, RFFloat, RFFloat, 15},
+	FNEG:   {"fneg", FR, RFFloat, RFNone, 1},
+	FSQRT:  {"fsqrt", FRR, RFFloat, RFFloat, 20},
+	FCMP:   {"fcmp", FRR, RFFloat, RFFloat, 2},
+	CVTIF:  {"cvtif", FRR, RFFloat, RFInt, 3},
+	CVTFI:  {"cvtfi", FRR, RFInt, RFFloat, 3},
+	FMOVFI: {"fmovfi", FRR, RFInt, RFFloat, 1},
+	FMOVIF: {"fmovif", FRR, RFFloat, RFInt, 1},
+
+	VLOAD:  {"vload", FRM, RFVec, RFNone, 1},
+	VSTORE: {"vstore", FMR, RFVec, RFNone, 1},
+	VADD:   {"vadd", FRR, RFVec, RFVec, 3},
+	VSUB:   {"vsub", FRR, RFVec, RFVec, 3},
+	VMUL:   {"vmul", FRR, RFVec, RFVec, 4},
+	VBCAST: {"vbcast", FRR, RFVec, RFFloat, 2},
+	// VHADD is an ordinary FRR instruction whose destination is a float
+	// register and whose source is a vector register.
+	VHADD: {"vhadd", FRR, RFFloat, RFVec, 4},
+
+	PUSHF: {"pushf", FNone, RFNone, RFNone, 1},
+	POPF:  {"popf", FNone, RFNone, RFNone, 1},
+}
+
+// Info returns the static metadata for op.
+func Info(op Opcode) OpInfo {
+	if int(op) >= NumOpcodes {
+		return OpInfo{Name: fmt.Sprintf("op(%d)", uint8(op))}
+	}
+	return opInfo[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return int(op) < NumOpcodes && opInfo[op].Name != ""
+}
+
+func (op Opcode) String() string { return Info(op).Name }
+
+// Cost returns the base cycle cost of op (memory latency excluded).
+func (op Opcode) Cost() int { return Info(op).Cost }
+
+// opByName maps mnemonics to opcodes; built once at init.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if opInfo[op].Name != "" {
+			m[opInfo[op].Name] = op
+		}
+	}
+	return m
+}()
+
+// OpcodeFromName looks up an opcode by its mnemonic.
+func OpcodeFromName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// ImmForm maps a register-register ALU opcode to its register-immediate
+// form, enabling the rewriter to fold known source operands into immediates.
+func ImmForm(op Opcode) (Opcode, bool) {
+	switch op {
+	case ADD:
+		return ADDI, true
+	case SUB:
+		return SUBI, true
+	case IMUL:
+		return IMULI, true
+	case AND:
+		return ANDI, true
+	case OR:
+		return ORI, true
+	case XOR:
+		return XORI, true
+	case SHL:
+		return SHLI, true
+	case SHR:
+		return SHRI, true
+	case SAR:
+		return SARI, true
+	case CMP:
+		return CMPI, true
+	case MOV:
+		return MOVI, true
+	}
+	return 0, false
+}
+
+// RegForm is the inverse of ImmForm.
+func RegForm(op Opcode) (Opcode, bool) {
+	switch op {
+	case ADDI:
+		return ADD, true
+	case SUBI:
+		return SUB, true
+	case IMULI:
+		return IMUL, true
+	case ANDI:
+		return AND, true
+	case ORI:
+		return OR, true
+	case XORI:
+		return XOR, true
+	case SHLI:
+		return SHL, true
+	case SHRI:
+		return SHR, true
+	case SARI:
+		return SAR, true
+	case CMPI:
+		return CMP, true
+	case MOVI:
+		return MOV, true
+	}
+	return 0, false
+}
+
+// SetsFlags reports whether op updates the condition flags.
+func SetsFlags(op Opcode) bool {
+	switch op {
+	case ADD, SUB, IMUL, IDIV, IREM, AND, OR, XOR, SHL, SHR, SAR, CMP, TEST,
+		ADDI, SUBI, IMULI, ANDI, ORI, XORI, SHLI, SHRI, SARI, CMPI, NEG, FCMP:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether op consumes the condition flags.
+func ReadsFlags(op Opcode) bool {
+	return op == JCC || op == SETCC
+}
+
+// IsBranch reports whether op transfers control (excluding CALL/RET).
+func IsBranch(op Opcode) bool {
+	switch op {
+	case JMP, JMPR, JCC:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether op ends a basic block.
+func IsTerminator(op Opcode) bool {
+	switch op {
+	case JMP, JMPR, JCC, RET, HALT:
+		return true
+	}
+	return false
+}

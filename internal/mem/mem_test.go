@@ -1,0 +1,277 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestMem(t *testing.T) *Memory {
+	t.Helper()
+	m := &Memory{}
+	if _, err := m.Map("code", 0x1000, 0x1000, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	m := newTestMem(t)
+	cases := []struct{ base, size uint64 }{
+		{0x1000, 1},      // exact start of code
+		{0x1FFF, 2},      // tail of code
+		{0x0FFF, 2},      // spans into code
+		{0x0, 0x10000},   // covers everything
+		{0x4500, 0x1000}, // middle of data onward
+	}
+	for _, c := range cases {
+		if _, err := m.Map("x", c.base, c.size, PermRW); !errors.Is(err, ErrOverlap) {
+			t.Errorf("Map(0x%x, 0x%x) = %v, want overlap", c.base, c.size, err)
+		}
+	}
+	// Adjacent mapping is fine.
+	if _, err := m.Map("adj", 0x2000, 0x1000, PermRW); err != nil {
+		t.Errorf("adjacent map failed: %v", err)
+	}
+}
+
+func TestMapWrapRejected(t *testing.T) {
+	m := &Memory{}
+	if _, err := m.Map("w", ^uint64(0)-10, 100, PermRW); !errors.Is(err, ErrWrap) {
+		t.Errorf("wrap: %v", err)
+	}
+	if _, err := m.Map("z", 0x10, 0, PermRW); !errors.Is(err, ErrWrap) {
+		t.Errorf("zero size: %v", err)
+	}
+}
+
+func TestReadWriteWidths(t *testing.T) {
+	m := newTestMem(t)
+	for _, n := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*n) - 1)
+		if n == 8 {
+			want = 0x1122334455667788
+		}
+		if err := m.WriteN(0x4000, want, n); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.ReadN(0x4000, n)
+		if err != nil || got != want {
+			t.Errorf("width %d: got 0x%x, %v; want 0x%x", n, got, err, want)
+		}
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := newTestMem(t)
+	if err := m.Write64(0x4000, 0x0807060504030201); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(0x4000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b {
+		if v != byte(i+1) {
+			t.Fatalf("byte %d = %d, want %d (not little-endian)", i, v, i+1)
+		}
+	}
+}
+
+func TestFloatRoundtrip(t *testing.T) {
+	m := newTestMem(t)
+	for _, f := range []float64{0, 1.5, -3.25e10, 1e-300} {
+		if err := m.WriteF64(0x4010, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.ReadF64(0x4010)
+		if err != nil || got != f {
+			t.Errorf("float roundtrip: got %g, %v; want %g", got, err, f)
+		}
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	m := newTestMem(t)
+	if err := m.Write64(0x1000, 1); !errors.Is(err, ErrPerm) {
+		t.Errorf("write to rx segment: %v", err)
+	}
+	if _, err := m.FetchSlice(0x4000); !errors.Is(err, ErrPerm) {
+		t.Errorf("fetch from rw segment: %v", err)
+	}
+	if _, err := m.Read64(0x9000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("unmapped read: %v", err)
+	}
+	if _, err := m.Read64(0x4FFC); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("straddling read: %v", err)
+	}
+}
+
+func TestFetchSlice(t *testing.T) {
+	m := newTestMem(t)
+	s := m.Find(0x1000)
+	s.Data[0x10] = 0xAB
+	b, err := m.FetchSlice(0x1010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xAB || len(b) != 0x1000-0x10 {
+		t.Errorf("FetchSlice: b[0]=0x%x len=%d", b[0], len(b))
+	}
+}
+
+func TestFindCache(t *testing.T) {
+	m := newTestMem(t)
+	if m.Find(0x1001) == nil || m.Find(0x1001) == nil {
+		t.Fatal("Find failed")
+	}
+	if m.Find(0x4001) == nil { // switch segments; cache must not lie
+		t.Fatal("Find after cache switch failed")
+	}
+	if m.Find(0xFFFF) != nil {
+		t.Fatal("Find returned segment for unmapped address")
+	}
+}
+
+func TestWriteBytesReadBytes(t *testing.T) {
+	m := newTestMem(t)
+	data := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(0x4100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(0x4100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator(0x1000, 0x1000, 8)
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1%8 != 0 || p2%8 != 0 {
+		t.Errorf("misaligned: 0x%x 0x%x", p1, p2)
+	}
+	if p2 < p1+100 {
+		t.Errorf("overlap: p1=0x%x p2=0x%x", p1, p2)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free: %v", err)
+	}
+	if err := a.Free(0xDEAD); !errors.Is(err, ErrBadFree) {
+		t.Errorf("bad free: %v", err)
+	}
+	// After freeing everything, one coalesced span must remain.
+	if err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBytes() != 0x1000 || len(a.free) != 1 {
+		t.Errorf("not coalesced: free=%d spans=%d", a.FreeBytes(), len(a.free))
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator(0, 64, 8)
+	if _, err := a.Alloc(65); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("oversize alloc: %v", err)
+	}
+	p, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("alloc from full heap: %v", err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Errorf("realloc after free: %v", err)
+	}
+}
+
+// Property: arbitrary alloc/free sequences never hand out overlapping live
+// blocks, keep alignment, and conserve bytes.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const size = 1 << 14
+		a := NewAllocator(0x8000, size, 16)
+		type blk struct{ addr, n uint64 }
+		var live []blk
+		for step := 0; step < 300; step++ {
+			if len(live) > 0 && r.Intn(3) == 0 {
+				i := r.Intn(len(live))
+				if err := a.Free(live[i].addr); err != nil {
+					t.Logf("free: %v", err)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			n := uint64(r.Intn(512) + 1)
+			p, err := a.Alloc(n)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			if p%16 != 0 || p < 0x8000 || p+n > 0x8000+size {
+				t.Logf("bad block 0x%x+%d", p, n)
+				return false
+			}
+			for _, b := range live {
+				if p < b.addr+b.n && b.addr < p+n {
+					t.Logf("overlap 0x%x+%d with 0x%x+%d", p, n, b.addr, b.n)
+					return false
+				}
+			}
+			live = append(live, blk{p, n})
+		}
+		return a.LiveBytes()+a.FreeBytes() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentsAndPermString(t *testing.T) {
+	m := newTestMem(t)
+	segs := m.Segments()
+	if len(segs) != 2 || segs[0].Name != "code" || segs[1].Name != "data" {
+		t.Errorf("segments: %v", segs)
+	}
+	if PermRWX.String() != "rwx" || PermRX.String() != "r-x" || Perm(0).String() != "---" {
+		t.Errorf("perm strings: %s %s %s", PermRWX, PermRX, Perm(0))
+	}
+	if got := m.Find(0x1000); got == nil || got.Name != "code" {
+		t.Errorf("Find base: %v", got)
+	}
+}
+
+func TestAllocatorBaseSize(t *testing.T) {
+	a := NewAllocator(0x100, 0x200, 0)
+	if a.Base() != 0x100 || a.Size() != 0x200 {
+		t.Errorf("base/size: 0x%x 0x%x", a.Base(), a.Size())
+	}
+	p, err := a.Alloc(0) // zero-size allocations take one aligned unit
+	if err != nil || p < 0x100 {
+		t.Errorf("zero alloc: 0x%x, %v", p, err)
+	}
+}

@@ -1,0 +1,153 @@
+package minc
+
+// The AST. Nodes carry the source line for error messages; the checker
+// annotates expressions with their type.
+
+// Unit is one parsed translation unit.
+type Unit struct {
+	Structs  map[string]*Type
+	Typedefs map[string]*Type
+	Globals  []*Global
+	Funcs    []*FuncDecl
+	Externs  []*FuncDecl // extern declarations, bound at link time
+}
+
+// Global is a file-scope variable with an optional initializer.
+type Global struct {
+	Name string
+	Type *Type
+	Init *InitVal
+	Line int
+}
+
+// InitVal is an initializer: a scalar expression (constant) or a brace
+// list.
+type InitVal struct {
+	Expr *Expr
+	List []*InitVal
+	Line int
+}
+
+// FuncDecl is a function definition or extern declaration.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Stmt // nil for extern
+	Line   int
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// StmtKind classifies statements.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StBlock StmtKind = iota
+	StDecl
+	StExpr
+	StIf
+	StWhile
+	StFor
+	StReturn
+	StBreak
+	StContinue
+)
+
+// Stmt is one statement.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	// StBlock
+	List []*Stmt
+	// StDecl
+	DeclName string
+	DeclType *Type
+	DeclInit *Expr
+	declSym  *symbol
+	// StExpr / StReturn value
+	X *Expr
+	// StIf / StWhile / StFor
+	Cond *Stmt // StFor init is Init, Cond below
+	Then *Stmt
+	Else *Stmt
+	// StFor
+	Init  *Stmt
+	Post  *Stmt
+	CondE *Expr
+	Body  *Stmt
+}
+
+// ExprKind classifies expressions.
+type ExprKind int
+
+// Expression kinds.
+const (
+	ExIntLit ExprKind = iota
+	ExFloatLit
+	ExIdent
+	ExUnary  // Op: - ! ~ & *
+	ExBinary // arithmetic, comparison, logical
+	ExAssign // =, +=, -=, *=, /=
+	ExIncDec // ++/-- (statement position)
+	ExCall   // direct or through function pointer
+	ExIndex  // a[i]
+	ExMember // a.f or p->f (Arrow)
+	ExCast   // (type) x
+	ExCond   // a ? b : c
+	ExSizeof
+)
+
+// Expr is one expression; Type is filled by the checker.
+type Expr struct {
+	Kind  ExprKind
+	Line  int
+	Type  *Type
+	IVal  int64
+	FVal  float64
+	Name  string
+	Op    string
+	Arrow bool
+	X     *Expr
+	Y     *Expr
+	Z     *Expr
+	Args  []*Expr
+	// Checker annotations:
+	sym      *symbol
+	fieldOff int64
+	castTo   *Type
+	sizeofT  *Type
+}
+
+// symKind classifies resolved symbols.
+type symKind int
+
+const (
+	symGlobal symKind = iota
+	symFunc
+	symExtern
+	symLocal
+	symParam
+)
+
+// symbol is a resolved name: global, function, extern, local or parameter.
+type symbol struct {
+	kind symKind
+	name string
+	typ  *Type
+	fn   *FuncDecl // symFunc/symExtern
+	// Locals and parameters:
+	addrTaken bool
+	isArray   bool // arrays always live in the frame
+	paramIdx  int
+	// Assigned later:
+	frameOff int64 // frame slot offset for stack-allocated locals
+	vreg     int   // virtual register for register-allocated locals
+	gaddr    uint64
+}

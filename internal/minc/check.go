@@ -1,0 +1,524 @@
+package minc
+
+// The checker resolves names, computes expression types, applies C's usual
+// conversions (long <-> double, array decay, pointer arithmetic scaling)
+// and marks address-taken locals, which lowering keeps in frame slots
+// instead of registers.
+
+type checker struct {
+	unit    *Unit
+	globals map[string]*symbol
+	scopes  []map[string]*symbol
+	fn      *FuncDecl
+	locals  []*symbol // all locals of the current function, in decl order
+	inLoop  int
+}
+
+// checkedFunc carries checker output per function for the lowering stage.
+type checkedFunc struct {
+	decl   *FuncDecl
+	params []*symbol
+	locals []*symbol
+}
+
+// check resolves and types the whole unit.
+func check(u *Unit) (map[string]*checkedFunc, map[string]*symbol, error) {
+	c := &checker{unit: u, globals: make(map[string]*symbol)}
+	for _, g := range u.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, nil, errAt(g.Line, 1, "global %s redefined", g.Name)
+		}
+		c.globals[g.Name] = &symbol{kind: symGlobal, name: g.Name, typ: g.Type}
+	}
+	for _, f := range u.Externs {
+		c.globals[f.Name] = &symbol{kind: symExtern, name: f.Name, typ: funcType(f), fn: f}
+	}
+	for _, f := range u.Funcs {
+		if old, dup := c.globals[f.Name]; dup && old.kind != symExtern {
+			return nil, nil, errAt(f.Line, 1, "%s redefined", f.Name)
+		}
+		c.globals[f.Name] = &symbol{kind: symFunc, name: f.Name, typ: funcType(f), fn: f}
+	}
+
+	out := make(map[string]*checkedFunc)
+	for _, f := range u.Funcs {
+		cf, err := c.checkFunc(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[f.Name] = cf
+	}
+	return out, c.globals, nil
+}
+
+func funcType(f *FuncDecl) *Type {
+	ft := &Type{Kind: TFunc, Ret: f.Ret}
+	for _, p := range f.Params {
+		ft.Params = append(ft.Params, p.Type)
+	}
+	return ft
+}
+
+func (c *checker) checkFunc(f *FuncDecl) (*checkedFunc, error) {
+	nInt, nFloat := 0, 0
+	cf := &checkedFunc{decl: f}
+	c.fn = f
+	c.locals = nil
+	c.scopes = []map[string]*symbol{make(map[string]*symbol)}
+	for i, p := range f.Params {
+		if !p.Type.isScalar() {
+			return nil, errAt(f.Line, 1, "parameter %s: only scalar parameters supported", p.Name)
+		}
+		if p.Type.isInt() {
+			nInt++
+		} else {
+			nFloat++
+		}
+		s := &symbol{kind: symParam, name: p.Name, typ: p.Type, paramIdx: i}
+		c.scopes[0][p.Name] = s
+		cf.params = append(cf.params, s)
+	}
+	if nInt > 6 || nFloat > 8 {
+		return nil, errAt(f.Line, 1, "%s: too many parameters for the register ABI", f.Name)
+	}
+	if err := c.stmt(f.Body); err != nil {
+		return nil, err
+	}
+	cf.locals = c.locals
+	return cf, nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case StBlock:
+		c.push()
+		defer c.pop()
+		for _, sub := range s.List {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case StDecl:
+		t := s.DeclType
+		if t.Kind == TVoid || (t.Kind == TStruct && t.Size() == 0) {
+			return errAt(s.Line, 1, "cannot declare variable of type %s", t)
+		}
+		if t.Kind == TArray && t.Len < 0 {
+			return errAt(s.Line, 1, "local array %s needs a length", s.DeclName)
+		}
+		sym := &symbol{kind: symLocal, name: s.DeclName, typ: t, isArray: t.Kind == TArray || t.Kind == TStruct}
+		c.scopes[len(c.scopes)-1][s.DeclName] = sym
+		c.locals = append(c.locals, sym)
+		s.declSym = sym
+		if s.DeclInit != nil {
+			if t.Kind == TArray || t.Kind == TStruct {
+				return errAt(s.Line, 1, "aggregate local initializers not supported")
+			}
+			if err := c.expr(s.DeclInit); err != nil {
+				return err
+			}
+			if err := c.assignable(t, s.DeclInit, s.Line); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case StExpr:
+		return c.expr(s.X)
+
+	case StIf:
+		if err := c.cond(s.CondE); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		return c.stmt(s.Else)
+
+	case StWhile:
+		if err := c.cond(s.CondE); err != nil {
+			return err
+		}
+		c.inLoop++
+		defer func() { c.inLoop-- }()
+		return c.stmt(s.Body)
+
+	case StFor:
+		c.push()
+		defer c.pop()
+		if err := c.stmt(s.Init); err != nil {
+			return err
+		}
+		if s.CondE != nil {
+			if err := c.cond(s.CondE); err != nil {
+				return err
+			}
+		}
+		if err := c.stmt(s.Post); err != nil {
+			return err
+		}
+		c.inLoop++
+		defer func() { c.inLoop-- }()
+		return c.stmt(s.Body)
+
+	case StReturn:
+		if s.X == nil {
+			if c.fn.Ret.Kind != TVoid {
+				return errAt(s.Line, 1, "%s must return a value", c.fn.Name)
+			}
+			return nil
+		}
+		if err := c.expr(s.X); err != nil {
+			return err
+		}
+		return c.assignable(c.fn.Ret, s.X, s.Line)
+
+	case StBreak, StContinue:
+		if c.inLoop == 0 {
+			return errAt(s.Line, 1, "break/continue outside loop")
+		}
+		return nil
+	}
+	return errAt(s.Line, 1, "unhandled statement")
+}
+
+func (c *checker) cond(e *Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if !e.Type.isScalar() {
+		return errAt(e.Line, 1, "condition must be scalar, got %s", e.Type)
+	}
+	return nil
+}
+
+// assignable verifies that e can be assigned to type t, inserting the
+// implicit long<->double conversion by annotation (lowering checks types).
+func (c *checker) assignable(t *Type, e *Expr, line int) error {
+	et := e.Type
+	if t.same(et) {
+		return nil
+	}
+	if t.Kind == TLong && et.Kind == TDouble || t.Kind == TDouble && et.Kind == TLong {
+		return nil // implicit numeric conversion
+	}
+	if t.Kind == TPtr && et.Kind == TPtr {
+		// Permit void*-style mixing through explicit casts only, except
+		// assigning identical function-pointer shapes.
+		if t.Elem.same(et.Elem) {
+			return nil
+		}
+	}
+	if t.Kind == TPtr && e.Kind == ExIntLit && e.IVal == 0 {
+		return nil // null pointer constant
+	}
+	return errAt(line, 1, "cannot assign %s to %s", et, t)
+}
+
+// lvalue reports whether e designates a storage location.
+func lvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExIdent:
+		return e.sym != nil && e.sym.kind != symFunc && e.sym.kind != symExtern
+	case ExIndex, ExMember:
+		return true
+	case ExUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (c *checker) expr(e *Expr) error {
+	switch e.Kind {
+	case ExIntLit:
+		e.Type = typeLong
+		return nil
+	case ExFloatLit:
+		e.Type = typeDouble
+		return nil
+
+	case ExIdent:
+		s := c.lookup(e.Name)
+		if s == nil {
+			return errAt(e.Line, 1, "undefined: %s", e.Name)
+		}
+		e.sym = s
+		e.Type = s.typ
+		if s.typ.Kind == TArray {
+			e.Type = ptrTo(s.typ.Elem) // decay
+		}
+		if s.kind == symFunc || s.kind == symExtern {
+			e.Type = ptrTo(s.typ) // function designator decays to pointer
+		}
+		return nil
+
+	case ExUnary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-":
+			if !e.X.Type.isScalar() || e.X.Type.Kind == TPtr {
+				return errAt(e.Line, 1, "bad operand for unary -: %s", e.X.Type)
+			}
+			e.Type = e.X.Type
+		case "!":
+			if !e.X.Type.isScalar() {
+				return errAt(e.Line, 1, "bad operand for !")
+			}
+			e.Type = typeLong
+		case "~":
+			if !e.X.Type.isInt() {
+				return errAt(e.Line, 1, "bad operand for ~")
+			}
+			e.Type = typeLong
+		case "&":
+			if !lvalue(e.X) {
+				// &func is the function address.
+				if e.X.Kind == ExIdent && e.X.sym != nil &&
+					(e.X.sym.kind == symFunc || e.X.sym.kind == symExtern) {
+					e.Type = e.X.Type
+					return nil
+				}
+				return errAt(e.Line, 1, "cannot take address of this expression")
+			}
+			if e.X.Kind == ExIdent && (e.X.sym.kind == symLocal || e.X.sym.kind == symParam) {
+				e.X.sym.addrTaken = true
+			}
+			t := e.X.Type
+			if e.X.Kind == ExIdent && e.X.sym.typ.Kind == TArray {
+				t = e.X.sym.typ // &array is pointer to the array
+			}
+			e.Type = ptrTo(t)
+		case "*":
+			if e.X.Type.Kind != TPtr {
+				return errAt(e.Line, 1, "cannot dereference %s", e.X.Type)
+			}
+			e.Type = e.X.Type.Elem
+			if e.Type.Kind == TArray {
+				e.Type = ptrTo(e.Type.Elem)
+			}
+		}
+		return nil
+
+	case ExBinary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		xt, yt := e.X.Type, e.Y.Type
+		switch e.Op {
+		case "&&", "||":
+			if !xt.isScalar() || !yt.isScalar() {
+				return errAt(e.Line, 1, "bad operands for %s", e.Op)
+			}
+			e.Type = typeLong
+		case "==", "!=", "<", "<=", ">", ">=":
+			if xt.Kind == TPtr && yt.Kind == TPtr {
+				e.Type = typeLong
+				return nil
+			}
+			if !xt.isScalar() || !yt.isScalar() {
+				return errAt(e.Line, 1, "bad operands for %s: %s, %s", e.Op, xt, yt)
+			}
+			e.Type = typeLong
+		case "+", "-":
+			if xt.Kind == TPtr && yt.isInt() {
+				e.Type = xt
+				return nil
+			}
+			if e.Op == "+" && xt.isInt() && yt.Kind == TPtr {
+				e.Type = yt
+				return nil
+			}
+			fallthrough
+		case "*", "/":
+			if xt.Kind == TPtr || yt.Kind == TPtr {
+				return errAt(e.Line, 1, "bad pointer arithmetic with %s", e.Op)
+			}
+			if xt.Kind == TDouble || yt.Kind == TDouble {
+				e.Type = typeDouble
+			} else {
+				e.Type = typeLong
+			}
+		case "%", "<<", ">>", "&", "|", "^":
+			if !xt.isInt() || !yt.isInt() {
+				return errAt(e.Line, 1, "bad operands for %s: %s, %s", e.Op, xt, yt)
+			}
+			e.Type = typeLong
+		default:
+			return errAt(e.Line, 1, "unknown operator %s", e.Op)
+		}
+		return nil
+
+	case ExAssign:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if !lvalue(e.X) {
+			return errAt(e.Line, 1, "assignment to non-lvalue")
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		if e.Op != "=" {
+			// Compound assignment: the binary op must type-check.
+			if e.X.Type.Kind == TPtr && (e.Op == "+=" || e.Op == "-=") && e.Y.Type.isInt() {
+				e.Type = e.X.Type
+				return nil
+			}
+			if !e.X.Type.isScalar() || !e.Y.Type.isScalar() ||
+				e.X.Type.Kind == TPtr || e.Y.Type.Kind == TPtr {
+				return errAt(e.Line, 1, "bad compound assignment")
+			}
+			switch e.Op {
+			case "%=", "<<=", ">>=", "&=", "|=", "^=":
+				if !e.X.Type.isInt() || !e.Y.Type.isInt() {
+					return errAt(e.Line, 1, "%s needs integer operands", e.Op)
+				}
+			}
+		}
+		if err := c.assignable(e.X.Type, e.Y, e.Line); err != nil {
+			return err
+		}
+		e.Type = e.X.Type
+		return nil
+
+	case ExIncDec:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if !lvalue(e.X) || !(e.X.Type.isInt() || e.X.Type.Kind == TPtr) {
+			return errAt(e.Line, 1, "bad operand for %s", e.Op)
+		}
+		e.Type = e.X.Type
+		return nil
+
+	case ExCall:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		ft := e.X.Type
+		if ft.Kind == TPtr && ft.Elem.Kind == TFunc {
+			ft = ft.Elem
+		}
+		if ft.Kind != TFunc {
+			return errAt(e.Line, 1, "called object is not a function: %s", e.X.Type)
+		}
+		if len(e.Args) != len(ft.Params) {
+			return errAt(e.Line, 1, "wrong argument count: want %d, got %d", len(ft.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if err := c.assignable(ft.Params[i], a, a.Line); err != nil {
+				return err
+			}
+		}
+		e.Type = ft.Ret
+		return nil
+
+	case ExIndex:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		if e.X.Type.Kind != TPtr || !e.Y.Type.isInt() {
+			return errAt(e.Line, 1, "bad index expression: %s[%s]", e.X.Type, e.Y.Type)
+		}
+		e.Type = e.X.Type.Elem
+		if e.Type.Kind == TArray {
+			e.Type = ptrTo(e.Type.Elem)
+		}
+		return nil
+
+	case ExMember:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		st := e.X.Type
+		if e.Arrow {
+			if st.Kind != TPtr || st.Elem.Kind != TStruct {
+				return errAt(e.Line, 1, "-> on non-struct-pointer %s", st)
+			}
+			st = st.Elem
+		} else if st.Kind != TStruct {
+			return errAt(e.Line, 1, ". on non-struct %s", st)
+		}
+		f, ok := st.field(e.Name)
+		if !ok {
+			return errAt(e.Line, 1, "struct %s has no field %s", st.StructName, e.Name)
+		}
+		e.fieldOff = f.Offset
+		e.Type = f.Type
+		if f.Type.Kind == TArray {
+			e.Type = ptrTo(f.Type.Elem)
+		}
+		return nil
+
+	case ExCast:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		to := e.castTo
+		from := e.X.Type
+		ok := to.isScalar() && from.isScalar()
+		if !ok {
+			return errAt(e.Line, 1, "bad cast from %s to %s", from, to)
+		}
+		e.Type = to
+		return nil
+
+	case ExCond:
+		if err := c.cond(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		if err := c.expr(e.Z); err != nil {
+			return err
+		}
+		if !e.Y.Type.same(e.Z.Type) {
+			if e.Y.Type.isScalar() && e.Z.Type.isScalar() &&
+				e.Y.Type.Kind != TPtr && e.Z.Type.Kind != TPtr {
+				if e.Y.Type.Kind == TDouble || e.Z.Type.Kind == TDouble {
+					e.Type = typeDouble
+					return nil
+				}
+				e.Type = typeLong
+				return nil
+			}
+			return errAt(e.Line, 1, "mismatched ?: arms: %s vs %s", e.Y.Type, e.Z.Type)
+		}
+		e.Type = e.Y.Type
+		return nil
+
+	case ExSizeof:
+		e.Type = typeLong
+		return nil
+	}
+	return errAt(e.Line, 1, "unhandled expression")
+}

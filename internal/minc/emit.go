@@ -1,0 +1,519 @@
+package minc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// The back end: liveness analysis, linear-scan register allocation with
+// caller/callee-saved awareness, and VX64 code emission.
+
+// Register pools. r0/f0 are the return registers, r8/r9 and f8/f9 are
+// reserved scratch, r15 is SP.
+var (
+	intCallerPool   = []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+	intCalleePool   = []isa.Reg{isa.R10, isa.R11, isa.R12, isa.R13, isa.R14}
+	floatCallerPool = []isa.Reg{1, 2, 3, 4, 5, 6, 7}
+	floatCalleePool = []isa.Reg{10, 11, 12, 13, 14, 15}
+)
+
+const (
+	intScratch1   = isa.R8
+	intScratch2   = isa.R9
+	floatScratch1 = isa.Reg(8)
+	floatScratch2 = isa.Reg(9)
+)
+
+// loc is a value's assigned location.
+type loc struct {
+	inReg bool
+	reg   isa.Reg
+	off   int64 // frame slot offset when !inReg
+}
+
+// irUses returns the value ids an instruction reads.
+func irUses(in *irInstr) []int {
+	var out []int
+	add := func(v int) {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	switch in.Op {
+	case irConst, irConstF, irAddr, irParam:
+	case irMov, irNeg, irNot, irCvtIF, irCvtFI, irBitsFI, irLoad:
+		add(in.A)
+	case irBin, irSet:
+		add(in.A)
+		if !in.UseImm {
+			add(in.B)
+		}
+	case irStore:
+		add(in.A)
+		add(in.B)
+	case irCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case irCallPtr:
+		add(in.A)
+		for _, a := range in.Args {
+			add(a)
+		}
+	case irRet:
+		add(in.A)
+	case irJmp:
+	case irBr:
+		add(in.A)
+		if !in.UseImm {
+			add(in.B)
+		}
+	}
+	return out
+}
+
+// irDef returns the value id an instruction writes, or -1.
+func irDef(in *irInstr) int {
+	switch in.Op {
+	case irConst, irConstF, irMov, irBin, irNeg, irNot, irSet, irCvtIF,
+		irCvtFI, irBitsFI, irLoad, irAddr, irParam, irCall, irCallPtr:
+		return in.Dst
+	}
+	return -1
+}
+
+type interval struct {
+	val        int
+	start, end int
+	crossCall  bool
+	assigned   bool
+	l          loc
+}
+
+// emitter generates code for one function.
+type emitter struct {
+	f        *irFunc
+	addrs    *symAddrs
+	ins      []isa.Instr
+	loc      []loc
+	spillOff int64
+
+	usedCalleeInt   map[isa.Reg]bool
+	usedCalleeFloat map[isa.Reg]bool
+	frameTotal      int64
+	fsaveOff        map[isa.Reg]int64
+
+	blockOff   []int // instruction index where each block starts
+	branchFix  []branchFixup
+	epilogueAt int
+}
+
+type branchFixup struct {
+	insIdx  int
+	blockID int
+}
+
+// symAddrs resolves global and function addresses at emission time.
+type symAddrs struct {
+	global map[string]uint64
+	fn     map[string]uint64
+}
+
+func (sa *symAddrs) of(s *symbol) (uint64, error) {
+	switch s.kind {
+	case symGlobal:
+		a, ok := sa.global[s.name]
+		if !ok {
+			return 0, fmt.Errorf("minc: unresolved global %s", s.name)
+		}
+		return a, nil
+	case symFunc, symExtern:
+		a, ok := sa.fn[s.name]
+		if !ok {
+			return 0, fmt.Errorf("minc: unresolved function %s", s.name)
+		}
+		return a, nil
+	case symLocal, symParam:
+		return 0, fmt.Errorf("minc: %s has no absolute address", s.name)
+	}
+	return 0, fmt.Errorf("minc: bad symbol %s", s.name)
+}
+
+// liveness computes live-out sets per block.
+func liveness(f *irFunc) []map[int]bool {
+	n := len(f.blocks)
+	liveIn := make([]map[int]bool, n)
+	liveOut := make([]map[int]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[int]bool{}
+		liveOut[i] = map[int]bool{}
+	}
+	succs := func(b *irBlock) []*irBlock {
+		if len(b.ins) == 0 {
+			return nil
+		}
+		last := &b.ins[len(b.ins)-1]
+		switch last.Op {
+		case irJmp:
+			return []*irBlock{last.T}
+		case irBr:
+			return []*irBlock{last.T, last.Fb}
+		}
+		return nil
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.blocks[i]
+			out := map[int]bool{}
+			for _, s := range succs(b) {
+				for v := range liveIn[s.id] {
+					out[v] = true
+				}
+			}
+			in := map[int]bool{}
+			for v := range out {
+				in[v] = true
+			}
+			for j := len(b.ins) - 1; j >= 0; j-- {
+				if d := irDef(&b.ins[j]); d >= 0 {
+					delete(in, d)
+				}
+				for _, u := range irUses(&b.ins[j]) {
+					in[u] = true
+				}
+			}
+			if !sameSet(out, liveOut[i]) || !sameSet(in, liveIn[i]) {
+				changed = true
+			}
+			liveOut[i] = out
+			liveIn[i] = in
+		}
+	}
+	return liveOut
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildIntervals computes one live interval per value over the linearized
+// instruction order, plus call-crossing flags.
+func buildIntervals(f *irFunc) []*interval {
+	liveOut := liveness(f)
+	iv := make([]*interval, f.nvals)
+	get := func(v int) *interval {
+		if iv[v] == nil {
+			iv[v] = &interval{val: v, start: 1 << 30, end: -1}
+		}
+		return iv[v]
+	}
+	extend := func(v, pos int) {
+		it := get(v)
+		if pos < it.start {
+			it.start = pos
+		}
+		if pos > it.end {
+			it.end = pos
+		}
+	}
+	pos := 0
+	var callPos []int
+	for _, b := range f.blocks {
+		blockStart := pos
+		for j := range b.ins {
+			in := &b.ins[j]
+			if d := irDef(in); d >= 0 {
+				extend(d, pos)
+			}
+			for _, u := range irUses(in) {
+				extend(u, pos)
+			}
+			if in.Op == irCall || in.Op == irCallPtr {
+				callPos = append(callPos, pos)
+			}
+			pos++
+		}
+		// Values live out of the block span the whole block tail; values
+		// live into it span from its head. Conservatively cover the whole
+		// block for anything in liveOut (loop-carried values).
+		for v := range liveOut[b.id] {
+			extend(v, blockStart)
+			extend(v, pos-1)
+		}
+	}
+	var out []*interval
+	for _, it := range iv {
+		if it == nil || it.end < 0 {
+			continue
+		}
+		for _, c := range callPos {
+			if it.start < c && c < it.end {
+				it.crossCall = true
+				break
+			}
+		}
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out
+}
+
+// allocate runs linear scan for one register class.
+func (em *emitter) allocate(ivs []*interval, class vclass) {
+	caller, callee := intCallerPool, intCalleePool
+	if class == classFloat {
+		caller, callee = floatCallerPool, floatCalleePool
+	}
+	free := map[isa.Reg]bool{}
+	for _, r := range caller {
+		free[r] = true
+	}
+	for _, r := range callee {
+		free[r] = true
+	}
+	isCallee := map[isa.Reg]bool{}
+	for _, r := range callee {
+		isCallee[r] = true
+	}
+	var active []*interval
+	for _, it := range ivs {
+		if em.f.class[it.val] != class {
+			continue
+		}
+		// Expire finished intervals.
+		na := active[:0]
+		for _, a := range active {
+			if a.end < it.start {
+				free[a.l.reg] = true
+			} else {
+				na = append(na, a)
+			}
+		}
+		active = na
+		pick := func(pool []isa.Reg) (isa.Reg, bool) {
+			for _, r := range pool {
+				if free[r] {
+					return r, true
+				}
+			}
+			return 0, false
+		}
+		var r isa.Reg
+		var ok bool
+		if it.crossCall {
+			r, ok = pick(callee)
+		} else {
+			if r, ok = pick(caller); !ok {
+				r, ok = pick(callee)
+			}
+		}
+		if !ok {
+			// Spill to a frame slot.
+			em.loc[it.val] = loc{off: em.spillOff}
+			em.spillOff += 8
+			it.assigned = true
+			continue
+		}
+		free[r] = false
+		if isCallee[r] {
+			if class == classInt {
+				em.usedCalleeInt[r] = true
+			} else {
+				em.usedCalleeFloat[r] = true
+			}
+		}
+		em.loc[it.val] = loc{inReg: true, reg: r}
+		it.assigned = true
+		active = append(active, it)
+	}
+}
+
+// emitFunc generates the function's instructions with resolved absolute
+// addresses, assuming the function starts at base.
+func emitFunc(f *irFunc, base uint64, addrs *symAddrs) ([]isa.Instr, []byte, error) {
+	em := &emitter{
+		f:               f,
+		addrs:           addrs,
+		loc:             make([]loc, f.nvals),
+		spillOff:        f.frameSize,
+		usedCalleeInt:   map[isa.Reg]bool{},
+		usedCalleeFloat: map[isa.Reg]bool{},
+		fsaveOff:        map[isa.Reg]int64{},
+	}
+	// emitFunc runs twice per link (size probe, then final); clear
+	// per-emission markers.
+	for _, b := range f.blocks {
+		for j := range b.ins {
+			b.ins[j].paramDone = false
+		}
+	}
+
+	ivs := buildIntervals(f)
+	em.allocate(ivs, classInt)
+	em.allocate(ivs, classFloat)
+
+	// Frame: locals | spills | float callee-saved save area.
+	em.frameTotal = em.spillOff
+	// Reserve save slots for callee-saved float registers (discovered
+	// during allocation; integer callee-saved use PUSH/POP).
+	fsave := sortedRegs(em.usedCalleeFloat)
+	for _, r := range fsave {
+		em.fsaveOff[r] = em.frameTotal
+		em.frameTotal += 8
+	}
+
+	// Prologue.
+	ipush := sortedRegs(em.usedCalleeInt)
+	for _, r := range ipush {
+		em.push(isa.MakeR(isa.PUSH, r))
+	}
+	if em.frameTotal > 0 {
+		em.push(isa.MakeRI(isa.SUBI, isa.SP, em.frameTotal))
+	}
+	for _, r := range fsave {
+		em.push(isa.MakeMR(isa.FSTORE, isa.BaseDisp(isa.SP, int32(em.fsaveOff[r])), r))
+	}
+
+	// Body.
+	em.blockOff = make([]int, len(f.blocks))
+	for _, b := range f.blocks {
+		em.blockOff[b.id] = len(em.ins)
+		for j := range b.ins {
+			if err := em.instr(b, j); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Epilogue.
+	em.epilogueAt = len(em.ins)
+	for i := len(fsave) - 1; i >= 0; i-- {
+		r := fsave[i]
+		em.push(isa.MakeRM(isa.FLOAD, r, isa.BaseDisp(isa.SP, int32(em.fsaveOff[r]))))
+	}
+	if em.frameTotal > 0 {
+		em.push(isa.MakeRI(isa.ADDI, isa.SP, em.frameTotal))
+	}
+	for i := len(ipush) - 1; i >= 0; i-- {
+		em.push(isa.MakeR(isa.POP, ipush[i]))
+	}
+	em.push(isa.MakeNone(isa.RET))
+
+	return em.finish(base)
+}
+
+func sortedRegs(m map[isa.Reg]bool) []isa.Reg {
+	var out []isa.Reg
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (em *emitter) push(ins isa.Instr) {
+	em.ins = append(em.ins, ins)
+}
+
+// fixupBranch records a branch whose target block offset is patched later.
+func (em *emitter) pushBranch(ins isa.Instr, blockID int) {
+	em.branchFix = append(em.branchFix, branchFixup{insIdx: len(em.ins), blockID: blockID})
+	em.ins = append(em.ins, ins)
+}
+
+const epilogueBlock = -2
+
+// finish assigns addresses, patches branch targets, encodes.
+func (em *emitter) finish(base uint64) ([]isa.Instr, []byte, error) {
+	offs := make([]int, len(em.ins)+1)
+	for i := range em.ins {
+		n, err := isa.EncodedLen(em.ins[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("minc: emit %s: %v", em.f.name, err)
+		}
+		offs[i+1] = offs[i] + n
+	}
+	for _, fix := range em.branchFix {
+		var targetIns int
+		if fix.blockID == epilogueBlock {
+			targetIns = em.epilogueAt
+		} else {
+			targetIns = em.blockOff[fix.blockID]
+		}
+		em.ins[fix.insIdx].Dst = isa.ImmOp(int64(base) + int64(offs[targetIns]))
+	}
+	var code []byte
+	for i := range em.ins {
+		em.ins[i].Addr = base + uint64(offs[i])
+		var err error
+		code, err = isa.AppendEncode(code, em.ins[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("minc: encode %s: %v", em.f.name, err)
+		}
+	}
+	return em.ins, code, nil
+}
+
+// --- operand access helpers ---
+
+// readVal ensures the value is in a register, using the given scratch when
+// it lives in a frame slot.
+func (em *emitter) readVal(v int, scratch isa.Reg) isa.Reg {
+	l := em.loc[v]
+	if l.inReg {
+		return l.reg
+	}
+	cls := em.f.class[v]
+	if cls == classFloat {
+		em.push(isa.MakeRM(isa.FLOAD, scratch, isa.BaseDisp(isa.SP, int32(l.off))))
+	} else {
+		em.push(isa.MakeRM(isa.LOAD, scratch, isa.BaseDisp(isa.SP, int32(l.off))))
+	}
+	return scratch
+}
+
+// defReg returns the register to compute a value into; spillback writes it
+// to the frame slot afterwards.
+func (em *emitter) defReg(v int, scratch isa.Reg) isa.Reg {
+	if em.loc[v].inReg {
+		return em.loc[v].reg
+	}
+	return scratch
+}
+
+func (em *emitter) spillback(v int, r isa.Reg) {
+	l := em.loc[v]
+	if l.inReg {
+		return
+	}
+	if em.f.class[v] == classFloat {
+		em.push(isa.MakeMR(isa.FSTORE, isa.BaseDisp(isa.SP, int32(l.off)), r))
+	} else {
+		em.push(isa.MakeMR(isa.STORE, isa.BaseDisp(isa.SP, int32(l.off)), r))
+	}
+}
+
+func scratchFor(cls vclass, which int) isa.Reg {
+	if cls == classFloat {
+		if which == 0 {
+			return floatScratch1
+		}
+		return floatScratch2
+	}
+	if which == 0 {
+		return intScratch1
+	}
+	return intScratch2
+}

@@ -1,0 +1,500 @@
+package minc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Per-IR-instruction code generation.
+
+func (em *emitter) instr(b *irBlock, j int) error {
+	in := &b.ins[j]
+	switch in.Op {
+	case irConst:
+		d := em.defReg(in.Dst, intScratch1)
+		em.push(isa.MakeRI(isa.MOVI, d, in.Imm))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irConstF:
+		d := em.defReg(in.Dst, floatScratch1)
+		em.push(isa.Instr{Op: isa.FMOVI, Dst: isa.FRegOp(d), Src: isa.FImmOp(in.F)})
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irMov:
+		cls := em.f.class[in.Dst]
+		s := em.readVal(in.A, scratchFor(cls, 0))
+		d := em.defReg(in.Dst, scratchFor(cls, 0))
+		if d != s {
+			if cls == classFloat {
+				em.push(isa.MakeRR(isa.FMOV, d, s))
+			} else {
+				em.push(isa.MakeRR(isa.MOV, d, s))
+			}
+		}
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irBin:
+		return em.bin(in)
+
+	case irNeg:
+		cls := em.f.class[in.Dst]
+		s := em.readVal(in.A, scratchFor(cls, 0))
+		d := em.defReg(in.Dst, scratchFor(cls, 0))
+		if d != s {
+			if cls == classFloat {
+				em.push(isa.MakeRR(isa.FMOV, d, s))
+			} else {
+				em.push(isa.MakeRR(isa.MOV, d, s))
+			}
+		}
+		if cls == classFloat {
+			em.push(isa.MakeR(isa.FNEG, d))
+		} else {
+			em.push(isa.MakeR(isa.NEG, d))
+		}
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irNot:
+		s := em.readVal(in.A, intScratch1)
+		d := em.defReg(in.Dst, intScratch1)
+		if d != s {
+			em.push(isa.MakeRR(isa.MOV, d, s))
+		}
+		em.push(isa.MakeR(isa.NOT, d))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irSet:
+		if err := em.compare(in); err != nil {
+			return err
+		}
+		d := em.defReg(in.Dst, intScratch1)
+		em.push(isa.MakeSetCC(in.Cond, d))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irCvtIF:
+		s := em.readVal(in.A, intScratch1)
+		d := em.defReg(in.Dst, floatScratch1)
+		em.push(isa.MakeRR(isa.CVTIF, d, s))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irCvtFI:
+		s := em.readVal(in.A, floatScratch1)
+		d := em.defReg(in.Dst, intScratch1)
+		em.push(isa.MakeRR(isa.CVTFI, d, s))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irBitsFI:
+		s := em.readVal(in.A, floatScratch1)
+		d := em.defReg(in.Dst, intScratch1)
+		em.push(isa.MakeRR(isa.FMOVFI, d, s))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irLoad:
+		base := em.readVal(in.A, intScratch1)
+		if in.Off < math.MinInt32 || in.Off > math.MaxInt32 {
+			return fmt.Errorf("minc: load offset %d out of range", in.Off)
+		}
+		mem := isa.BaseDisp(base, int32(in.Off))
+		cls := em.f.class[in.Dst]
+		if cls == classFloat {
+			d := em.defReg(in.Dst, floatScratch1)
+			em.push(isa.MakeRM(isa.FLOAD, d, mem))
+			em.spillback(in.Dst, d)
+			return nil
+		}
+		op := isa.LOAD
+		if in.Size == 1 {
+			op = isa.LOADB
+		}
+		d := em.defReg(in.Dst, intScratch1)
+		em.push(isa.MakeRM(op, d, mem))
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irStore:
+		base := em.readVal(in.A, intScratch1)
+		if in.Off < math.MinInt32 || in.Off > math.MaxInt32 {
+			return fmt.Errorf("minc: store offset %d out of range", in.Off)
+		}
+		mem := isa.BaseDisp(base, int32(in.Off))
+		cls := em.f.class[in.B]
+		v := em.readVal(in.B, scratchFor(cls, 1))
+		if cls == classFloat {
+			em.push(isa.MakeMR(isa.FSTORE, mem, v))
+			return nil
+		}
+		op := isa.STORE
+		if in.Size == 1 {
+			op = isa.STOREB
+		}
+		em.push(isa.MakeMR(op, mem, v))
+		return nil
+
+	case irAddr:
+		d := em.defReg(in.Dst, intScratch1)
+		switch in.Sym.kind {
+		case symLocal, symParam:
+			em.push(isa.MakeRM(isa.LEA, d, isa.BaseDisp(isa.SP, int32(in.Sym.frameOff))))
+		default:
+			a, err := em.addrs.of(in.Sym)
+			if err != nil {
+				return err
+			}
+			mi := isa.MakeRI(isa.MOVI, d, int64(a))
+			mi.Wide = true // keep two-pass layout stable
+			em.push(mi)
+		}
+		em.spillback(in.Dst, d)
+		return nil
+
+	case irParam:
+		// Handled in batch at block entry; see emitParams. Individual
+		// irParam reaching here means batching missed it.
+		return em.emitParams(b, j)
+
+	case irCall, irCallPtr:
+		return em.call(in)
+
+	case irRet:
+		if in.A >= 0 {
+			cls := em.f.class[in.A]
+			if cls == classFloat {
+				s := em.readVal(in.A, floatScratch1)
+				if s != 0 {
+					em.push(isa.MakeRR(isa.FMOV, 0, s))
+				}
+			} else {
+				s := em.readVal(in.A, intScratch1)
+				if s != isa.R0 {
+					em.push(isa.MakeRR(isa.MOV, isa.R0, s))
+				}
+			}
+		}
+		em.pushBranch(isa.MakeRel(isa.JMP, 0), epilogueBlock)
+		return nil
+
+	case irJmp:
+		em.pushBranch(isa.MakeRel(isa.JMP, 0), in.T.id)
+		return nil
+
+	case irBr:
+		if err := em.compare(in); err != nil {
+			return err
+		}
+		em.pushBranch(isa.MakeJCC(in.Cond, 0), in.T.id)
+		em.pushBranch(isa.MakeRel(isa.JMP, 0), in.Fb.id)
+		return nil
+	}
+	return fmt.Errorf("minc: unhandled IR op %d", in.Op)
+}
+
+// emitParams performs the parallel move of a run of irParam instructions
+// beginning at index j (only the first of the run reaches instr; the rest
+// are consumed here and skipped by marking them done).
+func (em *emitter) emitParams(b *irBlock, j int) error {
+	// Gather the whole run.
+	var run []*irInstr
+	for k := j; k < len(b.ins) && b.ins[k].Op == irParam; k++ {
+		run = append(run, &b.ins[k])
+	}
+	if len(run) == 0 || b.ins[j].paramDone {
+		return nil
+	}
+	for _, in := range run {
+		in.paramDone = true
+	}
+	// Phase 1: params destined for frame slots (pure reads of ABI regs).
+	for _, in := range run {
+		l := em.loc[in.Dst]
+		if l.inReg {
+			continue
+		}
+		src, cls := abiParamReg(in.Idx)
+		if cls == classFloat {
+			em.push(isa.MakeMR(isa.FSTORE, isa.BaseDisp(isa.SP, int32(l.off)), src))
+		} else {
+			em.push(isa.MakeMR(isa.STORE, isa.BaseDisp(isa.SP, int32(l.off)), src))
+		}
+	}
+	// Phase 2: register destinations via parallel move.
+	var moves []pmove
+	for _, in := range run {
+		l := em.loc[in.Dst]
+		if !l.inReg {
+			continue
+		}
+		src, cls := abiParamReg(in.Idx)
+		moves = append(moves, pmove{srcReg: src, dst: l.reg, cls: cls})
+	}
+	em.parallelMove(moves)
+	return nil
+}
+
+func abiParamReg(idx int) (isa.Reg, vclass) {
+	if idx >= 100 {
+		return isa.FloatArgRegs[idx-100], classFloat
+	}
+	return isa.IntArgRegs[idx], classInt
+}
+
+// pmove is one pending parallel move: register-to-register within a class.
+type pmove struct {
+	srcReg isa.Reg
+	dst    isa.Reg
+	cls    vclass
+}
+
+// parallelMove emits register moves respecting interference, breaking
+// cycles with the class scratch register.
+func (em *emitter) parallelMove(moves []pmove) {
+	pending := make([]pmove, 0, len(moves))
+	for _, m := range moves {
+		if m.srcReg != m.dst {
+			pending = append(pending, m)
+		}
+	}
+	mov := func(cls vclass, dst, src isa.Reg) {
+		if cls == classFloat {
+			em.push(isa.MakeRR(isa.FMOV, dst, src))
+		} else {
+			em.push(isa.MakeRR(isa.MOV, dst, src))
+		}
+	}
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			m := pending[i]
+			blocked := false
+			for k, o := range pending {
+				if k != i && o.srcReg == m.dst && o.cls == m.cls {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				mov(m.cls, m.dst, m.srcReg)
+				pending = append(pending[:i], pending[i+1:]...)
+				progress = true
+				i--
+			}
+		}
+		if !progress {
+			// Cycle: rotate through the scratch register.
+			m := pending[0]
+			sc := scratchFor(m.cls, 0)
+			mov(m.cls, sc, m.srcReg)
+			for k := range pending {
+				if pending[k].srcReg == m.srcReg && pending[k].cls == m.cls {
+					pending[k].srcReg = sc
+				}
+			}
+		}
+	}
+}
+
+// compare emits CMP/CMPI/FCMP for irSet and irBr.
+func (em *emitter) compare(in *irInstr) error {
+	if in.FCmp {
+		a := em.readVal(in.A, floatScratch1)
+		var bR isa.Reg
+		if in.UseImm {
+			return fmt.Errorf("minc: float compare with immediate")
+		}
+		bR = em.readVal(in.B, floatScratch2)
+		em.push(isa.MakeRR(isa.FCMP, a, bR))
+		return nil
+	}
+	a := em.readVal(in.A, intScratch1)
+	if in.UseImm {
+		em.push(isa.MakeRI(isa.CMPI, a, in.Imm))
+		return nil
+	}
+	bR := em.readVal(in.B, intScratch2)
+	em.push(isa.MakeRR(isa.CMP, a, bR))
+	return nil
+}
+
+// binOpcodes maps an IR operator to (reg form, imm form) per class.
+func binOpcodes(op string, cls vclass) (isa.Opcode, isa.Opcode, error) {
+	if cls == classFloat {
+		switch op {
+		case "+":
+			return isa.FADD, 0, nil
+		case "-":
+			return isa.FSUB, 0, nil
+		case "*":
+			return isa.FMUL, 0, nil
+		case "/":
+			return isa.FDIV, 0, nil
+		}
+		return 0, 0, fmt.Errorf("minc: bad float operator %q", op)
+	}
+	switch op {
+	case "+":
+		return isa.ADD, isa.ADDI, nil
+	case "-":
+		return isa.SUB, isa.SUBI, nil
+	case "*":
+		return isa.IMUL, isa.IMULI, nil
+	case "/":
+		return isa.IDIV, 0, nil
+	case "%":
+		return isa.IREM, 0, nil
+	case "&":
+		return isa.AND, isa.ANDI, nil
+	case "|":
+		return isa.OR, isa.ORI, nil
+	case "^":
+		return isa.XOR, isa.XORI, nil
+	case "<<":
+		return isa.SHL, isa.SHLI, nil
+	case ">>":
+		return isa.SAR, isa.SARI, nil
+	}
+	return 0, 0, fmt.Errorf("minc: bad operator %q", op)
+}
+
+// bin emits a two-address binary operation dst = a op b.
+func (em *emitter) bin(in *irInstr) error {
+	cls := em.f.class[in.Dst]
+	rr, ri, err := binOpcodes(in.Op2, cls)
+	if err != nil {
+		return err
+	}
+	mov := func(dst, src isa.Reg) {
+		if dst == src {
+			return
+		}
+		if cls == classFloat {
+			em.push(isa.MakeRR(isa.FMOV, dst, src))
+		} else {
+			em.push(isa.MakeRR(isa.MOV, dst, src))
+		}
+	}
+	a := em.readVal(in.A, scratchFor(cls, 0))
+	d := em.defReg(in.Dst, scratchFor(cls, 0))
+
+	if in.UseImm {
+		if ri == 0 {
+			// No immediate form (division): materialize the constant.
+			sc := scratchFor(cls, 1)
+			em.push(isa.MakeRI(isa.MOVI, sc, in.Imm))
+			mov(d, a)
+			em.push(isa.MakeRR(rr, d, sc))
+		} else {
+			mov(d, a)
+			em.push(isa.MakeRI(ri, d, in.Imm))
+		}
+		em.spillback(in.Dst, d)
+		return nil
+	}
+
+	bR := em.readVal(in.B, scratchFor(cls, 1))
+	if d == bR && d != a {
+		// dst aliases the right operand: compute in scratch.
+		commutative := in.Op2 == "+" || in.Op2 == "*" || in.Op2 == "&" ||
+			in.Op2 == "|" || in.Op2 == "^"
+		if commutative {
+			em.push(isa.MakeRR(rr, d, a))
+			em.spillback(in.Dst, d)
+			return nil
+		}
+		sc := scratchFor(cls, 1)
+		if sc == bR {
+			sc = scratchFor(cls, 0)
+		}
+		mov(sc, bR)
+		mov(d, a)
+		em.push(isa.MakeRR(rr, d, sc))
+		em.spillback(in.Dst, d)
+		return nil
+	}
+	mov(d, a)
+	em.push(isa.MakeRR(rr, d, bR))
+	em.spillback(in.Dst, d)
+	return nil
+}
+
+// call emits argument setup, the call itself, and result placement.
+func (em *emitter) call(in *irInstr) error {
+	// Indirect target first, into a scratch no argument move touches.
+	var targetReg isa.Reg
+	if in.Op == irCallPtr {
+		t := em.readVal(in.A, intScratch2)
+		if t != intScratch2 {
+			em.push(isa.MakeRR(isa.MOV, intScratch2, t))
+		}
+		targetReg = intScratch2
+	}
+
+	// Argument moves: slot sources loaded directly into their ABI reg
+	// (dest regs are distinct), register sources via parallel move.
+	var moves []pmove
+	intIdx, floatIdx := 0, 0
+	type slotArg struct {
+		off int64
+		dst isa.Reg
+		cls vclass
+	}
+	var slotArgs []slotArg
+	for _, a := range in.Args {
+		cls := em.f.class[a]
+		var dst isa.Reg
+		if cls == classFloat {
+			dst = isa.FloatArgRegs[floatIdx]
+			floatIdx++
+		} else {
+			dst = isa.IntArgRegs[intIdx]
+			intIdx++
+		}
+		l := em.loc[a]
+		if l.inReg {
+			moves = append(moves, pmove{srcReg: l.reg, dst: dst, cls: cls})
+		} else {
+			slotArgs = append(slotArgs, slotArg{off: l.off, dst: dst, cls: cls})
+		}
+	}
+	em.parallelMove(moves)
+	for _, sa := range slotArgs {
+		if sa.cls == classFloat {
+			em.push(isa.MakeRM(isa.FLOAD, sa.dst, isa.BaseDisp(isa.SP, int32(sa.off))))
+		} else {
+			em.push(isa.MakeRM(isa.LOAD, sa.dst, isa.BaseDisp(isa.SP, int32(sa.off))))
+		}
+	}
+
+	if in.Op == irCall {
+		a, err := em.addrs.of(in.Sym)
+		if err != nil {
+			return err
+		}
+		em.push(isa.MakeRel(isa.CALL, a))
+	} else {
+		em.push(isa.MakeR(isa.CALLR, targetReg))
+	}
+
+	if in.Dst >= 0 {
+		cls := em.f.class[in.Dst]
+		d := em.defReg(in.Dst, scratchFor(cls, 0))
+		if cls == classFloat {
+			if d != 0 {
+				em.push(isa.MakeRR(isa.FMOV, d, 0))
+			}
+		} else if d != isa.R0 {
+			em.push(isa.MakeRR(isa.MOV, d, isa.R0))
+		}
+		em.spillback(in.Dst, d)
+	}
+	return nil
+}

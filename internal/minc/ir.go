@@ -1,0 +1,174 @@
+package minc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The IR: three-address code over virtual registers in two classes, with
+// explicit basic blocks. It is deliberately non-SSA; virtual registers may
+// be assigned more than once (?: arms, loop variables), and the register
+// allocator runs real liveness analysis.
+
+type vclass uint8
+
+const (
+	classInt vclass = iota
+	classFloat
+)
+
+type irOp int
+
+const (
+	irConst irOp = iota
+	irConstF
+	irMov    // Dst = A
+	irBin    // Dst = A <Op2> B (or Imm when UseImm)
+	irNeg    // Dst = -A
+	irNot    // Dst = ^A
+	irSet    // Dst = (A <Cond> B) ? 1 : 0
+	irCvtIF  // Dst(float) = (double) A(int)
+	irCvtFI  // Dst(int) = (long) A(float)
+	irBitsFI // Dst(int) = raw bits of A(float)  [runtime helpers]
+	irLoad   // Dst = mem[A + Off] (Size 1 or 8)
+	irStore  // mem[A + Off] = B
+	irAddr   // Dst = address of Sym (global) or frame slot (local)
+	irParam  // Dst = incoming parameter Idx (ABI register)
+	irCall   // Dst = Sym(Args...); Dst = -1 for void
+	irCallPtr
+	irRet // return A (or -1)
+	irJmp // goto T
+	irBr  // if A <Cond> B goto T else goto F
+)
+
+type irInstr struct {
+	Op     irOp
+	Dst    int // value id or -1
+	A, B   int
+	UseImm bool
+	Imm    int64
+	F      float64
+	Op2    string
+	Cond   isa.Cond
+	FCmp   bool // compare in the float domain
+	Sym    *symbol
+	Size   int
+	Off    int64
+	Idx    int
+	Args   []int
+	T, Fb  *irBlock
+	Line   int
+	// paramDone marks irParam instructions already emitted by the entry
+	// batch move.
+	paramDone bool
+}
+
+type irBlock struct {
+	id  int
+	ins []irInstr
+}
+
+func (b *irBlock) terminated() bool {
+	if len(b.ins) == 0 {
+		return false
+	}
+	switch b.ins[len(b.ins)-1].Op {
+	case irJmp, irBr, irRet:
+		return true
+	}
+	return false
+}
+
+type irFunc struct {
+	name      string
+	decl      *FuncDecl
+	blocks    []*irBlock
+	nvals     int
+	class     []vclass
+	params    []*symbol
+	frameSize int64
+}
+
+func (f *irFunc) newVal(c vclass) int {
+	f.class = append(f.class, c)
+	f.nvals++
+	return f.nvals - 1
+}
+
+func (f *irFunc) newBlock() *irBlock {
+	b := &irBlock{id: len(f.blocks)}
+	f.blocks = append(f.blocks, b)
+	return b
+}
+
+// String renders the IR for debugging.
+func (f *irFunc) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (frame %d):\n", f.name, f.frameSize)
+	for _, b := range f.blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.id)
+		for _, in := range b.ins {
+			fmt.Fprintf(&sb, "    %s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+func vname(v int) string {
+	if v < 0 {
+		return "_"
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+func (in irInstr) String() string {
+	switch in.Op {
+	case irConst:
+		return fmt.Sprintf("%s = %d", vname(in.Dst), in.Imm)
+	case irConstF:
+		return fmt.Sprintf("%s = %g", vname(in.Dst), in.F)
+	case irMov:
+		return fmt.Sprintf("%s = %s", vname(in.Dst), vname(in.A))
+	case irBin:
+		if in.UseImm {
+			return fmt.Sprintf("%s = %s %s %d", vname(in.Dst), vname(in.A), in.Op2, in.Imm)
+		}
+		return fmt.Sprintf("%s = %s %s %s", vname(in.Dst), vname(in.A), in.Op2, vname(in.B))
+	case irNeg:
+		return fmt.Sprintf("%s = -%s", vname(in.Dst), vname(in.A))
+	case irNot:
+		return fmt.Sprintf("%s = ~%s", vname(in.Dst), vname(in.A))
+	case irSet:
+		return fmt.Sprintf("%s = %s %v %s", vname(in.Dst), vname(in.A), in.Cond, vname(in.B))
+	case irCvtIF:
+		return fmt.Sprintf("%s = (double) %s", vname(in.Dst), vname(in.A))
+	case irCvtFI:
+		return fmt.Sprintf("%s = (long) %s", vname(in.Dst), vname(in.A))
+	case irBitsFI:
+		return fmt.Sprintf("%s = bits(%s)", vname(in.Dst), vname(in.A))
+	case irLoad:
+		return fmt.Sprintf("%s = load%d [%s+%d]", vname(in.Dst), in.Size, vname(in.A), in.Off)
+	case irStore:
+		return fmt.Sprintf("store%d [%s+%d] = %s", in.Size, vname(in.A), in.Off, vname(in.B))
+	case irAddr:
+		return fmt.Sprintf("%s = &%s", vname(in.Dst), in.Sym.name)
+	case irParam:
+		return fmt.Sprintf("%s = param%d", vname(in.Dst), in.Idx)
+	case irCall:
+		return fmt.Sprintf("%s = call %s%v", vname(in.Dst), in.Sym.name, in.Args)
+	case irCallPtr:
+		return fmt.Sprintf("%s = callptr %s%v", vname(in.Dst), vname(in.A), in.Args)
+	case irRet:
+		return fmt.Sprintf("ret %s", vname(in.A))
+	case irJmp:
+		return fmt.Sprintf("jmp b%d", in.T.id)
+	case irBr:
+		if in.UseImm {
+			return fmt.Sprintf("br %s %v %d -> b%d b%d", vname(in.A), in.Cond, in.Imm, in.T.id, in.Fb.id)
+		}
+		return fmt.Sprintf("br %s %v %s -> b%d b%d", vname(in.A), in.Cond, vname(in.B), in.T.id, in.Fb.id)
+	}
+	return "?"
+}

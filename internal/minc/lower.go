@@ -1,0 +1,837 @@
+package minc
+
+import "repro/internal/isa"
+
+// Lowering: checked AST -> IR.
+
+type lowerer struct {
+	f    *irFunc
+	cf   *checkedFunc
+	cur  *irBlock
+	brk  []*irBlock // break targets
+	cont []*irBlock // continue targets
+}
+
+func lowerFunc(cf *checkedFunc) (*irFunc, error) {
+	f := &irFunc{name: cf.decl.Name, decl: cf.decl, params: cf.params}
+	lw := &lowerer{f: f, cf: cf}
+	entry := f.newBlock()
+	lw.cur = entry
+
+	// Frame slots for address-taken locals and aggregates.
+	var off int64
+	for _, s := range cf.locals {
+		if s.addrTaken || s.isArray {
+			s.frameOff = off
+			off += s.typ.Size()
+			if s.typ.Size()%8 != 0 {
+				off += 8 - s.typ.Size()%8
+			}
+		} else {
+			s.vreg = f.newVal(classOf(s.typ))
+		}
+	}
+	f.frameSize = off
+
+	// Incoming parameters.
+	intIdx, floatIdx := 0, 0
+	for _, s := range cf.params {
+		var abiIdx int
+		var cls vclass
+		if s.typ.isInt() {
+			abiIdx, cls = intIdx, classInt
+			intIdx++
+		} else {
+			abiIdx, cls = floatIdx+100, classFloat // float ABI slots offset
+			floatIdx++
+		}
+		s.vreg = f.newVal(cls)
+		lw.emit(irInstr{Op: irParam, Dst: s.vreg, Idx: abiIdx})
+		if s.addrTaken {
+			// Spill the parameter to a frame slot so & works.
+			s.frameOff = f.frameSize
+			f.frameSize += 8
+			addr := f.newVal(classInt)
+			lw.emit(irInstr{Op: irAddr, Dst: addr, Sym: s})
+			lw.emit(irInstr{Op: irStore, A: addr, B: s.vreg, Size: 8})
+		}
+	}
+
+	if err := lw.stmt(cf.decl.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return for void functions / fallthrough.
+	if !lw.cur.terminated() {
+		lw.emit(irInstr{Op: irRet, A: -1})
+	}
+	return f, nil
+}
+
+func classOf(t *Type) vclass {
+	if t.Kind == TDouble {
+		return classFloat
+	}
+	return classInt
+}
+
+func (lw *lowerer) emit(in irInstr) {
+	lw.cur.ins = append(lw.cur.ins, in)
+}
+
+func (lw *lowerer) seal(b *irBlock) {
+	if !lw.cur.terminated() {
+		lw.emit(irInstr{Op: irJmp, T: b})
+	}
+	lw.cur = b
+}
+
+func (lw *lowerer) stmt(s *Stmt) error {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case StBlock:
+		for _, sub := range s.List {
+			if err := lw.stmt(sub); err != nil {
+				return err
+			}
+			if lw.cur.terminated() && sub != s.List[len(s.List)-1] {
+				// Unreachable code after return/break: put it in a fresh
+				// block so lowering stays well-formed.
+				lw.cur = lw.f.newBlock()
+			}
+		}
+		return nil
+
+	case StDecl:
+		if s.DeclInit == nil {
+			return nil
+		}
+		sym := s.declSym
+		v, err := lw.exprVal(s.DeclInit, classOf(sym.typ) == classFloat)
+		if err != nil {
+			return err
+		}
+		if sym.addrTaken || sym.isArray {
+			addr := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irAddr, Dst: addr, Sym: sym})
+			lw.emit(irInstr{Op: irStore, A: addr, B: v, Size: 8, Line: s.Line})
+			return nil
+		}
+		lw.emit(irInstr{Op: irMov, Dst: sym.vreg, A: v, Line: s.Line})
+		return nil
+
+	case StExpr:
+		_, err := lw.expr(s.X)
+		return err
+
+	case StIf:
+		tb, fb, out := lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock()
+		if s.Else == nil {
+			fb = out
+		}
+		if err := lw.cond(s.CondE, tb, fb); err != nil {
+			return err
+		}
+		lw.cur = tb
+		if err := lw.stmt(s.Then); err != nil {
+			return err
+		}
+		lw.seal(out)
+		if s.Else != nil {
+			lw.cur = fb
+			if err := lw.stmt(s.Else); err != nil {
+				return err
+			}
+			lw.seal(out)
+		}
+		lw.cur = out
+		return nil
+
+	case StWhile:
+		head, body, out := lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock()
+		lw.seal(head)
+		if err := lw.cond(s.CondE, body, out); err != nil {
+			return err
+		}
+		lw.cur = body
+		lw.brk = append(lw.brk, out)
+		lw.cont = append(lw.cont, head)
+		if err := lw.stmt(s.Body); err != nil {
+			return err
+		}
+		lw.brk = lw.brk[:len(lw.brk)-1]
+		lw.cont = lw.cont[:len(lw.cont)-1]
+		lw.seal(head)
+		lw.cur = out
+		return nil
+
+	case StFor:
+		if err := lw.stmt(s.Init); err != nil {
+			return err
+		}
+		head, body, post, out := lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock()
+		lw.seal(head)
+		if s.CondE != nil {
+			if err := lw.cond(s.CondE, body, out); err != nil {
+				return err
+			}
+		} else {
+			lw.emit(irInstr{Op: irJmp, T: body})
+		}
+		lw.cur = body
+		lw.brk = append(lw.brk, out)
+		lw.cont = append(lw.cont, post)
+		if err := lw.stmt(s.Body); err != nil {
+			return err
+		}
+		lw.brk = lw.brk[:len(lw.brk)-1]
+		lw.cont = lw.cont[:len(lw.cont)-1]
+		lw.seal(post)
+		if err := lw.stmt(s.Post); err != nil {
+			return err
+		}
+		lw.seal(head)
+		lw.cur = out
+		return nil
+
+	case StReturn:
+		if s.X == nil {
+			lw.emit(irInstr{Op: irRet, A: -1, Line: s.Line})
+			return nil
+		}
+		v, err := lw.exprVal(s.X, lw.cf.decl.Ret.Kind == TDouble)
+		if err != nil {
+			return err
+		}
+		lw.emit(irInstr{Op: irRet, A: v, Line: s.Line})
+		return nil
+
+	case StBreak:
+		lw.emit(irInstr{Op: irJmp, T: lw.brk[len(lw.brk)-1], Line: s.Line})
+		return nil
+
+	case StContinue:
+		lw.emit(irInstr{Op: irJmp, T: lw.cont[len(lw.cont)-1], Line: s.Line})
+		return nil
+	}
+	return errAt(s.Line, 1, "unhandled statement in lowering")
+}
+
+// intCondFor maps a C comparison operator to a signed condition code.
+func intCondFor(op string) isa.Cond {
+	switch op {
+	case "==":
+		return isa.CondEQ
+	case "!=":
+		return isa.CondNE
+	case "<":
+		return isa.CondLT
+	case "<=":
+		return isa.CondLE
+	case ">":
+		return isa.CondGT
+	case ">=":
+		return isa.CondGE
+	}
+	return isa.CondEQ
+}
+
+// floatCondFor maps a comparison to FCMP's unsigned-style flags.
+func floatCondFor(op string) isa.Cond {
+	switch op {
+	case "==":
+		return isa.CondEQ
+	case "!=":
+		return isa.CondNE
+	case "<":
+		return isa.CondB
+	case "<=":
+		return isa.CondBE
+	case ">":
+		return isa.CondA
+	case ">=":
+		return isa.CondAE
+	}
+	return isa.CondEQ
+}
+
+// cond lowers e as a branch to tb/fb.
+func (lw *lowerer) cond(e *Expr, tb, fb *irBlock) error {
+	switch {
+	case e.Kind == ExBinary && e.Op == "&&":
+		mid := lw.f.newBlock()
+		if err := lw.cond(e.X, mid, fb); err != nil {
+			return err
+		}
+		lw.cur = mid
+		return lw.cond(e.Y, tb, fb)
+	case e.Kind == ExBinary && e.Op == "||":
+		mid := lw.f.newBlock()
+		if err := lw.cond(e.X, tb, mid); err != nil {
+			return err
+		}
+		lw.cur = mid
+		return lw.cond(e.Y, tb, fb)
+	case e.Kind == ExUnary && e.Op == "!":
+		return lw.cond(e.X, fb, tb)
+	case e.Kind == ExBinary && isCmpOp(e.Op):
+		xf := e.X.Type.Kind == TDouble || e.Y.Type.Kind == TDouble
+		a, err := lw.exprVal(e.X, xf)
+		if err != nil {
+			return err
+		}
+		b, err := lw.exprVal(e.Y, xf)
+		if err != nil {
+			return err
+		}
+		cc := intCondFor(e.Op)
+		if xf {
+			cc = floatCondFor(e.Op)
+		}
+		lw.emit(irInstr{Op: irBr, A: a, B: b, Cond: cc, FCmp: xf, T: tb, Fb: fb, Line: e.Line})
+		return nil
+	}
+	// Generic scalar: compare against zero.
+	v, err := lw.expr(e)
+	if err != nil {
+		return err
+	}
+	if e.Type.Kind == TDouble {
+		z := lw.f.newVal(classFloat)
+		lw.emit(irInstr{Op: irConstF, Dst: z, F: 0})
+		lw.emit(irInstr{Op: irBr, A: v, B: z, Cond: isa.CondNE, FCmp: true, T: tb, Fb: fb, Line: e.Line})
+		return nil
+	}
+	lw.emit(irInstr{Op: irBr, A: v, B: -1, UseImm: true, Imm: 0, Cond: isa.CondNE, T: tb, Fb: fb, Line: e.Line})
+	return nil
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// exprVal lowers e and converts the result to the requested class.
+func (lw *lowerer) exprVal(e *Expr, wantFloat bool) (int, error) {
+	v, err := lw.expr(e)
+	if err != nil {
+		return -1, err
+	}
+	isF := e.Type.Kind == TDouble
+	switch {
+	case wantFloat && !isF:
+		d := lw.f.newVal(classFloat)
+		lw.emit(irInstr{Op: irCvtIF, Dst: d, A: v, Line: e.Line})
+		return d, nil
+	case !wantFloat && isF:
+		d := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irCvtFI, Dst: d, A: v, Line: e.Line})
+		return d, nil
+	}
+	return v, nil
+}
+
+// addr computes the address of an lvalue, returning (value id, const
+// offset).
+func (lw *lowerer) addr(e *Expr) (int, int64, error) {
+	switch e.Kind {
+	case ExIdent:
+		s := e.sym
+		switch s.kind {
+		case symGlobal, symLocal, symParam:
+			if s.kind != symGlobal && !s.addrTaken && !s.isArray {
+				return -1, 0, errAt(e.Line, 1, "internal: register variable has no address")
+			}
+			v := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irAddr, Dst: v, Sym: s, Line: e.Line})
+			return v, 0, nil
+		}
+		return -1, 0, errAt(e.Line, 1, "cannot take address of %s", e.Name)
+
+	case ExUnary:
+		if e.Op != "*" {
+			return -1, 0, errAt(e.Line, 1, "not an lvalue")
+		}
+		v, err := lw.expr(e.X)
+		return v, 0, err
+
+	case ExIndex:
+		base, err := lw.expr(e.X)
+		if err != nil {
+			return -1, 0, err
+		}
+		size := e.X.Type.Elem.Size()
+		if e.Y.Kind == ExIntLit {
+			return base, e.Y.IVal * size, nil
+		}
+		idx, err := lw.exprVal(e.Y, false)
+		if err != nil {
+			return -1, 0, err
+		}
+		scaled := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: scaled, A: idx, UseImm: true, Imm: size, Op2: "*", Line: e.Line})
+		sum := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: sum, A: base, B: scaled, Op2: "+", Line: e.Line})
+		return sum, 0, nil
+
+	case ExMember:
+		if e.Arrow {
+			base, err := lw.expr(e.X)
+			if err != nil {
+				return -1, 0, err
+			}
+			return base, e.fieldOff, nil
+		}
+		base, off, err := lw.addr(e.X)
+		if err != nil {
+			return -1, 0, err
+		}
+		return base, off + e.fieldOff, nil
+	}
+	return -1, 0, errAt(e.Line, 1, "not an lvalue")
+}
+
+// loadLV loads an lvalue's current value.
+func (lw *lowerer) loadLV(e *Expr) (int, error) {
+	// Register-allocated locals read directly.
+	if e.Kind == ExIdent && (e.sym.kind == symLocal || e.sym.kind == symParam) &&
+		!e.sym.addrTaken && !e.sym.isArray {
+		return e.sym.vreg, nil
+	}
+	base, off, err := lw.addr(e)
+	if err != nil {
+		return -1, err
+	}
+	d := lw.f.newVal(classOf(e.Type))
+	lw.emit(irInstr{Op: irLoad, Dst: d, A: base, Off: off, Size: 8, Line: e.Line})
+	return d, nil
+}
+
+// storeLV assigns v to the lvalue e.
+func (lw *lowerer) storeLV(e *Expr, v int) error {
+	if e.Kind == ExIdent && (e.sym.kind == symLocal || e.sym.kind == symParam) &&
+		!e.sym.addrTaken && !e.sym.isArray {
+		lw.emit(irInstr{Op: irMov, Dst: e.sym.vreg, A: v, Line: e.Line})
+		return nil
+	}
+	base, off, err := lw.addr(e)
+	if err != nil {
+		return err
+	}
+	lw.emit(irInstr{Op: irStore, A: base, B: v, Off: off, Size: 8, Line: e.Line})
+	return nil
+}
+
+func (lw *lowerer) expr(e *Expr) (int, error) {
+	switch e.Kind {
+	case ExIntLit:
+		v := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irConst, Dst: v, Imm: e.IVal, Line: e.Line})
+		return v, nil
+
+	case ExFloatLit:
+		v := lw.f.newVal(classFloat)
+		lw.emit(irInstr{Op: irConstF, Dst: v, F: e.FVal, Line: e.Line})
+		return v, nil
+
+	case ExSizeof:
+		v := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irConst, Dst: v, Imm: e.sizeofT.Size(), Line: e.Line})
+		return v, nil
+
+	case ExIdent:
+		s := e.sym
+		switch s.kind {
+		case symFunc, symExtern:
+			v := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irAddr, Dst: v, Sym: s, Line: e.Line})
+			return v, nil
+		case symGlobal:
+			v := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irAddr, Dst: v, Sym: s, Line: e.Line})
+			if s.typ.Kind == TArray || s.typ.Kind == TStruct {
+				return v, nil // decays to its address
+			}
+			d := lw.f.newVal(classOf(s.typ))
+			lw.emit(irInstr{Op: irLoad, Dst: d, A: v, Size: 8, Line: e.Line})
+			return d, nil
+		default:
+			if s.isArray {
+				v := lw.f.newVal(classInt)
+				lw.emit(irInstr{Op: irAddr, Dst: v, Sym: s, Line: e.Line})
+				return v, nil
+			}
+			if s.addrTaken {
+				return lw.loadLV(e)
+			}
+			return s.vreg, nil
+		}
+
+	case ExUnary:
+		switch e.Op {
+		case "-":
+			v, err := lw.expr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			d := lw.f.newVal(classOf(e.Type))
+			lw.emit(irInstr{Op: irNeg, Dst: d, A: v, Line: e.Line})
+			return d, nil
+		case "~":
+			v, err := lw.expr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irNot, Dst: d, A: v, Line: e.Line})
+			return d, nil
+		case "!":
+			v, err := lw.exprVal(e.X, false)
+			if err != nil {
+				return -1, err
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irSet, Dst: d, A: v, B: -1, UseImm: true, Imm: 0, Cond: isa.CondEQ, Line: e.Line})
+			return d, nil
+		case "&":
+			if e.X.Kind == ExIdent && (e.X.sym.kind == symFunc || e.X.sym.kind == symExtern) {
+				v := lw.f.newVal(classInt)
+				lw.emit(irInstr{Op: irAddr, Dst: v, Sym: e.X.sym, Line: e.Line})
+				return v, nil
+			}
+			base, off, err := lw.addr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			if off == 0 {
+				return base, nil
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irBin, Dst: d, A: base, UseImm: true, Imm: off, Op2: "+", Line: e.Line})
+			return d, nil
+		case "*":
+			if e.Type.Kind == TStruct || e.Type.Kind == TArray {
+				return lw.expr(e.X) // address is the value
+			}
+			base, err := lw.expr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			d := lw.f.newVal(classOf(e.Type))
+			lw.emit(irInstr{Op: irLoad, Dst: d, A: base, Size: 8, Line: e.Line})
+			return d, nil
+		}
+		return -1, errAt(e.Line, 1, "unhandled unary %s", e.Op)
+
+	case ExBinary:
+		return lw.binary(e)
+
+	case ExAssign:
+		return lw.assign(e)
+
+	case ExIncDec:
+		step := int64(1)
+		if e.X.Type.Kind == TPtr {
+			step = e.X.Type.Elem.Size()
+		}
+		old, err := lw.loadLV(e.X)
+		if err != nil {
+			return -1, err
+		}
+		op := "+"
+		if e.Op == "--" {
+			op = "-"
+		}
+		d := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: d, A: old, UseImm: true, Imm: step, Op2: op, Line: e.Line})
+		if err := lw.storeLV(e.X, d); err != nil {
+			return -1, err
+		}
+		return d, nil
+
+	case ExCall:
+		return lw.call(e)
+
+	case ExIndex:
+		if e.Type.Kind == TStruct || e.Type.Kind == TArray {
+			base, off, err := lw.addr(e)
+			if err != nil {
+				return -1, err
+			}
+			if off == 0 {
+				return base, nil
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irBin, Dst: d, A: base, UseImm: true, Imm: off, Op2: "+", Line: e.Line})
+			return d, nil
+		}
+		base, off, err := lw.addr(e)
+		if err != nil {
+			return -1, err
+		}
+		d := lw.f.newVal(classOf(e.Type))
+		lw.emit(irInstr{Op: irLoad, Dst: d, A: base, Off: off, Size: 8, Line: e.Line})
+		return d, nil
+
+	case ExMember:
+		// Aggregate fields (structs, decayed arrays) evaluate to their
+		// address.
+		if isAggregateField(e) {
+			var base int
+			var off int64
+			var err error
+			if e.Arrow {
+				base, err = lw.expr(e.X)
+				off = e.fieldOff
+			} else {
+				base, off, err = lw.addr(e.X)
+				off += e.fieldOff
+			}
+			if err != nil {
+				return -1, err
+			}
+			if off == 0 {
+				return base, nil
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irBin, Dst: d, A: base, UseImm: true, Imm: off, Op2: "+", Line: e.Line})
+			return d, nil
+		}
+		base, off, err := lw.addr(e)
+		if err != nil {
+			return -1, err
+		}
+		d := lw.f.newVal(classOf(e.Type))
+		lw.emit(irInstr{Op: irLoad, Dst: d, A: base, Off: off, Size: 8, Line: e.Line})
+		return d, nil
+
+	case ExCast:
+		to := e.castTo
+		from := e.X.Type
+		v, err := lw.expr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		switch {
+		case to.Kind == TDouble && from.Kind != TDouble:
+			d := lw.f.newVal(classFloat)
+			lw.emit(irInstr{Op: irCvtIF, Dst: d, A: v, Line: e.Line})
+			return d, nil
+		case to.Kind != TDouble && from.Kind == TDouble:
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irCvtFI, Dst: d, A: v, Line: e.Line})
+			return d, nil
+		default:
+			return v, nil // pointer/integer casts are free
+		}
+
+	case ExCond:
+		cls := classOf(e.Type)
+		d := lw.f.newVal(cls)
+		tb, fb, out := lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock()
+		if err := lw.cond(e.X, tb, fb); err != nil {
+			return -1, err
+		}
+		lw.cur = tb
+		v1, err := lw.exprVal(e.Y, cls == classFloat)
+		if err != nil {
+			return -1, err
+		}
+		lw.emit(irInstr{Op: irMov, Dst: d, A: v1, Line: e.Line})
+		lw.seal(out)
+		lw.cur = fb
+		v2, err := lw.exprVal(e.Z, cls == classFloat)
+		if err != nil {
+			return -1, err
+		}
+		lw.emit(irInstr{Op: irMov, Dst: d, A: v2, Line: e.Line})
+		lw.seal(out)
+		lw.cur = out
+		return d, nil
+	}
+	return -1, errAt(e.Line, 1, "unhandled expression in lowering")
+}
+
+// isAggregateField reports whether the member expression denotes an
+// aggregate (struct or decayed array field) whose "value" is its address.
+func isAggregateField(e *Expr) bool {
+	st := e.X.Type
+	if e.Arrow {
+		st = st.Elem
+	}
+	f, ok := st.field(e.Name)
+	if !ok {
+		return false
+	}
+	return f.Type.Kind == TArray || f.Type.Kind == TStruct
+}
+
+func (lw *lowerer) binary(e *Expr) (int, error) {
+	switch e.Op {
+	case "&&", "||":
+		d := lw.f.newVal(classInt)
+		tb, fb, out := lw.f.newBlock(), lw.f.newBlock(), lw.f.newBlock()
+		if err := lw.cond(e, tb, fb); err != nil {
+			return -1, err
+		}
+		lw.cur = tb
+		lw.emit(irInstr{Op: irConst, Dst: d, Imm: 1, Line: e.Line})
+		lw.emit(irInstr{Op: irJmp, T: out})
+		lw.cur = fb
+		lw.emit(irInstr{Op: irConst, Dst: d, Imm: 0, Line: e.Line})
+		lw.emit(irInstr{Op: irJmp, T: out})
+		lw.cur = out
+		return d, nil
+
+	case "==", "!=", "<", "<=", ">", ">=":
+		xf := e.X.Type.Kind == TDouble || e.Y.Type.Kind == TDouble
+		a, err := lw.exprVal(e.X, xf)
+		if err != nil {
+			return -1, err
+		}
+		b, err := lw.exprVal(e.Y, xf)
+		if err != nil {
+			return -1, err
+		}
+		cc := intCondFor(e.Op)
+		if xf {
+			cc = floatCondFor(e.Op)
+		}
+		d := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irSet, Dst: d, A: a, B: b, Cond: cc, FCmp: xf, Line: e.Line})
+		return d, nil
+	}
+
+	// Pointer arithmetic scaling.
+	if e.Type.Kind == TPtr && (e.Op == "+" || e.Op == "-") {
+		ptr, idx := e.X, e.Y
+		if e.X.Type.Kind != TPtr {
+			ptr, idx = e.Y, e.X
+		}
+		pv, err := lw.expr(ptr)
+		if err != nil {
+			return -1, err
+		}
+		size := e.Type.Elem.Size()
+		if idx.Kind == ExIntLit {
+			off := idx.IVal * size
+			if e.Op == "-" {
+				off = -off
+			}
+			d := lw.f.newVal(classInt)
+			lw.emit(irInstr{Op: irBin, Dst: d, A: pv, UseImm: true, Imm: off, Op2: "+", Line: e.Line})
+			return d, nil
+		}
+		iv, err := lw.exprVal(idx, false)
+		if err != nil {
+			return -1, err
+		}
+		scaled := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: scaled, A: iv, UseImm: true, Imm: size, Op2: "*", Line: e.Line})
+		d := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: d, A: pv, B: scaled, Op2: e.Op, Line: e.Line})
+		return d, nil
+	}
+
+	wantF := e.Type.Kind == TDouble
+	a, err := lw.exprVal(e.X, wantF)
+	if err != nil {
+		return -1, err
+	}
+	// Fold literal right operands into immediates (integer class only).
+	if !wantF && e.Y.Kind == ExIntLit {
+		d := lw.f.newVal(classOf(e.Type))
+		lw.emit(irInstr{Op: irBin, Dst: d, A: a, UseImm: true, Imm: e.Y.IVal, Op2: e.Op, Line: e.Line})
+		return d, nil
+	}
+	b, err := lw.exprVal(e.Y, wantF)
+	if err != nil {
+		return -1, err
+	}
+	d := lw.f.newVal(classOf(e.Type))
+	lw.emit(irInstr{Op: irBin, Dst: d, A: a, B: b, Op2: e.Op, Line: e.Line})
+	return d, nil
+}
+
+func (lw *lowerer) assign(e *Expr) (int, error) {
+	wantF := e.X.Type.Kind == TDouble
+	if e.Op == "=" {
+		v, err := lw.exprVal(e.Y, wantF)
+		if err != nil {
+			return -1, err
+		}
+		if err := lw.storeLV(e.X, v); err != nil {
+			return -1, err
+		}
+		return v, nil
+	}
+	// Compound assignment.
+	old, err := lw.loadLV(e.X)
+	if err != nil {
+		return -1, err
+	}
+	op := e.Op[:len(e.Op)-1] // "+=" -> "+", "<<=" -> "<<"
+	// Pointer compound assignment scales.
+	if e.X.Type.Kind == TPtr {
+		size := e.X.Type.Elem.Size()
+		iv, err := lw.exprVal(e.Y, false)
+		if err != nil {
+			return -1, err
+		}
+		scaled := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: scaled, A: iv, UseImm: true, Imm: size, Op2: "*", Line: e.Line})
+		d := lw.f.newVal(classInt)
+		lw.emit(irInstr{Op: irBin, Dst: d, A: old, B: scaled, Op2: op, Line: e.Line})
+		if err := lw.storeLV(e.X, d); err != nil {
+			return -1, err
+		}
+		return d, nil
+	}
+	v, err := lw.exprVal(e.Y, wantF)
+	if err != nil {
+		return -1, err
+	}
+	d := lw.f.newVal(classOf(e.X.Type))
+	lw.emit(irInstr{Op: irBin, Dst: d, A: old, B: v, Op2: op, Line: e.Line})
+	if err := lw.storeLV(e.X, d); err != nil {
+		return -1, err
+	}
+	return d, nil
+}
+
+func (lw *lowerer) call(e *Expr) (int, error) {
+	var args []int
+	ft := e.X.Type
+	if ft.Kind == TPtr {
+		ft = ft.Elem
+	}
+	for i, a := range e.Args {
+		v, err := lw.exprVal(a, ft.Params[i].Kind == TDouble)
+		if err != nil {
+			return -1, err
+		}
+		args = append(args, v)
+	}
+	dst := -1
+	if e.Type.Kind != TVoid {
+		dst = lw.f.newVal(classOf(e.Type))
+	}
+	// Direct call when the callee is a plain function name.
+	if e.X.Kind == ExIdent && (e.X.sym.kind == symFunc || e.X.sym.kind == symExtern) {
+		lw.emit(irInstr{Op: irCall, Dst: dst, Sym: e.X.sym, Args: args, Line: e.Line})
+	} else {
+		fv, err := lw.expr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		lw.emit(irInstr{Op: irCallPtr, Dst: dst, A: fv, Args: args, Line: e.Line})
+	}
+	if dst < 0 {
+		dst = lw.f.newVal(classInt) // dummy for expression-statement voids
+	}
+	return dst, nil
+}

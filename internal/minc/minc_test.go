@@ -1,0 +1,586 @@
+package minc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// compile builds a machine and links src into it.
+func compile(t *testing.T, src string) (*vm.Machine, *minc.Linked) {
+	t.Helper()
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, src, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m, l
+}
+
+func callI(t *testing.T, m *vm.Machine, l *minc.Linked, fn string, args ...uint64) int64 {
+	t.Helper()
+	a, err := l.FuncAddr(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(a, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return int64(got)
+}
+
+func callF(t *testing.T, m *vm.Machine, l *minc.Linked, fn string, intArgs []uint64, fArgs []float64) float64 {
+	t.Helper()
+	a, err := l.FuncAddr(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.CallFloat(a, intArgs, fArgs)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return got
+}
+
+func TestArithmetic(t *testing.T) {
+	m, l := compile(t, `
+long f(long a, long b) {
+    return (a + b) * 3 - a / 2 + a % 7 - (a << 2) + (b >> 1) + (a & b) + (a | 3) + (a ^ b);
+}
+`)
+	golden := func(a, b int64) int64 {
+		return (a+b)*3 - a/2 + a%7 - (a << 2) + (b >> 1) + (a & b) + (a | 3) + (a ^ b)
+	}
+	cases := [][2]int64{{0, 1}, {10, 3}, {-17, 5}, {1 << 40, -9}, {123456, 654321}}
+	for _, c := range cases {
+		if got, want := callI(t, m, l, "f", uint64(c[0]), uint64(c[1])), golden(c[0], c[1]); got != want {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m, l := compile(t, `
+long collatz(long n) {
+    long steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; }
+        else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+long sumto(long n) {
+    long s = 0;
+    for (long i = 1; i <= n; i++) { s += i; }
+    return s;
+}
+long loops(long n) {
+    long c = 0;
+    for (long i = 0; i < n; i++) {
+        if (i == 2) { continue; }
+        if (i == 7) { break; }
+        c += i;
+    }
+    return c;
+}
+`)
+	if got := callI(t, m, l, "collatz", 27); got != 111 {
+		t.Errorf("collatz(27) = %d, want 111", got)
+	}
+	if got := callI(t, m, l, "sumto", 100); got != 5050 {
+		t.Errorf("sumto(100) = %d, want 5050", got)
+	}
+	// 0+1+3+4+5+6 = 19
+	if got := callI(t, m, l, "loops", 100); got != 19 {
+		t.Errorf("loops = %d, want 19", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	m, l := compile(t, `
+long fib(long n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+long tri(long a, long b, long c, long d, long e, long f) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+}
+`)
+	if got := callI(t, m, l, "fib", 15); got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+	if got := callI(t, m, l, "tri", 1, 2, 3, 4, 5, 6); got != 1+4+9+16+25+36 {
+		t.Errorf("tri = %d", got)
+	}
+}
+
+func TestDoubles(t *testing.T) {
+	m, l := compile(t, `
+double mix(double a, double b) {
+    double c = a * b + 0.5;
+    if (a < b) { c = c - 1.0; }
+    return c / 2.0;
+}
+double conv(long n) {
+    double x = (double) n;
+    return x * 1.5;
+}
+long trunc2(double x) {
+    return (long) x;
+}
+`)
+	if got := callF(t, m, l, "mix", nil, []float64{3.0, 2.0}); got != (3.0*2.0+0.5)/2.0 {
+		t.Errorf("mix = %g", got)
+	}
+	if got := callF(t, m, l, "mix", nil, []float64{1.0, 2.0}); got != (1.0*2.0+0.5-1.0)/2.0 {
+		t.Errorf("mix lt = %g", got)
+	}
+	if got := callF(t, m, l, "conv", []uint64{7}, nil); got != 10.5 {
+		t.Errorf("conv = %g", got)
+	}
+	if got := callI(t, m, l, "trunc2", uint64(math.Float64bits(0))); got != 0 {
+		_ = got // trunc2 takes a double argument; test below
+	}
+	a, _ := l.FuncAddr("trunc2")
+	got, err := m.Call(a)
+	_ = got
+	_ = err
+	// Call with a float argument properly:
+	gotF, err := m.CallFloat(a, nil, []float64{-3.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gotF
+	if r := int64(m.CPU.R[0]); r != -3 {
+		t.Errorf("trunc2(-3.7) = %d, want -3", r)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	m, l := compile(t, `
+long sum(long *a, long n) {
+    long s = 0;
+    for (long i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+long fill(long *a, long n) {
+    for (long i = 0; i < n; i++) { a[i] = i * i; }
+    return sum(a, n);
+}
+long localarr(void) {
+    long buf[8];
+    for (long i = 0; i < 8; i++) { buf[i] = i + 1; }
+    long *p = buf;
+    return sum(p, 8) + *p + p[7];
+}
+long swap(long *a, long *b) {
+    long t = *a;
+    *a = *b;
+    *b = t;
+    return *a - *b;
+}
+`)
+	heap, err := m.AllocHeap(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := callI(t, m, l, "fill", heap, 8); got != 0+1+4+9+16+25+36+49 {
+		t.Errorf("fill/sum = %d", got)
+	}
+	if got := callI(t, m, l, "localarr"); got != 36+1+8 {
+		t.Errorf("localarr = %d, want 45", got)
+	}
+	if err := m.Mem.Write64(heap, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Write64(heap+8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := callI(t, m, l, "swap", heap, heap+8); got != 3-10 {
+		t.Errorf("swap = %d", got)
+	}
+}
+
+func TestAddressOfLocal(t *testing.T) {
+	m, l := compile(t, `
+long inc(long *p) { *p = *p + 1; return *p; }
+long f(long x) {
+    long v = x;
+    inc(&v);
+    inc(&v);
+    return v;
+}
+`)
+	if got := callI(t, m, l, "f", 40); got != 42 {
+		t.Errorf("f(40) = %d, want 42", got)
+	}
+}
+
+func TestStructsAndGlobals(t *testing.T) {
+	m, l := compile(t, `
+struct P { double f; long dx; long dy; };
+struct S { long ps; struct P p[]; };
+struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0}, {0.25, 0, -1}, {0.25, 0, 1}}};
+
+long npoints(void) { return s5.ps; }
+double coef(long i) { return s5.p[i].f; }
+long off(long i) { return s5.p[i].dx * 1000 + s5.p[i].dy; }
+double viaptr(struct S *s, long i) {
+    struct P *p = s->p + i;
+    return p->f * 2.0;
+}
+long structsize(void) { return sizeof(struct P); }
+`)
+	if got := callI(t, m, l, "npoints"); got != 5 {
+		t.Errorf("npoints = %d", got)
+	}
+	if got := callF(t, m, l, "coef", []uint64{0}, nil); got != -1.0 {
+		t.Errorf("coef(0) = %g", got)
+	}
+	if got := callF(t, m, l, "coef", []uint64{3}, nil); got != 0.25 {
+		t.Errorf("coef(3) = %g", got)
+	}
+	if got := callI(t, m, l, "off", 1); got != -1000 {
+		t.Errorf("off(1) = %d", got)
+	}
+	if got := callI(t, m, l, "off", 4); got != 1 {
+		t.Errorf("off(4) = %d", got)
+	}
+	s5, err := l.GlobalAddr("s5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := callF(t, m, l, "viaptr", []uint64{s5, 2}, nil); got != 0.5 {
+		t.Errorf("viaptr = %g", got)
+	}
+	if got := callI(t, m, l, "structsize"); got != 24 {
+		t.Errorf("sizeof(struct P) = %d", got)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	m, l := compile(t, `
+typedef long (*binop_t)(long, long);
+long add(long a, long b) { return a + b; }
+long mul(long a, long b) { return a * b; }
+long apply(binop_t op, long a, long b) { return op(a, b); }
+long choose(long which, long a, long b) {
+    binop_t op = add;
+    if (which == 1) { op = mul; }
+    return apply(op, a, b);
+}
+`)
+	if got := callI(t, m, l, "choose", 0, 6, 7); got != 13 {
+		t.Errorf("choose add = %d", got)
+	}
+	if got := callI(t, m, l, "choose", 1, 6, 7); got != 42 {
+		t.Errorf("choose mul = %d", got)
+	}
+}
+
+func TestLogicalOpsAndTernary(t *testing.T) {
+	m, l := compile(t, `
+long f(long a, long b) {
+    long r = 0;
+    if (a > 0 && b > 0) { r += 1; }
+    if (a > 0 || b > 0) { r += 2; }
+    r += (a > b) ? 10 : 20;
+    r += !a;
+    return r;
+}
+long shortcirc(long a) {
+    long n = 0;
+    // Right side must not evaluate: division by zero would fault.
+    if (a != 0 && 100 / a > 5) { n = 1; }
+    return n;
+}
+`)
+	if got := callI(t, m, l, "f", 1, 2); got != 1+2+20+0 {
+		t.Errorf("f(1,2) = %d", got)
+	}
+	if got := callI(t, m, l, "f", 0, 0); got != 0+0+20+1 {
+		t.Errorf("f(0,0) = %d", got)
+	}
+	if got := callI(t, m, l, "f", 3, 1); got != 1+2+10+0 {
+		t.Errorf("f(3,1) = %d", got)
+	}
+	if got := callI(t, m, l, "shortcirc", 0); got != 0 {
+		t.Errorf("shortcirc(0) = %d", got)
+	}
+	if got := callI(t, m, l, "shortcirc", 10); got != 1 {
+		t.Errorf("shortcirc(10) = %d", got)
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	m, l := compile(t, `
+long f(long a) {
+    long x = a;
+    x += 5; x -= 2; x *= 3;
+    x++; ++x; x--;
+    return x;
+}
+double g(double a) {
+    double x = a;
+    x += 0.5;
+    x *= 2.0;
+    return x;
+}
+long ptrbump(long *p) {
+    long *q = p;
+    q++;
+    return *q;
+}
+`)
+	if got := callI(t, m, l, "f", 10); got != ((10+5-2)*3)+1 {
+		t.Errorf("f(10) = %d", got)
+	}
+	if got := callF(t, m, l, "g", nil, []float64{1.25}); got != (1.25+0.5)*2 {
+		t.Errorf("g = %g", got)
+	}
+	heap, _ := m.AllocHeap(16)
+	m.Mem.Write64(heap, 1)
+	m.Mem.Write64(heap+8, 99)
+	if got := callI(t, m, l, "ptrbump", heap); got != 99 {
+		t.Errorf("ptrbump = %d", got)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	// 16 simultaneously live values force spilling.
+	m, l := compile(t, `
+long f(long a, long b) {
+    long v1 = a + 1; long v2 = a + 2; long v3 = a + 3; long v4 = a + 4;
+    long v5 = a + 5; long v6 = a + 6; long v7 = a + 7; long v8 = a + 8;
+    long v9 = b + 1; long v10 = b + 2; long v11 = b + 3; long v12 = b + 4;
+    long v13 = b + 5; long v14 = b + 6; long v15 = b + 7; long v16 = b + 8;
+    return v1 + v2*2 + v3*3 + v4*4 + v5*5 + v6*6 + v7*7 + v8*8
+         + v9 + v10*2 + v11*3 + v12*4 + v13*5 + v14*6 + v15*7 + v16*8;
+}
+`)
+	golden := func(a, b int64) int64 {
+		s := int64(0)
+		for i := int64(1); i <= 8; i++ {
+			s += (a + i) * i
+		}
+		for i := int64(1); i <= 8; i++ {
+			s += (b + i) * i
+		}
+		return s
+	}
+	for _, c := range [][2]int64{{0, 0}, {5, -3}, {1 << 30, 17}} {
+		if got, want := callI(t, m, l, "f", uint64(c[0]), uint64(c[1])), golden(c[0], c[1]); got != want {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestCallsAcrossLiveValues(t *testing.T) {
+	// Values live across calls must survive (callee-saved or spilled).
+	m, l := compile(t, `
+long id(long x) { return x; }
+long f(long a, long b) {
+    long x = a * 2;
+    long y = b * 3;
+    long z = id(a) + id(b);
+    return x + y + z;
+}
+`)
+	if got := callI(t, m, l, "f", 10, 20); got != 20+60+30 {
+		t.Errorf("f = %d", got)
+	}
+}
+
+func TestGlobalScalarsAndArrays(t *testing.T) {
+	m, l := compile(t, `
+long counter = 41;
+double factor = 2.5;
+long table[4] = {10, 20, 30, 40};
+double dtab[] = {1.5, 2.5};
+
+long bump(void) { counter += 1; return counter; }
+double scaled(long i) { return factor * (double) table[i]; }
+double dsum(void) { return dtab[0] + dtab[1]; }
+`)
+	if got := callI(t, m, l, "bump"); got != 42 {
+		t.Errorf("bump = %d", got)
+	}
+	if got := callI(t, m, l, "bump"); got != 43 {
+		t.Errorf("bump 2 = %d", got)
+	}
+	if got := callF(t, m, l, "scaled", []uint64{2}, nil); got != 75.0 {
+		t.Errorf("scaled = %g", got)
+	}
+	if got := callF(t, m, l, "dsum", nil, nil); got != 4.0 {
+		t.Errorf("dsum = %g", got)
+	}
+}
+
+func TestExternLinking(t *testing.T) {
+	// Externs resolve against caller-provided addresses: here, another
+	// compiled unit's function.
+	m := vm.MustNew()
+	l1, err := minc.CompileAndLink(m, "long triple(long x) { return 3 * x; }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := l1.FuncAddr("triple")
+	l2, err := minc.CompileAndLink(m, `
+extern long triple(long x);
+long f(long a) { return triple(a) + 1; }
+`, map[string]uint64{"triple": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l2.FuncAddr("f")
+	got, err := m.Call(a, 5)
+	if err != nil || got != 16 {
+		t.Errorf("f(5) = %d, %v", got, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"long f( { return 0; }",
+		"long f(void) { return x; }",                                                   // undefined
+		"long f(void) { double d; return d(1); }",                                      // not callable
+		"long f(void) { return 1 +; }",                                                 // syntax
+		"struct Q { long a; }; long f(void) { struct Q q; return q.b; }",               // no field
+		"long f(long a, long b, long c, long d, long e, long g, long h) { return 0; }", // too many args
+		"long f(void) { break; }",
+		"long f(void) { long a[]; return 0; }",
+	}
+	for _, src := range cases {
+		if _, err := minc.Compile(src); err == nil {
+			t.Errorf("compiled invalid program: %q", src)
+		}
+	}
+}
+
+func TestDisassembleAndIRDump(t *testing.T) {
+	m, l := compile(t, "long f(long a) { return a + 1; }")
+	_ = m
+	dis, err := l.Disassemble("f")
+	if err != nil || !strings.Contains(dis, "ret") {
+		t.Errorf("disassemble: %v\n%s", err, dis)
+	}
+	p, err := minc.Compile("long f(long a) { return a + 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir := p.IRDump("f"); !strings.Contains(ir, "ret") {
+		t.Errorf("IR dump:\n%s", ir)
+	}
+}
+
+func TestNestedLoops2DStencilStyle(t *testing.T) {
+	// The paper's sweep pattern with explicit index arithmetic.
+	m, l := compile(t, `
+double sweep(double *m1, double *m2, long xs, long ys) {
+    double acc = 0.0;
+    for (long y = 1; y < ys - 1; y++) {
+        for (long x = 1; x < xs - 1; x++) {
+            double v = 0.25 * (m1[(y-1)*xs+x] + m1[(y+1)*xs+x]
+                             + m1[y*xs+x-1] + m1[y*xs+x+1]) - m1[y*xs+x];
+            m2[y*xs+x] = v;
+            acc += v;
+        }
+    }
+    return acc;
+}
+`)
+	const xs, ys = 8, 6
+	m1, err := m.AllocHeap(xs * ys * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.AllocHeap(xs * ys * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := make([]float64, xs*ys)
+	for i := range grid {
+		grid[i] = float64(i%7) * 0.5
+	}
+	if err := m.WriteF64Slice(m1, grid); err != nil {
+		t.Fatal(err)
+	}
+	got := callF(t, m, l, "sweep", []uint64{m1, m2, xs, ys}, nil)
+	// Golden model in Go.
+	want := 0.0
+	out := make([]float64, xs*ys)
+	for y := 1; y < ys-1; y++ {
+		for x := 1; x < xs-1; x++ {
+			v := 0.25*(grid[(y-1)*xs+x]+grid[(y+1)*xs+x]+grid[y*xs+x-1]+grid[y*xs+x+1]) - grid[y*xs+x]
+			out[y*xs+x] = v
+			want += v
+		}
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("sweep = %g, want %g", got, want)
+	}
+	gotOut, err := m.ReadF64Slice(m2, xs*ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if gotOut[i] != out[i] {
+			t.Errorf("m2[%d] = %g, want %g", i, gotOut[i], out[i])
+		}
+	}
+}
+
+func TestAllCompoundOps(t *testing.T) {
+	m, l := compile(t, `
+long f(long a) {
+    long x = a;
+    x += 3; x -= 1; x *= 2; x /= 3; x %= 100;
+    x <<= 2; x >>= 1; x &= 0xFF; x |= 0x100; x ^= 0x21;
+    return x;
+}
+`)
+	golden := func(a int64) int64 {
+		x := a
+		x += 3
+		x -= 1
+		x *= 2
+		x /= 3
+		x %= 100
+		x <<= 2
+		x >>= 1
+		x &= 0xFF
+		x |= 0x100
+		x ^= 0x21
+		return x
+	}
+	for _, a := range []int64{0, 7, -9, 123456} {
+		if got, want := callI(t, m, l, "f", uint64(a)), golden(a); got != want {
+			t.Errorf("f(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestOperatorPrecedenceTorture(t *testing.T) {
+	m, l := compile(t, `
+long f(long a, long b) {
+    return a + b * 3 - a / 2 % 5 << 1 | a & b ^ (a | 7) + (b > a ? 1 : 2);
+}
+`)
+	golden := func(a, b int64) int64 {
+		t := int64(2)
+		if b > a {
+			t = 1
+		}
+		return (a+b*3-(a/2)%5)<<1 | ((a & b) ^ ((a | 7) + t))
+	}
+	for _, c := range [][2]int64{{1, 2}, {10, 3}, {-7, 9}, {1 << 30, -5}} {
+		if got, want := callI(t, m, l, "f", uint64(c[0]), uint64(c[1])), golden(c[0], c[1]); got != want {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package minc
+
+// IR optimization passes (-O1, the default): copy propagation, constant
+// folding, branch folding with unreachable-block elimination, and dead-IR
+// removal. They operate on the non-SSA IR using a single-definition
+// discipline: only values defined exactly once participate in propagation,
+// which (together with the lowerer's def-before-use construction) makes
+// the rewrites dominance-safe without building SSA.
+
+import "repro/internal/isa"
+
+// OptLevel selects the compiler optimization pipeline.
+type OptLevel int
+
+// Optimization levels.
+const (
+	O0 OptLevel = iota // straight lowering output
+	O1                 // copy prop, const fold, branch fold, dead IR
+)
+
+func optimizeIR(f *irFunc, level OptLevel) {
+	if level < O1 {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		copyPropIR(f)
+		constFoldIR(f)
+		foldBranchesIR(f)
+		removeUnreachableIR(f)
+		deadIR(f)
+	}
+}
+
+// defCounts returns, per value id, how many instructions define it.
+func defCounts(f *irFunc) []int {
+	counts := make([]int, f.nvals)
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			if d := irDef(&b.ins[i]); d >= 0 {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}
+
+// copyPropIR replaces uses of single-def copies with their source.
+func copyPropIR(f *irFunc) {
+	counts := defCounts(f)
+	alias := make([]int, f.nvals)
+	for i := range alias {
+		alias[i] = i
+	}
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Op == irMov && in.Dst >= 0 && in.A >= 0 &&
+				counts[in.Dst] == 1 && counts[in.A] == 1 &&
+				f.class[in.Dst] == f.class[in.A] {
+				alias[in.Dst] = in.A
+			}
+		}
+	}
+	// Resolve chains.
+	resolve := func(v int) int {
+		if v < 0 {
+			return v
+		}
+		for alias[v] != v {
+			v = alias[v]
+		}
+		return v
+	}
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			for _, slot := range useSlots(&b.ins[i]) {
+				*slot = resolve(*slot)
+			}
+		}
+	}
+}
+
+// useSlots returns pointers to the value-id fields an instruction actually
+// reads. Fields that are not uses for the given opcode (e.g. the A field
+// of an irConst left over from folding) are excluded.
+func useSlots(in *irInstr) []*int {
+	var out []*int
+	add := func(p *int) {
+		if *p >= 0 {
+			out = append(out, p)
+		}
+	}
+	switch in.Op {
+	case irConst, irConstF, irAddr, irParam, irJmp:
+	case irMov, irNeg, irNot, irCvtIF, irCvtFI, irBitsFI, irLoad, irRet:
+		add(&in.A)
+	case irBin, irSet, irBr:
+		add(&in.A)
+		if !in.UseImm {
+			add(&in.B)
+		}
+	case irStore:
+		add(&in.A)
+		add(&in.B)
+	case irCall:
+		for i := range in.Args {
+			add(&in.Args[i])
+		}
+	case irCallPtr:
+		add(&in.A)
+		for i := range in.Args {
+			add(&in.Args[i])
+		}
+	}
+	return out
+}
+
+// constVal captures a known constant value of a single-def value.
+type constVal struct {
+	known bool
+	isF   bool
+	i     int64
+	f     float64
+}
+
+func constants(f *irFunc) []constVal {
+	counts := defCounts(f)
+	consts := make([]constVal, f.nvals)
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			if in.Dst < 0 || counts[in.Dst] != 1 {
+				continue
+			}
+			switch in.Op {
+			case irConst:
+				consts[in.Dst] = constVal{known: true, i: in.Imm, f: float64(in.Imm)}
+			case irConstF:
+				consts[in.Dst] = constVal{known: true, isF: true, f: in.F, i: int64(in.F)}
+			}
+		}
+	}
+	return consts
+}
+
+// constFoldIR folds operations over known constants and rewrites
+// register-register operations with a constant right operand into
+// immediate form.
+func constFoldIR(f *irFunc) {
+	consts := constants(f)
+	counts := defCounts(f)
+	// note records newly folded constants so chains fold in one pass
+	// (blocks are visited in order and defs precede uses).
+	note := func(in *irInstr) {
+		if in.Dst >= 0 && counts[in.Dst] == 1 {
+			switch in.Op {
+			case irConst:
+				consts[in.Dst] = constVal{known: true, i: in.Imm, f: float64(in.Imm)}
+			case irConstF:
+				consts[in.Dst] = constVal{known: true, isF: true, f: in.F, i: int64(in.F)}
+			}
+		}
+	}
+	for _, b := range f.blocks {
+		for i := range b.ins {
+			in := &b.ins[i]
+			switch in.Op {
+			case irBin:
+				cls := f.class[in.Dst]
+				a := lookupConst(consts, in.A)
+				var bv constVal
+				if in.UseImm {
+					bv = constVal{known: true, i: in.Imm, f: float64(in.Imm)}
+				} else {
+					bv = lookupConst(consts, in.B)
+				}
+				if a.known && bv.known {
+					if folded, ok := evalConstBin(in.Op2, cls, a, bv); ok {
+						*in = folded1(in, folded)
+						note(in)
+						continue
+					}
+				}
+				// Immediate form for integer ops.
+				if cls == classInt && !in.UseImm && bv.known && !bv.isF {
+					if in.Op2 != "/" && in.Op2 != "%" { // no imm division op
+						in.UseImm = true
+						in.Imm = bv.i
+						in.B = -1
+					}
+				}
+			case irSet:
+				a := lookupConst(consts, in.A)
+				var bv constVal
+				if in.UseImm {
+					bv = constVal{known: true, i: in.Imm}
+				} else {
+					bv = lookupConst(consts, in.B)
+				}
+				if a.known && bv.known && !in.FCmp {
+					r := int64(0)
+					if holdsConst(in.Cond, a.i, bv.i) {
+						r = 1
+					}
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: r, Line: in.Line}
+					note(in)
+					continue
+				}
+				if !in.FCmp && !in.UseImm && bv.known && !bv.isF {
+					in.UseImm = true
+					in.Imm = bv.i
+					in.B = -1
+				}
+			case irNeg:
+				if a := lookupConst(consts, in.A); a.known {
+					if f.class[in.Dst] == classFloat {
+						*in = irInstr{Op: irConstF, Dst: in.Dst, F: -a.f, Line: in.Line}
+					} else {
+						*in = irInstr{Op: irConst, Dst: in.Dst, Imm: -a.i, Line: in.Line}
+					}
+					note(in)
+				}
+			case irNot:
+				if a := lookupConst(consts, in.A); a.known && !a.isF {
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: ^a.i, Line: in.Line}
+					note(in)
+				}
+			case irCvtIF:
+				if a := lookupConst(consts, in.A); a.known && !a.isF {
+					*in = irInstr{Op: irConstF, Dst: in.Dst, F: float64(a.i), Line: in.Line}
+					note(in)
+				}
+			case irCvtFI:
+				if a := lookupConst(consts, in.A); a.known && a.isF {
+					*in = irInstr{Op: irConst, Dst: in.Dst, Imm: int64(a.f), Line: in.Line}
+					note(in)
+				}
+			case irBr:
+				if !in.UseImm {
+					if bv := lookupConst(consts, in.B); bv.known && !bv.isF && !in.FCmp {
+						in.UseImm = true
+						in.Imm = bv.i
+						in.B = -1
+					}
+				}
+			}
+		}
+	}
+}
+
+func lookupConst(consts []constVal, v int) constVal {
+	if v < 0 || v >= len(consts) {
+		return constVal{}
+	}
+	return consts[v]
+}
+
+func folded1(in *irInstr, nv irInstr) irInstr {
+	nv.Dst = in.Dst
+	nv.Line = in.Line
+	return nv
+}
+
+// evalConstBin evaluates a binary operation over constants; division by
+// zero stays a runtime operation (it must fault at runtime, not compile
+// time).
+func evalConstBin(op string, cls vclass, a, b constVal) (irInstr, bool) {
+	if cls == classFloat {
+		var r float64
+		switch op {
+		case "+":
+			r = a.f + b.f
+		case "-":
+			r = a.f - b.f
+		case "*":
+			r = a.f * b.f
+		case "/":
+			r = a.f / b.f
+		default:
+			return irInstr{}, false
+		}
+		return irInstr{Op: irConstF, F: r}, true
+	}
+	var r int64
+	switch op {
+	case "+":
+		r = a.i + b.i
+	case "-":
+		r = a.i - b.i
+	case "*":
+		r = a.i * b.i
+	case "/":
+		if b.i == 0 || (a.i == -1<<63 && b.i == -1) {
+			return irInstr{}, false
+		}
+		r = a.i / b.i
+	case "%":
+		if b.i == 0 || (a.i == -1<<63 && b.i == -1) {
+			return irInstr{}, false
+		}
+		r = a.i % b.i
+	case "&":
+		r = a.i & b.i
+	case "|":
+		r = a.i | b.i
+	case "^":
+		r = a.i ^ b.i
+	case "<<":
+		r = a.i << (uint64(b.i) & 63)
+	case ">>":
+		r = a.i >> (uint64(b.i) & 63)
+	default:
+		return irInstr{}, false
+	}
+	return irInstr{Op: irConst, Imm: r}, true
+}
+
+func holdsConst(cc isa.Cond, a, b int64) bool {
+	switch cc {
+	case isa.CondEQ:
+		return a == b
+	case isa.CondNE:
+		return a != b
+	case isa.CondLT:
+		return a < b
+	case isa.CondLE:
+		return a <= b
+	case isa.CondGT:
+		return a > b
+	case isa.CondGE:
+		return a >= b
+	case isa.CondB:
+		return uint64(a) < uint64(b)
+	case isa.CondBE:
+		return uint64(a) <= uint64(b)
+	case isa.CondA:
+		return uint64(a) > uint64(b)
+	case isa.CondAE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+// foldBranchesIR turns branches with constant outcomes into jumps.
+func foldBranchesIR(f *irFunc) {
+	consts := constants(f)
+	for _, b := range f.blocks {
+		if len(b.ins) == 0 {
+			continue
+		}
+		in := &b.ins[len(b.ins)-1]
+		if in.Op != irBr || in.FCmp {
+			continue
+		}
+		a := lookupConst(consts, in.A)
+		var bv constVal
+		if in.UseImm {
+			bv = constVal{known: true, i: in.Imm}
+		} else {
+			bv = lookupConst(consts, in.B)
+		}
+		if !a.known || !bv.known || a.isF || bv.isF {
+			continue
+		}
+		t := in.Fb
+		if holdsConst(in.Cond, a.i, bv.i) {
+			t = in.T
+		}
+		*in = irInstr{Op: irJmp, T: t, Line: in.Line}
+	}
+}
+
+// removeUnreachableIR drops blocks no path from the entry reaches.
+func removeUnreachableIR(f *irFunc) {
+	if len(f.blocks) == 0 {
+		return
+	}
+	reach := make(map[*irBlock]bool)
+	var walk func(b *irBlock)
+	walk = func(b *irBlock) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		if len(b.ins) == 0 {
+			return
+		}
+		last := &b.ins[len(b.ins)-1]
+		switch last.Op {
+		case irJmp:
+			walk(last.T)
+		case irBr:
+			walk(last.T)
+			walk(last.Fb)
+		}
+	}
+	walk(f.blocks[0])
+	var out []*irBlock
+	for _, b := range f.blocks {
+		if reach[b] {
+			b.id = len(out)
+			out = append(out, b)
+		}
+	}
+	f.blocks = out
+}
+
+// deadIR removes side-effect-free instructions whose results are unused.
+func deadIR(f *irFunc) {
+	for {
+		uses := make([]int, f.nvals)
+		for _, b := range f.blocks {
+			for i := range b.ins {
+				for _, slot := range useSlots(&b.ins[i]) {
+					uses[*slot]++
+				}
+			}
+		}
+		changed := false
+		for _, b := range f.blocks {
+			out := b.ins[:0]
+			for i := range b.ins {
+				in := b.ins[i]
+				if d := irDef(&in); d >= 0 && uses[d] == 0 && pureIR(&in) {
+					changed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.ins = out
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// pureIR reports whether removing the instruction is observable (loads are
+// considered pure in the IR model; faults from division are not).
+func pureIR(in *irInstr) bool {
+	switch in.Op {
+	case irConst, irConstF, irMov, irNeg, irNot, irSet, irCvtIF, irCvtFI,
+		irBitsFI, irAddr, irLoad:
+		return true
+	case irBin:
+		return in.Op2 != "/" && in.Op2 != "%" // keep potential faults
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package minc_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// O0 and O1 must agree on every program; O1 must not be slower.
+func TestOptLevelsAgree(t *testing.T) {
+	srcs := []string{
+		`long f(long a, long b) {
+    long x = 2 * 3 + a;
+    long y = x << 1;
+    if (10 > 3) { y += 100; } else { y -= 100; }
+    return y * b - (7 & 5) + (1 ? 4 : 9);
+}`,
+		`double g(double a) {
+    double k = 2.0 * 4.0;
+    double r = a;
+    for (long i = 0; i < 3; i++) { r = r * k + 1.0; }
+    return r;
+}`,
+		`long h(long n) {
+    long s = 0;
+    long step = 1 + 1;
+    for (long i = 0; i < n; i += step) { s += i; }
+    return s;
+}`,
+	}
+	for _, src := range srcs {
+		m0 := vm.MustNew()
+		p0, err := minc.CompileWithLevel(src, minc.O0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l0, err := p0.Link(m0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := vm.MustNew()
+		p1, err := minc.CompileWithLevel(src, minc.O1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1, err := p1.Link(m1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := p0.Unit.Funcs[0].Name
+		a0, _ := l0.FuncAddr(name)
+		a1, _ := l1.FuncAddr(name)
+		r := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 30; trial++ {
+			arg := uint64(r.Intn(50))
+			var w0, w1 uint64
+			var err0, err1 error
+			if name == "g" {
+				f0, e := m0.CallFloat(a0, nil, []float64{float64(arg) * 0.5})
+				err0 = e
+				f1, e := m1.CallFloat(a1, nil, []float64{float64(arg) * 0.5})
+				err1 = e
+				if f0 != f1 {
+					t.Fatalf("%s(%d): O0 %g, O1 %g", name, arg, f0, f1)
+				}
+				continue
+			}
+			w0, err0 = m0.Call(a0, arg, arg+3)
+			w1, err1 = m1.Call(a1, arg, arg+3)
+			if err0 != nil || err1 != nil {
+				t.Fatalf("%s: %v / %v", name, err0, err1)
+			}
+			if w0 != w1 {
+				t.Fatalf("%s(%d): O0 %d, O1 %d", name, arg, w0, w1)
+			}
+		}
+		if l1.Sizes[name] > l0.Sizes[name] {
+			t.Errorf("%s: O1 code (%dB) larger than O0 (%dB)", name, l1.Sizes[name], l0.Sizes[name])
+		}
+	}
+}
+
+func TestConstantBranchFolded(t *testing.T) {
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long f(long a) {
+    if (2 + 2 == 4) { return a * 3; }
+    return a * 1000;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := l.Disassemble("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead arm (imul by 1000) must be gone.
+	if strings.Contains(dis, "1000") {
+		t.Errorf("dead branch arm survived:\n%s", dis)
+	}
+	a, _ := l.FuncAddr("f")
+	if got, err := m.Call(a, 14); err != nil || got != 42 {
+		t.Errorf("f(14) = %d, %v", got, err)
+	}
+}
+
+func TestConstantExprFolded(t *testing.T) {
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long f(void) { return (3 * 7 + 100 / 4 - 4) % 1000 << 1; }
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, _ := l.Disassemble("f")
+	if !strings.Contains(dis, " 84") ||
+		strings.Contains(dis, "irem") || strings.Contains(dis, "shli") ||
+		strings.Contains(dis, "imul") {
+		t.Errorf("constant not fully folded (want 84 as immediate):\n%s", dis)
+	}
+}
+
+func TestDivideByZeroNotFoldedAway(t *testing.T) {
+	// A constant division by zero must still fault at runtime, not be
+	// removed or folded at compile time.
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long f(long a) {
+    long zero = 0;
+    long x = a / zero;
+    return 1;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l.FuncAddr("f")
+	if _, err := m.Call(a, 10); err == nil {
+		t.Error("division by zero did not fault")
+	}
+}
+
+func TestImmediateFormsUsed(t *testing.T) {
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long f(long a) {
+    long k = 5;
+    return a + k;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, _ := l.Disassemble("f")
+	if !strings.Contains(dis, "addi") {
+		t.Errorf("constant operand not folded to immediate form:\n%s", dis)
+	}
+}
+
+func TestUnreachableBlocksRemoved(t *testing.T) {
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long f(long a) {
+    if (0) { return a * 777; }
+    while (1) { return a + 1; }
+    return a * 888;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, _ := l.Disassemble("f")
+	if strings.Contains(dis, "777") || strings.Contains(dis, "888") {
+		t.Errorf("unreachable code survived:\n%s", dis)
+	}
+	a, _ := l.FuncAddr("f")
+	if got, err := m.Call(a, 41); err != nil || got != 42 {
+		t.Errorf("f(41) = %d, %v", got, err)
+	}
+}

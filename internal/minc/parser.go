@@ -1,0 +1,820 @@
+package minc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+	unit *Unit
+}
+
+// Parse parses one translation unit.
+func Parse(src string) (*Unit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks,
+		unit: &Unit{
+			Structs:  make(map[string]*Type),
+			Typedefs: make(map[string]*Type),
+		},
+	}
+	for !p.at(tokEOF, "") {
+		if err := p.topDecl(); err != nil {
+			return nil, err
+		}
+	}
+	return p.unit, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, errAt(t.line, t.col, "expected %q, got %q", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return errAt(t.line, t.col, format, args...)
+}
+
+// atTypeStart reports whether the current token can begin a type.
+func (p *parser) atTypeStart() bool {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "long", "int", "double", "void", "struct", "const":
+			return true
+		}
+		return false
+	}
+	if t.kind == tokIdent {
+		_, ok := p.unit.Typedefs[t.text]
+		return ok
+	}
+	return false
+}
+
+// parseBaseType parses a type specifier without declarator stars.
+func (p *parser) parseBaseType() (*Type, error) {
+	p.accept(tokKeyword, "const")
+	t := p.cur()
+	switch {
+	case p.accept(tokKeyword, "long"), p.accept(tokKeyword, "int"):
+		return typeLong, nil
+	case p.accept(tokKeyword, "double"):
+		return typeDouble, nil
+	case p.accept(tokKeyword, "void"):
+		return typeVoid, nil
+	case p.accept(tokKeyword, "struct"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.unit.Structs[name.text]
+		if !ok {
+			// Forward reference: create a placeholder filled by a later
+			// definition.
+			st = &Type{Kind: TStruct, StructName: name.text}
+			p.unit.Structs[name.text] = st
+		}
+		return st, nil
+	case t.kind == tokIdent:
+		if td, ok := p.unit.Typedefs[t.text]; ok {
+			p.pos++
+			return td, nil
+		}
+	}
+	return nil, p.errHere("expected type, got %q", t)
+}
+
+// parseStars wraps t in pointer types for each '*'.
+func (p *parser) parseStars(t *Type) *Type {
+	for p.accept(tokPunct, "*") {
+		p.accept(tokKeyword, "const")
+		t = ptrTo(t)
+	}
+	return t
+}
+
+// parseType parses a full type usable in casts and sizeof.
+func (p *parser) parseType() (*Type, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseStars(base), nil
+}
+
+// declarator parses `ident`, `ident[N]`, `ident[]` or `(*ident)(params)`
+// given the pointer-decorated base type.
+func (p *parser) declarator(base *Type) (string, *Type, error) {
+	if p.at(tokPunct, "(") && p.peek().kind == tokPunct && p.peek().text == "*" {
+		// Function pointer: (*name)(param-types)
+		p.pos += 2
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return "", nil, err
+		}
+		ft, err := p.funcParamsType(base)
+		if err != nil {
+			return "", nil, err
+		}
+		return name.text, ptrTo(ft), nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", nil, err
+	}
+	t := base
+	// Array suffixes, innermost last.
+	var lens []int
+	for p.accept(tokPunct, "[") {
+		if p.accept(tokPunct, "]") {
+			lens = append(lens, -1)
+			continue
+		}
+		n, err := p.expect(tokInt, "")
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return "", nil, err
+		}
+		lens = append(lens, int(n.ival))
+	}
+	for i := len(lens) - 1; i >= 0; i-- {
+		t = &Type{Kind: TArray, Elem: t, Len: lens[i]}
+	}
+	return name.text, t, nil
+}
+
+// funcParamsType parses "(type, type, ...)" into a function type.
+func (p *parser) funcParamsType(ret *Type) (*Type, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	ft := &Type{Kind: TFunc, Ret: ret}
+	if p.accept(tokPunct, ")") {
+		return ft, nil
+	}
+	if p.at(tokKeyword, "void") && p.peek().text == ")" {
+		p.pos += 2
+		return ft, nil
+	}
+	for {
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// Optional parameter name in prototypes.
+		if p.at(tokIdent, "") {
+			p.pos++
+		}
+		ft.Params = append(ft.Params, pt)
+		if p.accept(tokPunct, ")") {
+			return ft, nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) topDecl() error {
+	line := p.cur().line
+	if p.accept(tokKeyword, "typedef") {
+		base, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		name, typ, err := p.declarator(base)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		p.unit.Typedefs[name] = typ
+		return nil
+	}
+
+	if p.at(tokKeyword, "struct") && p.peek().kind == tokIdent {
+		// Could be a struct definition, a forward declaration, or a
+		// declaration using the type.
+		save := p.pos
+		p.pos++ // struct
+		name := p.cur().text
+		p.pos++ // ident
+		if p.accept(tokPunct, "{") {
+			return p.structDef(name)
+		}
+		if p.accept(tokPunct, ";") {
+			// Forward declaration: usable behind pointers until defined.
+			if _, ok := p.unit.Structs[name]; !ok {
+				p.unit.Structs[name] = &Type{Kind: TStruct, StructName: name}
+			}
+			return nil
+		}
+		p.pos = save
+	}
+
+	extern := p.accept(tokKeyword, "extern")
+	p.accept(tokKeyword, "static")
+	base, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, typ, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+
+	if p.at(tokPunct, "(") && !typ.isFuncPtr() {
+		return p.funcDecl(name, typ, extern, line)
+	}
+
+	// Global variable(s).
+	for {
+		g := &Global{Name: name, Type: typ, Line: line}
+		if p.accept(tokPunct, "=") {
+			iv, err := p.initVal()
+			if err != nil {
+				return err
+			}
+			g.Init = iv
+		}
+		if !extern {
+			p.unit.Globals = append(p.unit.Globals, g)
+		}
+		if p.accept(tokPunct, ";") {
+			return nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return err
+		}
+		name, typ, err = p.declarator(base)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) structDef(name string) error {
+	st, ok := p.unit.Structs[name]
+	if ok && len(st.Fields) > 0 {
+		return p.errHere("struct %s redefined", name)
+	}
+	if !ok {
+		st = &Type{Kind: TStruct, StructName: name}
+		p.unit.Structs[name] = st
+	}
+	var fields []Field
+	for !p.accept(tokPunct, "}") {
+		base, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		for {
+			fname, ftyp, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			fields = append(fields, Field{Name: fname, Type: ftyp})
+			if p.accept(tokPunct, ";") {
+				break
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	st.Fields = layoutStruct(fields)
+	return nil
+}
+
+func (p *parser) funcDecl(name string, ret *Type, extern bool, line int) error {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return err
+	}
+	fd := &FuncDecl{Name: name, Ret: ret, Line: line}
+	if !p.accept(tokPunct, ")") {
+		if p.at(tokKeyword, "void") && p.peek().text == ")" {
+			p.pos += 2
+		} else {
+			for {
+				base, err := p.parseType()
+				if err != nil {
+					return err
+				}
+				pname, ptyp, err := p.declarator(base)
+				if err != nil {
+					return err
+				}
+				if ptyp.Kind == TArray {
+					ptyp = ptrTo(ptyp.Elem) // arrays decay in parameters
+				}
+				fd.Params = append(fd.Params, Param{Name: pname, Type: ptyp})
+				if p.accept(tokPunct, ")") {
+					break
+				}
+				if _, err := p.expect(tokPunct, ","); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if p.accept(tokPunct, ";") {
+		p.unit.Externs = append(p.unit.Externs, fd)
+		return nil
+	}
+	if extern {
+		return p.errHere("extern function %s cannot have a body", name)
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	p.unit.Funcs = append(p.unit.Funcs, fd)
+	return nil
+}
+
+func (p *parser) initVal() (*InitVal, error) {
+	line := p.cur().line
+	if p.accept(tokPunct, "{") {
+		iv := &InitVal{Line: line}
+		if p.accept(tokPunct, "}") {
+			return iv, nil
+		}
+		for {
+			sub, err := p.initVal()
+			if err != nil {
+				return nil, err
+			}
+			iv.List = append(iv.List, sub)
+			if p.accept(tokPunct, "}") {
+				return iv, nil
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &InitVal{Expr: e, Line: line}, nil
+}
+
+// --- statements ---
+
+func (p *parser) block() (*Stmt, error) {
+	line := p.cur().line
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StBlock, Line: line}
+	for !p.accept(tokPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st.List = append(st.List, s)
+	}
+	return st, nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+
+	case p.atTypeStart():
+		return p.declStmt(true)
+
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &Stmt{Kind: StIf, Line: t.line, CondE: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StWhile, Line: t.line, CondE: cond, Body: body}, nil
+
+	case p.accept(tokKeyword, "for"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &Stmt{Kind: StFor, Line: t.line}
+		if !p.accept(tokPunct, ";") {
+			if p.atTypeStart() {
+				init, err := p.declStmt(true)
+				if err != nil {
+					return nil, err
+				}
+				st.Init = init
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				st.Init = &Stmt{Kind: StExpr, Line: t.line, X: e}
+			}
+		}
+		if !p.accept(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.CondE = e
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(tokPunct, ")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = &Stmt{Kind: StExpr, Line: t.line, X: e}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.accept(tokKeyword, "return"):
+		st := &Stmt{Kind: StReturn, Line: t.line}
+		if !p.accept(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StBreak, Line: t.line}, nil
+
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StContinue, Line: t.line}, nil
+
+	case p.accept(tokPunct, ";"):
+		return &Stmt{Kind: StBlock, Line: t.line}, nil
+	}
+
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StExpr, Line: t.line, X: e}, nil
+}
+
+// declStmt parses a local declaration; wrapped in a block when several
+// declarators appear.
+func (p *parser) declStmt(wantSemi bool) (*Stmt, error) {
+	line := p.cur().line
+	base, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []*Stmt
+	for {
+		name, typ, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d := &Stmt{Kind: StDecl, Line: line, DeclName: name, DeclType: typ}
+		if p.accept(tokPunct, "=") {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.DeclInit = e
+		}
+		decls = append(decls, d)
+		if p.accept(tokPunct, ";") {
+			break
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+	_ = wantSemi
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Stmt{Kind: StBlock, Line: line, List: decls}, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^=":
+			p.pos++
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExAssign, Line: t.line, Op: t.text, X: lhs, Y: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokPunct, "?") {
+		t := p.cur()
+		p.pos++
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		b, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExCond, Line: t.line, X: c, Y: a, Z: b}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence table (higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binExpr(minPrec int) (*Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Expr{Kind: ExBinary, Line: t.line, Op: t.text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "&", "*":
+			p.pos++
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExUnary, Line: t.line, Op: t.text, X: x}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExIncDec, Line: t.line, Op: t.text, X: x}, nil
+		case "(":
+			// Cast?
+			save := p.pos
+			p.pos++
+			if p.atTypeStart() {
+				typ, err := p.parseType()
+				if err == nil && p.accept(tokPunct, ")") {
+					x, err := p.unaryExpr()
+					if err != nil {
+						return nil, err
+					}
+					return &Expr{Kind: ExCast, Line: t.line, castTo: typ, X: x}, nil
+				}
+			}
+			p.pos = save
+		}
+	}
+	if t.kind == tokKeyword && t.text == "sizeof" {
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExSizeof, Line: t.line, sizeofT: typ}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Expr{Kind: ExIndex, Line: t.line, X: x, Y: idx}
+		case p.accept(tokPunct, "("):
+			call := &Expr{Kind: ExCall, Line: t.line, X: x}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			x = call
+		case p.accept(tokPunct, "."):
+			f, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Expr{Kind: ExMember, Line: t.line, X: x, Name: f.text}
+		case p.accept(tokPunct, "->"):
+			f, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Expr{Kind: ExMember, Line: t.line, X: x, Name: f.text, Arrow: true}
+		case p.at(tokPunct, "++"), p.at(tokPunct, "--"):
+			op := p.cur().text
+			p.pos++
+			x = &Expr{Kind: ExIncDec, Line: t.line, Op: op, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		return &Expr{Kind: ExIntLit, Line: t.line, IVal: t.ival}, nil
+	case tokFloat:
+		p.pos++
+		return &Expr{Kind: ExFloatLit, Line: t.line, FVal: t.fval}, nil
+	case tokIdent:
+		p.pos++
+		return &Expr{Kind: ExIdent, Line: t.line, Name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errHere("expected expression, got %q", t)
+}

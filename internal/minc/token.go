@@ -1,0 +1,265 @@
+// Package minc implements a small C-subset compiler targeting VX64. It is
+// the substrate that produces the "compiled binary code" the BREW rewriter
+// consumes: the paper's workflow starts from functions compiled by an
+// optimizing compiler the programmer does not control, and its Section V.C
+// ("Failed Approaches to Avoid Loop Unrolling") depends on the compiler
+// being free to transform code as long as observable behavior is kept.
+//
+// Supported language (C syntax):
+//
+//	types:       long, double, T*, struct S, typedef'd function pointers
+//	globals:     scalars, arrays, structs with initializer lists
+//	functions:   up to 6 integer/pointer and 8 double parameters
+//	statements:  declarations, assignment (=, +=, -=, *=), if/else, while,
+//	             for, return, break, continue, blocks, expression stmts
+//	expressions: integer/float literals, arithmetic, comparisons, &&/||/!,
+//	             bit ops, casts, array subscript, ->, ., &, *, calls
+//	             (direct and through function-pointer variables), ++/--
+//	             as statements
+package minc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokInt:
+		return fmt.Sprintf("%d", t.ival)
+	case tokFloat:
+		return fmt.Sprintf("%g", t.fval)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"long": true, "int": true, "double": true, "void": true,
+	"struct": true, "typedef": true, "return": true, "if": true,
+	"else": true, "while": true, "for": true, "break": true,
+	"continue": true, "extern": true, "static": true, "const": true,
+	"sizeof": true,
+}
+
+// Error is a compile error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minc:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errAt(line, col, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+var punctuators = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(l.peekByte2())) {
+		return l.number(line, col)
+	}
+
+	rest := l.src[l.pos:]
+	for _, p := range punctuators {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: p, line: line, col: col}, nil
+		}
+	}
+	return token{}, errAt(line, col, "unexpected character %q", c)
+}
+
+func (l *lexer) number(line, col int) (token, error) {
+	start := l.pos
+	isFloat := false
+	if l.peekByte() == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHex(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, errAt(line, col, "bad hex literal %q", text)
+		}
+		return token{kind: tokInt, ival: v, text: text, line: line, col: col}, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if l.peekByte() == 'e' || l.peekByte() == 'E' {
+		isFloat = true
+		l.advance()
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errAt(line, col, "bad float literal %q", text)
+		}
+		return token{kind: tokFloat, fval: f, text: text, line: line, col: col}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, errAt(line, col, "bad int literal %q", text)
+	}
+	return token{kind: tokInt, ival: v, text: text, line: line, col: col}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isHex(c byte) bool       { return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' }

@@ -1,0 +1,156 @@
+package minc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies minc types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid   TypeKind = iota
+	TLong            // 64-bit signed integer ("long", "int" is an alias)
+	TDouble          // 64-bit IEEE float
+	TPtr
+	TStruct
+	TArray
+	TFunc // function type (only used behind pointers)
+)
+
+// Type describes a minc type. Types are interned enough for comparison by
+// structural equality via same().
+type Type struct {
+	Kind TypeKind
+	Elem *Type // TPtr, TArray element
+	Len  int   // TArray length; -1 for flexible array member
+	// TStruct:
+	StructName string
+	Fields     []Field
+	// TFunc:
+	Ret    *Type
+	Params []*Type
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+var (
+	typeVoid   = &Type{Kind: TVoid}
+	typeLong   = &Type{Kind: TLong}
+	typeDouble = &Type{Kind: TDouble}
+)
+
+func ptrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// Size returns the storage size in bytes. Every scalar is 8 bytes wide,
+// matching VX64's 64-bit loads and stores.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TLong, TDouble, TPtr:
+		return 8
+	case TArray:
+		if t.Len < 0 {
+			return 0 // flexible array member
+		}
+		return int64(t.Len) * t.Elem.Size()
+	case TStruct:
+		var n int64
+		for _, f := range t.Fields {
+			n = f.Offset + f.Type.Size()
+		}
+		return n
+	}
+	return 0
+}
+
+// isScalar reports whether values of the type fit a register.
+func (t *Type) isScalar() bool {
+	return t.Kind == TLong || t.Kind == TDouble || t.Kind == TPtr
+}
+
+// isInt reports whether the type lives in the integer register class.
+func (t *Type) isInt() bool { return t.Kind == TLong || t.Kind == TPtr }
+
+func (t *Type) isFuncPtr() bool { return t.Kind == TPtr && t.Elem.Kind == TFunc }
+
+func (t *Type) same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr, TArray:
+		return t.Len == o.Len && t.Elem.same(o.Elem)
+	case TStruct:
+		return t.StructName == o.StructName
+	case TFunc:
+		if !t.Ret.same(o.Ret) || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].same(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TLong:
+		return "long"
+	case TDouble:
+		return "double"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		if t.Len < 0 {
+			return t.Elem.String() + "[]"
+		}
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TStruct:
+		return "struct " + t.StructName
+	case TFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "?"
+}
+
+// field looks up a struct member.
+func (t *Type) field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// layoutStruct assigns 8-byte-aligned offsets.
+func layoutStruct(fields []Field) []Field {
+	var off int64
+	for i := range fields {
+		fields[i].Offset = off
+		off += fields[i].Type.Size()
+	}
+	return fields
+}

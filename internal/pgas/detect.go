@@ -1,0 +1,241 @@
+package pgas
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/brew"
+)
+
+// Section VIII, end to end: "We want to use our API to detect remote
+// memory accesses in arbitrary code, triggering preloading from remote
+// nodes per RDMA, and use a second rewritten version of the same code
+// which redirects memory access to the local pre-loaded data."
+//
+// DetectRemote builds an instrumented rewrite of gsum whose injected load
+// handler records the address window of accesses that hit non-local
+// partitions; AutoOptimize turns the window into a bulk preload plus a
+// respecialized access path.
+
+// detectRuntime is the detection handler: r9 carries the accessed address
+// (handler-injection contract); accesses within the watch window but
+// outside the local partition update a min/max record.
+const detectRuntime = `
+det_handler:
+    push r7
+    push r8
+    movi r7, det_watch_lo
+    load r7, [r7]
+    cmp  r9, r7
+    jb   det_done
+    movi r7, det_watch_hi
+    load r7, [r7]
+    cmp  r9, r7
+    jae  det_done
+    movi r7, det_loc_lo
+    load r7, [r7]
+    cmp  r9, r7
+    jb   det_remote
+    movi r7, det_loc_hi
+    load r7, [r7]
+    cmp  r9, r7
+    jb   det_done
+det_remote:
+    movi r7, det_min
+    load r8, [r7]
+    cmp  r9, r8
+    jae  det_skipmin
+    store [r7], r9
+det_skipmin:
+    movi r7, det_max
+    load r8, [r7]
+    cmp  r9, r8      ; det_max holds one-past; update when r9 >= max
+    jb   det_done
+    addi r9, 8          ; record one past the access
+    store [r7], r9
+    subi r9, 8
+det_done:
+    pop r8
+    pop r7
+    ret
+.data
+det_watch_lo: .quad 0
+det_watch_hi: .quad 0
+det_loc_lo:   .quad 0
+det_loc_hi:   .quad 0
+det_min:      .quad -1
+det_max:      .quad 0
+`
+
+type detector struct {
+	handler                  uint64
+	watchLo, watchHi         uint64
+	locLo, locHi, dmin, dmax uint64
+	instrumented             uint64 // instrumented gsum entry
+}
+
+func (s *System) detector() (*detector, error) {
+	if s.det != nil {
+		return s.det, nil
+	}
+	im, err := asm.Load(s.M, detectRuntime)
+	if err != nil {
+		return nil, err
+	}
+	d := &detector{handler: im.MustEntry("det_handler")}
+	d.watchLo = im.MustEntry("det_watch_lo")
+	d.watchHi = im.MustEntry("det_watch_hi")
+	d.locLo = im.MustEntry("det_loc_lo")
+	d.locHi = im.MustEntry("det_loc_hi")
+	d.dmin = im.MustEntry("det_min")
+	d.dmax = im.MustEntry("det_max")
+
+	// Watch window: the hull of all partitions.
+	lo, hi := ^uint64(0), uint64(0)
+	for _, p := range s.Parts {
+		if p < lo {
+			lo = p
+		}
+		if e := p + uint64(s.BS*8); e > hi {
+			hi = e
+		}
+	}
+	w := func(addr, v uint64) error { return s.M.Mem.Write64(addr, v) }
+	if err := w(d.watchLo, lo); err != nil {
+		return nil, err
+	}
+	if err := w(d.watchHi, hi); err != nil {
+		return nil, err
+	}
+	if err := w(d.locLo, s.Parts[s.Me]); err != nil {
+		return nil, err
+	}
+	if err := w(d.locHi, s.Parts[s.Me]+uint64(s.BS*8)); err != nil {
+		return nil, err
+	}
+
+	// Instrumented rewrite: same specialization as SpecializeSum (the
+	// getter must be inlined so its loads are observable) plus the load
+	// handler.
+	cfg := brew.NewConfig().
+		SetParamPtrToKnown(1, garrSize).
+		SetParam(4, brew.ParamKnown)
+	cfg.SetFuncOpts(s.GSum, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
+	cfg.LoadHandler = d.handler
+	res, err := brew.Rewrite(s.M, cfg, s.GSum, []uint64{s.Garr, 0, 0, s.PgasGet}, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.instrumented = res.Addr
+	s.det = d
+	return d, nil
+}
+
+// DetectionHandler returns the address of the remote-access detection
+// callback for use as a brew.Config.LoadHandler on any kernel operating
+// over this system's partitions (lazy-built).
+func (s *System) DetectionHandler() (uint64, error) {
+	d, err := s.detector()
+	if err != nil {
+		return 0, err
+	}
+	return d.handler, nil
+}
+
+// ResetDetection clears the recorded remote-access window.
+func (s *System) ResetDetection() error {
+	d, err := s.detector()
+	if err != nil {
+		return err
+	}
+	if err := s.M.Mem.Write64(d.dmin, ^uint64(0)); err != nil {
+		return err
+	}
+	return s.M.Mem.Write64(d.dmax, 0)
+}
+
+// DetectedWindow returns the remote global-index window [lo, hi) recorded
+// since the last ResetDetection; ok is false when no remote access was
+// observed.
+func (s *System) DetectedWindow() (lo, hi int, ok bool, err error) {
+	d, err := s.detector()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	minA, _ := s.M.Mem.Read64(d.dmin)
+	maxA, _ := s.M.Mem.Read64(d.dmax)
+	if maxA == 0 || minA == ^uint64(0) {
+		return 0, 0, false, nil
+	}
+	gi, ok1 := s.indexOfAddr(minA)
+	gj, ok2 := s.indexOfAddr(maxA - 8)
+	if !ok1 || !ok2 {
+		return 0, 0, false, fmt.Errorf("pgas: detected window [0x%x,0x%x) outside partitions", minA, maxA)
+	}
+	return gi, gj + 1, true, nil
+}
+
+// DetectRemote executes one instrumented reduction over [from, to) and
+// returns the observed remote global-index window [lo, hi) (lo == hi when
+// every access was local). The instrumented run computes the correct sum;
+// its result is returned too.
+func (s *System) DetectRemote(from, to int) (lo, hi int, sum float64, err error) {
+	d, err := s.detector()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s.ResetDetection(); err != nil {
+		return 0, 0, 0, err
+	}
+	sum, err = s.SumWith(d.instrumented, s.PgasGet, from, to)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lo, hi, ok, err := s.DetectedWindow()
+	if err != nil {
+		return 0, 0, sum, err
+	}
+	if !ok {
+		return 0, 0, sum, nil // all local
+	}
+	return lo, hi, sum, nil
+}
+
+// indexOfAddr maps a partition address back to the global element index.
+func (s *System) indexOfAddr(addr uint64) (int, bool) {
+	for n, p := range s.Parts {
+		if addr >= p && addr < p+uint64(s.BS*8) {
+			return n*s.BS + int(addr-p)/8, true
+		}
+	}
+	return 0, false
+}
+
+// AutoOptimize runs detection over [from, to) and, when remote accesses
+// are observed, preloads the detected window and respecializes against
+// the prefetch-aware getter. It returns the optimized entry, the getter
+// to pass it, and whether a preload happened.
+func (s *System) AutoOptimize(from, to int) (fn, getter uint64, preloaded bool, err error) {
+	lo, hi, _, err := s.DetectRemote(from, to)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if lo == hi {
+		res, err := s.SpecializeSum()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return res.Addr, s.PgasGet, false, nil
+	}
+	if hi-lo > s.prefCap {
+		hi = lo + s.prefCap // window bounded by the buffer
+	}
+	if err := s.Preload(lo, hi); err != nil {
+		return 0, 0, false, err
+	}
+	res, err := s.SpecializeSumPrefetched()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return res.Addr, s.PgasGetPref, true, nil
+}

@@ -1,0 +1,300 @@
+package pgas
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func newSys(t *testing.T, nnodes, bs, me int) *System {
+	t.Helper()
+	s, err := New(vm.MustNew(), nnodes, bs, me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fill(func(i int) float64 { return float64(i%13) * 0.5 }); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenericSumMatchesGolden(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	for _, r := range [][2]int{{0, 256}, {64, 128}, {10, 11}, {100, 200}, {0, 0}} {
+		want, err := s.Golden(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Sum(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("sum[%d,%d) = %g, want %g", r[0], r[1], got, want)
+		}
+	}
+}
+
+func TestSpecializedSumCorrect(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	res, err := s.SpecializeSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 256}, {64, 128}, {31, 97}} {
+		want, err := s.Sum(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.SumWith(res.Addr, s.PgasGet, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("specialized sum[%d,%d) = %g, want %g", r[0], r[1], got, want)
+		}
+	}
+	// The indirect getter call is inlined and the power-of-two division
+	// strength-reduced.
+	if strings.Contains(res.Listing(), "callr") {
+		t.Errorf("getter call survived:\n%s", res.Listing())
+	}
+	if strings.Contains(res.Listing(), "idiv") {
+		t.Errorf("index division survived:\n%s", res.Listing())
+	}
+}
+
+func TestSpecializedSumFasterOnLocalRange(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	res, err := s.SpecializeSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 64, 128 // node 1's own block: all local
+	cycles := func(fn, getter uint64) uint64 {
+		before := s.M.Stats.Cycles
+		if _, err := s.SumWith(fn, getter, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		return s.M.Stats.Cycles - before
+	}
+	generic := cycles(s.GSum, s.PgasGet)
+	spec := cycles(res.Addr, s.PgasGet)
+	t.Logf("local-range gsum: generic=%d specialized=%d", generic, spec)
+	if spec*3 > generic*2 {
+		t.Errorf("specialization too weak: %d vs %d cycles", spec, generic)
+	}
+}
+
+func TestPreloadRedirectsRemoteAccesses(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	lo, hi := 128, 192 // node 2's block: all remote for node 1
+
+	want, err := s.Golden(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generic: every access is a fine-grained remote fetch.
+	before := s.RemoteAccesses()
+	got, err := s.Sum(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("generic remote sum = %g, want %g", got, want)
+	}
+	if n := s.RemoteAccesses() - before; n != uint64(hi-lo) {
+		t.Errorf("remote accesses = %d, want %d", n, hi-lo)
+	}
+
+	// Preload + specialized: zero fine-grained remote accesses.
+	if err := s.Preload(lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SpecializeSumPrefetched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = s.RemoteAccesses()
+	got, err = s.SumWith(res.Addr, s.PgasGetPref, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("prefetched sum = %g, want %g", got, want)
+	}
+	if n := s.RemoteAccesses() - before; n != 0 {
+		t.Errorf("prefetched run still made %d remote accesses", n)
+	}
+}
+
+func TestPreloadBeatsFineGrainedRemote(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	lo, hi := 128, 192
+	before := s.M.Stats.Cycles
+	if _, err := s.Sum(lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	generic := s.M.Stats.Cycles - before
+
+	before = s.M.Stats.Cycles
+	if err := s.Preload(lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SpecializeSumPrefetched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SumWith(res.Addr, s.PgasGetPref, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	withPreload := s.M.Stats.Cycles - before
+	t.Logf("remote-range gsum: generic=%d preload+specialized=%d (incl. transfer)", generic, withPreload)
+	if withPreload >= generic {
+		t.Errorf("preload (%d cycles incl. transfer) not faster than fine-grained remote (%d)", withPreload, generic)
+	}
+}
+
+func TestWindowMoveNeedsRespecialization(t *testing.T) {
+	// The prefetch window is folded in; after moving it, the OLD
+	// specialized version must not be reused. A fresh specialization
+	// picks up the new window (Section VI's domain-map change protocol).
+	s := newSys(t, 4, 64, 1)
+	if err := s.Preload(128, 192); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s.SpecializeSumPrefetched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preload(192, 256); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.SpecializeSumPrefetched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Golden(192, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SumWith(res2.Addr, s.PgasGetPref, 192, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("respecialized sum = %g, want %g", got, want)
+	}
+	_ = res1
+}
+
+func TestBadConfigs(t *testing.T) {
+	m := vm.MustNew()
+	if _, err := New(m, 0, 64, 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := New(m, 9, 64, 0); err == nil {
+		t.Error("9 nodes accepted")
+	}
+	if _, err := New(m, 2, 64, 5); err == nil {
+		t.Error("bad me accepted")
+	}
+	s, err := New(m, 2, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preload(0, 64); err == nil {
+		t.Error("oversized prefetch accepted")
+	}
+}
+
+func TestNonPow2BlockSizeStillWorks(t *testing.T) {
+	s := newSys(t, 3, 48, 0)
+	res, err := s.SpecializeSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Golden(0, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SumWith(res.Addr, s.PgasGet, 0, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestDetectRemoteWindow(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	// Range spanning the end of node 2 and start of node 3.
+	lo, hi, sum, err := s.DetectRemote(180, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Golden(180, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Errorf("instrumented sum = %g, want %g", sum, want)
+	}
+	if lo != 180 || hi != 220 {
+		t.Errorf("detected window [%d,%d), want [180,220)", lo, hi)
+	}
+	// All-local range detects nothing.
+	lo, hi, _, err = s.DetectRemote(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != hi {
+		t.Errorf("local range flagged remote: [%d,%d)", lo, hi)
+	}
+}
+
+func TestAutoOptimizeEndToEnd(t *testing.T) {
+	s := newSys(t, 4, 64, 1)
+	from, to := 128, 192 // node 2: all remote
+
+	want, err := s.Golden(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, getter, preloaded, err := s.AutoOptimize(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preloaded {
+		t.Fatal("remote range did not trigger preload")
+	}
+	before := s.RemoteAccesses()
+	got, err := s.SumWith(fn, getter, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("auto-optimized sum = %g, want %g", got, want)
+	}
+	if n := s.RemoteAccesses() - before; n != 0 {
+		t.Errorf("auto-optimized run made %d fine-grained remote accesses", n)
+	}
+
+	// Local range: no preload, still correct.
+	fn, getter, preloaded, err = s.AutoOptimize(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preloaded {
+		t.Error("local range triggered preload")
+	}
+	want, _ = s.Golden(64, 128)
+	got, err = s.SumWith(fn, getter, 64, 128)
+	if err != nil || math.Abs(got-want) > 1e-9 {
+		t.Errorf("local auto sum = %g, %v; want %g", got, err, want)
+	}
+}

@@ -1,0 +1,27 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestDumpRewrites(t *testing.T) {
+	w, err := New(vm.MustNew(), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := w.RewriteApply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.RewriteApplyGrouped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("=== plain ===")
+	fmt.Println(r1.Listing())
+	fmt.Println("=== grouped ===")
+	fmt.Println(r2.Listing())
+}

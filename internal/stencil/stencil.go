@@ -1,0 +1,317 @@
+// Package stencil reproduces the paper's Section V workload: a generic 2D
+// stencil computation whose stencil form (number of points, offsets,
+// coefficients) is runtime data, specialized at runtime with the BREW
+// rewriter and compared against manually specialized variants.
+//
+// All kernels are minc source compiled to VX64 — the rewriter works on
+// compiler-generated binary code it does not control, as in the paper.
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// Source is the single translation unit holding every kernel variant. The
+// generic/manual kernels are invoked through function pointers from the
+// sweep drivers (separate-compilation-unit behaviour); sweepInlined has
+// the manual stencil written directly in the loop body (the paper's
+// "same compilation unit" 0.48s variant).
+const Source = `
+struct P { double f; long dx; long dy; };
+struct S { long ps; struct P p[]; };
+
+// The paper's 5-point stencil: average of the four neighbours minus the
+// value at the point itself.
+struct S s5 = {5, {{-1.0, 0, 0},
+                   {0.25, -1, 0},
+                   {0.25, 1, 0},
+                   {0.25, 0, -1},
+                   {0.25, 0, 1}}};
+
+// Grouped-coefficient representation (Section V.B): points with the same
+// coefficient share one multiplication.
+struct GP { long dx; long dy; };
+struct G { double f; long n; struct GP pts[4]; };
+struct SG { long gs; struct G g[]; };
+struct SG sg5 = {2, {{-1.0, 1, {{0, 0}, {0, 0}, {0, 0}, {0, 0}}},
+                     {0.25, 4, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}}}};
+
+typedef double (*apply_t)(double*, long, struct S*);
+typedef double (*applyg_t)(double*, long, struct SG*);
+
+// Generic stencil application (the paper's Figure 4).
+double apply(double *m, long xs, struct S *s) {
+    double v = 0.0;
+    for (long i = 0; i < s->ps; i++) {
+        struct P *p = s->p + i;
+        v += p->f * m[p->dx + xs * p->dy];
+    }
+    return v;
+}
+
+// Grouped generic version: one multiplication per coefficient group.
+double apply_grouped(double *m, long xs, struct SG *s) {
+    double v = 0.0;
+    for (long gi = 0; gi < s->gs; gi++) {
+        struct G *g = s->g + gi;
+        double acc = 0.0;
+        for (long i = 0; i < g->n; i++) {
+            struct GP *p = g->pts + i;
+            acc += m[p->dx + xs * p->dy];
+        }
+        v += g->f * acc;
+    }
+    return v;
+}
+
+// Manually specialized 5-point stencil; keeps the generic signature so it
+// is a drop-in replacement, and (like the paper's manual version) does NOT
+// exploit knowledge of the matrix side length.
+double apply_manual(double *m, long xs, struct S *s) {
+    return 0.25 * (m[-1] + m[1] + m[0-xs] + m[xs]) - m[0];
+}
+
+// Sweep drivers: traverse the interior and call the kernel through a
+// function pointer (separate-compilation-unit behaviour).
+double sweep(double *m1, double *m2, long xs, long ys, apply_t ap, struct S *s) {
+    double acc = 0.0;
+    for (long y = 1; y < ys - 1; y++) {
+        for (long x = 1; x < xs - 1; x++) {
+            double v = ap(m1 + y*xs + x, xs, s);
+            m2[y*xs + x] = v;
+            acc += v;
+        }
+    }
+    return acc;
+}
+
+double sweep_grouped(double *m1, double *m2, long xs, long ys, applyg_t ap, struct SG *s) {
+    double acc = 0.0;
+    for (long y = 1; y < ys - 1; y++) {
+        for (long x = 1; x < xs - 1; x++) {
+            double v = ap(m1 + y*xs + x, xs, s);
+            m2[y*xs + x] = v;
+            acc += v;
+        }
+    }
+    return acc;
+}
+
+// The "same compilation unit" variant: with the stencil visible in the
+// loop, the compiler reuses values across neighbouring applications
+// (paper, Section V.B: "Reuse of values ... across stencil updates is
+// important but not possible if the stencil update code is part of
+// another compilation unit"). minc does not inline or reuse on its own,
+// so the source spells out what gcc -O2 produces: the row window
+// (left, center, right) rotates instead of being reloaded.
+double sweep_inlined(double *m1, double *m2, long xs, long ys) {
+    double acc = 0.0;
+    for (long y = 1; y < ys - 1; y++) {
+        long row = y * xs;
+        double left = m1[row];
+        double center = m1[row + 1];
+        for (long x = 1; x < xs - 1; x++) {
+            long c = row + x;
+            double right = m1[c + 1];
+            double v = 0.25 * (left + right + m1[c - xs] + m1[c + xs]) - center;
+            m2[c] = v;
+            acc += v;
+            left = center;
+            center = right;
+        }
+    }
+    return acc;
+}
+`
+
+// StructSSize is the byte size of the initialized s5 global (header plus
+// five 24-byte points).
+const StructSSize = 8 + 5*24
+
+// StructSGSize is the byte size of the initialized sg5 global (header plus
+// two groups of 8+8+4*16 bytes).
+const StructSGSize = 8 + 2*(8+8+4*16)
+
+// Workload is a ready-to-run stencil system: compiled kernels plus two
+// matrices in simulated memory.
+type Workload struct {
+	M      *vm.Machine
+	L      *minc.Linked
+	XS, YS int
+	M1, M2 uint64
+
+	Apply        uint64 // generic kernel
+	ApplyGrouped uint64
+	ApplyManual  uint64
+	Sweep        uint64 // function-pointer sweep over struct S kernels
+	SweepGrouped uint64
+	SweepInlined uint64
+	S5, SG5      uint64 // stencil descriptor globals
+}
+
+// New compiles the kernels into a fresh machine and allocates xs*ys
+// matrices initialized with a deterministic pattern.
+func New(m *vm.Machine, xs, ys int) (*Workload, error) {
+	l, err := minc.CompileAndLink(m, Source, nil)
+	if err != nil {
+		return nil, fmt.Errorf("stencil: %w", err)
+	}
+	w := &Workload{M: m, L: l, XS: xs, YS: ys}
+	for name, dst := range map[string]*uint64{
+		"apply": &w.Apply, "apply_grouped": &w.ApplyGrouped,
+		"apply_manual": &w.ApplyManual, "sweep": &w.Sweep,
+		"sweep_grouped": &w.SweepGrouped, "sweep_inlined": &w.SweepInlined,
+	} {
+		a, err := l.FuncAddr(name)
+		if err != nil {
+			return nil, err
+		}
+		*dst = a
+	}
+	if w.S5, err = l.GlobalAddr("s5"); err != nil {
+		return nil, err
+	}
+	if w.SG5, err = l.GlobalAddr("sg5"); err != nil {
+		return nil, err
+	}
+	n := uint64(xs * ys * 8)
+	if w.M1, err = m.AllocHeap(n); err != nil {
+		return nil, err
+	}
+	if w.M2, err = m.AllocHeap(n); err != nil {
+		return nil, err
+	}
+	if err := w.ResetMatrices(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ResetMatrices reinitializes m1 with the deterministic pattern and zeros
+// m2.
+func (w *Workload) ResetMatrices() error {
+	vals := make([]float64, w.XS*w.YS)
+	for i := range vals {
+		vals[i] = float64((i*31)%17) * 0.125
+	}
+	if err := w.M.WriteF64Slice(w.M1, vals); err != nil {
+		return err
+	}
+	return w.M.WriteF64Slice(w.M2, make([]float64, w.XS*w.YS))
+}
+
+// RunSweeps performs iters sweeps through the function-pointer driver with
+// the given kernel, swapping source and destination after each iteration
+// (the paper's 1000-iteration setup). It returns the final checksum.
+func (w *Workload) RunSweeps(kernel uint64, grouped bool, iters int) (float64, error) {
+	driver := w.Sweep
+	desc := w.S5
+	if grouped {
+		driver = w.SweepGrouped
+		desc = w.SG5
+	}
+	src, dst := w.M1, w.M2
+	var acc float64
+	for i := 0; i < iters; i++ {
+		v, err := w.M.CallFloat(driver, []uint64{src, dst, uint64(w.XS), uint64(w.YS), kernel, desc}, nil)
+		if err != nil {
+			return 0, err
+		}
+		acc = v
+		src, dst = dst, src
+	}
+	return acc, nil
+}
+
+// RunSweepsInlined is RunSweeps for the direct (same-compilation-unit)
+// sweep or any rewritten whole-sweep function with the same signature.
+func (w *Workload) RunSweepsInlined(sweepFn uint64, iters int) (float64, error) {
+	src, dst := w.M1, w.M2
+	var acc float64
+	for i := 0; i < iters; i++ {
+		v, err := w.M.CallFloat(sweepFn, []uint64{src, dst, uint64(w.XS), uint64(w.YS)}, nil)
+		if err != nil {
+			return 0, err
+		}
+		acc = v
+		src, dst = dst, src
+	}
+	return acc, nil
+}
+
+// RewriteApply specializes the generic kernel for the workload's matrix
+// width and the s5 stencil (the paper's Figure 5 configuration).
+func (w *Workload) RewriteApply() (*brew.Result, error) {
+	cfg := brew.NewConfig().
+		SetParam(2, brew.ParamKnown).
+		SetParamPtrToKnown(3, StructSSize)
+	return brew.Rewrite(w.M, cfg, w.Apply, []uint64{0, uint64(w.XS), w.S5}, nil)
+}
+
+// RewriteApplyGrouped specializes the grouped kernel.
+func (w *Workload) RewriteApplyGrouped() (*brew.Result, error) {
+	cfg := brew.NewConfig().
+		SetParam(2, brew.ParamKnown).
+		SetParamPtrToKnown(3, StructSGSize)
+	return brew.Rewrite(w.M, cfg, w.ApplyGrouped, []uint64{0, uint64(w.XS), w.SG5}, nil)
+}
+
+// RewriteSweep specializes the whole function-pointer sweep: matrix width,
+// kernel pointer and stencil descriptor known, loop unrolling disabled for
+// the driver itself (E3b). The result has the sweep_inlined signature from
+// the caller's perspective except that the kernel and descriptor arguments
+// are folded away; it must be called with the full argument list.
+func (w *Workload) RewriteSweep() (*brew.Result, error) {
+	cfg := brew.NewConfig().
+		SetParam(3, brew.ParamKnown).
+		SetParam(5, brew.ParamKnown).
+		SetParamPtrToKnown(6, StructSSize)
+	cfg.SetFuncOpts(w.Sweep, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
+	return brew.Rewrite(w.M, cfg, w.Sweep,
+		[]uint64{0, 0, uint64(w.XS), 0, w.Apply, w.S5}, nil)
+}
+
+// RunRewrittenSweeps drives a whole-sweep rewrite (from RewriteSweep),
+// passing the original argument list.
+func (w *Workload) RunRewrittenSweeps(fn uint64, iters int) (float64, error) {
+	src, dst := w.M1, w.M2
+	var acc float64
+	for i := 0; i < iters; i++ {
+		v, err := w.M.CallFloat(fn, []uint64{src, dst, uint64(w.XS), uint64(w.YS), w.Apply, w.S5}, nil)
+		if err != nil {
+			return 0, err
+		}
+		acc = v
+		src, dst = dst, src
+	}
+	return acc, nil
+}
+
+// Golden computes iters sweeps in Go and returns the final checksum;
+// the reference the VX64 kernels are validated against.
+func (w *Workload) Golden(iters int) float64 {
+	xs, ys := w.XS, w.YS
+	m1 := make([]float64, xs*ys)
+	m2 := make([]float64, xs*ys)
+	for i := range m1 {
+		m1[i] = float64((i*31)%17) * 0.125
+	}
+	var acc float64
+	for it := 0; it < iters; it++ {
+		acc = 0
+		for y := 1; y < ys-1; y++ {
+			for x := 1; x < xs-1; x++ {
+				c := y*xs + x
+				v := 0.25*(m1[c-1]+m1[c+1]+m1[c-xs]+m1[c+xs]) - m1[c]
+				m2[c] = v
+				acc += v
+			}
+		}
+		m1, m2 = m2, m1
+	}
+	return acc
+}

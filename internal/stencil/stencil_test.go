@@ -1,0 +1,193 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func newWorkload(t *testing.T, xs, ys int) *Workload {
+	t.Helper()
+	w, err := New(vm.MustNew(), xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAllVariantsAgreeWithGolden(t *testing.T) {
+	const xs, ys, iters = 12, 10, 3
+	want := newWorkload(t, xs, ys).Golden(iters)
+
+	run := func(name string, f func(w *Workload) (float64, error)) {
+		t.Run(name, func(t *testing.T) {
+			w := newWorkload(t, xs, ys)
+			got, err := f(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("checksum = %g, want %g", got, want)
+			}
+		})
+	}
+
+	run("generic", func(w *Workload) (float64, error) {
+		return w.RunSweeps(w.Apply, false, iters)
+	})
+	run("grouped", func(w *Workload) (float64, error) {
+		return w.RunSweeps(w.ApplyGrouped, true, iters)
+	})
+	run("manual", func(w *Workload) (float64, error) {
+		return w.RunSweeps(w.ApplyManual, false, iters)
+	})
+	run("inlined", func(w *Workload) (float64, error) {
+		return w.RunSweepsInlined(w.SweepInlined, iters)
+	})
+	run("rewritten", func(w *Workload) (float64, error) {
+		res, err := w.RewriteApply()
+		if err != nil {
+			return 0, err
+		}
+		return w.RunSweeps(res.Addr, false, iters)
+	})
+	run("rewritten-grouped", func(w *Workload) (float64, error) {
+		res, err := w.RewriteApplyGrouped()
+		if err != nil {
+			return 0, err
+		}
+		return w.RunSweeps(res.Addr, true, iters)
+	})
+	run("rewritten-sweep", func(w *Workload) (float64, error) {
+		res, err := w.RewriteSweep()
+		if err != nil {
+			return 0, err
+		}
+		return w.RunRewrittenSweeps(res.Addr, iters)
+	})
+}
+
+func TestSpecializationOrdering(t *testing.T) {
+	// The paper's performance ordering, in emulated cycles:
+	//   generic > rewritten >= manual-ish > whole-sweep rewrite
+	const xs, ys, iters = 24, 16, 2
+	cycles := func(f func(w *Workload) (float64, error)) uint64 {
+		w := newWorkload(t, xs, ys)
+		before := w.M.Stats.Cycles
+		if _, err := f(w); err != nil {
+			t.Fatal(err)
+		}
+		return w.M.Stats.Cycles - before
+	}
+	generic := cycles(func(w *Workload) (float64, error) {
+		return w.RunSweeps(w.Apply, false, iters)
+	})
+	manual := cycles(func(w *Workload) (float64, error) {
+		return w.RunSweeps(w.ApplyManual, false, iters)
+	})
+	rewritten := cycles(func(w *Workload) (float64, error) {
+		res, err := w.RewriteApply()
+		if err != nil {
+			return 0, err
+		}
+		return w.RunSweeps(res.Addr, false, iters)
+	})
+	sweepRw := cycles(func(w *Workload) (float64, error) {
+		res, err := w.RewriteSweep()
+		if err != nil {
+			return 0, err
+		}
+		return w.RunRewrittenSweeps(res.Addr, iters)
+	})
+	t.Logf("cycles: generic=%d manual=%d rewritten=%d sweep-rewrite=%d", generic, manual, rewritten, sweepRw)
+	if !(rewritten < generic) {
+		t.Errorf("rewritten (%d) should beat generic (%d)", rewritten, generic)
+	}
+	if !(manual < generic) {
+		t.Errorf("manual (%d) should beat generic (%d)", manual, generic)
+	}
+	if !(sweepRw < manual) {
+		t.Errorf("whole-sweep rewrite (%d) should beat per-point manual (%d)", sweepRw, manual)
+	}
+}
+
+func TestGroupedGenericSlowerButRewriteBetter(t *testing.T) {
+	// Section V.B: the grouped generic is ~10% slower than the plain
+	// generic, but its rewrite is better than the plain rewrite.
+	const xs, ys, iters = 24, 16, 2
+	type res struct{ plain, grouped uint64 }
+	var generic, rewritten res
+
+	w := newWorkload(t, xs, ys)
+	before := w.M.Stats.Cycles
+	if _, err := w.RunSweeps(w.Apply, false, iters); err != nil {
+		t.Fatal(err)
+	}
+	generic.plain = w.M.Stats.Cycles - before
+
+	before = w.M.Stats.Cycles
+	if _, err := w.RunSweeps(w.ApplyGrouped, true, iters); err != nil {
+		t.Fatal(err)
+	}
+	generic.grouped = w.M.Stats.Cycles - before
+
+	r1, err := w.RewriteApply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = w.M.Stats.Cycles
+	if _, err := w.RunSweeps(r1.Addr, false, iters); err != nil {
+		t.Fatal(err)
+	}
+	rewritten.plain = w.M.Stats.Cycles - before
+
+	r2, err := w.RewriteApplyGrouped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = w.M.Stats.Cycles
+	if _, err := w.RunSweeps(r2.Addr, true, iters); err != nil {
+		t.Fatal(err)
+	}
+	rewritten.grouped = w.M.Stats.Cycles - before
+
+	t.Logf("generic: plain=%d grouped=%d; rewritten: plain=%d grouped=%d",
+		generic.plain, generic.grouped, rewritten.plain, rewritten.grouped)
+	if generic.grouped <= generic.plain {
+		t.Errorf("grouped generic (%d) should be slower than plain generic (%d)", generic.grouped, generic.plain)
+	}
+	if rewritten.grouped >= rewritten.plain {
+		t.Errorf("grouped rewrite (%d) should beat plain rewrite (%d)", rewritten.grouped, rewritten.plain)
+	}
+}
+
+func TestRewriteApplyIsStraightLine(t *testing.T) {
+	w := newWorkload(t, 16, 8)
+	res, err := w.RewriteApply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 1 {
+		t.Errorf("specialized apply should be a single block, got %d:\n%s", res.Blocks, res.Listing())
+	}
+}
+
+func TestResetMatrices(t *testing.T) {
+	w := newWorkload(t, 8, 8)
+	if _, err := w.RunSweeps(w.Apply, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ResetMatrices(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.M.ReadF64Slice(w.M2, 8*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("m2[%d] = %g after reset", i, x)
+		}
+	}
+}

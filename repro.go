@@ -1,0 +1,172 @@
+// Package repro is BREW-Go: a from-scratch reproduction of
+//
+//	Weidendorfer, Breitbart. "The Case for Binary Rewriting at Runtime for
+//	Efficient Implementation of High-Level Programming Models in HPC."
+//	IPDPS Workshops (HIPS) 2016.
+//
+// It provides programmer-controlled binary rewriting at runtime: given a
+// compiled function and a configuration declaring which parameters and
+// memory regions are fixed, Rewrite produces a specialized drop-in
+// replacement — partial evaluation, inlining and controlled loop unrolling
+// over machine code.
+//
+// The machine code is VX64, a simulated 64-bit ISA (see DESIGN.md for why
+// and how the simulation substitutes for the paper's x86 hardware). A
+// System bundles everything needed end to end:
+//
+//	sys, _ := repro.NewSystem()
+//	prog, _ := sys.CompileC(`
+//	    double scale(double *v, long n, double f) { ... }`, nil)
+//	fn, _ := prog.FuncAddr("scale")
+//
+//	cfg := repro.NewConfig().SetParam(2, repro.ParamKnown)
+//	res, _ := sys.Rewrite(cfg, fn, []uint64{0, 128}, nil)
+//	out, _ := sys.CallFloat(res.Addr, []uint64{vec, 128}, nil)
+package repro
+
+import (
+	"repro/internal/asm"
+	"repro/internal/brew"
+	"repro/internal/isa"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// Re-exported rewriter types: the stable public surface of the core
+// library.
+type (
+	// Config is the rewriter configuration (the paper's rConf).
+	Config = brew.Config
+	// FuncOpts are per-function tracing options.
+	FuncOpts = brew.FuncOpts
+	// ParamClass declares a parameter assumption.
+	ParamClass = brew.ParamClass
+	// Result describes a successful rewrite.
+	Result = brew.Result
+	// GuardedResult describes a profile-guarded specialization.
+	GuardedResult = brew.GuardedResult
+	// ParamGuard is one parameter equality guard.
+	ParamGuard = brew.ParamGuard
+	// Program is a compiled-and-linked C translation unit.
+	Program = minc.Linked
+	// Machine is the underlying VX64 system instance.
+	Machine = vm.Machine
+	// Stats are the machine's execution counters.
+	Stats = vm.Stats
+)
+
+// Parameter classes (paper: BREW_UNKNOWN, BREW_KNOWN, BREW_PTR_TOKNOWN).
+const (
+	ParamUnknown    = brew.ParamUnknown
+	ParamKnown      = brew.ParamKnown
+	ParamPtrToKnown = brew.ParamPtrToKnown
+)
+
+// Rewriting failures; all of them leave the original function usable.
+var (
+	ErrIndirectJump   = brew.ErrIndirectJump
+	ErrTraceTooLong   = brew.ErrTraceTooLong
+	ErrTooManyBlocks  = brew.ErrTooManyBlocks
+	ErrInlineDepth    = brew.ErrInlineDepth
+	ErrCodeBufferFull = brew.ErrCodeBufferFull
+	ErrBadCode        = brew.ErrBadCode
+	ErrUnsupported    = brew.ErrUnsupported
+	ErrBadConfig      = brew.ErrBadConfig
+)
+
+// NewConfig returns a rewriter configuration with library defaults
+// (brew_initConf).
+func NewConfig() *Config { return brew.NewConfig() }
+
+// System is one simulated machine with compiler, assembler and rewriter
+// attached.
+type System struct {
+	// VM is the underlying machine: memory, cache model, statistics.
+	VM *Machine
+}
+
+// NewSystem creates a machine with the default address-space layout and
+// the default (i7-3740QM-like) cache hierarchy.
+func NewSystem() (*System, error) {
+	m, err := vm.New()
+	if err != nil {
+		return nil, err
+	}
+	return &System{VM: m}, nil
+}
+
+// CompileC compiles a minc (C subset) translation unit into the system and
+// returns the linked program. Extern declarations resolve against the
+// given symbol addresses.
+func (s *System) CompileC(src string, externs map[string]uint64) (*Program, error) {
+	return minc.CompileAndLink(s.VM, src, externs)
+}
+
+// LoadAsm assembles a VX64 assembly program into the system and returns
+// its symbol table.
+func (s *System) LoadAsm(src string) (*asm.Image, error) {
+	return asm.Load(s.VM, src)
+}
+
+// Rewrite generates a specialized drop-in replacement for the function at
+// fn (the paper's brew_rewrite). args/fargs supply the emulated call's
+// parameter setting; only parameters declared known in cfg are consulted.
+func (s *System) Rewrite(cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
+	return brew.Rewrite(s.VM, cfg, fn, args, fargs)
+}
+
+// RewriteGuarded generates a guarded specialization: a dispatcher checking
+// the guards, the specialized body, and fallback to the original
+// (Section III.D's profile-driven variant generation).
+func (s *System) RewriteGuarded(cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
+	return brew.RewriteGuarded(s.VM, cfg, fn, guards, args, fargs)
+}
+
+// Call invokes a function through the VX64 ABI with integer arguments and
+// returns R0.
+func (s *System) Call(fn uint64, args ...uint64) (uint64, error) {
+	return s.VM.Call(fn, args...)
+}
+
+// CallFloat invokes a function and returns F0.
+func (s *System) CallFloat(fn uint64, intArgs []uint64, fArgs []float64) (float64, error) {
+	return s.VM.CallFloat(fn, intArgs, fArgs)
+}
+
+// Disassemble renders n bytes of code at addr.
+func (s *System) Disassemble(addr uint64, n int) (string, error) {
+	b, err := s.VM.Mem.ReadBytes(addr, n)
+	if err != nil {
+		return "", err
+	}
+	return isa.Disassemble(b, addr, false), nil
+}
+
+// AllocHeap reserves n bytes of simulated heap and returns the address.
+func (s *System) AllocHeap(n uint64) (uint64, error) { return s.VM.AllocHeap(n) }
+
+// WriteF64 / ReadF64 access simulated memory as float64.
+func (s *System) WriteF64(addr uint64, v float64) error { return s.VM.Mem.WriteF64(addr, v) }
+
+// ReadF64 reads a float64 from simulated memory.
+func (s *System) ReadF64(addr uint64) (float64, error) { return s.VM.Mem.ReadF64(addr) }
+
+// WriteF64Slice stores vals consecutively at addr.
+func (s *System) WriteF64Slice(addr uint64, vals []float64) error {
+	return s.VM.WriteF64Slice(addr, vals)
+}
+
+// ReadF64Slice loads n float64 values starting at addr.
+func (s *System) ReadF64Slice(addr uint64, n int) ([]float64, error) {
+	return s.VM.ReadF64Slice(addr, n)
+}
+
+// BatchRequest is one rewrite in a RewriteBatch call.
+type BatchRequest = brew.BatchRequest
+
+// RewriteBatch performs several independent rewrites concurrently
+// (tracing only reads machine memory; installation is serialized). The
+// machine must not execute code while the batch runs.
+func (s *System) RewriteBatch(reqs []BatchRequest) ([]*Result, []error) {
+	return brew.RewriteBatch(s.VM, reqs)
+}
