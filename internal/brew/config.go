@@ -202,6 +202,27 @@ func (c *Config) SetFloatParam(i int, class ParamClass) *Config {
 	return c
 }
 
+// IntParamClass returns the declared class of integer parameter i
+// (1-based) and, for ParamPtrToKnown, the declared pointee size. Out-of-
+// range indices are ParamUnknown. The differential oracle uses this to
+// generate argument vectors consistent with the configuration.
+func (c *Config) IntParamClass(i int) (ParamClass, uint64) {
+	if i < 1 || i > len(c.intParams) {
+		return ParamUnknown, 0
+	}
+	s := c.intParams[i-1]
+	return s.class, s.size
+}
+
+// FloatParamClass returns the declared class of floating-point parameter i
+// (1-based); out-of-range indices are ParamUnknown.
+func (c *Config) FloatParamClass(i int) ParamClass {
+	if i < 1 || i > len(c.floatParams) {
+		return ParamUnknown
+	}
+	return c.floatParams[i-1]
+}
+
 // SetMemRange marks [start, end) as known, fixed data (brew_setmem).
 func (c *Config) SetMemRange(start, end uint64) *Config {
 	if start < end {

@@ -1,0 +1,39 @@
+package brew_test
+
+import (
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+// FuzzDifferential drives the differential-execution oracle from the fuzzer:
+// each input seed selects one randomly generated minc translation unit, a
+// random known-parameter declaration and random tracing options, and the
+// oracle checks that the rewritten function is observably equivalent to the
+// original (returns, non-stack stores, final memory, faulting behaviour)
+// over randomized argument vectors. Compared to FuzzRewriteEquivalence this
+// exercises whole compiled programs — frames, spills, helper calls and
+// global-array traffic — rather than straight-line assembly.
+//
+//	go test -fuzz=FuzzDifferential -fuzztime=30s ./internal/brew/
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(18))   // renameCalleeSaved inlined save/restore miscompile
+	f.Add(int64(1234)) // wider slice of the generator space
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := oracle.Generated(seed)
+		c.Trials = 3 // keep individual fuzz executions cheap
+		res, err := oracle.Run(c, seed)
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if res.RewriteErr != nil {
+			t.Skip() // typed refusal, not a bug
+		}
+		if res.Divergence != nil {
+			t.Fatalf("seed %d:\n%s", seed, res.Divergence.Format())
+		}
+	})
+}

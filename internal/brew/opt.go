@@ -274,24 +274,62 @@ func renameCalleeSaved(blocks []*eblock) {
 	}
 
 	// Integer callee-saved registers: rename body occurrences, leaving
-	// the PUSH/POP pairs for removeDeadSaves to collect.
-	pushed := map[isa.Reg]bool{}
+	// the PUSH/POP save/restore pairs for removeDeadSaves to collect.
+	//
+	// Only the function's own prologue pushes and epilogue pops may be
+	// exempted from renaming. Inlined callees contribute further PUSH/POP
+	// pairs mid-block, and body uses of the register between such a pair
+	// are scratch uses protected by it: renaming them to a caller-saved
+	// register (while the pair keeps saving the old one) would let the
+	// scratch writes clobber the outer live value. A register with any
+	// PUSH/POP occurrence outside the prologue/epilogue is therefore not
+	// a rename candidate.
+	var pushedOrder []isa.Reg
 	start := 0
 	for start < len(entry.ins) && entry.ins[start].Op == isa.CALL {
 		start++
 	}
 	for i := start; i < len(entry.ins) && entry.ins[i].Op == isa.PUSH; i++ {
-		pushed[entry.ins[i].Dst.Reg] = true
+		pushedOrder = append(pushedOrder, entry.ins[i].Dst.Reg)
 	}
-	skipPushPop := func(b *eblock, i int) bool {
-		op := b.ins[i].Op
-		return op == isa.PUSH || op == isa.POP
+	saveRestore := map[*eblock]map[int]bool{entry: {}}
+	for i := start; i < len(entry.ins) && entry.ins[i].Op == isa.PUSH; i++ {
+		saveRestore[entry][i] = true
 	}
-	for r := range pushed {
-		if !isa.CalleeSavedInt(r) {
+	for _, b := range blocks {
+		if len(b.ins) == 0 || b.ins[len(b.ins)-1].Op != isa.RET {
 			continue
 		}
-		if readsIncoming(blocks, regRef{isa.RFInt, r}, skipPushPop) {
+		end := len(b.ins) - 1
+		for end > 0 && b.ins[end-1].Op == isa.CALL {
+			end-- // exit-handler call between pops and RET
+		}
+		if saveRestore[b] == nil {
+			saveRestore[b] = map[int]bool{}
+		}
+		for i := end - 1; i >= 0 && b.ins[i].Op == isa.POP; i-- {
+			saveRestore[b][i] = true
+		}
+	}
+	skipSaveRestore := func(b *eblock, i int) bool {
+		return saveRestore[b] != nil && saveRestore[b][i]
+	}
+	innerPushPop := func(r isa.Reg) bool {
+		for _, b := range blocks {
+			for i, in := range b.ins {
+				if (in.Op == isa.PUSH || in.Op == isa.POP) && in.Dst.Reg == r &&
+					!skipSaveRestore(b, i) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, r := range pushedOrder {
+		if !isa.CalleeSavedInt(r) || innerPushPop(r) {
+			continue
+		}
+		if readsIncoming(blocks, regRef{isa.RFInt, r}, skipSaveRestore) {
 			continue
 		}
 		nr, found := freeInt()
@@ -300,7 +338,7 @@ func renameCalleeSaved(blocks []*eblock) {
 		}
 		for _, b := range blocks {
 			for i := range b.ins {
-				if skipPushPop(b, i) {
+				if skipSaveRestore(b, i) {
 					continue
 				}
 				renameIntReg(&b.ins[i], r, nr)

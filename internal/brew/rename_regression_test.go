@@ -1,0 +1,80 @@
+package brew_test
+
+import (
+	"testing"
+
+	"repro/internal/brew"
+)
+
+// TestRenameSkipsInlinedSaveRestore is the regression test for a
+// miscompilation found by the differential oracle (internal/oracle): after
+// inlining, a captured block can contain the callee's own PUSH/POP
+// save/restore pair mid-block. renameCalleeSaved used to exempt every
+// PUSH/POP from renaming while renaming all body occurrences, so an outer
+// value live in a callee-saved register across the inlined region moved to
+// a caller-saved register — which the inlined body's scratch uses (renamed
+// too, and no longer protected by the pair) then clobbered. The register
+// pick also depended on map iteration order, so the bad rewrite appeared
+// nondeterministically.
+func TestRenameSkipsInlinedSaveRestore(t *testing.T) {
+	m, im := load(t, `
+outer:
+    push r10
+    mov  r10, r1
+    call helper
+    add  r0, r10
+    pop  r10
+    ret
+helper:
+    push r10
+    mov  r10, r2
+    imul r10, r10
+    mov  r0, r10
+    pop  r10
+    ret
+`)
+	fn := im.MustEntry("outer")
+	cfg := brew.NewConfig()
+	res := mustRewrite(t, m, cfg, fn, nil, nil)
+	// outer(a, b) = a + b*b; a survives in r10 across the inlined helper,
+	// which scratches r10 under its own push/pop.
+	got, err := m.Call(res.Addr, 7, 5)
+	if err != nil || got != 32 {
+		t.Fatalf("rewritten outer(7,5) = %d, %v; want 32\n%s", got, err, res.Listing())
+	}
+}
+
+// TestRenameDeterministic: two rewrites of the same function must produce
+// identical code — the rename candidate order is the prologue push order,
+// not map iteration order.
+func TestRenameDeterministic(t *testing.T) {
+	src := `
+f:
+    push r10
+    push r11
+    push r12
+    mov  r10, r1
+    mov  r11, r2
+    mov  r12, r3
+    add  r10, r11
+    imul r10, r12
+    mov  r0, r10
+    pop  r12
+    pop  r11
+    pop  r10
+    ret
+`
+	var first string
+	for i := 0; i < 8; i++ {
+		m, im := load(t, src)
+		fn := im.MustEntry("f")
+		res := mustRewrite(t, m, brew.NewConfig(), fn, nil, nil)
+		if i == 0 {
+			first = res.Listing()
+			continue
+		}
+		if res.Listing() != first {
+			t.Fatalf("nondeterministic rewrite:\n--- first:\n%s\n--- run %d:\n%s", first, i, res.Listing())
+		}
+	}
+}

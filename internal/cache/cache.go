@@ -96,7 +96,9 @@ func New(cfgs []Level, memLatency int) (*Hierarchy, error) {
 // Access simulates an access of size bytes at addr and returns the latency
 // in cycles. Accesses spanning multiple lines charge each line.
 func (h *Hierarchy) Access(addr uint64, size int) int {
-	if len(h.levels) == 0 {
+	if len(h.levels) == 0 || size <= 0 {
+		// size == 0 must not reach the line walk: addr+size-1 would wrap
+		// and the loop would visit (nearly) every line in the 64-bit space.
 		return 0
 	}
 	line := uint64(h.levels[0].cfg.LineSize)

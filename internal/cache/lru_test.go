@@ -1,0 +1,97 @@
+package cache
+
+import "testing"
+
+// TestAccessSizeZeroNoUnderflow is the regression test for an underflow in
+// Access: with size == 0, `addr + size - 1` wrapped around and the line walk
+// iterated over (nearly) the whole 64-bit address space. A zero- or
+// negative-sized access must cost nothing and touch no state.
+func TestAccessSizeZeroNoUnderflow(t *testing.T) {
+	h := single(t, 1024, 64, 2, 4, 100)
+	if lat := h.Access(0, 0); lat != 0 {
+		t.Errorf("Access(0, 0) = %d, want 0", lat)
+	}
+	if lat := h.Access(12345, 0); lat != 0 {
+		t.Errorf("Access(12345, 0) = %d, want 0", lat)
+	}
+	if lat := h.Access(64, -8); lat != 0 {
+		t.Errorf("Access(64, -8) = %d, want 0", lat)
+	}
+	for _, s := range h.Stats() {
+		if s.Accesses() != 0 {
+			t.Errorf("%s recorded %d accesses for size<=0 requests", s.Name, s.Accesses())
+		}
+	}
+	// An empty hierarchy is free too.
+	empty, err := New(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := empty.Access(0, 8); lat != 0 {
+		t.Errorf("empty hierarchy Access = %d, want 0", lat)
+	}
+}
+
+// TestLRUEvictionOrderFullAssoc fills one set to full associativity and
+// checks that a conflict evicts exactly the least recently used way.
+func TestLRUEvictionOrderFullAssoc(t *testing.T) {
+	// 4-way, sets = 2048/(64*4) = 8, so stride 512 maps to the same set.
+	h := single(t, 2048, 64, 4, 4, 100)
+	lines := []uint64{0, 512, 1024, 1536, 2048} // five lines, one set
+	for _, a := range lines[:4] {
+		h.Access(a, 8) // cold fill; MRU order now 1536, 1024, 512, 0
+	}
+	h.Access(lines[4], 8) // conflict: must evict line 0 (LRU)
+	if lat := h.Access(lines[0], 8); lat != 104 {
+		t.Errorf("evicted LRU line should miss: latency %d, want 104", lat)
+	}
+	// Line 0's refill in turn evicted 512 (LRU after the 2048 fill);
+	// the remaining three stayed resident.
+	for _, a := range []uint64{1024, 1536, 2048} {
+		if lat := h.Access(a, 8); lat != 4 {
+			t.Errorf("line 0x%x should still hit: latency %d, want 4", a, lat)
+		}
+	}
+	if lat := h.Access(512, 8); lat != 104 {
+		t.Errorf("second-oldest line should have been evicted next: latency %d, want 104", lat)
+	}
+}
+
+// TestMRUPromotionOnHit: a hit must move the line to the MRU position, so
+// the *other* resident line is the eviction victim.
+func TestMRUPromotionOnHit(t *testing.T) {
+	h := single(t, 1024, 64, 2, 4, 100)
+	a, b, c := uint64(0), uint64(512), uint64(1024) // one 2-way set
+	h.Access(a, 8)                                  // order: a
+	h.Access(b, 8)                                  // order: b, a
+	h.Access(a, 8)                                  // hit promotes a: order a, b
+	h.Access(c, 8)                                  // evicts b, not a
+	if lat := h.Access(a, 8); lat != 4 {
+		t.Errorf("promoted line was evicted: latency %d, want 4", lat)
+	}
+	if lat := h.Access(b, 8); lat != 104 {
+		t.Errorf("unpromoted line should have been the victim: latency %d, want 104", lat)
+	}
+}
+
+// TestMultiLineSpanLatency: an access spanning N lines charges each line
+// independently, both cold and warm.
+func TestMultiLineSpanLatency(t *testing.T) {
+	h := single(t, 4096, 64, 4, 4, 100)
+	// 256 bytes at an aligned base: exactly 4 lines.
+	if lat := h.Access(0, 256); lat != 4*104 {
+		t.Errorf("4-line cold span = %d, want %d", lat, 4*104)
+	}
+	if lat := h.Access(0, 256); lat != 4*4 {
+		t.Errorf("4-line warm span = %d, want %d", lat, 4*4)
+	}
+	// Misaligned span: bytes [100, 240) touch lines 64, 128, 192 — the
+	// head and tail partial lines count like full ones.
+	h2 := single(t, 4096, 64, 4, 4, 100)
+	if lat := h2.Access(100, 140); lat != 3*104 {
+		t.Errorf("misaligned 3-line cold span = %d, want %d", lat, 3*104)
+	}
+	if lat := h2.Access(100, 140); lat != 3*4 {
+		t.Errorf("misaligned 3-line warm span = %d, want %d", lat, 3*4)
+	}
+}

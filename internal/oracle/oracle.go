@@ -1,0 +1,464 @@
+// Package oracle implements a differential-execution harness for the BREW
+// rewriter: the executable form of the paper's central invariant (DESIGN.md
+// §5) that a rewritten function is a drop-in replacement for the original —
+// same results, same stores, same faulting behaviour — for every argument
+// vector consistent with the declared known values.
+//
+// A Case describes how to build a machine with the function under test and
+// how to generate consistent argument vectors. Run builds two identical
+// instances, rewrites the function on one of them, and executes every trial
+// on both: the original on the first machine, the rewritten code on the
+// second. Both runs start from identical CPU and memory state and record a
+// complete store journal through the VM's OnStoreValue hook. The harness
+// compares return registers, callee-saved registers, the ordered journal of
+// non-stack stores, final memory of all writable regions, and whether the
+// run faulted. The first divergence is minimized over the unknown
+// parameters and reported with disassembly context.
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/brew"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// StoreRec is one journaled store: address, byte size and the stored value
+// (low size*8 bits).
+type StoreRec struct {
+	Addr uint64
+	Size int
+	Val  uint64
+}
+
+func (s StoreRec) String() string {
+	return fmt.Sprintf("[0x%x]%d <- 0x%x", s.Addr, s.Size, s.Val)
+}
+
+// Instance is one freshly built machine with the function under test and
+// its rewrite configuration. Build functions must be deterministic: two
+// calls must produce machines with identical memory content and identical
+// addresses, so that the original and the rewritten run start from the
+// same world.
+type Instance struct {
+	M     *vm.Machine
+	Fn    uint64
+	Cfg   *brew.Config
+	Args  []uint64  // rewrite-time parameter setting (brew_rewrite args)
+	FArgs []float64 // rewrite-time float parameter setting
+}
+
+// Case describes one differential check.
+type Case struct {
+	Name string
+	// Build constructs a fresh instance. It is called at least twice per
+	// Run (original machine, rewritten machine) and must be deterministic.
+	Build func() (*Instance, error)
+	// NewArgs generates one argument vector consistent with the declared
+	// known parameters (known parameters must carry the rewrite-time
+	// values).
+	NewArgs func(r *rand.Rand) ([]uint64, []float64)
+	// Float selects the float calling convention (CallFloat, compare F0)
+	// instead of the integer one (Call, compare R0).
+	Float bool
+	// Trials is the number of argument vectors to test (default 6).
+	Trials int
+	// StepLimit bounds each run (default 8M instructions).
+	StepLimit int64
+	// SkipStoreOrder disables the ordered store-journal comparison and
+	// relies on the final-memory comparison only. Needed for rewrites that
+	// legitimately restructure stores (e.g. vectorization).
+	SkipStoreOrder bool
+}
+
+// CaseResult is the outcome of one differential case.
+type CaseResult struct {
+	Name   string
+	Trials int
+	// RewriteErr is set when the rewriter refused the function (a typed,
+	// non-catastrophic failure per Section III.G) — the case is skipped,
+	// not failed.
+	RewriteErr error
+	// Divergence is non-nil when the invariant was violated.
+	Divergence *Divergence
+}
+
+// outcome captures everything observable about one run.
+type outcome struct {
+	fault     error
+	ret       uint64
+	fret      uint64 // F0 bits
+	calleeInt [6]uint64
+	calleeF   [6]uint64
+	stores    []StoreRec
+}
+
+// dspan is one dirtied byte range.
+type dspan struct {
+	addr uint64
+	size int
+}
+
+// machState is one machine plus the bookkeeping to roll it back to its
+// post-rewrite state between trials. Rolling back only the bytes the last
+// run stored to keeps trials cheap on the ~80 MB simulated address space.
+type machState struct {
+	inst  *Instance
+	snap  map[*mem.Segment][]byte // full copy of writable segments
+	dirty []dspan                 // spans stored to since the last rollback
+}
+
+// harness pairs the two instances with their post-rewrite snapshots.
+type harness struct {
+	c          Case
+	orig, rewr *machState
+	rewrAddr   uint64
+	listing    string
+	stepLimit  int64
+}
+
+// Run executes one differential case. The returned error reports harness
+// failures (nondeterministic Build, execution setup problems); rewriter
+// refusals and divergences are reported in the CaseResult.
+func Run(c Case, seed int64) (*CaseResult, error) {
+	res := &CaseResult{Name: c.Name}
+	h, err := newHarness(c)
+	if err != nil {
+		return nil, err
+	}
+	if h == nil { // rewriter refused
+		res.RewriteErr = hErr(c)
+		return res, nil
+	}
+	trials := c.Trials
+	if trials <= 0 {
+		trials = 6
+	}
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		args, fargs := c.NewArgs(r)
+		d, err := h.diff(args, fargs)
+		if err != nil {
+			return nil, err
+		}
+		res.Trials++
+		if d != nil {
+			h.minimize(d)
+			h.decorate(d)
+			res.Divergence = d
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// hErr re-runs the rewrite to recover the refusal error (newHarness
+// returned nil). Build determinism makes this exact.
+func hErr(c Case) error {
+	inst, err := c.Build()
+	if err != nil {
+		return err
+	}
+	_, rerr := brew.Rewrite(inst.M, inst.Cfg, inst.Fn, inst.Args, inst.FArgs)
+	return rerr
+}
+
+func newHarness(c Case) (*harness, error) {
+	orig, err := c.Build()
+	if err != nil {
+		return nil, fmt.Errorf("oracle %s: build: %w", c.Name, err)
+	}
+	rewr, err := c.Build()
+	if err != nil {
+		return nil, fmt.Errorf("oracle %s: build: %w", c.Name, err)
+	}
+	if orig.Fn != rewr.Fn {
+		return nil, fmt.Errorf("oracle %s: nondeterministic build: fn 0x%x vs 0x%x", c.Name, orig.Fn, rewr.Fn)
+	}
+	res, rerr := brew.Rewrite(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
+	if rerr != nil {
+		return nil, nil // refusal; Run re-derives the error
+	}
+	h := &harness{
+		c:        c,
+		orig:     &machState{inst: orig, snap: snapshot(orig.M)},
+		rewr:     &machState{inst: rewr, snap: snapshot(rewr.M)},
+		rewrAddr: res.Addr,
+		listing:  res.Listing(),
+	}
+	h.stepLimit = c.StepLimit
+	if h.stepLimit <= 0 {
+		h.stepLimit = 8 << 20
+	}
+	return h, nil
+}
+
+// snapshot copies every writable segment's content.
+func snapshot(m *vm.Machine) map[*mem.Segment][]byte {
+	out := make(map[*mem.Segment][]byte)
+	for _, s := range m.Mem.Segments() {
+		if s.Perm&mem.PermWrite == 0 {
+			continue
+		}
+		cp := make([]byte, len(s.Data))
+		copy(cp, s.Data)
+		out[s] = cp
+	}
+	return out
+}
+
+// rollback undoes every store of the previous run by copying the dirtied
+// spans back from the snapshot.
+func (ms *machState) rollback() {
+	m := ms.inst.M.Mem
+	for _, d := range ms.dirty {
+		s := m.Find(d.addr)
+		if s == nil {
+			continue
+		}
+		ref, ok := ms.snap[s]
+		if !ok {
+			continue
+		}
+		off := d.addr - s.Base
+		end := off + uint64(d.size)
+		if end > uint64(len(s.Data)) {
+			end = uint64(len(s.Data))
+		}
+		copy(s.Data[off:end], ref[off:end])
+	}
+	ms.dirty = ms.dirty[:0]
+}
+
+// resetCPU puts the register file into the canonical pre-call state both
+// machines started from.
+func resetCPU(m *vm.Machine) {
+	m.CPU = vm.CPU{}
+	m.CPU.R[isa.SP] = vm.StackTop - 64
+}
+
+// inStack reports whether addr falls into the simulated stack segment.
+// Stack traffic is excluded from the equivalence contract: the rewriter is
+// free to lay out private frames differently (dead frame stores, frame
+// shrinking, inlining).
+func inStack(addr uint64) bool {
+	return addr >= vm.StackTop-vm.StackSize && addr < vm.StackTop
+}
+
+// runOne executes fn on ms's machine with the canonical initial state and
+// captures the outcome.
+func (h *harness) runOne(ms *machState, fn uint64, args []uint64, fargs []float64) outcome {
+	m := ms.inst.M
+	ms.rollback()
+	resetCPU(m)
+	m.UserStepLimit = h.stepLimit
+	var o outcome
+	m.OnStoreValue = func(addr uint64, size int, val uint64) {
+		ms.dirty = append(ms.dirty, dspan{addr, size})
+		if !inStack(addr) {
+			o.stores = append(o.stores, StoreRec{addr, size, val})
+		}
+	}
+	if h.c.Float {
+		_, o.fault = m.CallFloat(fn, args, fargs)
+	} else {
+		_, o.fault = m.Call(fn, args...)
+	}
+	m.OnStoreValue = nil
+	o.ret = m.CPU.R[isa.IntRet]
+	o.fret = math.Float64bits(m.CPU.F[0])
+	for i, r := range []isa.Reg{isa.R10, isa.R11, isa.R12, isa.R13, isa.R14, isa.SP} {
+		o.calleeInt[i] = m.CPU.R[r]
+	}
+	for i := 0; i < 6; i++ {
+		o.calleeF[i] = math.Float64bits(m.CPU.F[10+i])
+	}
+	return o
+}
+
+// diff runs one argument vector on both machines and compares the
+// outcomes. A nil Divergence means the runs were equivalent.
+func (h *harness) diff(args []uint64, fargs []float64) (*Divergence, error) {
+	oo := h.runOne(h.orig, h.orig.inst.Fn, args, fargs)
+	or := h.runOne(h.rewr, h.rewrAddr, args, fargs)
+	d := h.compare(&oo, &or)
+	if d != nil {
+		d.Case = h.c.Name
+		d.Args = append([]uint64(nil), args...)
+		d.FArgs = append([]float64(nil), fargs...)
+	}
+	return d, nil
+}
+
+func (h *harness) compare(oo, or *outcome) *Divergence {
+	if (oo.fault == nil) != (or.fault == nil) {
+		return &Divergence{Kind: "fault",
+			Detail: fmt.Sprintf("original fault: %v, rewritten fault: %v", oo.fault, or.fault)}
+	}
+	if oo.fault != nil {
+		// Both faulted: the contract only requires matching faulting
+		// behaviour, not matching partial progress.
+		return nil
+	}
+	if !h.c.Float && oo.ret != or.ret {
+		return &Divergence{Kind: "return",
+			Detail: fmt.Sprintf("R0: original 0x%x (%d), rewritten 0x%x (%d)", oo.ret, int64(oo.ret), or.ret, int64(or.ret))}
+	}
+	if h.c.Float && oo.fret != or.fret {
+		return &Divergence{Kind: "float-return",
+			Detail: fmt.Sprintf("F0: original %g (0x%x), rewritten %g (0x%x)",
+				math.Float64frombits(oo.fret), oo.fret, math.Float64frombits(or.fret), or.fret)}
+	}
+	if oo.calleeInt != or.calleeInt || oo.calleeF != or.calleeF {
+		return &Divergence{Kind: "callee-saved",
+			Detail: fmt.Sprintf("callee-saved state: original R10-R14/SP %v F10-F15 %v, rewritten %v / %v",
+				oo.calleeInt, oo.calleeF, or.calleeInt, or.calleeF)}
+	}
+	if !h.c.SkipStoreOrder {
+		if d := compareStores(oo.stores, or.stores); d != nil {
+			return d
+		}
+	}
+	return h.compareMemory()
+}
+
+// compareStores matches the two journals element by element.
+func compareStores(a, b []StoreRec) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return &Divergence{Kind: "store",
+				Detail: fmt.Sprintf("store #%d: original %v, rewritten %v\n%s",
+					i, a[i], b[i], journalContext(a, b, i))}
+		}
+	}
+	if len(a) != len(b) {
+		return &Divergence{Kind: "store-count",
+			Detail: fmt.Sprintf("original performed %d non-stack stores, rewritten %d\n%s",
+				len(a), len(b), journalContext(a, b, n))}
+	}
+	return nil
+}
+
+// journalContext renders a few entries around the first mismatch.
+func journalContext(a, b []StoreRec, at int) string {
+	lo := at - 2
+	if lo < 0 {
+		lo = 0
+	}
+	out := "journal context (original | rewritten):\n"
+	for i := lo; i <= at+2; i++ {
+		l, r := "-", "-"
+		if i < len(a) {
+			l = a[i].String()
+		}
+		if i < len(b) {
+			r = b[i].String()
+		}
+		mark := "  "
+		if i == at {
+			mark = "->"
+		}
+		out += fmt.Sprintf("  %s #%d: %-32s | %s\n", mark, i, l, r)
+	}
+	return out
+}
+
+// compareMemory diffs final memory of all writable regions, excluding the
+// stack (private frames differ by design) and the JIT segment (it holds
+// the rewritten code itself on one side).
+func (h *harness) compareMemory() *Divergence {
+	segsO := h.orig.inst.M.Mem.Segments()
+	segsR := h.rewr.inst.M.Mem.Segments()
+	for i, so := range segsO {
+		if so.Perm&mem.PermWrite == 0 || so.Name == "stack" || so.Name == "jit" {
+			continue
+		}
+		sr := segsR[i]
+		if bytes.Equal(so.Data, sr.Data) {
+			continue
+		}
+		for off := range so.Data {
+			if so.Data[off] != sr.Data[off] {
+				addr := so.Base + uint64(off)
+				vo, _ := h.orig.inst.M.Mem.Read64(addr &^ 7)
+				vr, _ := h.rewr.inst.M.Mem.Read64(addr &^ 7)
+				return &Divergence{Kind: "memory",
+					Detail: fmt.Sprintf("final memory differs in %q at 0x%x: original word 0x%x, rewritten 0x%x",
+						so.Name, addr, vo, vr)}
+			}
+		}
+	}
+	return nil
+}
+
+// minimize shrinks the diverging argument vector: every parameter not
+// declared known is driven toward small values while the divergence
+// persists. Known parameters are pinned — changing them would violate the
+// contract under test.
+func (h *harness) minimize(d *Divergence) {
+	diverges := func(args []uint64, fargs []float64) bool {
+		dd, err := h.diff(args, fargs)
+		return err == nil && dd != nil && dd.Kind == d.Kind
+	}
+	args := append([]uint64(nil), d.Args...)
+	fargs := append([]float64(nil), d.FArgs...)
+	for i := range args {
+		if cls, _ := h.orig.inst.Cfg.IntParamClass(i + 1); cls != brew.ParamUnknown {
+			continue
+		}
+		// Simplest first; keep the first replacement that still diverges.
+		keep := args[i]
+		for _, cand := range []uint64{0, 1, 2, keep >> 32, keep & 0xff, keep & 0xffff, keep / 2} {
+			if cand == keep {
+				continue
+			}
+			args[i] = cand
+			if diverges(args, fargs) {
+				keep = cand
+				break
+			}
+		}
+		args[i] = keep
+	}
+	for i := range fargs {
+		if h.orig.inst.Cfg.FloatParamClass(i+1) != brew.ParamUnknown {
+			continue
+		}
+		keep := fargs[i]
+		for _, cand := range []float64{0, 1} {
+			if cand == keep {
+				continue
+			}
+			fargs[i] = cand
+			if diverges(args, fargs) {
+				keep = cand
+				break
+			}
+		}
+		fargs[i] = keep
+	}
+	if diverges(args, fargs) {
+		d.MinArgs = args
+		d.MinFArgs = fargs
+	}
+}
+
+// decorate attaches disassembly context: a window of the original function
+// and the rewriter's block listing.
+func (h *harness) decorate(d *Divergence) {
+	const window = 160
+	fn := h.orig.inst.Fn
+	if b, err := h.orig.inst.M.Mem.ReadBytes(fn, window); err == nil {
+		d.OrigDisasm = isa.Disassemble(b, fn, true)
+	}
+	d.RewrListing = h.listing
+}

@@ -1,0 +1,277 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// Random minc program generator. The hand-written fuzz targets in
+// internal/brew stress the tracer with straight-line assembly; the
+// generator here goes further and produces whole compiled translation
+// units — arithmetic, nested branches, bounded loops, helper calls and
+// global-array traffic — so the rewriter sees realistic compiler output
+// (frames, spills, call sequences) well beyond the stencil family.
+//
+// Every generated program terminates: loop bounds are evaluated once into
+// read-only temporaries and masked to small ranges, and helpers are
+// call-free, so there is no recursion.
+
+const arrayWords = 16
+
+type progGen struct {
+	r         *rand.Rand
+	sb        strings.Builder
+	vars      []string // assignable scalars in scope
+	ro        []string // read-only scalars in scope (params, loop state)
+	loopID    int
+	depth     int
+	storesToA bool
+	helpers   []string
+}
+
+// smallVal biases toward small magnitudes but keeps occasional wide values.
+func smallVal(r *rand.Rand) uint64 {
+	return r.Uint64() >> uint(16+r.Intn(46))
+}
+
+func (g *progGen) anyVar() string {
+	all := len(g.vars) + len(g.ro)
+	i := g.r.Intn(all)
+	if i < len(g.vars) {
+		return g.vars[i]
+	}
+	return g.ro[i-len(g.vars)]
+}
+
+func (g *progGen) expr(depth int) string {
+	r := g.r
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.Int63n(2000)-1000)
+		case 1:
+			return fmt.Sprintf("A[(%s) & %d]", g.anyVar(), arrayWords-1)
+		default:
+			return g.anyVar()
+		}
+	}
+	a, b := g.expr(depth-1), g.expr(depth-1)
+	switch r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 4:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s >> %d)", a, r.Intn(8))
+	case 7:
+		return fmt.Sprintf("(%s << %d)", a, r.Intn(8))
+	case 8:
+		return fmt.Sprintf("(%s / %d)", a, 1+r.Intn(9))
+	default:
+		return fmt.Sprintf("(%s %% %d)", a, 1+r.Intn(13))
+	}
+}
+
+func (g *progGen) cond() string {
+	op := []string{"==", "!=", "<", "<=", ">", ">="}[g.r.Intn(6)]
+	return fmt.Sprintf("%s %s %s", g.expr(1), op, g.expr(1))
+}
+
+func (g *progGen) indent() string { return strings.Repeat("    ", g.depth+1) }
+
+func (g *progGen) stmt(allowCalls bool) {
+	r := g.r
+	ind := g.indent()
+	kind := r.Intn(10)
+	if g.depth >= 2 && kind >= 6 {
+		kind = r.Intn(6) // no further nesting or stores deep down
+	}
+	switch kind {
+	case 0, 1, 2:
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", ind, g.vars[r.Intn(len(g.vars))], g.expr(2))
+	case 3:
+		fmt.Fprintf(&g.sb, "%s%s += %s;\n", ind, g.vars[r.Intn(len(g.vars))], g.expr(1))
+	case 4:
+		if allowCalls && len(g.helpers) > 0 {
+			h := g.helpers[r.Intn(len(g.helpers))]
+			fmt.Fprintf(&g.sb, "%s%s = %s(%s, %s);\n",
+				ind, g.vars[r.Intn(len(g.vars))], h, g.expr(1), g.expr(1))
+		} else {
+			fmt.Fprintf(&g.sb, "%s%s = %s;\n", ind, g.vars[r.Intn(len(g.vars))], g.expr(2))
+		}
+	case 5:
+		g.storesToA = true
+		fmt.Fprintf(&g.sb, "%sA[(%s) & %d] = %s;\n", ind, g.anyVar(), arrayWords-1, g.expr(1))
+	case 6, 7:
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", ind, g.cond())
+		g.depth++
+		for n := 1 + r.Intn(2); n > 0; n-- {
+			g.stmt(allowCalls)
+		}
+		g.depth--
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%s} else {\n", ind)
+			g.depth++
+			for n := 1 + r.Intn(2); n > 0; n-- {
+				g.stmt(allowCalls)
+			}
+			g.depth--
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", ind)
+	default:
+		// Bounded loop: the bound is evaluated once into a read-only
+		// temporary so the body cannot extend the iteration space.
+		id := g.loopID
+		g.loopID++
+		fmt.Fprintf(&g.sb, "%slong n%d = ((%s) & 7) + %d;\n", ind, id, g.anyVar(), 1+r.Intn(3))
+		fmt.Fprintf(&g.sb, "%sfor (long i%d = 0; i%d < n%d; i%d++) {\n", ind, id, id, id, id)
+		g.ro = append(g.ro, fmt.Sprintf("i%d", id))
+		g.depth++
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			g.stmt(allowCalls)
+		}
+		g.depth--
+		g.ro = g.ro[:len(g.ro)-1]
+		fmt.Fprintf(&g.sb, "%s}\n", ind)
+	}
+}
+
+// genFunc renders one function body into sb.
+func (g *progGen) genFunc(name string, params []string, nStmts int, allowCalls bool) {
+	fmt.Fprintf(&g.sb, "long %s(", name)
+	for i, p := range params {
+		if i > 0 {
+			g.sb.WriteString(", ")
+		}
+		g.sb.WriteString("long " + p)
+	}
+	g.sb.WriteString(") {\n")
+	g.vars = nil
+	g.ro = append([]string(nil), params...)
+	for i := range params {
+		v := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(&g.sb, "    long %s = %s;\n", v, params[i])
+		g.vars = append(g.vars, v)
+	}
+	for i := 0; i < nStmts; i++ {
+		g.stmt(allowCalls)
+	}
+	ret := g.vars[0]
+	for _, v := range g.vars[1:] {
+		ret += " ^ " + v
+	}
+	fmt.Fprintf(&g.sb, "    return %s;\n}\n\n", ret)
+}
+
+// GenProgram renders a deterministic random translation unit with a global
+// array A, up to two call-free helpers, and an entry function f(a,b,c,d).
+// It also reports whether the program stores to A (a program that never
+// writes A may soundly declare it a known memory range).
+func GenProgram(r *rand.Rand) (src string, storesToA bool) {
+	g := &progGen{r: r}
+	g.sb.WriteString("long A[16] = {")
+	for i := 0; i < arrayWords; i++ {
+		if i > 0 {
+			g.sb.WriteString(", ")
+		}
+		fmt.Fprintf(&g.sb, "%d", r.Int63n(1000))
+	}
+	g.sb.WriteString("};\n\n")
+	for i := 0; i < 1+r.Intn(2); i++ {
+		name := fmt.Sprintf("h%d", i)
+		g.genFunc(name, []string{"a", "b"}, 2+r.Intn(3), false)
+		g.helpers = append(g.helpers, name)
+	}
+	g.genFunc("f", []string{"a", "b", "c", "d"}, 4+r.Intn(7), true)
+	return g.sb.String(), g.storesToA
+}
+
+// Generated builds the differential case for the seed'th random program:
+// source, a random known-parameter declaration, random tracing options,
+// and an argument generator consistent with all of it.
+func Generated(seed int64) Case {
+	r := rand.New(rand.NewSource(seed))
+	src, storesToA := GenProgram(r)
+
+	var known [4]bool
+	var fixed [4]uint64
+	for i := range known {
+		if r.Intn(3) == 0 {
+			known[i] = true
+			fixed[i] = smallVal(r)
+		}
+	}
+	declareA := !storesToA && r.Intn(2) == 0
+	opts := brew.FuncOpts{
+		BranchesUnknown: r.Intn(3) == 0,
+		ResultsUnknown:  r.Intn(4) == 0,
+	}
+	maxVariants := 0
+	if r.Intn(2) == 0 {
+		maxVariants = 1 + r.Intn(4)
+	}
+
+	build := func() (*Instance, error) {
+		m, err := vm.New()
+		if err != nil {
+			return nil, err
+		}
+		l, err := minc.CompileAndLink(m, src, nil)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w\n%s", err, src)
+		}
+		fn, err := l.FuncAddr("f")
+		if err != nil {
+			return nil, err
+		}
+		cfg := brew.NewConfig()
+		if maxVariants > 0 {
+			cfg.MaxVariantsPerAddr = maxVariants
+		}
+		args := make([]uint64, 4)
+		for i := range known {
+			if known[i] {
+				cfg.SetParam(i+1, brew.ParamKnown)
+				args[i] = fixed[i]
+			}
+		}
+		if declareA {
+			a, err := l.GlobalAddr("A")
+			if err != nil {
+				return nil, err
+			}
+			cfg.SetMemRange(a, a+arrayWords*8)
+		}
+		cfg.SetFuncOpts(fn, opts)
+		return &Instance{M: m, Fn: fn, Cfg: cfg, Args: args}, nil
+	}
+	newArgs := func(rr *rand.Rand) ([]uint64, []float64) {
+		args := make([]uint64, 4)
+		for i := range args {
+			if known[i] {
+				args[i] = fixed[i]
+			} else {
+				args[i] = smallVal(rr)
+			}
+		}
+		return args, nil
+	}
+	return Case{
+		Name:    fmt.Sprintf("gen-%d", seed),
+		Build:   build,
+		NewArgs: newArgs,
+	}
+}

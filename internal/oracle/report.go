@@ -1,0 +1,94 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence describes one violated equivalence, with enough context to
+// reproduce and debug it: the argument vector, a minimized variant, and
+// disassembly of both sides.
+type Divergence struct {
+	Case  string
+	Kind  string // "return", "float-return", "fault", "store", "store-count", "memory", "callee-saved"
+	Args  []uint64
+	FArgs []float64
+	// MinArgs/MinFArgs is the minimized argument vector (nil when
+	// minimization could not reproduce the divergence).
+	MinArgs  []uint64
+	MinFArgs []float64
+	Detail   string
+	// OrigDisasm is a disassembly window of the original function.
+	OrigDisasm string
+	// RewrListing is the rewriter's captured-block listing.
+	RewrListing string
+}
+
+// Format renders the divergence as a multi-line report.
+func (d *Divergence) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DIVERGENCE [%s] in case %s\n", d.Kind, d.Case)
+	fmt.Fprintf(&sb, "  args:  %v", d.Args)
+	if len(d.FArgs) > 0 {
+		fmt.Fprintf(&sb, "  fargs: %v", d.FArgs)
+	}
+	sb.WriteByte('\n')
+	if d.MinArgs != nil {
+		fmt.Fprintf(&sb, "  minimized: %v", d.MinArgs)
+		if len(d.MinFArgs) > 0 {
+			fmt.Fprintf(&sb, "  fargs: %v", d.MinFArgs)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "  %s\n", strings.ReplaceAll(d.Detail, "\n", "\n  "))
+	if d.OrigDisasm != "" {
+		sb.WriteString("  original code (window):\n")
+		writeIndented(&sb, d.OrigDisasm)
+	}
+	if d.RewrListing != "" {
+		sb.WriteString("  rewritten blocks:\n")
+		writeIndented(&sb, d.RewrListing)
+	}
+	return sb.String()
+}
+
+func writeIndented(sb *strings.Builder, text string) {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		sb.WriteString("    ")
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+}
+
+// Report aggregates the outcome of a batch of cases (cmd/brew-verify).
+type Report struct {
+	Cases       int
+	Trials      int
+	Refused     int
+	Divergences []*Divergence
+}
+
+// Add folds one case result into the report.
+func (r *Report) Add(res *CaseResult) {
+	r.Cases++
+	r.Trials += res.Trials
+	if res.RewriteErr != nil {
+		r.Refused++
+	}
+	if res.Divergence != nil {
+		r.Divergences = append(r.Divergences, res.Divergence)
+	}
+}
+
+// OK reports whether no divergence was found.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Summary renders the one-line verdict.
+func (r *Report) Summary() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: %d cases, %d trials, %d rewrite-refused, %d divergences",
+		verdict, r.Cases, r.Trials, r.Refused, len(r.Divergences))
+}

@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/brew"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// stencilProto builds one workload to learn the deterministic addresses
+// (matrices, descriptor globals) the argument generators need.
+type stencilProto struct {
+	xs, ys int
+	m1, m2 uint64
+	s5, sg uint64
+	apply  uint64
+}
+
+func buildStencil(xs, ys int) (*vm.Machine, *stencil.Workload, error) {
+	m, err := vm.New()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := stencil.New(m, xs, ys)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, w, nil
+}
+
+// StencilCases returns differential cases for the paper's stencil kernels
+// under their experiment configurations: E1c (generic apply, width and
+// descriptor known), E2b (grouped apply) and E3b (whole-sweep rewrite).
+// The unknown parameters — the matrix pointer for the kernels; the two
+// matrix pointers and the row count for the sweep — are randomized over
+// valid instantiations.
+func StencilCases(xs, ys int) ([]Case, error) {
+	if xs < 4 || ys < 4 {
+		return nil, fmt.Errorf("oracle: stencil needs xs, ys >= 4 (got %d, %d)", xs, ys)
+	}
+	_, w, err := buildStencil(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	p := &stencilProto{xs: xs, ys: ys, m1: w.M1, m2: w.M2, s5: w.S5, sg: w.SG5, apply: w.Apply}
+
+	interior := func(rr *rand.Rand) uint64 {
+		x := 1 + rr.Intn(p.xs-2)
+		y := 1 + rr.Intn(p.ys-2)
+		return p.m1 + uint64(8*(y*p.xs+x))
+	}
+
+	kernelCase := func(name string, fnOf func(*stencil.Workload) uint64,
+		cfgOf func(*stencil.Workload) (*brew.Config, []uint64), desc uint64) Case {
+		return Case{
+			Name:  name,
+			Float: true,
+			Build: func() (*Instance, error) {
+				m, w, err := buildStencil(xs, ys)
+				if err != nil {
+					return nil, err
+				}
+				cfg, args := cfgOf(w)
+				return &Instance{M: m, Fn: fnOf(w), Cfg: cfg, Args: args}, nil
+			},
+			NewArgs: func(rr *rand.Rand) ([]uint64, []float64) {
+				return []uint64{interior(rr), uint64(p.xs), desc}, nil
+			},
+		}
+	}
+
+	e1c := kernelCase("E1c-apply",
+		func(w *stencil.Workload) uint64 { return w.Apply },
+		(*stencil.Workload).ApplyConfig, p.s5)
+	e2b := kernelCase("E2b-apply-grouped",
+		func(w *stencil.Workload) uint64 { return w.ApplyGrouped },
+		(*stencil.Workload).GroupedConfig, p.sg)
+
+	e3b := Case{
+		Name:  "E3b-sweep",
+		Float: true,
+		Build: func() (*Instance, error) {
+			m, w, err := buildStencil(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			cfg, args := w.SweepConfig()
+			return &Instance{M: m, Fn: w.Sweep, Cfg: cfg, Args: args}, nil
+		},
+		NewArgs: func(rr *rand.Rand) ([]uint64, []float64) {
+			src, dst := p.m1, p.m2
+			if rr.Intn(2) == 0 {
+				src, dst = dst, src
+			}
+			rows := 3 + rr.Intn(p.ys-2) // unknown parameter: any valid height
+			return []uint64{src, dst, uint64(p.xs), uint64(rows), p.apply, p.s5}, nil
+		},
+	}
+	return []Case{e1c, e2b, e3b}, nil
+}

@@ -243,21 +243,48 @@ func (w *Workload) RunSweepsInlined(sweepFn uint64, iters int) (float64, error) 
 	return acc, nil
 }
 
-// RewriteApply specializes the generic kernel for the workload's matrix
-// width and the s5 stencil (the paper's Figure 5 configuration).
-func (w *Workload) RewriteApply() (*brew.Result, error) {
+// ApplyConfig returns the E1c rewrite configuration and parameter setting
+// for the generic kernel: matrix width and stencil descriptor known (the
+// paper's Figure 5 configuration).
+func (w *Workload) ApplyConfig() (*brew.Config, []uint64) {
 	cfg := brew.NewConfig().
 		SetParam(2, brew.ParamKnown).
 		SetParamPtrToKnown(3, StructSSize)
-	return brew.Rewrite(w.M, cfg, w.Apply, []uint64{0, uint64(w.XS), w.S5}, nil)
+	return cfg, []uint64{0, uint64(w.XS), w.S5}
+}
+
+// GroupedConfig returns the E2b rewrite configuration and parameter
+// setting for the grouped kernel.
+func (w *Workload) GroupedConfig() (*brew.Config, []uint64) {
+	cfg := brew.NewConfig().
+		SetParam(2, brew.ParamKnown).
+		SetParamPtrToKnown(3, StructSGSize)
+	return cfg, []uint64{0, uint64(w.XS), w.SG5}
+}
+
+// SweepConfig returns the E3b rewrite configuration and parameter setting
+// for the whole function-pointer sweep: matrix width, kernel pointer and
+// stencil descriptor known, loop unrolling disabled for the driver itself.
+func (w *Workload) SweepConfig() (*brew.Config, []uint64) {
+	cfg := brew.NewConfig().
+		SetParam(3, brew.ParamKnown).
+		SetParam(5, brew.ParamKnown).
+		SetParamPtrToKnown(6, StructSSize)
+	cfg.SetFuncOpts(w.Sweep, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
+	return cfg, []uint64{0, 0, uint64(w.XS), 0, w.Apply, w.S5}
+}
+
+// RewriteApply specializes the generic kernel for the workload's matrix
+// width and the s5 stencil (the paper's Figure 5 configuration).
+func (w *Workload) RewriteApply() (*brew.Result, error) {
+	cfg, args := w.ApplyConfig()
+	return brew.Rewrite(w.M, cfg, w.Apply, args, nil)
 }
 
 // RewriteApplyGrouped specializes the grouped kernel.
 func (w *Workload) RewriteApplyGrouped() (*brew.Result, error) {
-	cfg := brew.NewConfig().
-		SetParam(2, brew.ParamKnown).
-		SetParamPtrToKnown(3, StructSGSize)
-	return brew.Rewrite(w.M, cfg, w.ApplyGrouped, []uint64{0, uint64(w.XS), w.SG5}, nil)
+	cfg, args := w.GroupedConfig()
+	return brew.Rewrite(w.M, cfg, w.ApplyGrouped, args, nil)
 }
 
 // RewriteSweep specializes the whole function-pointer sweep: matrix width,
@@ -266,13 +293,8 @@ func (w *Workload) RewriteApplyGrouped() (*brew.Result, error) {
 // the caller's perspective except that the kernel and descriptor arguments
 // are folded away; it must be called with the full argument list.
 func (w *Workload) RewriteSweep() (*brew.Result, error) {
-	cfg := brew.NewConfig().
-		SetParam(3, brew.ParamKnown).
-		SetParam(5, brew.ParamKnown).
-		SetParamPtrToKnown(6, StructSSize)
-	cfg.SetFuncOpts(w.Sweep, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
-	return brew.Rewrite(w.M, cfg, w.Sweep,
-		[]uint64{0, 0, uint64(w.XS), 0, w.Apply, w.S5}, nil)
+	cfg, args := w.SweepConfig()
+	return brew.Rewrite(w.M, cfg, w.Sweep, args, nil)
 }
 
 // RunRewrittenSweeps drives a whole-sweep rewrite (from RewriteSweep),

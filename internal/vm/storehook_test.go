@@ -1,0 +1,96 @@
+package vm_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/vm"
+)
+
+type rec struct {
+	addr uint64
+	size int
+	val  uint64
+}
+
+// TestOnStoreValueJournal checks the store-observation hook the
+// differential oracle (internal/oracle) builds its journal on: every
+// architectural store — plain, byte-sized, float, vector lanes, and the
+// implicit pushes of PUSH and CALL — must be reported exactly once with the
+// stored value masked to its size.
+func TestOnStoreValueJournal(t *testing.T) {
+	m := vm.MustNew()
+	im, err := asm.Load(m, `
+f:
+    movi  r2, buf
+    movi  r1, 0x1122334455667788
+    store [r2], r1
+    storeb [r2+8], r1
+    fmovi f1, 2.5
+    fstore [r2+16], f1
+    vload v0, [r2]
+    vstore [r2+16], v0
+    push  r1
+    pop   r1
+    call  g
+    movi  r0, 0
+    ret
+g:
+    ret
+.data
+buf:
+    .quad 0, 0, 0, 0, 0, 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := im.MustEntry("buf")
+	var got []rec
+	m.OnStoreValue = func(addr uint64, size int, val uint64) {
+		got = append(got, rec{addr, size, val})
+	}
+	if _, err := m.Call(im.MustEntry("f")); err != nil {
+		t.Fatal(err)
+	}
+	m.OnStoreValue = nil
+
+	// The Call itself pushes the HALT return address first.
+	if len(got) == 0 || got[0].size != 8 {
+		t.Fatalf("missing initial return-address push: %v", got)
+	}
+	sp0 := got[0].addr
+
+	v25 := math.Float64bits(2.5)
+	lane0 := uint64(0x1122334455667788)
+	lane1 := uint64(0x88) // storeb result read back by vload
+	want := []rec{
+		{sp0, 8, 0}, // call-ABI push of HALT addr (value checked below)
+		{buf, 8, 0x1122334455667788},
+		{buf + 8, 1, 0x88},   // byte store masks to low 8 bits
+		{buf + 16, 8, v25},   // float store reports raw bits
+		{buf + 16, 8, lane0}, // vstore lane 0 (= buf[0])
+		{buf + 24, 8, lane1}, // vstore lane 1 (= buf[1], the storeb byte)
+		{buf + 32, 8, v25},   // vstore lane 2 (= buf[2], the fstore bits)
+		{buf + 40, 8, 0},     // vstore lane 3 (= buf[3], untouched)
+		{sp0 - 8, 8, lane0},  // push r1
+		{sp0 - 8, 8, 0},      // call g pushes the return address
+	}
+	if len(got) != len(want) {
+		t.Fatalf("journal length %d, want %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.addr != w.addr || g.size != w.size {
+			t.Errorf("store #%d: got [0x%x]%d, want [0x%x]%d", i, g.addr, g.size, w.addr, w.size)
+		}
+		// Entries 0 and 9 store code addresses (HALT stub, return address);
+		// only shape is checked for those.
+		if i != 0 && i != 9 && g.val != w.val {
+			t.Errorf("store #%d: value 0x%x, want 0x%x", i, g.val, w.val)
+		}
+	}
+	if got[9].val == 0 {
+		t.Errorf("call push should record the return address, got 0")
+	}
+}

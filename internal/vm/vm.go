@@ -98,6 +98,13 @@ type Machine struct {
 	// OnLoad/OnStore observe data memory traffic (profiling substrate).
 	OnLoad  func(addr uint64, size int)
 	OnStore func(addr uint64, size int)
+	// OnStoreValue observes every architectural store together with the
+	// value written (low size*8 bits; vector stores report one entry per
+	// lane). Unlike OnStore it also fires for stack traffic (PUSH, PUSHF
+	// and CALL return-address pushes), so a consumer sees the complete,
+	// ordered store journal of a run. The differential oracle uses it to
+	// compare original and rewritten executions store by store.
+	OnStoreValue func(addr uint64, size int, val uint64)
 	// OnCall observes CALL/CALLR targets; the profiler uses it for value
 	// profiling of arguments.
 	OnCall func(target uint64, cpu *CPU)
@@ -293,6 +300,18 @@ func (m *Machine) chargeMem(addr uint64, size int, isStore bool) {
 	}
 }
 
+// noteStore reports one completed store to the journal hook, masking the
+// value to the bytes actually written.
+func (m *Machine) noteStore(addr uint64, size int, val uint64) {
+	if m.OnStoreValue == nil {
+		return
+	}
+	if size < 8 {
+		val &= 1<<(8*uint(size)) - 1
+	}
+	m.OnStoreValue(addr, size, val)
+}
+
 func (m *Machine) push(v uint64) error {
 	m.CPU.R[isa.SP] -= 8
 	addr := m.CPU.R[isa.SP]
@@ -300,6 +319,7 @@ func (m *Machine) push(v uint64) error {
 		return err
 	}
 	m.chargeMem(addr, 8, true)
+	m.noteStore(addr, 8, v)
 	return nil
 }
 
@@ -397,6 +417,7 @@ func (m *Machine) Step() error {
 			return m.fault(merr)
 		}
 		m.chargeMem(addr, size, true)
+		m.noteStore(addr, size, c.R[ins.Src.Reg])
 
 	case isa.PUSH:
 		if err := m.push(c.R[ins.Dst.Reg]); err != nil {
@@ -506,6 +527,7 @@ func (m *Machine) Step() error {
 			return m.fault(merr)
 		}
 		m.chargeMem(addr, 8, true)
+		m.noteStore(addr, 8, math.Float64bits(c.F[ins.Src.Reg]))
 
 	case isa.CVTIF:
 		c.F[ins.Dst.Reg] = float64(int64(c.R[ins.Src.Reg]))
@@ -536,6 +558,7 @@ func (m *Machine) Step() error {
 			if merr := m.Mem.WriteF64(addr+uint64(8*i), c.V[ins.Src.Reg][i]); merr != nil {
 				return m.fault(merr)
 			}
+			m.noteStore(addr+uint64(8*i), 8, math.Float64bits(c.V[ins.Src.Reg][i]))
 		}
 		m.chargeMem(addr, 8*isa.VecLanes, true)
 

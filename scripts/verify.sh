@@ -1,0 +1,35 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md). Every PR must leave this green.
+#
+#   scripts/verify.sh          # full gate
+#   RACE=0 scripts/verify.sh   # skip the race pass (slow machines)
+#   FUZZ=0 scripts/verify.sh   # skip the differential-fuzz smoke
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ "${RACE:-1}" = 1 ]; then
+    # Short-budget race pass over the packages with real concurrency:
+    # RewriteBatch workers and the experiment driver. A full -race run of
+    # ./... takes several minutes; this keeps the gate under ~2.
+    echo "== go test -race (short budget: brew, oracle)"
+    go test -race -short -run 'TestRewriteBatch|TestGenerated|TestOracle' \
+        ./internal/brew/ ./internal/oracle/
+fi
+
+if [ "${FUZZ:-1}" = 1 ]; then
+    # Differential-execution oracle smoke: rewritten code must be observably
+    # equivalent to the original (returns, non-stack stores, memory, faults).
+    echo "== FuzzDifferential smoke (10s)"
+    go test -fuzz=FuzzDifferential -fuzztime=10s -run '^$' ./internal/brew/
+fi
+
+echo "verify: OK"
