@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -15,12 +16,13 @@ import (
 
 func main() {
 	var (
-		xs    = flag.Int("xs", 0, "stencil matrix width (0 = default)")
-		ys    = flag.Int("ys", 0, "stencil matrix height (0 = default)")
-		iters = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
-		nodes = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
-		bs    = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
-		only  = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas")
+		xs       = flag.Int("xs", 0, "stencil matrix width (0 = default)")
+		ys       = flag.Int("ys", 0, "stencil matrix height (0 = default)")
+		iters    = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
+		nodes    = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
+		bs       = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
+		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas")
+		jsonPath = flag.String("json", "", "also write the result rows as JSON to this path")
 	)
 	flag.Parse()
 
@@ -47,6 +49,12 @@ func main() {
 		{"cache", "X7: working-set sensitivity (ratio = rewritten/generic; cycles = rewritten cyc/pt)", exp.RunCacheSweep},
 		{"pgas", "X5: PGAS global reduction (Sections V / VIII)", exp.RunPgas},
 	}
+	type jsonFamily struct {
+		Key   string    `json:"key"`
+		Title string    `json:"title"`
+		Rows  []exp.Row `json:"rows"`
+	}
+	var out []jsonFamily
 	ran := 0
 	for _, f := range families {
 		if !sel(f.key) {
@@ -57,10 +65,22 @@ func main() {
 			log.Fatalf("%s: %v", f.key, err)
 		}
 		fmt.Println(exp.FormatTable(f.title, rows))
+		out = append(out, jsonFamily{Key: f.key, Title: f.title, Rows: rows})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no experiment family selected")
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(struct {
+			Families []jsonFamily `json:"families"`
+		}{out}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

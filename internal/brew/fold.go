@@ -38,6 +38,7 @@ func (t *tracer) emit(ins isa.Instr) error {
 	t.cur.meta = append(t.cur.meta, t.frameMeta(ins))
 	t.cur.bytes += n
 	t.codeBytes += n
+	t.rep.emitN++
 	if t.codeBytes > t.cfg.MaxCodeBytes {
 		return ErrCodeBufferFull
 	}
@@ -107,6 +108,7 @@ func (t *tracer) matInt(r isa.Reg) error {
 		if err := t.emit(isa.MakeRI(isa.MOVI, r, int64(v.val))); err != nil {
 			return err
 		}
+		t.rep.overhead.Materializations++
 	case vStackRel:
 		delta, ok := t.w.spDelta()
 		if !ok {
@@ -119,6 +121,7 @@ func (t *tracer) matInt(r isa.Reg) error {
 		if err := t.emit(isa.MakeRM(isa.LEA, r, isa.BaseDisp(isa.SP, int32(off)))); err != nil {
 			return err
 		}
+		t.rep.overhead.Materializations++
 	}
 	v.mat = true
 	t.w.r[r] = v
@@ -135,6 +138,7 @@ func (t *tracer) matFloat(r isa.Reg) error {
 	if err := t.emit(ins); err != nil {
 		return err
 	}
+	t.rep.overhead.Materializations++
 	f.mat = true
 	t.w.f[r] = f
 	return nil
@@ -319,6 +323,8 @@ func (t *tracer) emitMemHandler(handler uint64, m isa.MemRef) error {
 		return err
 	}
 	adjust(delta)
+	t.rep.overhead.HandlerInstrs += 6 // PUSH/PUSHF/LEA/CALL/POPF/POP bracket
+	t.rep.overhead.HandlerCalls++
 
 	// Net effect on the world: the handler preserves registers and the
 	// bracket restores R9 and the flags; only transient slots below the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -23,6 +24,33 @@ type GuardedResult struct {
 	Specialized uint64
 	// Rewrite carries the underlying specialization result.
 	Rewrite *Result
+	// Guards are the equality conditions the dispatcher checks.
+	Guards []ParamGuard
+}
+
+// Matches reports whether args satisfy every guard, i.e. whether the
+// dispatcher would take the specialized path.
+func (g *GuardedResult) Matches(args []uint64) bool {
+	for _, gd := range g.Guards {
+		if gd.Param > len(args) || args[gd.Param-1] != gd.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Call invokes the dispatcher and records guard hit/miss telemetry, the
+// observability hook for the paper's "check for the parameter actually
+// being 42" dispatch.
+func (g *GuardedResult) Call(m *vm.Machine, args ...uint64) (uint64, error) {
+	if telemetry.Enabled() {
+		if g.Matches(args) {
+			mGuardHits.Inc()
+		} else {
+			mGuardMisses.Inc()
+		}
+	}
+	return m.Call(g.Addr, args...)
 }
 
 // RewriteGuarded implements the paper's profile-driven specialization
@@ -87,5 +115,10 @@ func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, 
 	if err := m.WriteJIT(addr, code); err != nil {
 		return nil, err
 	}
-	return &GuardedResult{Addr: addr, Specialized: res.Addr, Rewrite: res}, nil
+	return &GuardedResult{
+		Addr:        addr,
+		Specialized: res.Addr,
+		Rewrite:     res,
+		Guards:      append([]ParamGuard(nil), guards...),
+	}, nil
 }

@@ -20,32 +20,59 @@ import "repro/internal/isa"
 // frameSafe is true when every emitted stack access was precisely
 // attributed and no frame address escaped, which licenses treating the
 // private frame (deltas below the entry SP) as invisible memory.
-func optimize(blocks []*eblock, frameSafe, vectorizeOpt bool) {
+//
+// rep, when non-nil, records each pass run and how many instructions it
+// removed (negative for passes that add code, e.g. vectorize prologues).
+func optimize(blocks []*eblock, frameSafe, vectorizeOpt bool, rep *reportBuilder) {
+	count := func() int {
+		n := 0
+		for _, b := range blocks {
+			n += len(b.ins)
+		}
+		return n
+	}
+	run := func(name string, f func()) {
+		before := count()
+		f()
+		if rep != nil {
+			rep.pass(name, before-count())
+		}
+	}
 	for pass := 0; pass < 2; pass++ {
 		if frameSafe {
+			run("forwardFrameStores", func() {
+				for _, b := range blocks {
+					forwardFrameStores(b)
+				}
+			})
+			run("deadFrameStores", func() { deadFrameStores(blocks) })
+		}
+		run("copyDance", func() {
 			for _, b := range blocks {
-				forwardFrameStores(b)
+				copyDance(b)
 			}
-			deadFrameStores(blocks)
-		}
-		for _, b := range blocks {
-			copyDance(b)
-			addrFold(b)
-		}
-		deadCodeGlobal(blocks)
-		for _, b := range blocks {
-			redundantLoads(b)
-		}
+		})
+		run("addrFold", func() {
+			for _, b := range blocks {
+				addrFold(b)
+			}
+		})
+		run("deadCode", func() { deadCodeGlobal(blocks) })
+		run("redundantLoads", func() {
+			for _, b := range blocks {
+				redundantLoads(b)
+			}
+		})
 	}
 	if frameSafe {
-		renameCalleeSaved(blocks)
-		removeDeadSaves(blocks)
-		deadCodeGlobal(blocks)
-		removeDeadSaves(blocks)
+		run("renameCalleeSaved", func() { renameCalleeSaved(blocks) })
+		run("removeDeadSaves", func() { removeDeadSaves(blocks) })
+		run("deadCode", func() { deadCodeGlobal(blocks) })
+		run("removeDeadSaves", func() { removeDeadSaves(blocks) })
 	}
 	if vectorizeOpt {
-		vectorize(blocks)
-		deadCodeGlobal(blocks)
+		run("vectorize", func() { vectorize(blocks) })
+		run("deadCode", func() { deadCodeGlobal(blocks) })
 	}
 }
 

@@ -1,0 +1,324 @@
+package brew
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Decision classification of one traced original instruction. Every traced
+// instruction lands in exactly one class, so the four totals sum to
+// TracedInstrs (the cmd/brew-trace accounting invariant).
+const (
+	classKept   = "kept"   // survived into the generated code
+	classElided = "elided" // evaluated silently against the known world
+	classFolded = "folded" // replaced by a cheaper form (immediate, strength
+	//                          reduction, folded address)
+	classInlined = "inlined" // call/return dissolved into the trace
+)
+
+// Decision aggregates what happened to one original instruction (by PC)
+// across every time it was traced — a fully unrolled loop traces the same
+// PC many times, possibly with different outcomes per iteration.
+type Decision struct {
+	PC      uint64 `json:"pc"`
+	Op      string `json:"op"`
+	Count   int    `json:"count"`
+	Kept    int    `json:"kept,omitempty"`
+	Elided  int    `json:"elided,omitempty"`
+	Folded  int    `json:"folded,omitempty"`
+	Inlined int    `json:"inlined,omitempty"`
+	// Reason is the known-world justification recorded for the most recent
+	// non-kept outcome at this PC.
+	Reason string `json:"reason,omitempty"`
+}
+
+// BlockReport summarizes one captured basic block.
+type BlockReport struct {
+	ID         int    `json:"id"`
+	Addr       uint64 `json:"addr,omitempty"` // 0 for compensation trampolines
+	Trampoline bool   `json:"trampoline,omitempty"`
+	Traced     int    `json:"traced"`
+	Kept       int    `json:"kept,omitempty"`
+	Elided     int    `json:"elided,omitempty"`
+	Folded     int    `json:"folded,omitempty"`
+	Inlined    int    `json:"inlined,omitempty"`
+	Emitted    int    `json:"emitted"` // instructions in the final block body
+}
+
+// PassReport records one optimization pass's effect.
+type PassReport struct {
+	Name    string `json:"name"`
+	Runs    int    `json:"runs"`
+	Removed int    `json:"removed"` // instructions eliminated across all runs
+}
+
+// Overhead counts compensation instructions the rewriter added beyond the
+// surviving originals.
+type Overhead struct {
+	Materializations int `json:"materializations,omitempty"` // MOVI/LEA/FMOVI reloads of known values
+	HandlerInstrs    int `json:"handler_instrs,omitempty"`   // memory-handler brackets (Section III.D)
+	HandlerCalls     int `json:"handler_calls,omitempty"`    // entry/exit handler calls
+	TrampolineInstrs int `json:"trampoline_instrs,omitempty"`
+}
+
+// RewriteReport explains a Rewrite: per traced instruction, per block and
+// per optimization pass, what was kept, elided, folded or inlined and why.
+// It is always produced (tracing is not the emulated hot path) and rides
+// on Result.Report.
+type RewriteReport struct {
+	Fn           uint64 `json:"fn"`
+	Addr         uint64 `json:"addr"`
+	CodeSize     int    `json:"code_size"`
+	TracedInstrs int    `json:"traced_instrs"`
+
+	Kept    int `json:"kept"`
+	Elided  int `json:"elided"`
+	Folded  int `json:"folded"`
+	Inlined int `json:"inlined"`
+
+	// EmittedTrace counts instructions captured during tracing (before
+	// optimization), overhead included; EmittedFinal counts block-body
+	// instructions after the optimization passes (terminators excluded —
+	// they are synthesized at layout time).
+	EmittedTrace int `json:"emitted_trace"`
+	EmittedFinal int `json:"emitted_final"`
+
+	InlinedCalls      int `json:"inlined_calls"`
+	UnrollTraceOvers  int `json:"unroll_trace_overs"` // back edges traced through (loop unrolling)
+	VariantMigrations int `json:"variant_migrations"` // threshold-forced state migrations
+
+	Overhead Overhead `json:"overhead"`
+
+	Blocks    []BlockReport `json:"blocks"`
+	Passes    []PassReport  `json:"passes"`
+	Decisions []Decision    `json:"decisions"`
+}
+
+// ClassTotal returns Kept+Elided+Folded+Inlined; by construction it equals
+// TracedInstrs.
+func (r *RewriteReport) ClassTotal() int { return r.Kept + r.Elided + r.Folded + r.Inlined }
+
+// JSON renders the report as indented JSON (deterministic: every slice is
+// emitted in sorted order).
+func (r *RewriteReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders the report as a human-readable summary.
+func (r *RewriteReport) Text() string {
+	var b strings.Builder
+	pct := func(n int) float64 {
+		if r.TracedInstrs == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(r.TracedInstrs)
+	}
+	fmt.Fprintf(&b, "rewrite of 0x%x -> 0x%x (%d bytes)\n", r.Fn, r.Addr, r.CodeSize)
+	fmt.Fprintf(&b, "traced %d original instructions:\n", r.TracedInstrs)
+	fmt.Fprintf(&b, "  kept    %6d  (%5.1f%%)\n", r.Kept, pct(r.Kept))
+	fmt.Fprintf(&b, "  elided  %6d  (%5.1f%%)\n", r.Elided, pct(r.Elided))
+	fmt.Fprintf(&b, "  folded  %6d  (%5.1f%%)\n", r.Folded, pct(r.Folded))
+	fmt.Fprintf(&b, "  inlined %6d  (%5.1f%%)\n", r.Inlined, pct(r.Inlined))
+	fmt.Fprintf(&b, "emitted: %d during trace, %d after passes\n", r.EmittedTrace, r.EmittedFinal)
+	fmt.Fprintf(&b, "inlined calls: %d   unroll trace-overs: %d   variant migrations: %d\n",
+		r.InlinedCalls, r.UnrollTraceOvers, r.VariantMigrations)
+	fmt.Fprintf(&b, "overhead: %d materializations, %d handler instrs, %d handler calls, %d trampoline instrs\n",
+		r.Overhead.Materializations, r.Overhead.HandlerInstrs, r.Overhead.HandlerCalls, r.Overhead.TrampolineInstrs)
+	fmt.Fprintf(&b, "\nblocks (%d):\n", len(r.Blocks))
+	for _, bl := range r.Blocks {
+		if bl.Trampoline {
+			fmt.Fprintf(&b, "  B%-3d <compensation trampoline>  emitted=%d\n", bl.ID, bl.Emitted)
+			continue
+		}
+		fmt.Fprintf(&b, "  B%-3d @0x%-8x traced=%-6d kept=%-5d elided=%-6d folded=%-4d inlined=%-4d emitted=%d\n",
+			bl.ID, bl.Addr, bl.Traced, bl.Kept, bl.Elided, bl.Folded, bl.Inlined, bl.Emitted)
+	}
+	fmt.Fprintf(&b, "\noptimization passes:\n")
+	for _, p := range r.Passes {
+		fmt.Fprintf(&b, "  %-20s runs=%-2d removed=%d\n", p.Name, p.Runs, p.Removed)
+	}
+	fmt.Fprintf(&b, "\nper-instruction decisions (%d PCs):\n", len(r.Decisions))
+	for _, d := range r.Decisions {
+		var parts []string
+		if d.Kept > 0 {
+			parts = append(parts, fmt.Sprintf("kept=%d", d.Kept))
+		}
+		if d.Elided > 0 {
+			parts = append(parts, fmt.Sprintf("elided=%d", d.Elided))
+		}
+		if d.Folded > 0 {
+			parts = append(parts, fmt.Sprintf("folded=%d", d.Folded))
+		}
+		if d.Inlined > 0 {
+			parts = append(parts, fmt.Sprintf("inlined=%d", d.Inlined))
+		}
+		fmt.Fprintf(&b, "  0x%-8x %-7s x%-6d %-28s", d.PC, d.Op, d.Count, strings.Join(parts, " "))
+		if d.Reason != "" {
+			fmt.Fprintf(&b, "  ; %s", d.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// reportBuilder accumulates decision data while the tracer runs. State is
+// per-PC and per-block (both bounded by the original code and block count),
+// never per trace event, so full unrolls stay cheap.
+type reportBuilder struct {
+	emitN int // instructions captured so far (emit + trampoline appends)
+
+	// Per-step scratch, reset by beginStep.
+	stepClass  string
+	stepReason string
+
+	totals   map[string]int
+	perPC    map[uint64]*Decision
+	perBlock map[int]*BlockReport
+
+	inlinedCalls int
+	traceOvers   int
+	migrations   int
+	overhead     Overhead
+
+	passes    []*PassReport
+	passIndex map[string]*PassReport
+}
+
+func newReportBuilder() *reportBuilder {
+	return &reportBuilder{
+		totals:    map[string]int{},
+		perPC:     map[uint64]*Decision{},
+		perBlock:  map[int]*BlockReport{},
+		passIndex: map[string]*PassReport{},
+	}
+}
+
+// beginStep snapshots the emission counter before one traced instruction.
+func (rb *reportBuilder) beginStep() int {
+	rb.stepClass = ""
+	rb.stepReason = ""
+	return rb.emitN
+}
+
+// classify pins the current traced instruction's class explicitly;
+// endStep's emitted-delta heuristic only applies when no site did.
+func (rb *reportBuilder) classify(class, reason string) {
+	rb.stepClass = class
+	rb.stepReason = reason
+}
+
+// note records a justification without forcing a class.
+func (rb *reportBuilder) note(reason string) {
+	if rb.stepReason == "" {
+		rb.stepReason = reason
+	}
+}
+
+// endStep classifies one successfully traced instruction.
+func (rb *reportBuilder) endStep(blockID int, ins isa.Instr, emitBase int) {
+	class := rb.stepClass
+	if class == "" {
+		if rb.emitN > emitBase {
+			class = classKept
+		} else {
+			class = classElided
+			if rb.stepReason == "" {
+				rb.stepReason = "known world: evaluated silently"
+			}
+		}
+	}
+	rb.totals[class]++
+
+	d := rb.perPC[ins.Addr]
+	if d == nil {
+		d = &Decision{PC: ins.Addr, Op: ins.Op.String()}
+		rb.perPC[ins.Addr] = d
+	}
+	d.Count++
+	switch class {
+	case classKept:
+		d.Kept++
+	case classElided:
+		d.Elided++
+	case classFolded:
+		d.Folded++
+	case classInlined:
+		d.Inlined++
+	}
+	if class != classKept && rb.stepReason != "" {
+		d.Reason = rb.stepReason
+	}
+
+	br := rb.perBlock[blockID]
+	if br == nil {
+		br = &BlockReport{ID: blockID}
+		rb.perBlock[blockID] = br
+	}
+	br.Traced++
+	switch class {
+	case classKept:
+		br.Kept++
+	case classElided:
+		br.Elided++
+	case classFolded:
+		br.Folded++
+	case classInlined:
+		br.Inlined++
+	}
+}
+
+func (rb *reportBuilder) pass(name string, removed int) {
+	p := rb.passIndex[name]
+	if p == nil {
+		p = &PassReport{Name: name}
+		rb.passIndex[name] = p
+		rb.passes = append(rb.passes, p)
+	}
+	p.Runs++
+	p.Removed += removed
+}
+
+// build assembles the final report from the builder and the optimized
+// blocks. Every slice is sorted for byte-stable rendering.
+func (rb *reportBuilder) build(fn uint64, res *Result, blocks []*eblock) *RewriteReport {
+	r := &RewriteReport{
+		Fn:                fn,
+		Addr:              res.Addr,
+		CodeSize:          res.CodeSize,
+		TracedInstrs:      res.TracedInstrs,
+		Kept:              rb.totals[classKept],
+		Elided:            rb.totals[classElided],
+		Folded:            rb.totals[classFolded],
+		Inlined:           rb.totals[classInlined],
+		EmittedTrace:      rb.emitN,
+		InlinedCalls:      rb.inlinedCalls,
+		UnrollTraceOvers:  rb.traceOvers,
+		VariantMigrations: rb.migrations,
+		Overhead:          rb.overhead,
+	}
+	for _, b := range blocks {
+		br := rb.perBlock[b.id]
+		if br == nil {
+			br = &BlockReport{ID: b.id, Trampoline: b.addr == 0 && b.world == nil}
+		}
+		br.Addr = b.addr
+		br.Emitted = len(b.ins)
+		r.EmittedFinal += len(b.ins)
+		r.Blocks = append(r.Blocks, *br)
+	}
+	sort.Slice(r.Blocks, func(i, j int) bool { return r.Blocks[i].ID < r.Blocks[j].ID })
+	for _, p := range rb.passes {
+		r.Passes = append(r.Passes, *p)
+	}
+	pcs := make([]uint64, 0, len(rb.perPC))
+	for pc := range rb.perPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		r.Decisions = append(r.Decisions, *rb.perPC[pc])
+	}
+	return r
+}

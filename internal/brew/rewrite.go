@@ -22,6 +22,9 @@ type Result struct {
 	Blocks int
 	// TracedInstrs counts original instructions visited during tracing.
 	TracedInstrs int
+	// Report explains, per basic block and per optimization pass, what the
+	// rewriter kept, elided, folded or inlined and why.
+	Report *RewriteReport
 
 	listing string
 }
@@ -81,7 +84,7 @@ func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 
 	// Optimization passes over the captured blocks (Section III.G: "we run
 	// optimization passes over the newly generated, captured blocks").
-	optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize)
+	optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize, t.rep)
 
 	// Size probe at base 0, then allocation and final relocation under
 	// the machine's JIT lock (several rewrites may run concurrently).
@@ -99,13 +102,16 @@ func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 		return nil, err
 	}
 	code := probe // size bookkeeping only; the installed bytes are relocated
-	return &Result{
+	res := &Result{
 		Addr:         addr,
 		CodeSize:     len(code),
 		Blocks:       len(t.blocks),
 		TracedInstrs: t.tracedN,
 		listing:      dumpBlocks(t.blocks),
-	}, nil
+	}
+	res.Report = t.rep.build(fn, res, t.blocks)
+	publishRewriteTelemetry(res.Report)
+	return res, nil
 }
 
 // BatchRequest is one rewrite in a RewriteBatch call.

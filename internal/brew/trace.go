@@ -38,6 +38,9 @@ type tracer struct {
 	// attributable and no frame address ever escaped.
 	escapedEver bool
 	frameOpaque bool
+
+	// rep records per-instruction rewrite decisions for the RewriteReport.
+	rep *reportBuilder
 }
 
 func newTracer(m *vm.Machine, cfg *Config) *tracer {
@@ -46,6 +49,7 @@ func newTracer(m *vm.Machine, cfg *Config) *tracer {
 		m:     m,
 		keyed: make(map[blockKey]int),
 		sites: make(map[variantSite][]int),
+		rep:   newReportBuilder(),
 	}
 }
 
@@ -104,6 +108,7 @@ func (t *tracer) traceBlock(id int) error {
 		if err := t.emit(isa.MakeRel(isa.CALL, t.cfg.EntryHandler)); err != nil {
 			return err
 		}
+		t.rep.overhead.HandlerCalls++
 		t.w.flags = flagval{}
 		t.w.fdirty = false
 	}
@@ -116,10 +121,12 @@ func (t *tracer) traceBlock(id int) error {
 		if err != nil {
 			return err
 		}
+		base := t.rep.beginStep()
 		done, err := t.step(ins)
 		if err != nil {
 			return err
 		}
+		t.rep.endStep(b.id, ins, base)
 		if done {
 			return nil
 		}
@@ -395,6 +402,7 @@ func (t *tracer) stepALU(ins isa.Instr, src ival, srcIsReg bool) error {
 			t.setInt(dst, konst(r))
 		}
 		t.silentFlags(op, fl, true)
+		t.rep.note("operands known: evaluated at rewrite time")
 		return nil
 	}
 
@@ -405,10 +413,12 @@ func (t *tracer) stepALU(ins isa.Instr, src ival, srcIsReg bool) error {
 		nv := src
 		nv.mat = false
 		t.setInt(dst, nv)
+		t.rep.note("copy of rematerializable value")
 		return nil
 	}
 	if op == isa.MOVI && !spDst && !forceUnknown {
 		t.setInt(dst, konst(src.val))
+		t.rep.note("constant load tracked, not emitted")
 		return nil
 	}
 
@@ -431,6 +441,7 @@ func (t *tracer) stepALU(ins isa.Instr, src ival, srcIsReg bool) error {
 			t.setInt(dst, nv)
 			t.w.flags = flagval{}
 			t.w.fdirty = true
+			t.rep.note("stack-relative arithmetic tracked symbolically")
 			return nil
 		}
 		if ok && spDst {
@@ -511,6 +522,7 @@ func (t *tracer) emitALU(ins isa.Instr, src ival, srcIsReg bool) error {
 		if src.isConst() {
 			if ri, ok := isa.ImmForm(op); ok {
 				ni := isa.MakeRI(ri, ins.Dst.Reg, int64(src.val))
+				t.rep.classify(classFolded, "constant source folded to immediate form")
 				return t.emit(ni)
 			}
 		}
@@ -530,6 +542,7 @@ func (t *tracer) stepALU1(ins isa.Instr) error {
 		if setsFl {
 			t.silentFlags(ins.Op, fl, true)
 		}
+		t.rep.note("operand known: evaluated at rewrite time")
 		return nil
 	}
 	if err := t.matInt(ins.Dst.Reg); err != nil {
@@ -551,9 +564,11 @@ func (t *tracer) stepLEA(ins isa.Instr) error {
 		switch st.kind {
 		case vConst:
 			t.setInt(ins.Dst.Reg, konst(st.val))
+			t.rep.note("effective address fully known")
 			return nil
 		case vStackRel:
 			t.setInt(ins.Dst.Reg, ival{kind: vStackRel, val: st.val})
+			t.rep.note("stack-relative address tracked symbolically")
 			return nil
 		}
 	}
@@ -588,6 +603,7 @@ func (t *tracer) stepSetcc(ins isa.Instr) error {
 			v = 1
 		}
 		t.setInt(ins.Dst.Reg, konst(v))
+		t.rep.note("condition flags known at rewrite time")
 		return nil
 	}
 	if t.w.fdirty {
@@ -614,12 +630,14 @@ func (t *tracer) stepFPU(ins isa.Instr) error {
 			t.w.flags = flagval{known: true, fl: fl}
 			t.w.fdirty = true
 		}
+		t.rep.note("fp operands known: evaluated at rewrite time")
 		return nil
 	}
 	if op == isa.FMOV && !t.curOpts.ResultsUnknown && s.known {
 		nv := s
 		nv.mat = false
 		t.w.f[ins.Dst.Reg] = nv
+		t.rep.note("copy of rematerializable fp value")
 		return nil
 	}
 	if readsDst {
@@ -736,6 +754,7 @@ func (t *tracer) stepJump(target uint64) (bool, error) {
 	// If an identical translation exists, link to it.
 	key := blockKey{addr: target, wkey: t.w.key(), fkey: framesKey(t.frames)}
 	if id, ok := t.keyed[key]; ok {
+		t.rep.classify(classKept, "jump to existing translation")
 		t.endBlock(termFall, id, -1, 0)
 		return true, nil
 	}
@@ -749,11 +768,18 @@ func (t *tracer) stepJump(target uint64) (bool, error) {
 		if err != nil {
 			return true, err
 		}
+		t.rep.classify(classKept, "trace-over budget exhausted: edge kept")
 		t.endBlock(termFall, id, -1, 0)
 		return true, nil
 	}
 	// Trace over the jump (paper: "For unconditional jumps, we can proceed
 	// as with calls without changes to the shadow stack").
+	if target < t.pc {
+		t.rep.traceOvers++ // back edge unrolled into the trace
+		t.rep.note("back edge traced through (loop unrolled)")
+	} else {
+		t.rep.note("unconditional jump traced through")
+	}
 	t.pc = target
 	return false, nil
 }
@@ -761,8 +787,10 @@ func (t *tracer) stepJump(target uint64) (bool, error) {
 func (t *tracer) stepJcc(ins isa.Instr) (bool, error) {
 	if t.w.flags.known && !t.curOpts.BranchesUnknown {
 		if ins.CC.Holds(t.w.flags.fl) {
+			t.rep.note("branch direction known: taken")
 			return t.stepJump(ins.Target())
 		}
+		t.rep.note("branch direction known: fall through")
 		return false, nil
 	}
 	if t.w.fdirty {
@@ -778,6 +806,7 @@ func (t *tracer) stepJcc(ins isa.Instr) (bool, error) {
 	if err != nil {
 		return true, err
 	}
+	t.rep.classify(classKept, "runtime branch kept: both paths enqueued")
 	t.endBlock(termJcc, fallID, takenID, ins.CC)
 	return true, nil
 }
@@ -799,6 +828,7 @@ func (t *tracer) stepRet(ins isa.Instr) (bool, error) {
 			if err := t.emit(isa.MakeRel(isa.CALL, t.cfg.ExitHandler)); err != nil {
 				return true, err
 			}
+			t.rep.overhead.HandlerCalls++
 		}
 		if err := t.emit(ins); err != nil {
 			return true, err
@@ -813,6 +843,7 @@ func (t *tracer) stepRet(ins isa.Instr) (bool, error) {
 	if !ok || delta != fr.delta {
 		return true, fmt.Errorf("%w: inlined callee returns with unbalanced stack", ErrUnsupported)
 	}
+	t.rep.classify(classInlined, "return from inlined call")
 	t.frames = t.frames[:len(t.frames)-1]
 	t.curOpts = fr.opts
 	t.curFn = fr.fn
@@ -837,6 +868,8 @@ func (t *tracer) stepCall(target, next uint64) (bool, error) {
 	}
 	// Inline: no return-address push is emitted; the shadow stack
 	// remembers where to continue.
+	t.rep.classify(classInlined, "call inlined into trace")
+	t.rep.inlinedCalls++
 	t.frames = append(t.frames, frame{retAddr: next, fn: t.curFn, delta: delta, opts: t.curOpts})
 	t.curFn = target
 	t.curOpts = opts
@@ -847,6 +880,7 @@ func (t *tracer) stepCall(target, next uint64) (bool, error) {
 // stepMakeDynamic replaces a call to a registered makeDynamic marker with
 // "result = argument, result unknown" (paper, Section V.C).
 func (t *tracer) stepMakeDynamic() error {
+	t.rep.classify(classFolded, "makeDynamic marker: result forced unknown")
 	if err := t.matInt(isa.IntArgRegs[0]); err != nil {
 		return err
 	}
@@ -871,6 +905,7 @@ func (t *tracer) stepDivPow2(ins isa.Instr, d uint64) (bool, error) {
 		return false, nil
 	}
 	if d == 1 {
+		t.rep.note("division by 1 eliminated")
 		// x/1 = x (even for unknown x); x%1 = 0. Original flags are based
 		// on the result; runtime flags go stale.
 		if ins.Op == isa.IREM {
@@ -912,6 +947,7 @@ func (t *tracer) stepDivPow2(ins isa.Instr, d uint64) (bool, error) {
 	if err := t.matInt(dst); err != nil {
 		return true, err
 	}
+	t.rep.classify(classFolded, "power-of-two division strength-reduced to shifts")
 	mask := int64(d) - 1
 	var seq []isa.Instr
 	if ins.Op == isa.IDIV {
@@ -1026,6 +1062,7 @@ func (t *tracer) edgeTo(addr uint64) (int, error) {
 	}
 	// Threshold reached: find the compatible existing translation needing
 	// the least compensation.
+	t.rep.migrations++
 	best, bestCost := -1, int(^uint(0)>>1)
 	var bestI, bestF []isa.Reg
 	for _, id := range ids {
@@ -1099,6 +1136,8 @@ func (t *tracer) trampolineTo(target int, intRegs, fRegs []isa.Reg) (int, error)
 		tb.meta = append(tb.meta, insMeta{})
 		tb.bytes += n
 		t.codeBytes += n
+		t.rep.emitN++
+		t.rep.overhead.TrampolineInstrs++
 	}
 	for _, r := range fRegs {
 		f := t.w.f[r]
@@ -1114,6 +1153,8 @@ func (t *tracer) trampolineTo(target int, intRegs, fRegs []isa.Reg) (int, error)
 		tb.meta = append(tb.meta, insMeta{})
 		tb.bytes += n
 		t.codeBytes += n
+		t.rep.emitN++
+		t.rep.overhead.TrampolineInstrs++
 	}
 	if t.codeBytes > t.cfg.MaxCodeBytes {
 		return 0, ErrCodeBufferFull

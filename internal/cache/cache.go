@@ -18,8 +18,9 @@ type Level struct {
 
 // Stats counts accesses at one level.
 type Stats struct {
-	Hits   uint64
-	Misses uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // lines displaced from a full set on fill
 }
 
 // Accesses returns total accesses at the level.
@@ -156,6 +157,8 @@ func (lv *level) fill(addr uint64) {
 	s := &lv.sets[tag&lv.setMask]
 	if len(s.tags) < lv.cfg.Assoc {
 		s.tags = append(s.tags, 0)
+	} else {
+		lv.stats.Evictions++ // LRU tag at the tail is overwritten below
 	}
 	copy(s.tags[1:], s.tags)
 	s.tags[0] = tag

@@ -192,3 +192,52 @@ func TestStatsHitRate(t *testing.T) {
 		t.Errorf("hit rate %v accesses %d", s.HitRate(), s.Accesses())
 	}
 }
+
+// TestPerLevelStatsKnownPattern drives a hand-checkable access sequence
+// through a one-set two-way cache and verifies hits, misses and evictions
+// exactly.
+func TestPerLevelStatsKnownPattern(t *testing.T) {
+	h := single(t, 128, 64, 2, 4, 100) // one set, two ways
+	for _, addr := range []uint64{
+		0,   // miss, fill          -> [A]
+		64,  // miss, fill          -> [B A]
+		0,   // hit                 -> [A B]
+		128, // miss, evicts B      -> [C A]
+		64,  // miss, evicts A      -> [B C]
+		128, // hit                 -> [C B]
+	} {
+		h.Access(addr, 8)
+	}
+	st := h.Stats()[0]
+	if st.Hits != 2 || st.Misses != 4 || st.Evictions != 2 {
+		t.Errorf("got hits=%d misses=%d evictions=%d, want 2/4/2", st.Hits, st.Misses, st.Evictions)
+	}
+}
+
+// TestTwoLevelStatsKnownPattern checks the per-level split of an inclusive
+// two-level hierarchy: L1 thrashes (direct-mapped, one set) while L2 keeps
+// both lines.
+func TestTwoLevelStatsKnownPattern(t *testing.T) {
+	h, err := New([]Level{
+		{Name: "L1", Size: 64, LineSize: 64, Assoc: 1, Latency: 4},
+		{Name: "L2", Size: 128, LineSize: 64, Assoc: 2, Latency: 12},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint64{
+		0,  // L1 miss, L2 miss, fill both
+		64, // L1 miss (evicts A), L2 miss, fill
+		0,  // L1 miss (evicts B), L2 hit
+		0,  // L1 hit
+	} {
+		h.Access(addr, 8)
+	}
+	st := h.Stats()
+	if l1 := st[0]; l1.Hits != 1 || l1.Misses != 3 || l1.Evictions != 2 {
+		t.Errorf("L1 hits=%d misses=%d evictions=%d, want 1/3/2", l1.Hits, l1.Misses, l1.Evictions)
+	}
+	if l2 := st[1]; l2.Hits != 1 || l2.Misses != 2 || l2.Evictions != 0 {
+		t.Errorf("L2 hits=%d misses=%d evictions=%d, want 1/2/0", l2.Hits, l2.Misses, l2.Evictions)
+	}
+}

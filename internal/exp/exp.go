@@ -29,16 +29,16 @@ func loadAsm(m *vm.Machine, src string) (uint64, error) {
 
 // Row is one experiment measurement.
 type Row struct {
-	ID     string
-	Name   string
-	Cycles uint64
-	Instrs uint64
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Cycles uint64 `json:"cycles"`
+	Instrs uint64 `json:"instrs,omitempty"`
 	// Ratio is Cycles relative to the experiment family's baseline row.
-	Ratio float64
+	Ratio float64 `json:"ratio"`
 	// PaperRatio is the paper's reported runtime relative to the same
 	// baseline (0 when the paper gives no number).
-	PaperRatio float64
-	Note       string
+	PaperRatio float64 `json:"paper_ratio,omitempty"`
+	Note       string  `json:"note,omitempty"`
 }
 
 // Options sizes the workloads. The paper uses 500x500 matrices and 1000
@@ -386,7 +386,15 @@ long driver(long n, long hot) {
 	run := func(fn uint64, k uint64) (uint64, error) {
 		c0 := m.Stats.Cycles
 		for x := uint64(0); x < 64; x++ {
-			if _, err := m.Call(fn, x, k); err != nil {
+			var err error
+			if fn == g.Addr {
+				// Dispatcher calls go through GuardedResult.Call so guard
+				// hit/miss telemetry is recorded.
+				_, err = g.Call(m, x, k)
+			} else {
+				_, err = m.Call(fn, x, k)
+			}
+			if err != nil {
 				return 0, err
 			}
 		}

@@ -67,6 +67,7 @@ type Linked struct {
 	Funcs   map[string]uint64
 	Globals map[string]uint64
 	Sizes   map[string]int // code bytes per function
+	Lines   *LineTable     // PC -> (function, source line), from the final pass
 }
 
 // FuncAddr returns a linked function's entry address.
@@ -147,7 +148,7 @@ func (p *Program) Link(m *vm.Machine, externs map[string]uint64) (*Linked, error
 	sizes := make(map[string]int)
 	total := uint64(0)
 	for _, f := range p.funcs {
-		_, code, err := emitFunc(f, 0, probe)
+		_, code, _, err := emitFunc(f, 0, probe)
 		if err != nil {
 			return nil, err
 		}
@@ -172,8 +173,9 @@ func (p *Program) Link(m *vm.Machine, externs map[string]uint64) (*Linked, error
 		}
 		real.fn[e.Name] = a
 	}
+	l.Lines = &LineTable{}
 	for _, f := range p.funcs {
-		_, code, err := emitFunc(f, real.fn[f.name], real)
+		ins, code, lines, err := emitFunc(f, real.fn[f.name], real)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +186,14 @@ func (p *Program) Link(m *vm.Machine, externs map[string]uint64) (*Linked, error
 			return nil, err
 		}
 		l.Sizes[f.name] = len(code)
+		entries := make([]LineEntry, len(ins))
+		for i := range ins {
+			entries[i] = LineEntry{Addr: ins[i].Addr, Line: lines[i]}
+		}
+		lo := real.fn[f.name]
+		l.Lines.add(f.name, lo, lo+uint64(len(code)), entries)
 	}
+	l.Lines.sortFuncs()
 	m.InvalidateICache()
 	return l, nil
 }

@@ -108,6 +108,9 @@ type emitter struct {
 	blockOff   []int // instruction index where each block starts
 	branchFix  []branchFixup
 	epilogueAt int
+
+	lines   []int // source line per emitted instruction (parallel to ins)
+	curLine int   // line of the IR instruction being lowered; 0 in pro/epilogue
 }
 
 type branchFixup struct {
@@ -341,8 +344,10 @@ func (em *emitter) allocate(ivs []*interval, class vclass) {
 }
 
 // emitFunc generates the function's instructions with resolved absolute
-// addresses, assuming the function starts at base.
-func emitFunc(f *irFunc, base uint64, addrs *symAddrs) ([]isa.Instr, []byte, error) {
+// addresses, assuming the function starts at base. The third result maps
+// each emitted instruction to the source line of the IR statement it was
+// lowered from (0 for prologue/epilogue scaffolding).
+func emitFunc(f *irFunc, base uint64, addrs *symAddrs) ([]isa.Instr, []byte, []int, error) {
 	em := &emitter{
 		f:               f,
 		addrs:           addrs,
@@ -391,13 +396,15 @@ func emitFunc(f *irFunc, base uint64, addrs *symAddrs) ([]isa.Instr, []byte, err
 	for _, b := range f.blocks {
 		em.blockOff[b.id] = len(em.ins)
 		for j := range b.ins {
+			em.curLine = b.ins[j].Line
 			if err := em.instr(b, j); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 	}
 
 	// Epilogue.
+	em.curLine = 0
 	em.epilogueAt = len(em.ins)
 	for i := len(fsave) - 1; i >= 0; i-- {
 		r := fsave[i]
@@ -411,7 +418,11 @@ func emitFunc(f *irFunc, base uint64, addrs *symAddrs) ([]isa.Instr, []byte, err
 	}
 	em.push(isa.MakeNone(isa.RET))
 
-	return em.finish(base)
+	ins, code, err := em.finish(base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ins, code, em.lines, nil
 }
 
 func sortedRegs(m map[isa.Reg]bool) []isa.Reg {
@@ -425,12 +436,14 @@ func sortedRegs(m map[isa.Reg]bool) []isa.Reg {
 
 func (em *emitter) push(ins isa.Instr) {
 	em.ins = append(em.ins, ins)
+	em.lines = append(em.lines, em.curLine)
 }
 
 // fixupBranch records a branch whose target block offset is patched later.
 func (em *emitter) pushBranch(ins isa.Instr, blockID int) {
 	em.branchFix = append(em.branchFix, branchFixup{insIdx: len(em.ins), blockID: blockID})
 	em.ins = append(em.ins, ins)
+	em.lines = append(em.lines, em.curLine)
 }
 
 const epilogueBlock = -2

@@ -1,0 +1,62 @@
+package minc
+
+import "sort"
+
+// LineEntry maps one emitted instruction's address to the source line of
+// the statement it was lowered from (0 for prologue/epilogue scaffolding).
+type LineEntry struct {
+	Addr uint64 `json:"addr"`
+	Line int    `json:"line"`
+}
+
+type funcLines struct {
+	name    string
+	lo, hi  uint64      // [lo, hi) code byte range
+	entries []LineEntry // sorted by Addr
+}
+
+// LineTable maps simulated PCs back to (function name, source line). It is
+// built by Link from the final emission pass and consumed by the vm
+// sampling profiler's Symbolize hook.
+type LineTable struct {
+	funcs []funcLines // sorted by lo, non-overlapping
+}
+
+func (t *LineTable) add(name string, lo, hi uint64, entries []LineEntry) {
+	t.funcs = append(t.funcs, funcLines{name: name, lo: lo, hi: hi, entries: entries})
+}
+
+func (t *LineTable) sortFuncs() {
+	sort.Slice(t.funcs, func(i, j int) bool { return t.funcs[i].lo < t.funcs[j].lo })
+}
+
+// Lookup resolves a PC anywhere inside an instruction's encoding to that
+// instruction's function and source line. ok is false for PCs outside
+// every linked function (e.g. rewritten JIT code).
+func (t *LineTable) Lookup(pc uint64) (fn string, line int, ok bool) {
+	if t == nil {
+		return "", 0, false
+	}
+	i := sort.Search(len(t.funcs), func(i int) bool { return t.funcs[i].lo > pc })
+	if i == 0 {
+		return "", 0, false
+	}
+	f := &t.funcs[i-1]
+	if pc >= f.hi {
+		return "", 0, false
+	}
+	j := sort.Search(len(f.entries), func(j int) bool { return f.entries[j].Addr > pc })
+	if j == 0 {
+		return f.name, 0, true
+	}
+	return f.name, f.entries[j-1].Line, true
+}
+
+// Funcs returns the table's function names in address order.
+func (t *LineTable) Funcs() []string {
+	out := make([]string, len(t.funcs))
+	for i := range t.funcs {
+		out[i] = t.funcs[i].name
+	}
+	return out
+}

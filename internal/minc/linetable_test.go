@@ -1,0 +1,73 @@
+package minc_test
+
+import (
+	"testing"
+
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// TestLineTableLookup checks PC-to-source mapping on a two-function unit:
+// every generated instruction resolves to its owning function, line numbers
+// are plausible, and out-of-range PCs are rejected.
+func TestLineTableLookup(t *testing.T) {
+	const src = `long add3(long x) {
+    long y = x + 1;
+    long z = y + 2;
+    return z;
+}
+long twice(long x) {
+    return add3(x) + add3(x);
+}
+`
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Lines == nil {
+		t.Fatal("Linked.Lines is nil")
+	}
+	if got := l.Lines.Funcs(); len(got) != 2 {
+		t.Fatalf("Funcs() = %v, want add3 and twice", got)
+	}
+	for name, lineRange := range map[string][2]int{
+		"add3":  {1, 5},
+		"twice": {6, 8},
+	} {
+		addr, err := l.FuncAddr(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := l.Sizes[name]
+		sawLine := false
+		for pc := addr; pc < addr+uint64(size); pc++ {
+			fn, line, ok := l.Lines.Lookup(pc)
+			if !ok {
+				t.Fatalf("Lookup(0x%x) failed inside %s", pc, name)
+			}
+			if fn != name {
+				t.Fatalf("Lookup(0x%x) = %s, want %s", pc, fn, name)
+			}
+			// Epilogue instructions carry line 0; body lines must stay in
+			// the function's source range.
+			if line != 0 && (line < lineRange[0] || line > lineRange[1]) {
+				t.Errorf("%s pc 0x%x: line %d outside %v", name, pc, line, lineRange)
+			}
+			if line > 0 {
+				sawLine = true
+			}
+		}
+		if !sawLine {
+			t.Errorf("%s: no instruction carries a source line", name)
+		}
+	}
+	addr, _ := l.FuncAddr("add3")
+	if _, _, ok := l.Lines.Lookup(addr - 1); ok {
+		t.Error("Lookup before first function should fail")
+	}
+	var nilTable *minc.LineTable
+	if _, _, ok := nilTable.Lookup(addr); ok {
+		t.Error("nil table Lookup should fail")
+	}
+}

@@ -18,7 +18,18 @@ import (
 
 	"repro/internal/brew"
 	"repro/internal/minc"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
+)
+
+// PGAS metrics: fine-grained local vs remote element accesses and RDMA
+// bulk-prefetch traffic. Counts come from zero-cost vm.RegionCost probes
+// over the partitions, published at operation boundaries.
+var (
+	mLocalAccesses  = telemetry.Default.Counter("pgas.local_accesses")
+	mRemoteAccesses = telemetry.Default.Counter("pgas.remote_accesses")
+	mRdmaPreloads   = telemetry.Default.Counter("pgas.rdma_preloads")
+	mRdmaBytes      = telemetry.Default.Counter("pgas.rdma_bytes")
 )
 
 // MaxNodes bounds the simulated node count (the GArr descriptor holds a
@@ -118,7 +129,10 @@ type System struct {
 	prefBuf uint64
 	prefCap int
 	remotes []*vm.RegionCost
+	locals  []*vm.RegionCost // zero-cost probes: local partition + prefetch buffer
 	det     *detector
+
+	pubLocal, pubRemote uint64 // last published access counts
 }
 
 // New builds a system with nnodes partitions of bs elements each,
@@ -154,11 +168,14 @@ func New(m *vm.Machine, nnodes, bs, me int) (*System, error) {
 			return nil, err
 		}
 		s.Parts = append(s.Parts, p)
+		rc := &vm.RegionCost{Base: p, End: p + uint64(bs*8)}
 		if n != me {
-			rc := &vm.RegionCost{Base: p, End: p + uint64(bs*8), Extra: RemoteAccessCost}
-			m.RegionCosts = append(m.RegionCosts, rc)
+			rc.Extra = RemoteAccessCost
 			s.remotes = append(s.remotes, rc)
+		} else {
+			s.locals = append(s.locals, rc)
 		}
+		m.RegionCosts = append(m.RegionCosts, rc)
 	}
 	m.FuncCost[s.RdmaGet] = RdmaCallCost
 
@@ -167,6 +184,9 @@ func New(m *vm.Machine, nnodes, bs, me int) (*System, error) {
 	if s.prefBuf, err = m.AllocHeap(uint64(bs * 8)); err != nil {
 		return nil, err
 	}
+	prc := &vm.RegionCost{Base: s.prefBuf, End: s.prefBuf + uint64(bs*8)}
+	m.RegionCosts = append(m.RegionCosts, prc)
+	s.locals = append(s.locals, prc)
 
 	// Fill the descriptor.
 	w := func(off int, v uint64) error { return m.Mem.Write64(s.Garr+uint64(off), v) }
@@ -217,7 +237,25 @@ func (s *System) Golden(from, to int) (float64, error) {
 
 // Sum runs the generic global reduction over [from, to).
 func (s *System) Sum(from, to int) (float64, error) {
-	return s.M.CallFloat(s.GSum, []uint64{s.Garr, uint64(from), uint64(to), s.PgasGet}, nil)
+	return s.SumWith(s.GSum, s.PgasGet, from, to)
+}
+
+// publishTelemetry pushes local/remote access deltas since the last
+// publication into the default registry.
+func (s *System) publishTelemetry() {
+	if !telemetry.Enabled() {
+		return
+	}
+	var local, remote uint64
+	for _, rc := range s.locals {
+		local += rc.Count
+	}
+	for _, rc := range s.remotes {
+		remote += rc.Count
+	}
+	mLocalAccesses.Add(local - s.pubLocal)
+	mRemoteAccesses.Add(remote - s.pubRemote)
+	s.pubLocal, s.pubRemote = local, remote
 }
 
 // SpecializeSum rewrites gsum for the current distribution: descriptor
@@ -255,6 +293,8 @@ func (s *System) Preload(lo, hi int) error {
 	}
 	// One protocol round plus per-element wire cost, charged up front.
 	s.M.Stats.Cycles += RdmaCallCost + uint64(hi-lo)*8
+	mRdmaPreloads.Inc()
+	mRdmaBytes.Add(uint64(hi-lo) * 8)
 	w := func(off int, v uint64) error { return s.M.Mem.Write64(s.Garr+uint64(off), v) }
 	if err := w(offPref, s.prefBuf); err != nil {
 		return err
@@ -281,7 +321,9 @@ func (s *System) SpecializeSumPrefetched() (*brew.Result, error) {
 // SumWith runs a (possibly rewritten) reduction entry with the given
 // getter argument.
 func (s *System) SumWith(fn, getter uint64, from, to int) (float64, error) {
-	return s.M.CallFloat(fn, []uint64{s.Garr, uint64(from), uint64(to), getter}, nil)
+	v, err := s.M.CallFloat(fn, []uint64{s.Garr, uint64(from), uint64(to), getter}, nil)
+	s.publishTelemetry()
+	return v, err
 }
 
 // RemoteAccesses reports the number of fine-grained accesses that hit

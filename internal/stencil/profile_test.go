@@ -1,0 +1,43 @@
+package stencil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestProfilerE1aTopIsApply samples the generic function-pointer sweep
+// (E1a) and checks the profiler attributes the heat to the generic apply
+// kernel, with minc source lines resolved through the line table.
+func TestProfilerE1aTopIsApply(t *testing.T) {
+	w := newWorkload(t, 32, 24)
+	p := vm.NewProfiler(200, w.L.Lines.Lookup)
+	w.M.AttachProfiler(p)
+	if _, err := w.RunSweeps(w.Apply, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSamples() == 0 {
+		t.Fatal("no samples recorded")
+	}
+	top := p.Top(3)
+	if top[0].Name != "apply" {
+		t.Fatalf("hottest function = %q, want apply (top: %+v)", top[0].Name, top)
+	}
+	var attributed uint64
+	for _, l := range top[0].Lines {
+		if l.Line > 0 {
+			attributed += l.Samples
+		}
+	}
+	if attributed == 0 {
+		t.Error("no apply samples attributed to a source line")
+	}
+	folded := p.FoldedStacks()
+	if !strings.Contains(folded, "sweep;apply ") {
+		t.Errorf("folded stacks missing sweep;apply frame:\n%s", folded)
+	}
+	if out := p.RenderTop(3); !strings.Contains(out, "apply") {
+		t.Errorf("RenderTop missing apply:\n%s", out)
+	}
+}

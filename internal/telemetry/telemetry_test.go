@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// populate builds the same instrument set in a deliberately shuffled
+// creation order and records the same values, so two registries must
+// snapshot byte-identically regardless of map iteration order.
+func populate(r *Registry, order []string) {
+	for _, name := range order {
+		r.Counter("c." + name)
+	}
+	r.Gauge("g.depth")
+	r.Histogram("h.lat", []uint64{10, 100, 1000})
+	for _, name := range order {
+		r.Counter("c." + name).Add(uint64(len(name)))
+	}
+	r.Gauge("g.depth").Set(-7)
+	for _, v := range []uint64{3, 42, 9999, 100} {
+		r.Histogram("h.lat", nil).Observe(v)
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	a, b := NewRegistry(), NewRegistry()
+	populate(a, []string{"vm.cycles", "brew.blocks", "cache.l1.hits", "pgas.remote"})
+	populate(b, []string{"pgas.remote", "cache.l1.hits", "brew.blocks", "vm.cycles"})
+	for run := 0; run < 4; run++ { // repeat: map order varies per iteration
+		at, bt := a.Snapshot().Text(), b.Snapshot().Text()
+		if at != bt {
+			t.Fatalf("snapshot text differs between identical runs:\n%s\nvs\n%s", at, bt)
+		}
+		aj, err := a.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.Snapshot().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("snapshot JSON differs between identical runs:\n%s\nvs\n%s", aj, bj)
+		}
+	}
+}
+
+func TestCounterGaugeHistogramValues(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := r.Gauge("g")
+	g.Set(41)
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %d, want -2", got)
+	}
+	h := r.Histogram("h", []uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1022 {
+		t.Fatalf("histogram count=%d sum=%d, want 4/1022", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	var hm *Metric
+	for i := range snap {
+		if snap[i].Name == "h" {
+			hm = &snap[i]
+		}
+	}
+	if hm == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []uint64{2, 1, 1} // le(10)=2 {1,10}, le(100)=1 {11}, overflow=1 {1000}
+	for i, w := range want {
+		if hm.Buckets[i].Count != w {
+			t.Fatalf("bucket %d = %d, want %d", i, hm.Buckets[i].Count, w)
+		}
+	}
+	if !hm.Buckets[2].Overflow {
+		t.Fatal("last bucket not marked overflow")
+	}
+}
+
+func TestDisabledDropsUpdates(t *testing.T) {
+	Disable()
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(10)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []uint64{1}).Observe(5)
+	if c.Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h", nil).Count() != 0 {
+		t.Fatal("disabled instruments recorded updates")
+	}
+}
+
+// TestDisabledPathAllocationFree is the ISSUE acceptance check: with
+// telemetry off, metric updates on the emulator hot path must not
+// allocate. The enabled path is also allocation-free (pure atomics).
+func TestDisabledPathAllocationFree(t *testing.T) {
+	Disable()
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{10, 100})
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(1)
+		h.Observe(7)
+		nilC.Add(1)
+	}); n != 0 {
+		t.Fatalf("disabled metric updates allocated %v times/op, want 0", n)
+	}
+	Enable()
+	t.Cleanup(Disable)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(1)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("enabled metric updates allocated %v times/op, want 0", n)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("hist", []uint64{500}).Observe(uint64(i))
+				r.Gauge("gauge").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hist", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	Enable()
+	t.Cleanup(Disable)
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(9)
+	h := r.Histogram("h", []uint64{4})
+	h.Observe(2)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero values")
+	}
+	c.Add(1)
+	if c.Value() != 1 {
+		t.Fatal("handle dead after Reset")
+	}
+}

@@ -29,7 +29,9 @@ func (m *Machine) Call(fn uint64, args ...uint64) (uint64, error) {
 	if err := m.beginCall(fn, args, nil); err != nil {
 		return 0, err
 	}
-	if err := m.Run(m.stepLimit()); err != nil {
+	err := m.Run(m.stepLimit())
+	m.PublishTelemetry()
+	if err != nil {
 		return 0, err
 	}
 	return m.CPU.R[isa.IntRet], nil
@@ -41,7 +43,9 @@ func (m *Machine) CallFloat(fn uint64, intArgs []uint64, fArgs []float64) (float
 	if err := m.beginCall(fn, intArgs, fArgs); err != nil {
 		return 0, err
 	}
-	if err := m.Run(m.stepLimit()); err != nil {
+	err := m.Run(m.stepLimit())
+	m.PublishTelemetry()
+	if err != nil {
 		return 0, err
 	}
 	return m.CPU.F[0], nil
@@ -61,6 +65,12 @@ func (m *Machine) beginCall(fn uint64, intArgs []uint64, fArgs []float64) error 
 	m.CPU.R[isa.SP] &^= 7
 	if err := m.push(m.haltAddr); err != nil {
 		return err
+	}
+	if m.Prof != nil {
+		// Root the shadow call stack at the entry function; the final RET
+		// (to the HALT stub) pops it again.
+		m.Prof.stack = m.Prof.stack[:0]
+		m.Prof.pushCall(fn)
 	}
 	m.CPU.PC = fn
 	return nil

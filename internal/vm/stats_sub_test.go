@@ -1,0 +1,54 @@
+package vm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestStatsSubAllFields fills every counter field (the OpCount array
+// included) through reflection and checks Sub subtracts each one, so a
+// newly added Stats field that Sub forgets fails here instead of silently
+// corrupting region deltas.
+func TestStatsSubAllFields(t *testing.T) {
+	fill := func(s *vm.Stats, base uint64) {
+		v := reflect.ValueOf(s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Uint64:
+				f.SetUint(base + uint64(i))
+			case reflect.Array:
+				for j := 0; j < f.Len(); j++ {
+					f.Index(j).SetUint(base + uint64(i) + 3*uint64(j))
+				}
+			default:
+				t.Fatalf("unhandled Stats field kind %v; extend this test and Stats.Sub", f.Kind())
+			}
+		}
+	}
+	var a, b vm.Stats
+	fill(&a, 1000)
+	fill(&b, 17)
+	const want = 1000 - 17 // per-field difference is constant by construction
+
+	v := reflect.ValueOf(a.Sub(b))
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Uint64:
+			if f.Uint() != want {
+				t.Errorf("Sub missed field %s: got %d, want %d", name, f.Uint(), want)
+			}
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				if f.Index(j).Uint() != want {
+					t.Errorf("Sub missed %s[%d]: got %d, want %d", name, j, f.Index(j).Uint(), want)
+					break
+				}
+			}
+		}
+	}
+}

@@ -120,6 +120,16 @@ type Machine struct {
 	// positive.
 	UserStepLimit int64
 
+	// Prof, when non-nil, samples the PC and simulated call stack every
+	// Prof.Interval cycles (see AttachProfiler). Costs one nil check per
+	// instruction when detached; never charges emulated cycles.
+	Prof *Profiler
+
+	// Telemetry delta baselines: counters already published to the
+	// process-wide registry at the last Call/CallFloat boundary.
+	pubStats Stats
+	pubCache []cacheLevelStats
+
 	// jitMu serializes JIT allocation and installation, allowing several
 	// rewrites to run concurrently (their traces only read memory).
 	jitMu sync.Mutex
@@ -346,6 +356,9 @@ func (m *Machine) Step() error {
 	m.Stats.Instructions++
 	m.Stats.OpCount[ins.Op]++
 	m.Stats.Cycles += uint64(ins.Op.Cost())
+	if m.Prof != nil && m.Stats.Cycles >= m.Prof.nextAt {
+		m.Prof.sample(m.Stats.Cycles, c.PC)
+	}
 
 	info := isa.Info(ins.Op)
 	switch ins.Op {
@@ -486,6 +499,9 @@ func (m *Machine) Step() error {
 		if err := m.push(next); err != nil {
 			return m.fault(err)
 		}
+		if m.Prof != nil {
+			m.Prof.pushCall(target)
+		}
 		c.PC = target
 		return nil
 
@@ -493,6 +509,9 @@ func (m *Machine) Step() error {
 		ra, perr := m.pop()
 		if perr != nil {
 			return m.fault(perr)
+		}
+		if m.Prof != nil {
+			m.Prof.popCall()
 		}
 		c.PC = ra
 		return nil

@@ -1,0 +1,50 @@
+// checkjson validates a brew-bench -json output file: it must parse and
+// carry at least one family with at least one row with a nonzero cycle
+// count. Used by scripts/verify.sh.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkjson <bench.json>")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var out struct {
+		Families []struct {
+			Key  string `json:"key"`
+			Rows []struct {
+				ID     string `json:"id"`
+				Cycles uint64 `json:"cycles"`
+			} `json:"rows"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		fmt.Fprintf(os.Stderr, "checkjson: %s does not parse: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	rows := 0
+	for _, f := range out.Families {
+		for _, r := range f.Rows {
+			if r.ID == "" || r.Cycles == 0 {
+				fmt.Fprintf(os.Stderr, "checkjson: family %s has a row with empty id or zero cycles\n", f.Key)
+				os.Exit(1)
+			}
+			rows++
+		}
+	}
+	if rows == 0 {
+		fmt.Fprintln(os.Stderr, "checkjson: no rows")
+		os.Exit(1)
+	}
+	fmt.Printf("checkjson: %d families, %d rows OK\n", len(out.Families), rows)
+}

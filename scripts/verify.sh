@@ -18,12 +18,20 @@ go test ./...
 
 if [ "${RACE:-1}" = 1 ]; then
     # Short-budget race pass over the packages with real concurrency:
-    # RewriteBatch workers and the experiment driver. A full -race run of
-    # ./... takes several minutes; this keeps the gate under ~2.
-    echo "== go test -race (short budget: brew, oracle)"
+    # RewriteBatch workers, the experiment driver, and the lock-free
+    # telemetry registry (full package: it is small and heavily atomic).
+    echo "== go test -race (short budget: brew, oracle, telemetry)"
     go test -race -short -run 'TestRewriteBatch|TestGenerated|TestOracle' \
         ./internal/brew/ ./internal/oracle/
+    go test -race ./internal/telemetry/
 fi
+
+# brew-bench smoke: tiny grid, JSON output must parse.
+echo "== brew-bench -json smoke (tiny grid)"
+BENCH_JSON="$(mktemp)"
+trap 'rm -f "$BENCH_JSON"' EXIT
+go run ./cmd/brew-bench -only stencil -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./scripts/checkjson "$BENCH_JSON"
 
 if [ "${FUZZ:-1}" = 1 ]; then
     # Differential-execution oracle smoke: rewritten code must be observably
