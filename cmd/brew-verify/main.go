@@ -6,9 +6,17 @@
 // divergence is a rewriter bug and is reported with a minimized argument
 // vector and disassembly context.
 //
+// With -faults n, an additional n fault-injected degrade-mode cases run:
+// the rewrite happens under seeded fault injection (internal/faultinject)
+// with brew.RewriteOrDegrade, so failures fall back to the original
+// function — and the oracle then verifies the fallback is a faithful
+// drop-in as well. Divergences under injection are specialization-manager
+// or rewriter bugs exactly like ordinary ones.
+//
 //	brew-verify -seeds 200            # 200 random generated programs + stencil kernels
 //	brew-verify -seeds 50 -stencil=false -trials 10
 //	brew-verify -start 1000 -seeds 64 # a different slice of the program space
+//	brew-verify -seeds 0 -stencil=false -faults 60   # fallback-path smoke
 package main
 
 import (
@@ -16,8 +24,20 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/faultinject"
 	"repro/internal/oracle"
 )
+
+// armed builds a seeded injector with rates that exercise every point
+// within a handful of rewrites (SiteTrace points fire per instruction).
+func armed(seed int64) *faultinject.Injector {
+	inj := faultinject.New(seed)
+	inj.Arm(faultinject.PointOpcode, 0.003*float64(seed%3))
+	inj.Arm(faultinject.PointBudget, 0.003*float64((seed/3)%3))
+	inj.Arm(faultinject.PointPanic, 0.002*float64((seed/9)%3))
+	inj.Arm(faultinject.PointJITAlloc, 0.5*float64(seed%2))
+	return inj
+}
 
 func main() {
 	var (
@@ -27,6 +47,7 @@ func main() {
 		stencil = flag.Bool("stencil", true, "also verify the paper's stencil kernels (E1c, E2b, E3b)")
 		xs      = flag.Int("xs", 16, "stencil grid width")
 		ys      = flag.Int("ys", 12, "stencil grid height")
+		faults  = flag.Int("faults", 0, "fault-injected degrade-mode cases (0 disables)")
 		quiet   = flag.Bool("q", false, "only print the summary line")
 	)
 	flag.Parse()
@@ -65,6 +86,42 @@ func main() {
 				// The stencil configurations are the paper's experiments;
 				// a refusal there is a regression, not a skip.
 				fail("%s: rewrite refused: %v", c.Name, res.RewriteErr)
+			}
+			rep.Add(res)
+			if res.Divergence != nil && !*quiet {
+				fmt.Print(res.Divergence.Format())
+			}
+		}
+	}
+
+	for seed := int64(0); seed < int64(*faults); seed++ {
+		c := oracle.Generated(*start + seed)
+		c.Name += "+faults"
+		c.Trials = *trials
+		c.Degrade = true
+		c.Inject = armed(seed).Hook()
+		res, err := oracle.Run(c, seed)
+		if err != nil {
+			fail("%s: harness error: %v", c.Name, err)
+		}
+		rep.Add(res)
+		if res.Divergence != nil && !*quiet {
+			fmt.Print(res.Divergence.Format())
+		}
+	}
+	if *faults > 0 && *stencil {
+		cases, err := oracle.StencilCases(*xs, *ys)
+		if err != nil {
+			fail("stencil: %v", err)
+		}
+		for i, c := range cases {
+			c.Name += "+faults"
+			c.Trials = *trials
+			c.Degrade = true
+			c.Inject = armed(int64(i) + 1).Hook()
+			res, err := oracle.Run(c, int64(i)+1)
+			if err != nil {
+				fail("%s: harness error: %v", c.Name, err)
 			}
 			rep.Add(res)
 			if res.Divergence != nil && !*quiet {

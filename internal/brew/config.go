@@ -15,6 +15,7 @@ package brew
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/isa"
 )
@@ -42,6 +43,16 @@ var (
 	ErrUnsupported = errors.New("brew: unsupported construct")
 	// ErrBadConfig reports an invalid configuration.
 	ErrBadConfig = errors.New("brew: invalid configuration")
+	// ErrDeadline reports that a rewrite exceeded its wall-clock budget
+	// (Budget.Deadline).
+	ErrDeadline = errors.New("brew: rewrite wall-clock deadline exceeded")
+	// ErrRewritePanic reports an internal rewriter panic converted into an
+	// error: the host keeps running and the original function stays valid.
+	ErrRewritePanic = errors.New("brew: rewrite panicked")
+	// ErrDegraded marks a rewrite failure converted into transparent
+	// fallback by RewriteOrDegrade: the returned Result addresses the
+	// original function. It always wraps the underlying cause.
+	ErrDegraded = errors.New("brew: specialization degraded to original")
 )
 
 // ParamClass declares the rewriter's assumption about one parameter
@@ -113,6 +124,37 @@ func (o FuncOpts) normalized() FuncOpts {
 	return o
 }
 
+// Budget tightens the resource bounds of one rewrite attempt beyond the
+// structural Config limits. A server calling Rewrite on a hot path sets a
+// Budget so a pathological specialization request degrades to the generic
+// function quickly instead of stalling the host. Zero fields are "no extra
+// bound"; non-zero fields only ever lower the corresponding Config limit.
+type Budget struct {
+	// MaxTracedInstrs caps instructions visited during tracing.
+	MaxTracedInstrs int
+	// MaxEmittedBytes caps generated code size (tightens MaxCodeBytes).
+	MaxEmittedBytes int
+	// Deadline caps wall-clock time spent tracing. Checked every 1024
+	// traced instructions, so overshoot is bounded by a short burst.
+	Deadline time.Duration
+}
+
+// Injection/observation sites for the Config.Inject hook, in pipeline
+// order. internal/faultinject arms deterministic faults at these points.
+const (
+	// SiteTrace fires before every traced instruction.
+	SiteTrace = "trace"
+	// SiteOptimize fires before the optimization passes.
+	SiteOptimize = "optimize"
+	// SiteLayout fires before the layout/size probe.
+	SiteLayout = "layout"
+	// SiteInstall fires before JIT allocation and installation.
+	SiteInstall = "install"
+	// SiteDispatch fires before guard-dispatcher installation
+	// (RewriteGuarded only).
+	SiteDispatch = "dispatch"
+)
+
 // Config configures one Rewrite call. The zero value is NOT usable; call
 // NewConfig (the analogue of the paper's brew_initConf).
 type Config struct {
@@ -152,6 +194,18 @@ type Config struct {
 	// value is saved and restored around the callback by generated code.
 	LoadHandler  uint64
 	StoreHandler uint64
+
+	// Budget, when non-nil, tightens the structural limits for this
+	// rewrite attempt (see Budget). The original function is unaffected by
+	// a budget-exhausted attempt.
+	Budget *Budget
+
+	// Inject, when non-nil, is consulted at the named pipeline sites
+	// (Site* constants). A non-nil return fails the site with that error;
+	// a panicking hook exercises the panic-recovery path. This is the
+	// deterministic fault-injection seam internal/faultinject drives; it
+	// must be nil in production configurations.
+	Inject func(site string) error
 
 	// Vectorize enables the greedy vectorization pass over the captured
 	// straight-line code (the paper's planned Section IV/V.B pass).
@@ -223,6 +277,21 @@ func (c *Config) FloatParamClass(i int) ParamClass {
 	return c.floatParams[i-1]
 }
 
+// FrozenRanges returns the memory ranges a specialization built under the
+// given rewrite-time arguments assumes frozen: the explicit SetMemRange
+// ranges plus the pointee range of every ParamPtrToKnown parameter. The
+// specialization manager (internal/specmgr) arms write-watchpoints over
+// exactly these ranges, so any store into them deoptimizes the stale code.
+func (c *Config) FrozenRanges(args []uint64) []MemRange {
+	out := append([]MemRange(nil), c.knownRanges...)
+	for i, spec := range c.intParams {
+		if spec.class == ParamPtrToKnown && spec.size > 0 && i < len(args) {
+			out = append(out, MemRange{Start: args[i], End: args[i] + spec.size})
+		}
+	}
+	return out
+}
+
 // SetMemRange marks [start, end) as known, fixed data (brew_setmem).
 func (c *Config) SetMemRange(start, end uint64) *Config {
 	if start < end {
@@ -277,5 +346,27 @@ func (c *Config) validate() error {
 		c.MaxVariantsPerAddr <= 0 || c.MaxCodeBytes <= 0 {
 		return errors.Join(ErrBadConfig, errors.New("non-positive limit"))
 	}
+	if b := c.Budget; b != nil &&
+		(b.MaxTracedInstrs < 0 || b.MaxEmittedBytes < 0 || b.Deadline < 0) {
+		return errors.Join(ErrBadConfig, errors.New("negative budget"))
+	}
 	return nil
+}
+
+// withBudget returns the effective configuration: a shallow copy with the
+// structural limits tightened to the budget (never loosened). The copy
+// shares the option maps and ranges, which are not mutated by tracing.
+func (c *Config) withBudget() *Config {
+	b := c.Budget
+	if b == nil {
+		return c
+	}
+	cc := *c
+	if b.MaxTracedInstrs > 0 && b.MaxTracedInstrs < cc.MaxTracedInstrs {
+		cc.MaxTracedInstrs = b.MaxTracedInstrs
+	}
+	if b.MaxEmittedBytes > 0 && b.MaxEmittedBytes < cc.MaxCodeBytes {
+		cc.MaxCodeBytes = b.MaxEmittedBytes
+	}
+	return &cc
 }

@@ -1,0 +1,71 @@
+package brew
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Degradation reasons, the closed vocabulary RewriteOrDegrade classifies
+// failures into (one telemetry counter each; see metrics.go).
+const (
+	ReasonTraceBudget  = "trace-budget"
+	ReasonDeadline     = "deadline"
+	ReasonCodeBuffer   = "code-buffer"
+	ReasonBlocks       = "blocks"
+	ReasonInlineDepth  = "inline-depth"
+	ReasonIndirectJump = "indirect-jump"
+	ReasonUnsupported  = "unsupported"
+	ReasonBadCode      = "bad-code"
+	ReasonBadConfig    = "bad-config"
+	ReasonPanic        = "panic"
+	ReasonOther        = "other"
+)
+
+// DegradeReason maps a Rewrite error to its degradation-reason label.
+func DegradeReason(err error) string {
+	switch {
+	case errors.Is(err, ErrTraceTooLong):
+		return ReasonTraceBudget
+	case errors.Is(err, ErrDeadline):
+		return ReasonDeadline
+	case errors.Is(err, ErrCodeBufferFull):
+		return ReasonCodeBuffer
+	case errors.Is(err, ErrTooManyBlocks):
+		return ReasonBlocks
+	case errors.Is(err, ErrInlineDepth):
+		return ReasonInlineDepth
+	case errors.Is(err, ErrIndirectJump):
+		return ReasonIndirectJump
+	case errors.Is(err, ErrUnsupported):
+		return ReasonUnsupported
+	case errors.Is(err, ErrBadCode):
+		return ReasonBadCode
+	case errors.Is(err, ErrBadConfig):
+		return ReasonBadConfig
+	case errors.Is(err, ErrRewritePanic):
+		return ReasonPanic
+	default:
+		return ReasonOther
+	}
+}
+
+// RewriteOrDegrade is the never-fails form of Rewrite: the paper's Section
+// III.D contract ("Otherwise, the original function should be executed")
+// applied to every failure mode, not just guard misses. On success it
+// returns the specialization unchanged. On ANY failure — budget or buffer
+// exhaustion, unsupported constructs, injected faults, internal panics —
+// it returns a degraded Result whose Addr is the original function (always
+// safe to call) together with an error wrapping both ErrDegraded and the
+// cause. The degradation is counted per reason in telemetry.
+func RewriteOrDegrade(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
+	res, err := Rewrite(m, cfg, fn, args, fargs)
+	if err == nil {
+		return res, nil
+	}
+	reason := DegradeReason(err)
+	publishDegradeTelemetry(reason)
+	return &Result{Addr: fn, Degraded: true},
+		fmt.Errorf("%w (%s): %w", ErrDegraded, reason, err)
+}

@@ -1,9 +1,12 @@
 package brew
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -26,6 +29,17 @@ type GuardedResult struct {
 	Rewrite *Result
 	// Guards are the equality conditions the dispatcher checks.
 	Guards []ParamGuard
+	// DispatchSize is the dispatcher code size in bytes (the owner of the
+	// JIT allocation at Addr needs it for accounting).
+	DispatchSize int
+
+	// Guard accounting is unconditional (cheap atomics) so the adaptive
+	// deoptimization policy (internal/specmgr: deopt after N consecutive
+	// misses) works with telemetry disabled; only the telemetry
+	// publication is gated on Enabled.
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	mStreak atomic.Uint64
 }
 
 // Matches reports whether args satisfy every guard, i.e. whether the
@@ -39,18 +53,46 @@ func (g *GuardedResult) Matches(args []uint64) bool {
 	return true
 }
 
-// Call invokes the dispatcher and records guard hit/miss telemetry, the
-// observability hook for the paper's "check for the parameter actually
-// being 42" dispatch.
-func (g *GuardedResult) Call(m *vm.Machine, args ...uint64) (uint64, error) {
+// Hits returns the number of observed guard-matching calls.
+func (g *GuardedResult) Hits() uint64 { return g.hits.Load() }
+
+// Misses returns the number of observed guard-missing calls.
+func (g *GuardedResult) Misses() uint64 { return g.misses.Load() }
+
+// MissStreak returns the current run of consecutive guard misses; a hit
+// resets it. The deopt policy reads this.
+func (g *GuardedResult) MissStreak() uint64 { return g.mStreak.Load() }
+
+// note records one dispatch outcome.
+func (g *GuardedResult) note(hit bool) {
+	if hit {
+		g.hits.Add(1)
+		g.mStreak.Store(0)
+	} else {
+		g.misses.Add(1)
+		g.mStreak.Add(1)
+	}
 	if telemetry.Enabled() {
-		if g.Matches(args) {
+		if hit {
 			mGuardHits.Inc()
 		} else {
 			mGuardMisses.Inc()
 		}
 	}
+}
+
+// Call invokes the dispatcher and records guard hit/miss accounting, the
+// observability hook for the paper's "check for the parameter actually
+// being 42" dispatch.
+func (g *GuardedResult) Call(m *vm.Machine, args ...uint64) (uint64, error) {
+	g.note(g.Matches(args))
 	return m.Call(g.Addr, args...)
+}
+
+// CallFloat is Call for kernels returning a floating-point result.
+func (g *GuardedResult) CallFloat(m *vm.Machine, intArgs []uint64, fArgs []float64) (float64, error) {
+	g.note(g.Matches(intArgs))
+	return m.CallFloat(g.Addr, intArgs, fArgs)
 }
 
 // RewriteGuarded implements the paper's profile-driven specialization
@@ -61,7 +103,9 @@ func (g *GuardedResult) Call(m *vm.Machine, args ...uint64) (uint64, error) {
 //
 // The cfg is augmented with ParamKnown for each guarded parameter; args
 // must carry the guard values in the corresponding positions. The returned
-// dispatcher is a drop-in replacement for fn.
+// dispatcher is a drop-in replacement for fn. On any failure after the
+// specialized body was generated, its code-buffer space is released again —
+// a failing dispatcher install must not leak JIT memory.
 func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
 	if len(guards) == 0 {
 		return nil, fmt.Errorf("%w: no guards", ErrBadConfig)
@@ -81,6 +125,18 @@ func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, 
 	if err != nil {
 		return nil, err
 	}
+	// From here on the specialized body at res.Addr is allocated; give it
+	// back on every subsequent failure path.
+	installed := false
+	defer func() {
+		if !installed {
+			_ = m.FreeJIT(res.Addr)
+		}
+	}()
+
+	if err := injectAt(cfg, SiteDispatch); err != nil {
+		return nil, err
+	}
 
 	// Dispatcher: cmpi argN, value; jne original; ... jmp specialized.
 	var ins []isa.Instr
@@ -92,6 +148,8 @@ func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, 
 	}
 	ins = append(ins, isa.MakeRel(isa.JMP, res.Addr))
 
+	// Size probe: encoded lengths are position-independent (branches are
+	// fixed-size rel32), so the final relocated code has the same size.
 	size := 0
 	for _, in := range ins {
 		n, err := isa.EncodedLen(in)
@@ -100,25 +158,32 @@ func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, 
 		}
 		size += n
 	}
-	addr, err := m.JITAlloc.Alloc(uint64(size))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCodeBufferFull, err)
-	}
-	var code []byte
-	for _, in := range ins {
-		in.Addr = addr + uint64(len(code))
-		code, err = isa.AppendEncode(code, in)
-		if err != nil {
-			return nil, err
+	// InstallJIT serializes allocation+installation with concurrent
+	// rewrites and releases the reservation itself when encoding fails.
+	addr, err := m.InstallJIT(size, func(at uint64) ([]byte, error) {
+		var code []byte
+		for _, in := range ins {
+			in.Addr = at + uint64(len(code))
+			var eerr error
+			code, eerr = isa.AppendEncode(code, in)
+			if eerr != nil {
+				return nil, eerr
+			}
 		}
-	}
-	if err := m.WriteJIT(addr, code); err != nil {
+		return code, nil
+	})
+	if err != nil {
+		if errors.Is(err, mem.ErrNoSpace) {
+			return nil, fmt.Errorf("%w: %v", ErrCodeBufferFull, err)
+		}
 		return nil, err
 	}
+	installed = true
 	return &GuardedResult{
-		Addr:        addr,
-		Specialized: res.Addr,
-		Rewrite:     res,
-		Guards:      append([]ParamGuard(nil), guards...),
+		Addr:         addr,
+		Specialized:  res.Addr,
+		Rewrite:      res,
+		Guards:       append([]ParamGuard(nil), guards...),
+		DispatchSize: size,
 	}, nil
 }

@@ -22,7 +22,31 @@ var (
 
 	mTracedHist = telemetry.Default.Histogram("brew.traced_instrs",
 		[]uint64{100, 1_000, 10_000, 100_000, 1_000_000})
+
+	// Degradations (RewriteOrDegrade), total and by reason.
+	mDegrades  = telemetry.Default.Counter("brew.degrades")
+	mDegradeBy = map[string]*telemetry.Counter{
+		ReasonTraceBudget:  telemetry.Default.Counter("brew.degrade.trace_budget"),
+		ReasonDeadline:     telemetry.Default.Counter("brew.degrade.deadline"),
+		ReasonCodeBuffer:   telemetry.Default.Counter("brew.degrade.code_buffer"),
+		ReasonBlocks:       telemetry.Default.Counter("brew.degrade.blocks"),
+		ReasonInlineDepth:  telemetry.Default.Counter("brew.degrade.inline_depth"),
+		ReasonIndirectJump: telemetry.Default.Counter("brew.degrade.indirect_jump"),
+		ReasonUnsupported:  telemetry.Default.Counter("brew.degrade.unsupported"),
+		ReasonBadCode:      telemetry.Default.Counter("brew.degrade.bad_code"),
+		ReasonBadConfig:    telemetry.Default.Counter("brew.degrade.bad_config"),
+		ReasonPanic:        telemetry.Default.Counter("brew.degrade.panic"),
+		ReasonOther:        telemetry.Default.Counter("brew.degrade.other"),
+	}
 )
+
+func publishDegradeTelemetry(reason string) {
+	if !telemetry.Enabled() {
+		return
+	}
+	mDegrades.Inc()
+	mDegradeBy[reason].Inc()
+}
 
 func publishRewriteTelemetry(r *RewriteReport) {
 	if !telemetry.Enabled() {

@@ -4,11 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/vm"
 )
+
+// injectAt consults the fault-injection hook at a pipeline site.
+func injectAt(cfg *Config, site string) error {
+	if cfg.Inject == nil {
+		return nil
+	}
+	return cfg.Inject(site)
+}
 
 // Result describes a successful rewrite.
 type Result struct {
@@ -25,6 +34,10 @@ type Result struct {
 	// Report explains, per basic block and per optimization pass, what the
 	// rewriter kept, elided, folded or inlined and why.
 	Report *RewriteReport
+
+	// Degraded marks a RewriteOrDegrade fallback: Addr is the original
+	// function, not specialized code, and the other fields are zero.
+	Degraded bool
 
 	listing string
 }
@@ -44,15 +57,31 @@ func (r *Result) Listing() string { return r.listing }
 // parameters declared known in cfg are consulted.
 //
 // On error the original function remains valid; rewriting failure is not
-// catastrophic (Section III.G).
-func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
+// catastrophic (Section III.G). An internal rewriter panic is recovered and
+// reported as ErrRewritePanic — it can never take the host down.
+func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrRewritePanic, p)
+		}
+	}()
+	return rewrite(m, cfg, fn, args, fargs)
+}
+
+func rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	budget := cfg.Budget
+	cfg = cfg.withBudget()
 	t := newTracer(m, cfg)
+	if budget != nil && budget.Deadline > 0 {
+		t.deadline = time.Now().Add(budget.Deadline)
+	}
 
-	// Declared-known memory: explicit ranges plus pointer parameters.
-	t.ranges = append(t.ranges, cfg.knownRanges...)
+	// Declared-known memory: explicit ranges plus pointer parameters
+	// (the same ranges specmgr freezes under watchpoints).
+	t.ranges = append(t.ranges, cfg.FrozenRanges(args)...)
 
 	w0 := newWorld()
 	for i, spec := range cfg.intParams {
@@ -62,11 +91,7 @@ func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 		if i >= len(args) {
 			return nil, fmt.Errorf("%w: parameter %d declared known but only %d arguments given", ErrBadConfig, i+1, len(args))
 		}
-		reg := isa.IntArgRegs[i]
-		w0.r[reg] = konst(args[i])
-		if spec.class == ParamPtrToKnown && spec.size > 0 {
-			t.ranges = append(t.ranges, MemRange{Start: args[i], End: args[i] + spec.size})
-		}
+		w0.r[isa.IntArgRegs[i]] = konst(args[i])
 	}
 	for i, class := range cfg.floatParams {
 		if class == ParamUnknown {
@@ -84,12 +109,21 @@ func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 
 	// Optimization passes over the captured blocks (Section III.G: "we run
 	// optimization passes over the newly generated, captured blocks").
+	if err := injectAt(cfg, SiteOptimize); err != nil {
+		return nil, err
+	}
 	optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize, t.rep)
 
 	// Size probe at base 0, then allocation and final relocation under
 	// the machine's JIT lock (several rewrites may run concurrently).
+	if err := injectAt(cfg, SiteLayout); err != nil {
+		return nil, err
+	}
 	probe, err := layoutAndEncode(t.blocks, 0, cfg.MaxCodeBytes)
 	if err != nil {
+		return nil, err
+	}
+	if err := injectAt(cfg, SiteInstall); err != nil {
 		return nil, err
 	}
 	addr, err := m.InstallJIT(len(probe), func(at uint64) ([]byte, error) {

@@ -3,6 +3,7 @@ package brew
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/vm"
@@ -41,6 +42,9 @@ type tracer struct {
 
 	// rep records per-instruction rewrite decisions for the RewriteReport.
 	rep *reportBuilder
+
+	// deadline, when set, bounds wall-clock tracing time (Budget.Deadline).
+	deadline time.Time
 }
 
 func newTracer(m *vm.Machine, cfg *Config) *tracer {
@@ -115,6 +119,14 @@ func (t *tracer) traceBlock(id int) error {
 	for {
 		if t.tracedN >= t.cfg.MaxTracedInstrs {
 			return ErrTraceTooLong
+		}
+		if t.cfg.Inject != nil {
+			if err := t.cfg.Inject(SiteTrace); err != nil {
+				return err
+			}
+		}
+		if !t.deadline.IsZero() && t.tracedN&1023 == 0 && time.Now().After(t.deadline) {
+			return ErrDeadline
 		}
 		t.tracedN++
 		ins, err := t.decode(t.pc)

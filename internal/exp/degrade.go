@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/specmgr"
+	"repro/internal/stencil"
+)
+
+// RunDegradation is experiment E4: graceful degradation and self-healing
+// specialization (Section III.G's "failure is never catastrophic" made
+// measurable). It compares the generic kernel against a managed
+// specialization with assumption watchpoints armed, a full
+// deopt-and-respecialize cycle triggered by a store into the frozen
+// stencil descriptor, and a fault-injected rewrite that degrades to the
+// original. Every row must produce the golden checksum: robustness costs
+// speed, never correctness.
+func RunDegradation(o Options) ([]Row, error) {
+	o = o.fill()
+	// The sweep count is split around the mid-run descriptor store in E4c;
+	// the first batch must be even so the source/destination swap chain
+	// stays intact across the split.
+	h1 := o.Iters - 1
+	if h1%2 == 1 {
+		h1--
+	}
+	if h1 < 0 {
+		h1 = 0
+	}
+	h2 := o.Iters - h1
+
+	type entry struct {
+		id, name string
+		note     string
+		run      func(w *stencil.Workload) (float64, error)
+	}
+	entries := []entry{
+		{"E4a", "generic apply (no manager)", "baseline", func(w *stencil.Workload) (float64, error) {
+			return w.RunSweeps(w.Apply, false, o.Iters)
+		}},
+		{"E4b", "managed specialization, watchpoints armed", "deopt-check overhead vs E1c", func(w *stencil.Workload) (float64, error) {
+			mgr := specmgr.New(w.M, specmgr.Policy{})
+			cfg, args := w.ApplyConfig()
+			e, err := mgr.Specialize(cfg, w.Apply, args, nil)
+			if err != nil {
+				return 0, err
+			}
+			return w.RunSweeps(e.Addr(), false, o.Iters)
+		}},
+		{"E4c", "deopt mid-run + lazy respecialize", "store into frozen descriptor", func(w *stencil.Workload) (float64, error) {
+			poke, err := pokeFn(w)
+			if err != nil {
+				return 0, err
+			}
+			mgr := specmgr.New(w.M, specmgr.Policy{Respecialize: true})
+			cfg, args := w.ApplyConfig()
+			e, err := mgr.Specialize(cfg, w.Apply, args, nil)
+			if err != nil {
+				return 0, err
+			}
+			if h1 > 0 {
+				if _, err := w.RunSweeps(e.Addr(), false, h1); err != nil {
+					return 0, err
+				}
+			}
+			// Store the coefficient's existing value: semantically a no-op,
+			// but a store into a frozen region all the same — the watchdog
+			// must deoptimize, and the checksum must stay golden.
+			if _, err := w.M.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-1.0}); err != nil {
+				return 0, err
+			}
+			if d, _ := e.Deopted(); !d {
+				return 0, fmt.Errorf("frozen store did not deoptimize")
+			}
+			// One managed call re-specializes against current memory.
+			cell := w.M1 + uint64((w.XS+1)*8)
+			if _, err := e.CallFloat([]uint64{cell, uint64(w.XS), w.S5}, nil); err != nil {
+				return 0, err
+			}
+			if d, _ := e.Deopted(); d {
+				return 0, fmt.Errorf("respecialization did not happen")
+			}
+			return w.RunSweeps(e.Addr(), false, h2)
+		}},
+		{"E4d", "fault-injected rewrite, degraded", "runs original at generic speed", func(w *stencil.Workload) (float64, error) {
+			cfg, args := w.ApplyConfig()
+			cfg.Inject = func(site string) error {
+				if site == brew.SiteInstall {
+					return fmt.Errorf("%w: injected", brew.ErrCodeBufferFull)
+				}
+				return nil
+			}
+			mgr := specmgr.New(w.M, specmgr.Policy{})
+			e, err := mgr.Specialize(cfg, w.Apply, args, nil)
+			if e == nil {
+				return 0, err
+			}
+			if !e.Degraded() {
+				return 0, fmt.Errorf("injected install fault did not degrade")
+			}
+			return w.RunSweeps(e.Addr(), false, o.Iters)
+		}},
+	}
+
+	var rows []Row
+	var golden float64
+	var base uint64
+	for i, e := range entries {
+		row, sum, err := measureStencil(o, e.run)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.id, err)
+		}
+		if i == 0 {
+			golden = sum
+			base = row.Cycles
+		} else if math.Abs(sum-golden) > 1e-6 {
+			return nil, fmt.Errorf("%s: checksum %g deviates from generic %g", e.id, sum, golden)
+		}
+		row.ID, row.Name, row.Note = e.id, e.name, e.note
+		row.Ratio = float64(row.Cycles) / float64(base)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// pokeFn compiles an emulated single-store helper into the workload's
+// machine (a host-side write would bypass the watchpointed store path).
+func pokeFn(w *stencil.Workload) (uint64, error) {
+	l, err := minc.CompileAndLink(w.M, `
+double poke(double *p, double v) { p[0] = v; return v; }
+`, nil)
+	if err != nil {
+		return 0, err
+	}
+	return l.FuncAddr("poke")
+}

@@ -1,0 +1,137 @@
+package faultinject_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/faultinject"
+)
+
+// TestDeterminism: the same seed and call sequence yields the same
+// decisions; a different seed yields (almost surely) different ones.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := faultinject.New(seed).ArmAll(0.3)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Should(faultinject.Points[i%len(faultinject.Points)]))
+		}
+		return out
+	}
+	a, b, c := run(42), run(42), run(43)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different decision sequences")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+// TestUnarmedConsumesNoRandomness: checking an unarmed point must not
+// perturb the decision stream of armed points.
+func TestUnarmedConsumesNoRandomness(t *testing.T) {
+	seq := func(noise bool) []bool {
+		in := faultinject.New(7).Arm(faultinject.PointPanic, 0.5)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			if noise {
+				in.Should(faultinject.PointOpcode) // unarmed
+			}
+			out = append(out, in.Should(faultinject.PointPanic))
+		}
+		return out
+	}
+	a, b := seq(false), seq(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d changed because an unarmed point was checked", i)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	in := faultinject.New(1).Arm(faultinject.PointBudget, 1.0)
+	for i := 0; i < 10; i++ {
+		if !in.Should(faultinject.PointBudget) {
+			t.Fatal("rate-1.0 point did not fire")
+		}
+	}
+	if in.Should(faultinject.PointJITAlloc) {
+		t.Fatal("unarmed point fired")
+	}
+	if got := in.Fired(faultinject.PointBudget); got != 10 {
+		t.Errorf("Fired = %d, want 10", got)
+	}
+	if got := in.TotalFired(); got != 10 {
+		t.Errorf("TotalFired = %d, want 10", got)
+	}
+	if s := in.Summary(); s != "budget:10/10" {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+// TestHookErrorTypes checks the site-to-point mapping and that injected
+// errors classify like the genuine failures they simulate.
+func TestHookErrorTypes(t *testing.T) {
+	cases := []struct {
+		point  faultinject.Point
+		site   string
+		target error
+		reason string
+	}{
+		{faultinject.PointOpcode, brew.SiteTrace, brew.ErrUnsupported, brew.ReasonUnsupported},
+		{faultinject.PointBudget, brew.SiteTrace, brew.ErrTraceTooLong, brew.ReasonTraceBudget},
+		{faultinject.PointJITAlloc, brew.SiteInstall, brew.ErrCodeBufferFull, brew.ReasonCodeBuffer},
+		{faultinject.PointDispatch, brew.SiteDispatch, brew.ErrCodeBufferFull, brew.ReasonCodeBuffer},
+	}
+	for _, tc := range cases {
+		hook := faultinject.New(0).Arm(tc.point, 1.0).Hook()
+		err := hook(tc.site)
+		if !errors.Is(err, tc.target) {
+			t.Errorf("%s at %s: %v, want %v", tc.point, tc.site, err, tc.target)
+		}
+		if r := brew.DegradeReason(err); r != tc.reason {
+			t.Errorf("%s: DegradeReason = %q, want %q", tc.point, r, tc.reason)
+		}
+		// The hook passes at sites its point is not mapped to.
+		if err := hook(brew.SiteOptimize); err != nil {
+			t.Errorf("%s at optimize: %v, want nil", tc.point, err)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("PointPanic hook did not panic")
+		}
+	}()
+	faultinject.New(0).Arm(faultinject.PointPanic, 1.0).Hook()(brew.SiteTrace)
+}
+
+// TestConcurrency exercises the injector from many goroutines under -race.
+func TestConcurrency(t *testing.T) {
+	in := faultinject.New(9).ArmAll(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Should(faultinject.Points[i%len(faultinject.Points)])
+			}
+		}()
+	}
+	wg.Wait()
+	if in.TotalFired() == 0 {
+		t.Error("no faults fired across 8000 checks at rate 0.5")
+	}
+}

@@ -74,6 +74,15 @@ type Case struct {
 	// relies on the final-memory comparison only. Needed for rewrites that
 	// legitimately restructure stores (e.g. vectorization).
 	SkipStoreOrder bool
+	// Degrade uses brew.RewriteOrDegrade instead of Rewrite: a rewrite
+	// failure is no longer a skip but a degraded result addressing the
+	// original function, and the differential check then verifies the
+	// degraded path is a faithful drop-in too. Combined with Inject this
+	// cross-checks the fault-injected fallback paths.
+	Degrade bool
+	// Inject, when non-nil, is installed as the rewrite configuration's
+	// fault-injection hook (brew.Config.Inject) on the rewritten instance.
+	Inject func(site string) error
 }
 
 // CaseResult is the outcome of one differential case.
@@ -84,6 +93,9 @@ type CaseResult struct {
 	// non-catastrophic failure per Section III.G) — the case is skipped,
 	// not failed.
 	RewriteErr error
+	// Degraded reports that a Degrade-mode case fell back to the original
+	// function (RewriteErr then holds the cause and the case still ran).
+	Degraded bool
 	// Divergence is non-nil when the invariant was violated.
 	Divergence *Divergence
 }
@@ -120,6 +132,8 @@ type harness struct {
 	rewrAddr   uint64
 	listing    string
 	stepLimit  int64
+	degraded   bool
+	degradeErr error
 }
 
 // Run executes one differential case. The returned error reports harness
@@ -134,6 +148,10 @@ func Run(c Case, seed int64) (*CaseResult, error) {
 	if h == nil { // rewriter refused
 		res.RewriteErr = hErr(c)
 		return res, nil
+	}
+	if h.degraded {
+		res.Degraded = true
+		res.RewriteErr = h.degradeErr
 	}
 	trials := c.Trials
 	if trials <= 0 {
@@ -180,9 +198,20 @@ func newHarness(c Case) (*harness, error) {
 	if orig.Fn != rewr.Fn {
 		return nil, fmt.Errorf("oracle %s: nondeterministic build: fn 0x%x vs 0x%x", c.Name, orig.Fn, rewr.Fn)
 	}
-	res, rerr := brew.Rewrite(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
-	if rerr != nil {
-		return nil, nil // refusal; Run re-derives the error
+	if c.Inject != nil {
+		rewr.Cfg.Inject = c.Inject
+	}
+	var res *brew.Result
+	var rerr error
+	if c.Degrade {
+		// Never a skip: a failed rewrite degrades to the original entry,
+		// and the differential check runs against that fallback.
+		res, rerr = brew.RewriteOrDegrade(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
+	} else {
+		res, rerr = brew.Rewrite(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
+		if rerr != nil {
+			return nil, nil // refusal; Run re-derives the error
+		}
 	}
 	h := &harness{
 		c:        c,
@@ -190,6 +219,10 @@ func newHarness(c Case) (*harness, error) {
 		rewr:     &machState{inst: rewr, snap: snapshot(rewr.M)},
 		rewrAddr: res.Addr,
 		listing:  res.Listing(),
+		degraded: res.Degraded,
+	}
+	if res.Degraded {
+		h.degradeErr = rerr
 	}
 	h.stepLimit = c.StepLimit
 	if h.stepLimit <= 0 {

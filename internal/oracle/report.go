@@ -65,6 +65,7 @@ type Report struct {
 	Cases       int
 	Trials      int
 	Refused     int
+	Degraded    int
 	Divergences []*Divergence
 }
 
@@ -72,7 +73,9 @@ type Report struct {
 func (r *Report) Add(res *CaseResult) {
 	r.Cases++
 	r.Trials += res.Trials
-	if res.RewriteErr != nil {
+	if res.Degraded {
+		r.Degraded++ // ran against the original-function fallback
+	} else if res.RewriteErr != nil {
 		r.Refused++
 	}
 	if res.Divergence != nil {
@@ -89,6 +92,6 @@ func (r *Report) Summary() string {
 	if !r.OK() {
 		verdict = "FAIL"
 	}
-	return fmt.Sprintf("%s: %d cases, %d trials, %d rewrite-refused, %d divergences",
-		verdict, r.Cases, r.Trials, r.Refused, len(r.Divergences))
+	return fmt.Sprintf("%s: %d cases, %d trials, %d rewrite-refused, %d degraded, %d divergences",
+		verdict, r.Cases, r.Trials, r.Refused, r.Degraded, len(r.Divergences))
 }

@@ -1,0 +1,151 @@
+package specmgr_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/faultinject"
+	"repro/internal/specmgr"
+)
+
+// TestChaosNeverWrongNeverCrashed drives stencil workloads through
+// seed-varied fault injection until at least 1000 faults have fired
+// (about 150 under -short) and asserts the robustness invariant on every
+// run: the checksum always equals the reference, no call ever fails, no
+// panic ever escapes. Failures may only cost speed — degraded and
+// deoptimized entries run the original kernel.
+//
+// One machine and workload are shared across seeds (compilation is the
+// dominant cost); every seed releases its entries and restores the
+// mutated descriptor, and the final code-buffer accounting is checked so
+// chaos cannot leak JIT space either.
+func TestChaosNeverWrongNeverCrashed(t *testing.T) {
+	m, w := newStencil(t)
+	poke := loadPoke(t, m)
+	baseline := m.JITAlloc.FreeBytes()
+
+	const iters = 3
+	target := uint64(1000)
+	if testing.Short() {
+		target = 150
+	}
+	cell := w.M1 + uint64((gridXS+1)*8)
+
+	var fired uint64
+	runs, degradedRuns, deoptRuns := 0, 0, 0
+	for seed := int64(1); fired < target; seed++ {
+		runs++
+
+		inj := faultinject.New(seed)
+		// Rates vary by seed so every point gets rounds where it
+		// dominates and rounds where it is silent. SiteTrace points fire
+		// per traced instruction, so their rates stay small.
+		inj.Arm(faultinject.PointOpcode, 0.002*float64(seed%3))
+		inj.Arm(faultinject.PointBudget, 0.002*float64((seed/3)%3))
+		inj.Arm(faultinject.PointPanic, 0.001*float64((seed/9)%3))
+		inj.Arm(faultinject.PointJITAlloc, 0.5*float64(seed%2))
+		inj.Arm(faultinject.PointDispatch, 0.5*float64((seed/2)%2))
+
+		cfg, args := w.ApplyConfig()
+		cfg.Inject = inj.Hook()
+		if seed%5 == 0 {
+			// Genuine (non-injected) budget exhaustion on some seeds.
+			cfg.Budget = &brew.Budget{MaxTracedInstrs: int(10 + seed%200)}
+		}
+		mgr := specmgr.New(m, specmgr.Policy{Respecialize: true, GuardMissLimit: 3})
+
+		var e *specmgr.Entry
+		var err error
+		if seed%4 == 0 {
+			e, err = mgr.SpecializeGuarded(cfg, w.Apply,
+				[]brew.ParamGuard{{Param: 2, Value: gridXS}}, args, nil)
+		} else {
+			e, err = mgr.Specialize(cfg, w.Apply, args, nil)
+		}
+		if err != nil && e == nil {
+			t.Fatalf("seed %d: specialize returned no entry: %v", seed, err)
+		}
+		if e.Degraded() {
+			degradedRuns++
+		}
+
+		// Invariant 1: the checksum matches the golden reference whether
+		// the entry is specialized or degraded.
+		if err := w.ResetMatrices(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.RunSweeps(e.Addr(), false, iters)
+		if err != nil {
+			t.Fatalf("seed %d: sweep: %v", seed, err)
+		}
+		if want := w.Golden(iters); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: wrong result %g, want %g (degraded=%v)",
+				seed, got, want, e.Degraded())
+		}
+
+		if seed%2 == 0 {
+			// Invariant 2: mutating the frozen descriptor never yields a
+			// stale result. Non-degraded entries must deoptimize; degraded
+			// ones re-read memory anyway.
+			wasDegraded := e.Degraded()
+			if _, err := m.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-0.5}); err != nil {
+				t.Fatalf("seed %d: poke: %v", seed, err)
+			}
+			if d, _ := e.Deopted(); !d && !wasDegraded {
+				t.Fatalf("seed %d: frozen store did not deoptimize", seed)
+			}
+			if d, _ := e.Deopted(); d {
+				deoptRuns++
+			}
+
+			// A managed call may lazily respecialize — under the same
+			// injector, so the attempt itself can fail into degradation.
+			wantCell, err := m.CallFloat(w.Apply, []uint64{cell, gridXS, w.S5}, nil)
+			if err != nil {
+				t.Fatalf("seed %d: reference cell: %v", seed, err)
+			}
+			gotCell, err := e.CallFloat([]uint64{cell, gridXS, w.S5}, nil)
+			if err != nil {
+				t.Fatalf("seed %d: managed cell call: %v", seed, err)
+			}
+			if math.Abs(gotCell-wantCell) > 1e-12 {
+				t.Fatalf("seed %d: cell = %g, want %g after mutation", seed, gotCell, wantCell)
+			}
+
+			// Full-sweep agreement with the original kernel on the mutated
+			// descriptor.
+			if err := w.ResetMatrices(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := w.RunSweeps(w.Apply, false, iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.ResetMatrices(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.RunSweeps(e.Addr(), false, iters)
+			if err != nil {
+				t.Fatalf("seed %d: post-mutation sweep: %v", seed, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: stale result after mutation: %g, want %g", seed, got, want)
+			}
+
+			// Restore the descriptor for the next seed.
+			if _, err := m.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-1.0}); err != nil {
+				t.Fatalf("seed %d: restore: %v", seed, err)
+			}
+		}
+
+		mgr.Release(e)
+		fired += inj.TotalFired()
+	}
+
+	if got := m.JITAlloc.FreeBytes(); got != baseline {
+		t.Errorf("chaos leaked code-buffer space: %d free, baseline %d", got, baseline)
+	}
+	t.Logf("chaos: %d runs, %d injected faults, %d degraded, %d deopts",
+		runs, fired, degradedRuns, deoptRuns)
+}

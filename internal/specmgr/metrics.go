@@ -1,0 +1,25 @@
+package specmgr
+
+import "repro/internal/telemetry"
+
+// Manager metrics; counters self-gate on telemetry.Enabled.
+var (
+	mSpecializations   = telemetry.Default.Counter("specmgr.specializations")
+	mDegraded          = telemetry.Default.Counter("specmgr.degraded")
+	mDeopts            = telemetry.Default.Counter("specmgr.deopts")
+	mRespecializations = telemetry.Default.Counter("specmgr.respecializations")
+	mRespecFailures    = telemetry.Default.Counter("specmgr.respec_failures")
+	mEvictions         = telemetry.Default.Counter("specmgr.evictions")
+	mWatchHits         = telemetry.Default.Counter("specmgr.watch_hits")
+
+	mDeoptBy = map[string]*telemetry.Counter{
+		DeoptAssumption: telemetry.Default.Counter("specmgr.deopt.assumption_violated"),
+		DeoptGuardStorm: telemetry.Default.Counter("specmgr.deopt.guard_miss_storm"),
+		DeoptManual:     telemetry.Default.Counter("specmgr.deopt.manual"),
+	}
+)
+
+func publishDeopt(reason string) {
+	mDeopts.Inc()
+	mDeoptBy[reason].Inc() // nil-safe for custom reasons
+}

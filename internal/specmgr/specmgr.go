@@ -1,0 +1,493 @@
+// Package specmgr manages the lifetime of runtime specializations: it is
+// the self-healing layer above the BREW rewriter. Every specialization is
+// registered together with the assumptions it was built under — the frozen
+// memory regions (SetMemRange plus ParamPtrToKnown pointees) and guarded
+// parameter values — and the manager arms VM write-watchpoints over the
+// frozen ranges. A store into a frozen region deoptimizes the stale code
+// before the next call through the entry returns: the entry's patchable
+// stub is atomically redirected to the original function, and on the next
+// managed call the entry may lazily re-specialize against the new memory
+// contents.
+//
+// Together with brew.RewriteOrDegrade this yields the robustness
+// invariant the chaos tests (chaos_test.go) enforce: the system is never
+// wrong and never crashes; at worst it runs the original code at generic
+// speed.
+package specmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/brew"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Deoptimization reasons.
+const (
+	// DeoptAssumption: a store hit a frozen memory region.
+	DeoptAssumption = "assumption-violated"
+	// DeoptGuardStorm: Policy.GuardMissLimit consecutive guard misses.
+	DeoptGuardStorm = "guard-miss-storm"
+	// DeoptManual: explicit Manager.Deopt call.
+	DeoptManual = "manual"
+)
+
+// ErrReleased reports a managed call through a released entry.
+var ErrReleased = errors.New("specmgr: entry released")
+
+// Policy configures a Manager.
+type Policy struct {
+	// MaxLive bounds live entries; exceeding it evicts the least recently
+	// used entry (releasing its code-buffer space). 0 means unlimited.
+	MaxLive int
+	// GuardMissLimit deoptimizes a guarded entry after this many
+	// consecutive guard misses observed by Entry.Call/CallFloat (the
+	// specialized variant is evidently no longer the hot case). 0 disables.
+	GuardMissLimit uint64
+	// Respecialize re-runs the rewrite lazily on the first managed call
+	// after a deoptimization, against the current memory contents. One
+	// attempt per deoptimization: a failed attempt leaves the entry
+	// degraded until the next deopt.
+	Respecialize bool
+}
+
+// Manager tracks specializations for one machine. All methods are safe for
+// concurrent use with each other while the machine is not executing;
+// managed calls themselves must come from one goroutine at a time (the
+// machine is single-threaded).
+type Manager struct {
+	m   *vm.Machine
+	pol Policy
+
+	mu      sync.Mutex
+	entries map[uint64]*Entry // original entry address -> live entry
+	clock   uint64
+}
+
+// Entry is one managed specialization. Its stable address (Addr) is a
+// small patchable stub, so deoptimization retargets every caller at once.
+type Entry struct {
+	mgr *Manager
+	fn  uint64
+
+	// Everything below is guarded by mgr.mu.
+	stub       uint64 // patchable JMP, 0 if stub allocation failed
+	res        *brew.Result
+	guarded    *brew.GuardedResult
+	cfg        *brew.Config
+	args       []uint64
+	fargs      []float64
+	guards     []brew.ParamGuard
+	watches    []*vm.Watch
+	deopted    bool
+	reason     string // last deopt (or degradation) reason
+	respecDone bool   // one respecialization attempt per deopt
+	released   bool
+	lastUse    uint64
+}
+
+// New returns a Manager for machine m.
+func New(m *vm.Machine, pol Policy) *Manager {
+	return &Manager{m: m, pol: pol, entries: make(map[uint64]*Entry)}
+}
+
+// Len returns the number of live entries.
+func (g *Manager) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Lookup returns the live entry for the function at fn, or nil.
+func (g *Manager) Lookup(fn uint64) *Entry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.entries[fn]
+}
+
+// Specialize rewrites fn under cfg and registers the result. It never
+// fails into an unusable state: on any rewrite failure the returned entry
+// transparently runs the original function (Result semantics of
+// brew.RewriteOrDegrade) and the error reports the cause. cfg, args and
+// fargs are retained for respecialization and must not be mutated by the
+// caller afterwards.
+func (g *Manager) Specialize(cfg *brew.Config, fn uint64, args []uint64, fargs []float64) (*Entry, error) {
+	res, err := brew.RewriteOrDegrade(g.m, cfg, fn, args, fargs)
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: res}
+	g.register(e, res.Addr, err)
+	return e, err
+}
+
+// SpecializeGuarded is Specialize for guarded specializations
+// (brew.RewriteGuarded): the entry dispatches on the guard conditions and
+// is additionally subject to the guard-miss-storm deopt policy.
+func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.ParamGuard, args []uint64, fargs []float64) (*Entry, error) {
+	gr, err := brew.RewriteGuarded(g.m, cfg, fn, guards, args, fargs)
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards}
+	target := fn
+	if err != nil {
+		reason := brew.DegradeReason(err)
+		e.res = &brew.Result{Addr: fn, Degraded: true}
+		e.reason = reason
+		err = fmt.Errorf("%w (%s): %w", brew.ErrDegraded, reason, err)
+	} else {
+		e.guarded = gr
+		e.res = gr.Rewrite
+		target = gr.Addr
+	}
+	g.register(e, target, err)
+	return e, err
+}
+
+// register installs the stub, arms watchpoints, and inserts the entry,
+// evicting over MaxLive.
+func (g *Manager) register(e *Entry, target uint64, rerr error) {
+	if rerr != nil {
+		mDegraded.Inc()
+	} else {
+		mSpecializations.Inc()
+	}
+	// The stable entry: a 5-byte JMP that deoptimization can retarget
+	// atomically (at emulated-instruction granularity). If even this tiny
+	// allocation fails, fall back to the original entry directly — the
+	// entry then cannot be specialized, only degraded.
+	stub, err := g.installStub(target)
+	if err != nil && !e.res.Degraded {
+		_ = g.freeCode(e)
+		e.res = &brew.Result{Addr: e.fn, Degraded: true}
+		e.guarded = nil
+		e.reason = brew.ReasonCodeBuffer
+	}
+	e.stub = stub // 0 on failure
+
+	g.mu.Lock()
+	if !e.res.Degraded {
+		g.armWatches(e)
+	}
+	if old := g.entries[e.fn]; old != nil {
+		g.releaseLocked(old)
+	}
+	g.clock++
+	e.lastUse = g.clock
+	g.entries[e.fn] = e
+	g.evictOverLimitLocked(e)
+	g.mu.Unlock()
+}
+
+// installStub emits "jmp target" into fresh JIT space.
+func (g *Manager) installStub(target uint64) (uint64, error) {
+	ins := isa.MakeRel(isa.JMP, target)
+	size, err := isa.EncodedLen(ins)
+	if err != nil {
+		return 0, err
+	}
+	return g.m.InstallJIT(size, func(at uint64) ([]byte, error) {
+		ins.Addr = at
+		return isa.AppendEncode(nil, ins)
+	})
+}
+
+// patchStub retargets an existing stub (requires mgr.mu or an otherwise
+// quiescent entry). WriteJIT invalidates the decode cache, so the change
+// is visible to the very next emulated instruction fetch.
+func (g *Manager) patchStub(stub, target uint64) {
+	ins := isa.MakeRel(isa.JMP, target)
+	ins.Addr = stub
+	code, err := isa.AppendEncode(nil, ins)
+	if err != nil {
+		panic(fmt.Sprintf("specmgr: stub encode: %v", err)) // fixed-form JMP cannot fail
+	}
+	if err := g.m.WriteJIT(stub, code); err != nil {
+		panic(fmt.Sprintf("specmgr: stub patch: %v", err)) // stub memory is owned by us
+	}
+}
+
+// armWatches installs write-watchpoints over the entry's frozen ranges
+// (mgr.mu held).
+func (g *Manager) armWatches(e *Entry) {
+	for _, r := range e.cfg.FrozenRanges(e.args) {
+		e.watches = append(e.watches, g.m.AddWatch(r.Start, r.End,
+			func(*vm.Watch, uint64, int) {
+				// Fires from the store path mid-execution, outside mgr.mu
+				// (no managed code runs while the lock is held, so this
+				// cannot deadlock).
+				mWatchHits.Inc()
+				g.mu.Lock()
+				g.deoptLocked(e, DeoptAssumption)
+				g.mu.Unlock()
+			}))
+	}
+}
+
+// disarmWatches removes the entry's watchpoints (mgr.mu held; safe during
+// watch dispatch — the VM's watch list is copy-on-write).
+func (g *Manager) disarmWatches(e *Entry) {
+	for _, w := range e.watches {
+		g.m.RemoveWatch(w)
+	}
+	e.watches = nil
+}
+
+// Addr returns the entry's stable address: callers may bake it into other
+// specializations or tables; deoptimization retargets them all through the
+// stub. It is the original function for fully degraded entries.
+func (e *Entry) Addr() uint64 {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.addrLocked()
+}
+
+func (e *Entry) addrLocked() uint64 {
+	if e.stub != 0 {
+		return e.stub
+	}
+	return e.fn
+}
+
+// Fn returns the original function address.
+func (e *Entry) Fn() uint64 { return e.fn }
+
+// Degraded reports whether the entry currently runs the original function
+// because specialization failed (not because of a deopt).
+func (e *Entry) Degraded() bool {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.res.Degraded
+}
+
+// Deopted reports whether the entry is deoptimized and why.
+func (e *Entry) Deopted() (bool, string) {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.deopted, e.reason
+}
+
+// Guarded returns the guarded-dispatch result (nil for plain or degraded
+// entries); its counters feed the storm policy.
+func (e *Entry) Guarded() *brew.GuardedResult {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.guarded
+}
+
+// prepare touches the LRU clock and performs a lazy respecialization if
+// the entry is deopted and the policy allows. Returns the guarded result
+// to dispatch through (nil: call the stub) and the call target.
+func (e *Entry) prepare() (*brew.GuardedResult, uint64, error) {
+	g := e.mgr
+	g.mu.Lock()
+	if e.released {
+		g.mu.Unlock()
+		return nil, 0, ErrReleased
+	}
+	g.clock++
+	e.lastUse = g.clock
+	if e.deopted && g.pol.Respecialize && !e.respecDone {
+		e.respecDone = true
+		g.respecializeLocked(e) // drops and reacquires g.mu
+	}
+	gr := e.guarded
+	if e.deopted {
+		gr = nil // dispatcher may still exist, but the stub routes to fn
+	}
+	target := e.addrLocked()
+	g.mu.Unlock()
+	return gr, target, nil
+}
+
+// Call invokes the entry with guard accounting and the adaptive deopt
+// policy applied. The machine must not be executing concurrently.
+func (e *Entry) Call(args ...uint64) (uint64, error) {
+	gr, target, err := e.prepare()
+	if err != nil {
+		return 0, err
+	}
+	if gr != nil {
+		ret, err := gr.Call(e.mgr.m, args...)
+		e.mgr.checkStorm(e, gr)
+		return ret, err
+	}
+	return e.mgr.m.Call(target, args...)
+}
+
+// CallFloat is Call for float-returning functions.
+func (e *Entry) CallFloat(intArgs []uint64, fArgs []float64) (float64, error) {
+	gr, target, err := e.prepare()
+	if err != nil {
+		return 0, err
+	}
+	if gr != nil {
+		ret, err := gr.CallFloat(e.mgr.m, intArgs, fArgs)
+		e.mgr.checkStorm(e, gr)
+		return ret, err
+	}
+	return e.mgr.m.CallFloat(target, intArgs, fArgs)
+}
+
+// checkStorm applies the consecutive-miss deopt policy after a guarded
+// call.
+func (g *Manager) checkStorm(e *Entry, gr *brew.GuardedResult) {
+	if g.pol.GuardMissLimit == 0 || gr.MissStreak() < g.pol.GuardMissLimit {
+		return
+	}
+	g.mu.Lock()
+	g.deoptLocked(e, DeoptGuardStorm)
+	g.mu.Unlock()
+}
+
+// Deopt manually deoptimizes an entry: the stub is patched back to the
+// original function and the assumption watchpoints are removed. The
+// specialized code stays allocated until respecialization or release (it
+// may still be on the emulated call stack).
+func (g *Manager) Deopt(e *Entry, reason string) {
+	if reason == "" {
+		reason = DeoptManual
+	}
+	g.mu.Lock()
+	g.deoptLocked(e, reason)
+	g.mu.Unlock()
+}
+
+// deoptLocked is the core deoptimization. It runs under mgr.mu and may be
+// invoked from a watchpoint handler in the middle of emulated execution:
+// patching the stub mid-run is safe because the decode cache is
+// invalidated and the stub itself is never mid-execution (it is a single
+// instruction).
+func (g *Manager) deoptLocked(e *Entry, reason string) {
+	if e.deopted || e.released || e.res.Degraded {
+		return
+	}
+	if e.stub != 0 {
+		g.patchStub(e.stub, e.fn)
+	}
+	g.disarmWatches(e)
+	e.deopted = true
+	e.respecDone = false
+	e.reason = reason
+	publishDeopt(reason)
+}
+
+// respecializeLocked re-runs the rewrite against current memory. Called
+// with mgr.mu held; releases it around the (slow) rewrite.
+func (g *Manager) respecializeLocked(e *Entry) {
+	// The machine is idle here (managed calls are serial), so the old
+	// specialized code is not on the call stack and can be freed first —
+	// respecialization must not leak toward code-buffer exhaustion.
+	_ = g.freeCode(e)
+	e.guarded = nil
+	cfg, fn, guards := e.cfg, e.fn, e.guards
+	args, fargs := e.args, e.fargs
+	g.mu.Unlock()
+
+	var (
+		target uint64
+		res    *brew.Result
+		gr     *brew.GuardedResult
+		err    error
+	)
+	if guards != nil {
+		gr, err = brew.RewriteGuarded(g.m, cfg, fn, guards, args, fargs)
+		if err == nil {
+			res, target = gr.Rewrite, gr.Addr
+		}
+	} else {
+		res, err = brew.Rewrite(g.m, cfg, fn, args, fargs)
+		if err == nil {
+			target = res.Addr
+		}
+	}
+
+	g.mu.Lock()
+	if e.released {
+		// Evicted while rewriting: drop the fresh code again.
+		if err == nil {
+			if gr != nil {
+				_ = g.m.FreeJIT(gr.Addr)
+			}
+			_ = g.m.FreeJIT(res.Addr)
+		}
+		return
+	}
+	if err != nil {
+		// Stay deoptimized at generic speed; the stub already routes to
+		// the original function. Next deopt (i.e. never, until a manual
+		// one) may retry.
+		mRespecFailures.Inc()
+		e.res = &brew.Result{Addr: e.fn, Degraded: true}
+		e.reason = brew.DegradeReason(err)
+		return
+	}
+	e.res, e.guarded = res, gr
+	e.deopted = false
+	e.reason = ""
+	if e.stub != 0 {
+		g.patchStub(e.stub, target)
+	}
+	g.armWatches(e)
+	mRespecializations.Inc()
+}
+
+// Release removes an entry and frees its stub, specialized body and
+// dispatcher. The entry must not be called afterwards and its Addr must no
+// longer be used.
+func (g *Manager) Release(e *Entry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.entries[e.fn] == e {
+		delete(g.entries, e.fn)
+	}
+	g.releaseLocked(e)
+}
+
+func (g *Manager) releaseLocked(e *Entry) {
+	if e.released {
+		return
+	}
+	e.released = true
+	g.disarmWatches(e)
+	_ = g.freeCode(e)
+	if e.stub != 0 {
+		_ = g.m.FreeJIT(e.stub)
+		e.stub = 0
+	}
+}
+
+// freeCode frees the entry's specialized body and dispatcher (not the
+// stub) and clears the pointers so a double free is impossible.
+func (g *Manager) freeCode(e *Entry) error {
+	var err error
+	if e.guarded != nil {
+		err = errors.Join(err, g.m.FreeJIT(e.guarded.Addr))
+	}
+	if e.res != nil && !e.res.Degraded {
+		err = errors.Join(err, g.m.FreeJIT(e.res.Addr))
+	}
+	e.guarded = nil
+	e.res = &brew.Result{Addr: e.fn, Degraded: true}
+	return err
+}
+
+// evictOverLimitLocked evicts least-recently-used entries (never keep,
+// the just-registered entry) until the policy limit holds.
+func (g *Manager) evictOverLimitLocked(keep *Entry) {
+	for g.pol.MaxLive > 0 && len(g.entries) > g.pol.MaxLive {
+		var victim *Entry
+		for _, e := range g.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(g.entries, victim.fn)
+		g.releaseLocked(victim)
+		mEvictions.Inc()
+	}
+}

@@ -1,0 +1,310 @@
+package specmgr_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/specmgr"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+const gridXS, gridYS = 16, 12
+
+func newStencil(t *testing.T) (*vm.Machine, *stencil.Workload) {
+	t.Helper()
+	m := vm.MustNew()
+	w, err := stencil.New(m, gridXS, gridYS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+// loadPoke compiles an emulated store helper into the machine; host-side
+// memory writes would bypass the VM store path the watchpoints sit on.
+func loadPoke(t *testing.T, m *vm.Machine) uint64 {
+	t.Helper()
+	l, err := minc.CompileAndLink(m, `
+double poke(double *p, double v) { p[0] = v; return v; }
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := l.FuncAddr("poke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+// TestDeoptOnFrozenStore is the tentpole invariant end to end: a store
+// into a frozen MemKnown region deterministically deoptimizes the
+// specialization before the next call through the entry, and a managed
+// call afterwards lazily re-specializes against the new memory contents.
+func TestDeoptOnFrozenStore(t *testing.T) {
+	m, w := newStencil(t)
+	poke := loadPoke(t, m)
+	mgr := specmgr.New(m, specmgr.Policy{Respecialize: true})
+
+	cfg, args := w.ApplyConfig()
+	e, err := mgr.Specialize(cfg, w.Apply, args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 4
+	got, err := w.RunSweeps(e.Addr(), false, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := w.Golden(iters); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("specialized checksum = %g, want %g", got, want)
+	}
+
+	// Mutate the frozen stencil descriptor: center coefficient -1.0 -> -0.5
+	// (s5.p[0].f sits right after the 8-byte point count).
+	if _, err := m.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if d, reason := e.Deopted(); !d || reason != specmgr.DeoptAssumption {
+		t.Fatalf("after frozen store: deopted=%v reason=%q, want true/%q",
+			d, reason, specmgr.DeoptAssumption)
+	}
+
+	// Unmanaged calls through the stable address now run the original
+	// function, which re-reads the mutated descriptor.
+	ref := func(kernel uint64) float64 {
+		t.Helper()
+		if err := w.ResetMatrices(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := w.RunSweeps(kernel, false, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	want := ref(w.Apply)
+	if old := w.Golden(iters); math.Abs(want-old) < 1e-12 {
+		t.Fatal("descriptor mutation did not change the reference checksum; test is vacuous")
+	}
+	if got := ref(e.Addr()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("deoptimized checksum = %g, want %g (stale code survived)", got, want)
+	}
+
+	// A managed call triggers one lazy respecialization against the new
+	// descriptor.
+	cell := w.M1 + uint64((gridXS+1)*8)
+	wantCell, err := m.CallFloat(w.Apply, []uint64{cell, gridXS, w.S5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCell, err := e.CallFloat([]uint64{cell, gridXS, w.S5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotCell-wantCell) > 1e-12 {
+		t.Fatalf("respecializing call = %g, want %g", gotCell, wantCell)
+	}
+	if d, _ := e.Deopted(); d {
+		t.Fatal("entry still deopted after respecialization")
+	}
+	if e.Degraded() {
+		t.Fatal("respecialization degraded unexpectedly")
+	}
+	if got := ref(e.Addr()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("respecialized checksum = %g, want %g", got, want)
+	}
+
+	// The new specialization froze the descriptor again: another store
+	// deoptimizes again.
+	if _, err := m.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := e.Deopted(); !d {
+		t.Fatal("second frozen store did not deoptimize")
+	}
+}
+
+// TestGuardMissStorm: consecutive guard misses past the policy limit
+// deoptimize the guarded entry; calls stay correct throughout.
+func TestGuardMissStorm(t *testing.T) {
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, `
+long addk(long a, long k) { return a + k; }
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := l.FuncAddr("addk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := specmgr.New(m, specmgr.Policy{GuardMissLimit: 4})
+	e, err := mgr.SpecializeGuarded(brew.NewConfig(), fn,
+		[]brew.ParamGuard{{Param: 2, Value: 5}}, []uint64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(a, k uint64) {
+		t.Helper()
+		got, err := e.Call(a, k)
+		if err != nil || got != a+k {
+			t.Fatalf("Call(%d,%d) = %d, %v; want %d", a, k, got, err, a+k)
+		}
+	}
+	call(1, 5) // hit
+	for i := uint64(0); i < 3; i++ {
+		call(i, 7)
+		if d, _ := e.Deopted(); d {
+			t.Fatalf("deopted after %d misses, limit is 4", i+1)
+		}
+	}
+	call(9, 7) // 4th consecutive miss
+	if d, reason := e.Deopted(); !d || reason != specmgr.DeoptGuardStorm {
+		t.Fatalf("deopted=%v reason=%q, want true/%q", d, reason, specmgr.DeoptGuardStorm)
+	}
+	call(2, 5) // still correct, now through the original
+	call(2, 9)
+}
+
+// multiFns compiles n trivial distinct functions and returns their
+// addresses.
+func multiFns(t *testing.T, m *vm.Machine, n int) []uint64 {
+	t.Helper()
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("long f%d(long a) { return a + %d; }\n", i, i)
+	}
+	l, err := minc.CompileAndLink(m, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]uint64, n)
+	for i := range fns {
+		a, err := l.FuncAddr(fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[i] = a
+	}
+	return fns
+}
+
+// TestLRUEvictionFreesCode: exceeding MaxLive evicts the least recently
+// used entries and releasing everything returns the code buffer to its
+// baseline (no leaked stubs, bodies or dispatchers).
+func TestLRUEvictionFreesCode(t *testing.T) {
+	m := vm.MustNew()
+	fns := multiFns(t, m, 6)
+	baseline := m.JITAlloc.FreeBytes()
+
+	mgr := specmgr.New(m, specmgr.Policy{MaxLive: 3})
+	entries := make([]*specmgr.Entry, len(fns))
+	for i, fn := range fns {
+		e, err := mgr.Specialize(brew.NewConfig(), fn, nil, nil)
+		if err != nil {
+			t.Fatalf("f%d: %v", i, err)
+		}
+		entries[i] = e
+	}
+	if got := mgr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if mgr.Lookup(fns[i]) != nil {
+			t.Errorf("f%d should have been evicted", i)
+		}
+		if _, err := entries[i].Call(1); !errors.Is(err, specmgr.ErrReleased) {
+			t.Errorf("evicted f%d: Call err = %v, want ErrReleased", i, err)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		e := mgr.Lookup(fns[i])
+		if e == nil {
+			t.Fatalf("f%d missing", i)
+		}
+		got, err := e.Call(10)
+		if err != nil || got != uint64(10+i) {
+			t.Errorf("f%d(10) = %d, %v; want %d", i, got, err, 10+i)
+		}
+		mgr.Release(e)
+	}
+	if got := m.JITAlloc.FreeBytes(); got != baseline {
+		t.Errorf("code buffer leaked: %d free, baseline %d", got, baseline)
+	}
+}
+
+// TestConcurrentSpecializeEviction races concurrent Specialize calls (and
+// the evictions they trigger, which free JIT space) against each other
+// under -race; the machine is idle throughout, which is the documented
+// concurrency contract for rewriting.
+func TestConcurrentSpecializeEviction(t *testing.T) {
+	m := vm.MustNew()
+	fns := multiFns(t, m, 8)
+	baseline := m.JITAlloc.FreeBytes()
+	mgr := specmgr.New(m, specmgr.Policy{MaxLive: 2})
+
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn uint64) {
+			defer wg.Done()
+			if _, err := mgr.Specialize(brew.NewConfig(), fn, nil, nil); err != nil {
+				t.Errorf("specialize 0x%x: %v", fn, err)
+			}
+		}(fn)
+	}
+	wg.Wait()
+	if got := mgr.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	for i, fn := range fns {
+		if e := mgr.Lookup(fn); e != nil {
+			got, err := e.Call(7)
+			if err != nil || got != uint64(7+i) {
+				t.Errorf("f%d(7) = %d, %v; want %d", i, got, err, 7+i)
+			}
+			mgr.Release(e)
+		}
+	}
+	if got := m.JITAlloc.FreeBytes(); got != baseline {
+		t.Errorf("code buffer leaked: %d free, baseline %d", got, baseline)
+	}
+}
+
+// TestDegradedEntryStillRuns: a Specialize whose rewrite fails (injected
+// install fault) yields a usable entry running the original function.
+func TestDegradedEntryStillRuns(t *testing.T) {
+	m := vm.MustNew()
+	fns := multiFns(t, m, 1)
+	cfg := brew.NewConfig()
+	cfg.Inject = func(site string) error {
+		if site == brew.SiteInstall {
+			return fmt.Errorf("%w: injected", brew.ErrCodeBufferFull)
+		}
+		return nil
+	}
+	mgr := specmgr.New(m, specmgr.Policy{})
+	e, err := mgr.Specialize(cfg, fns[0], nil, nil)
+	if !errors.Is(err, brew.ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if !e.Degraded() {
+		t.Fatal("entry not marked degraded")
+	}
+	got, err := e.Call(41)
+	if err != nil || got != 41 {
+		t.Fatalf("degraded Call(41) = %d, %v; want 41", got, err)
+	}
+	// The stable address works for unmanaged callers too.
+	got, err = m.Call(e.Addr(), 1)
+	if err != nil || got != 1 {
+		t.Fatalf("degraded stub call = %d, %v; want 1", got, err)
+	}
+}

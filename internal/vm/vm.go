@@ -134,6 +134,10 @@ type Machine struct {
 	// rewrites to run concurrently (their traces only read memory).
 	jitMu sync.Mutex
 
+	// watches are the installed write-watchpoints (see watch.go). nil when
+	// none are armed, so the store path pays one length check.
+	watches []*Watch
+
 	haltAddr uint64
 	icache   map[uint64]isa.Instr
 }
@@ -233,6 +237,14 @@ func (m *Machine) InstallJIT(size int, gen func(addr uint64) ([]byte, error)) (u
 	if err != nil {
 		return 0, err
 	}
+	// Any failure (or panic) past this point must give the reservation
+	// back, or repeated failed rewrites leak the code buffer dry.
+	installed := false
+	defer func() {
+		if !installed {
+			_ = m.JITAlloc.Free(addr)
+		}
+	}()
 	code, err := gen(addr)
 	if err != nil {
 		return 0, err
@@ -243,6 +255,7 @@ func (m *Machine) InstallJIT(size int, gen func(addr uint64) ([]byte, error)) (u
 	if err := m.Mem.WriteBytes(addr, code); err != nil {
 		return 0, err
 	}
+	installed = true
 	m.InvalidateICache()
 	return addr, nil
 }
@@ -292,6 +305,9 @@ func (m *Machine) chargeMem(addr uint64, size int, isStore bool) {
 		m.Stats.Stores++
 		if m.OnStore != nil {
 			m.OnStore(addr, size)
+		}
+		if len(m.watches) > 0 {
+			m.hitWatches(addr, size)
 		}
 	} else {
 		m.Stats.Loads++

@@ -1,0 +1,181 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/vm"
+)
+
+// watchProg stores with several widths around the watched range boundary.
+// buf layout (byte offsets): the watch covers [buf+8, buf+24).
+const watchProg = `
+f:
+    movi  r2, buf
+    movi  r1, 0x41
+    store [r2], r1        ; [buf, buf+8)    - outside, ends exactly at start
+    store [r2+24], r1     ; [buf+24, buf+32) - outside, begins exactly at end
+    storeb [r2+7], r1     ; [buf+7, buf+8)  - outside, last byte before
+    store [r2+8], r1      ; [buf+8, buf+16) - inside, at start
+    storeb [r2+23], r1    ; [buf+23, buf+24) - inside, last byte
+    store [r2+4], r1      ; [buf+4, buf+12) - straddles the start edge
+    store [r2+20], r1     ; [buf+20, buf+28) - straddles the end edge
+    movi  r0, 0
+    ret
+.data
+buf:
+    .quad 0, 0, 0, 0, 0
+`
+
+// TestWatchOverlap checks the watchpoint overlap semantics: a store hits a
+// watch iff its byte range intersects [Start, End), including stores that
+// straddle a region edge (the deopt-correctness case: a partial overwrite
+// of a frozen struct still invalidates the specialization).
+func TestWatchOverlap(t *testing.T) {
+	m := vm.MustNew()
+	im, err := asm.Load(m, watchProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := im.MustEntry("buf")
+
+	type hit struct {
+		addr uint64
+		size int
+	}
+	var hits []hit
+	w := m.AddWatch(buf+8, buf+24, func(_ *vm.Watch, addr uint64, size int) {
+		hits = append(hits, hit{addr, size})
+	})
+	if _, err := m.Call(im.MustEntry("f")); err != nil {
+		t.Fatal(err)
+	}
+	want := []hit{
+		{buf + 8, 8},
+		{buf + 23, 1},
+		{buf + 4, 8},
+		{buf + 20, 8},
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("got %d hits %v, want %d %v", len(hits), hits, len(want), want)
+	}
+	for i, h := range want {
+		if hits[i] != h {
+			t.Errorf("hit #%d: got [0x%x]%d, want [0x%x]%d", i, hits[i].addr, hits[i].size, h.addr, h.size)
+		}
+	}
+
+	// After removal the same run must not fire.
+	m.RemoveWatch(w)
+	hits = nil
+	if _, err := m.Call(im.MustEntry("f")); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("removed watch still fired: %v", hits)
+	}
+	if got := len(m.Watches()); got != 0 {
+		t.Fatalf("watch list not empty after removal: %d", got)
+	}
+}
+
+// TestWatchSelfRemoval checks that a handler may remove its own watch while
+// the dispatch is in flight (the deoptimization path does exactly this).
+func TestWatchSelfRemoval(t *testing.T) {
+	m := vm.MustNew()
+	im, err := asm.Load(m, `
+f:
+    movi  r2, buf
+    movi  r1, 7
+    store [r2], r1
+    store [r2+8], r1
+    movi  r0, 0
+    ret
+.data
+buf:
+    .quad 0, 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := im.MustEntry("buf")
+	fired := 0
+	var w *vm.Watch
+	w = m.AddWatch(buf, buf+16, func(_ *vm.Watch, _ uint64, _ int) {
+		fired++
+		m.RemoveWatch(w)
+	})
+	if _, err := m.Call(im.MustEntry("f")); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("self-removing watch fired %d times, want 1", fired)
+	}
+}
+
+// TestWatchStackStores checks watches also see stack traffic (PUSH), since
+// the overlap filter, not the segment, decides relevance.
+func TestWatchPushVisible(t *testing.T) {
+	m := vm.MustNew()
+	im, err := asm.Load(m, `
+f:
+    push r1
+    pop  r1
+    movi r0, 0
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	// Watch the whole stack segment.
+	m.AddWatch(vm.StackTop-vm.StackSize, vm.StackTop, func(_ *vm.Watch, _ uint64, _ int) {
+		fired++
+	})
+	if _, err := m.Call(im.MustEntry("f")); err != nil {
+		t.Fatal(err)
+	}
+	// Call pushes the HALT return address, then the explicit push.
+	if fired != 2 {
+		t.Fatalf("stack watch fired %d times, want 2", fired)
+	}
+}
+
+// TestInstallJITFailureFreesReservation checks the code-buffer leak fix:
+// when gen fails after the reservation, the space must be returned, so a
+// storm of failing installs does not exhaust the buffer.
+func TestInstallJITFailureFreesReservation(t *testing.T) {
+	m := vm.MustNew()
+	free0 := m.JITAlloc.FreeBytes()
+	genErr := func(addr uint64) ([]byte, error) {
+		return nil, errFromTest
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := m.InstallJIT(1024, genErr); err == nil {
+			t.Fatal("InstallJIT succeeded with failing gen")
+		}
+	}
+	// Size-mismatch path must free too.
+	if _, err := m.InstallJIT(1024, func(addr uint64) ([]byte, error) {
+		return make([]byte, 8), nil
+	}); err == nil {
+		t.Fatal("InstallJIT accepted a size mismatch")
+	}
+	if got := m.JITAlloc.FreeBytes(); got != free0 {
+		t.Fatalf("failed installs leaked code buffer: free %d -> %d", free0, got)
+	}
+	// And a panicking gen must unwind without leaking either.
+	func() {
+		defer func() { _ = recover() }()
+		_, _ = m.InstallJIT(64, func(addr uint64) ([]byte, error) { panic("boom") })
+	}()
+	if got := m.JITAlloc.FreeBytes(); got != free0 {
+		t.Fatalf("panicking install leaked code buffer: free %d -> %d", free0, got)
+	}
+}
+
+var errFromTest = errTest{}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "synthetic failure" }

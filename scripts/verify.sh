@@ -24,7 +24,18 @@ if [ "${RACE:-1}" = 1 ]; then
     go test -race -short -run 'TestRewriteBatch|TestGenerated|TestOracle' \
         ./internal/brew/ ./internal/oracle/
     go test -race ./internal/telemetry/
+    # The specialization manager and fault injector are concurrency-bearing
+    # by design (watchpoint handlers, eviction racing respecialization);
+    # run their full suites under the race detector (-short caps the chaos
+    # test at 150 injected faults).
+    echo "== go test -race (short budget: specmgr, faultinject)"
+    go test -race -short ./internal/specmgr/ ./internal/faultinject/
 fi
+
+# Fallback-path smoke: fault-injected rewrites must degrade to the
+# original function and stay observably equivalent under the oracle.
+echo "== brew-verify -faults smoke"
+go run ./cmd/brew-verify -seeds 0 -stencil=false -faults 60 -q
 
 # brew-bench smoke: tiny grid, JSON output must parse.
 echo "== brew-bench -json smoke (tiny grid)"
