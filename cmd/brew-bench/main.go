@@ -21,7 +21,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
 		nodes    = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
 		bs       = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
-		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade")
+		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade,service")
 		jsonPath = flag.String("json", "", "also write the result rows as JSON to this path")
 	)
 	flag.Parse()
@@ -49,6 +49,7 @@ func main() {
 		{"cache", "X7: working-set sensitivity (ratio = rewritten/generic; cycles = rewritten cyc/pt)", exp.RunCacheSweep},
 		{"pgas", "X5: PGAS global reduction (Sections V / VIII)", exp.RunPgas},
 		{"degrade", "E4: graceful degradation and self-healing specialization (Section III.G)", exp.RunDegradation},
+		{"service", "E5: concurrent specialization service throughput (cycles = per-caller traced instrs)", exp.RunService},
 	}
 	type jsonFamily struct {
 		Key   string    `json:"key"`

@@ -69,10 +69,11 @@ func main() {
 			}
 			cfg.SetParam(idx, repro.ParamKnown)
 		}
-		res, err = sys.Rewrite(cfg, fn, args, fargs)
+		out, err := sys.Do(&repro.Request{Config: cfg, Fn: fn, Args: args, FArgs: fargs})
 		if err != nil {
 			log.Fatalf("rewrite: %v", err)
 		}
+		res = out.Result
 		fmt.Printf("rewritten %s: %d bytes, %d blocks (original kept at 0x%x)\n",
 			*entry, res.CodeSize, res.Blocks, fn)
 		fn = res.Addr

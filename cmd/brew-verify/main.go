@@ -8,7 +8,7 @@
 //
 // With -faults n, an additional n fault-injected degrade-mode cases run:
 // the rewrite happens under seeded fault injection (internal/faultinject)
-// with brew.RewriteOrDegrade, so failures fall back to the original
+// with brew.Do in ModeDegrade, so failures fall back to the original
 // function — and the oracle then verifies the fallback is a faithful
 // drop-in as well. Divergences under injection are specialization-manager
 // or rewriter bugs exactly like ordinary ones.

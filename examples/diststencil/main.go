@@ -92,7 +92,9 @@ func main() {
 		SetParam(5, brew.ParamKnown)
 	cfg.SetFuncOpts(kernel, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
 	cfg.LoadHandler = handler
-	probe, err := brew.Rewrite(m, cfg, kernel, []uint64{s.Garr, 0, 0, 0, s.PgasGet}, nil)
+	probe, err := brew.Do(m, &brew.Request{
+		Config: cfg, Fn: kernel, Args: []uint64{s.Garr, 0, 0, 0, s.PgasGet},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,7 +117,9 @@ func main() {
 		SetParamPtrToKnown(1, pgas.DescriptorSize).
 		SetParam(5, brew.ParamKnown)
 	cfg2.SetFuncOpts(kernel, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
-	opt, err := brew.Rewrite(m, cfg2, kernel, []uint64{s.Garr, 0, 0, 0, s.PgasGetPref}, nil)
+	opt, err := brew.Do(m, &brew.Request{
+		Config: cfg2, Fn: kernel, Args: []uint64{s.Garr, 0, 0, 0, s.PgasGetPref},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

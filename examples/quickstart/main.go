@@ -48,10 +48,11 @@ func main() {
 	cfg := repro.NewConfig().
 		SetParamPtrToKnown(1, 3*8).
 		SetParam(2, repro.ParamKnown)
-	res, err := sys.Rewrite(cfg, polyval, []uint64{coef, 3}, nil)
+	out, err := sys.Do(&repro.Request{Config: cfg, Fn: polyval, Args: []uint64{coef, 3}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := out.Result
 
 	fmt.Println("specialized polyval (coefficients folded, loop unrolled):")
 	fmt.Println(res.Listing())

@@ -63,11 +63,14 @@ func main() {
 		prof.Calls, hot.Value, frac*100)
 
 	// Phase 2: guarded specialization for the hot value.
-	g, err := sys.RewriteGuarded(repro.NewConfig(), checksum,
-		[]repro.ParamGuard{{Param: 3, Value: hot.Value}}, nil, nil)
+	gout, err := sys.Do(&repro.Request{
+		Config: repro.NewConfig(), Fn: checksum,
+		Guards: []repro.ParamGuard{{Param: 3, Value: hot.Value}},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := gout.Guarded
 	fmt.Printf("dispatcher at 0x%x, specialized body at 0x%x (%d bytes)\n\n",
 		g.Addr, g.Specialized, g.Rewrite.CodeSize)
 

@@ -2,7 +2,6 @@ package brew
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/vm"
 )
@@ -59,13 +58,14 @@ func DegradeReason(err error) string {
 // it returns a degraded Result whose Addr is the original function (always
 // safe to call) together with an error wrapping both ErrDegraded and the
 // cause. The degradation is counted per reason in telemetry.
+//
+// Deprecated: use Do with ModeDegrade.
 func RewriteOrDegrade(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
-	res, err := Rewrite(m, cfg, fn, args, fargs)
-	if err == nil {
-		return res, nil
+	out, err := Do(m, &Request{Config: cfg, Fn: fn, Args: args, FArgs: fargs, Mode: ModeDegrade})
+	if out == nil {
+		// Only a nil request/config refusal reaches here; ModeDegrade
+		// converts every pipeline failure into a degraded outcome.
+		return nil, err
 	}
-	reason := DegradeReason(err)
-	publishDegradeTelemetry(reason)
-	return &Result{Addr: fn, Degraded: true},
-		fmt.Errorf("%w (%s): %w", ErrDegraded, reason, err)
+	return out.Result, err
 }

@@ -1,0 +1,181 @@
+package brew
+
+import (
+	"sort"
+	"time"
+)
+
+// fp is an incremental FNV-1a/64 hash with domain-separation tags, the
+// canonicalization core of Config.Fingerprint.
+type fp uint64
+
+const (
+	fnvOffset64 fp = 14695981039346656037
+	fnvPrime64  fp = 1099511628211
+)
+
+func (h *fp) byte(b byte)  { *h = (*h ^ fp(b)) * fnvPrime64 }
+func (h *fp) u64(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		h.byte(byte(v >> i))
+	}
+}
+func (h *fp) i64(v int64) { h.u64(uint64(v)) }
+func (h *fp) bool(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// tag separates the fingerprint domains so e.g. a handler address can never
+// collide with a limit of the same numeric value.
+func (h *fp) tag(t string) {
+	for i := 0; i < len(t); i++ {
+		h.byte(t[i])
+	}
+	h.byte(0)
+}
+
+func (h *fp) funcOpts(o FuncOpts) {
+	// Hash the normalized form without the UnrollFactor sugar field, so
+	// {UnrollFactor: 4} and {BranchesUnknown: true, MaxVariants: 4} — the
+	// same semantics — fingerprint identically.
+	o = o.normalized()
+	h.bool(o.NoInline)
+	h.bool(o.BranchesUnknown)
+	h.bool(o.ResultsUnknown)
+	h.i64(int64(o.MaxVariants))
+}
+
+// Fingerprint returns a canonical 64-bit hash of the rewrite assumptions
+// this configuration declares: parameter classes, known memory ranges,
+// per-function options, handlers, limits, budget, and flags. It is
+// order-independent — two semantically equal configurations built by
+// different call sequences (ranges added in different orders, options set
+// for functions in different orders) fingerprint identically — so it is
+// usable as a specialization cache key (internal/brewsvc keys its shards
+// by it, combined with the known argument values).
+//
+// The Inject fault-injection hook is deliberately excluded: it is a
+// runtime test seam, not a rewrite assumption. The service layer refuses
+// to cache or coalesce Inject-bearing requests for exactly that reason.
+func (c *Config) Fingerprint() uint64 {
+	h := fnvOffset64
+
+	h.tag("iparams")
+	for _, s := range c.intParams {
+		h.byte(byte(s.class))
+		h.u64(s.size)
+	}
+	h.tag("fparams")
+	for _, class := range c.floatParams {
+		h.byte(byte(class))
+	}
+
+	h.tag("ranges")
+	ranges := append([]MemRange(nil), c.knownRanges...)
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].Start != ranges[j].Start {
+			return ranges[i].Start < ranges[j].Start
+		}
+		return ranges[i].End < ranges[j].End
+	})
+	var prev MemRange
+	for i, r := range ranges {
+		if i > 0 && r == prev {
+			continue // duplicates declare nothing new
+		}
+		h.u64(r.Start)
+		h.u64(r.End)
+		prev = r
+	}
+
+	h.tag("funcopts")
+	addrs := make([]uint64, 0, len(c.funcOpts))
+	for a := range c.funcOpts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		h.u64(a)
+		h.funcOpts(c.funcOpts[a])
+	}
+
+	h.tag("dyn")
+	marks := make([]uint64, 0, len(c.dynMarkers))
+	for a, on := range c.dynMarkers {
+		if on {
+			marks = append(marks, a)
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+	for _, a := range marks {
+		h.u64(a)
+	}
+
+	h.tag("defaults")
+	h.funcOpts(c.Defaults)
+
+	h.tag("limits")
+	h.i64(int64(c.MaxTracedInstrs))
+	h.i64(int64(c.MaxBlocks))
+	h.i64(int64(c.MaxInlineDepth))
+	h.i64(int64(c.MaxVariantsPerAddr))
+	h.i64(int64(c.MaxCodeBytes))
+
+	h.tag("handlers")
+	h.u64(c.EntryHandler)
+	h.u64(c.ExitHandler)
+	h.u64(c.LoadHandler)
+	h.u64(c.StoreHandler)
+
+	h.tag("flags")
+	h.bool(c.Vectorize)
+
+	h.tag("budget")
+	if c.Budget != nil {
+		h.byte(1)
+		h.i64(int64(c.Budget.MaxTracedInstrs))
+		h.i64(int64(c.Budget.MaxEmittedBytes))
+		h.i64(int64(c.Budget.Deadline / time.Nanosecond))
+	} else {
+		h.byte(0)
+	}
+
+	return uint64(h)
+}
+
+// Clone returns an independent deep copy: mutating the clone's parameter
+// declarations, ranges, per-function options, markers, or budget never
+// affects the original (Do clones before augmenting guarded requests). Nil
+// maps stay nil, so a clone of an invalid zero-value Config still fails
+// validation. The Inject hook is shared — it is a stateless seam by
+// contract — as are handler addresses.
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	cc := *c
+	if c.knownRanges != nil {
+		cc.knownRanges = append([]MemRange(nil), c.knownRanges...)
+	}
+	if c.funcOpts != nil {
+		cc.funcOpts = make(map[uint64]FuncOpts, len(c.funcOpts))
+		for a, o := range c.funcOpts {
+			cc.funcOpts[a] = o
+		}
+	}
+	if c.dynMarkers != nil {
+		cc.dynMarkers = make(map[uint64]bool, len(c.dynMarkers))
+		for a, on := range c.dynMarkers {
+			cc.dynMarkers[a] = on
+		}
+	}
+	if c.Budget != nil {
+		b := *c.Budget
+		cc.Budget = &b
+	}
+	return &cc
+}

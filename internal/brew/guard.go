@@ -101,15 +101,30 @@ func (g *GuardedResult) CallFloat(m *vm.Machine, intArgs []uint64, fArgs []float
 // called after a check for the parameter actually being 42. Otherwise, the
 // original function should be executed."
 //
-// The cfg is augmented with ParamKnown for each guarded parameter; args
-// must carry the guard values in the corresponding positions. The returned
-// dispatcher is a drop-in replacement for fn. On any failure after the
-// specialized body was generated, its code-buffer space is released again —
-// a failing dispatcher install must not leak JIT memory.
+// The guarded parameters are declared ParamKnown on an internal clone of
+// cfg with the guard values as the rewrite-time setting; the returned
+// dispatcher is a drop-in replacement for fn.
+//
+// Deprecated: use Do with Request.Guards.
 func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
 	if len(guards) == 0 {
 		return nil, fmt.Errorf("%w: no guards", ErrBadConfig)
 	}
+	out, err := Do(m, &Request{Config: cfg, Fn: fn, Args: args, FArgs: fargs, Guards: guards})
+	if err != nil {
+		return nil, err
+	}
+	return out.Guarded, nil
+}
+
+// guardedRewrite builds a guarded specialization: the specialized body for
+// the guard values plus a dispatcher checking the guards and falling back
+// to the original function. It runs under Do's recovery barrier and owns
+// cfg (a clone), which it augments with ParamKnown per guarded parameter.
+// On any failure after the specialized body was generated, its code-buffer
+// space is released again — a failing dispatcher install must not leak JIT
+// memory.
+func guardedRewrite(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
 	nargs := append([]uint64(nil), args...)
 	for _, g := range guards {
 		if g.Param < 1 || g.Param > len(isa.IntArgRegs) {
@@ -121,7 +136,7 @@ func RewriteGuarded(m *vm.Machine, cfg *Config, fn uint64, guards []ParamGuard, 
 		}
 		nargs[g.Param-1] = g.Value
 	}
-	res, err := Rewrite(m, cfg, fn, nargs, fargs)
+	res, err := rewrite(m, cfg, fn, nargs, fargs)
 	if err != nil {
 		return nil, err
 	}

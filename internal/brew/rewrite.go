@@ -59,13 +59,14 @@ func (r *Result) Listing() string { return r.listing }
 // On error the original function remains valid; rewriting failure is not
 // catastrophic (Section III.G). An internal rewriter panic is recovered and
 // reported as ErrRewritePanic — it can never take the host down.
-func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (res *Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("%w: %v", ErrRewritePanic, p)
-		}
-	}()
-	return rewrite(m, cfg, fn, args, fargs)
+//
+// Deprecated: use Do.
+func Rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
+	out, err := Do(m, &Request{Config: cfg, Fn: fn, Args: args, FArgs: fargs})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 func rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
@@ -162,6 +163,9 @@ type BatchRequest struct {
 // batch runs. Results and errors are positional: a failed request leaves
 // its Result nil and the other requests unaffected (the paper's
 // incremental-failure model, per function).
+//
+// Deprecated: use Do per request, or internal/brewsvc for a managed worker
+// pool with coalescing and caching.
 func RewriteBatch(m *vm.Machine, reqs []BatchRequest) ([]*Result, []error) {
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
@@ -171,7 +175,12 @@ func RewriteBatch(m *vm.Machine, reqs []BatchRequest) ([]*Result, []error) {
 		go func(i int) {
 			defer wg.Done()
 			r := reqs[i]
-			results[i], errs[i] = Rewrite(m, r.Cfg, r.Fn, r.Args, r.FArgs)
+			out, err := Do(m, &Request{Config: r.Cfg, Fn: r.Fn, Args: r.Args, FArgs: r.FArgs})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = out.Result
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,503 @@
+// Package brewsvc is the concurrent specialization service: a long-lived
+// layer above brew.Do that lets many goroutines request specializations
+// without each paying the multi-millisecond trace cost. It owns
+//
+//   - a worker pool of rewriter goroutines draining
+//   - a bounded three-level priority queue with backpressure (a full queue
+//     rejects the request, degrading it to the original function — never
+//     blocking or deadlocking the submitter), and
+//   - singleflight coalescing: N concurrent callers asking for the same
+//     (fn, Config fingerprint, known argument/guard values) trigger exactly
+//     one trace and share the resulting JIT code, landing in
+//   - a sharded specialized-code cache (config-fingerprint keyed, LRU per
+//     shard, FreeJIT-reclaimed through specmgr.Release on eviction).
+//
+// Completed rewrites are hot-installed through specmgr jump stubs
+// ("rewrite-behind"): Submit returns a Ticket whose Addr is callable
+// immediately — it routes to the original function until the worker
+// promotes the specialization, so the hot path never blocks on a trace.
+//
+// Failure isolation follows the repo invariant: an injected fault, budget
+// exhaustion, or rewriter panic degrades that one request to the original
+// function; it never poisons the cache (degraded outcomes are not cached)
+// and never wedges the queue. Requests carrying a Config.Inject hook are
+// neither coalesced nor cached — the hook is per-request runtime behavior,
+// invisible to the fingerprint by design.
+package brewsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/specmgr"
+	"repro/internal/vm"
+)
+
+// Service-level degradation reasons, extending the brew.Reason* vocabulary.
+const (
+	// ReasonQueueFull: the bounded queue rejected the request.
+	ReasonQueueFull = "queue-full"
+	// ReasonShutdown: the service was closed before the request ran.
+	ReasonShutdown = "shutdown"
+)
+
+// Service-level errors.
+var (
+	// ErrQueueFull reports backpressure: the request was degraded to the
+	// original function without being enqueued.
+	ErrQueueFull = errors.New("brewsvc: request queue full")
+	// ErrClosed reports a request submitted to (or drained by) a closed
+	// service.
+	ErrClosed = errors.New("brewsvc: service closed")
+)
+
+// Priority orders queued requests. Within a level the queue is FIFO.
+type Priority uint8
+
+// Queue priorities.
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+// Request is one service specialization request. The brew.Request fields
+// keep their Do semantics; Mode is owned by the service (every rewrite runs
+// under ModeDegrade — the service never fails a caller, it degrades).
+type Request struct {
+	// Config declares the rewrite assumptions. The service clones it at
+	// admission, so the caller may reuse or mutate it afterwards.
+	Config *brew.Config
+	// Fn is the function to specialize.
+	Fn uint64
+	// Args and FArgs supply the rewrite-time parameter setting.
+	Args  []uint64
+	FArgs []float64
+	// Guards, when non-empty, request a guarded specialization.
+	Guards []brew.ParamGuard
+	// Priority orders the request in the bounded queue.
+	Priority Priority
+}
+
+// Outcome is the completed state of a request.
+type Outcome struct {
+	// Entry is the managed specialization entry (nil when no entry was
+	// created: rejected, shut down, or invalid requests). Its Addr stays
+	// valid until the entry is evicted from the cache or the service
+	// closes.
+	Entry *specmgr.Entry
+	// Addr is always callable: specialized code, a guard dispatcher, or —
+	// degraded — the original function.
+	Addr uint64
+	// Degraded marks an outcome running the original function; Reason
+	// holds the brew.Reason* / Reason* vocabulary label and Err the cause.
+	Degraded bool
+	Reason   string
+	Err      error
+	// Coalesced marks a caller that shared another caller's in-flight
+	// trace; CacheHit marks a caller served from the specialized-code
+	// cache. Both are false for the caller that triggered the trace.
+	Coalesced bool
+	CacheHit  bool
+}
+
+// Ticket is the handle Submit returns. Addr is callable immediately
+// (rewrite-behind); Outcome blocks until the request completes.
+type Ticket struct {
+	addr      uint64
+	coalesced bool
+	cacheHit  bool
+	done      chan struct{}
+	out       Outcome
+}
+
+// Addr returns the immediately callable address: cached specialized code,
+// the entry's patchable stub (routing to the original function until the
+// rewrite lands), or the original function itself.
+func (t *Ticket) Addr() uint64 { return t.addr }
+
+// Done returns a channel closed when the outcome is available.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Outcome blocks until the request completes and returns its outcome.
+func (t *Ticket) Outcome() Outcome {
+	<-t.done
+	return t.out
+}
+
+// TryOutcome returns the outcome if the request already completed.
+func (t *Ticket) TryOutcome() (Outcome, bool) {
+	select {
+	case <-t.done:
+		return t.out, true
+	default:
+		return Outcome{}, false
+	}
+}
+
+// complete publishes the outcome (exactly once per ticket) and merges the
+// per-caller admission flags.
+func (t *Ticket) complete(o Outcome) {
+	o.Coalesced = t.coalesced
+	o.CacheHit = t.cacheHit
+	t.out = o
+	close(t.done)
+}
+
+// doneTicket returns an already-completed ticket.
+func doneTicket(o Outcome) *Ticket {
+	t := &Ticket{addr: o.Addr, done: make(chan struct{}), cacheHit: o.CacheHit}
+	o.CacheHit = false // complete re-merges the flag
+	t.complete(o)
+	return t
+}
+
+// Options configures a Service. Zero fields take the documented defaults.
+type Options struct {
+	// Workers is the rewriter goroutine count (default 4).
+	Workers int
+	// QueueCap bounds the total queued (not yet running) requests across
+	// all priority levels; a full queue rejects with ErrQueueFull
+	// (default 64).
+	QueueCap int
+	// Shards is the specialized-code cache shard count (default 8);
+	// PerShard the LRU capacity of each shard (default 32). Size the cache
+	// generously: eviction releases the entry's code, so an evicted
+	// entry's Addr must no longer be used (the specmgr.Release contract).
+	Shards   int
+	PerShard int
+	// Manager, when non-nil, is the externally owned specialization
+	// manager to install through; otherwise the service creates one with
+	// Policy.
+	Manager *specmgr.Manager
+	// Policy configures the internally created manager (ignored when
+	// Manager is set). Detached service entries are exempt from MaxLive.
+	Policy specmgr.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.PerShard <= 0 {
+		o.PerShard = 32
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the service counters (collected
+// unconditionally; the telemetry mirrors are gated on telemetry.Enable).
+type Stats struct {
+	Submitted    uint64 // Submit calls
+	CoalesceHits uint64 // callers that joined an in-flight trace
+	CacheHits    uint64 // callers served from the specialized-code cache
+	CacheMisses  uint64 // cacheable requests that started a new flight
+	Rejected     uint64 // backpressure rejections (queue full)
+	Traces       uint64 // rewrites actually run by workers
+	Promoted     uint64 // successful hot-installs
+	Degraded     uint64 // worker rewrites that degraded to the original
+	Evictions    uint64 // cache LRU evictions
+}
+
+type stats struct {
+	submitted, coalesced, cacheHits, cacheMisses atomic.Uint64
+	rejected, traces, promoted, degraded         atomic.Uint64
+	evictions                                    atomic.Uint64
+}
+
+// Service is the concurrent specialization service. Create with New, stop
+// with Close. All methods are safe for concurrent use; the machine must
+// not execute emulated code while rewrites are in flight (the RewriteBatch
+// contract, inherited from the tracer reading machine memory).
+type Service struct {
+	m   *vm.Machine
+	mgr *specmgr.Manager
+	opt Options
+
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        *queue
+	inflight map[cacheKey]*flight
+	orphans  []*specmgr.Entry // promoted-but-uncacheable or degraded entries, released at Close
+
+	cache *cache
+	wg    sync.WaitGroup
+	st    stats
+}
+
+// flight is one in-progress specialization shared by every coalesced
+// caller.
+type flight struct {
+	k         cacheKey
+	cacheable bool
+	req       *brew.Request // service-owned copy (config cloned, slices copied)
+	entry     *specmgr.Entry
+	prio      Priority
+	tickets   []*Ticket // guarded by Service.mu
+}
+
+// New starts a service over machine m. The returned service owns its
+// worker goroutines until Close.
+func New(m *vm.Machine, opt Options) *Service {
+	opt = opt.withDefaults()
+	mgr := opt.Manager
+	if mgr == nil {
+		mgr = specmgr.New(m, opt.Policy)
+	}
+	s := &Service{
+		m:        m,
+		mgr:      mgr,
+		opt:      opt,
+		q:        newQueue(opt.QueueCap),
+		inflight: make(map[cacheKey]*flight),
+		cache:    newCache(opt.Shards, opt.PerShard),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Manager returns the specialization manager the service installs through.
+func (s *Service) Manager() *specmgr.Manager { return s.mgr }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Submitted:    s.st.submitted.Load(),
+		CoalesceHits: s.st.coalesced.Load(),
+		CacheHits:    s.st.cacheHits.Load(),
+		CacheMisses:  s.st.cacheMisses.Load(),
+		Rejected:     s.st.rejected.Load(),
+		Traces:       s.st.traces.Load(),
+		Promoted:     s.st.promoted.Load(),
+		Degraded:     s.st.degraded.Load(),
+		Evictions:    s.st.evictions.Load(),
+	}
+}
+
+// Submit admits one request and returns its ticket without ever blocking
+// on a trace: the ticket's Addr is callable immediately. Admission order:
+// cache hit (shared specialized code), coalesce (join the in-flight trace
+// for the same key), enqueue (backpressure-checked), reject.
+func (s *Service) Submit(req *Request) *Ticket {
+	s.st.submitted.Add(1)
+	mSubmitted.Inc()
+	if req == nil {
+		return doneTicket(Outcome{
+			Degraded: true, Reason: brew.ReasonBadConfig,
+			Err: fmt.Errorf("%w: nil request", brew.ErrBadConfig),
+		})
+	}
+	if req.Config == nil {
+		return doneTicket(Outcome{
+			Addr: req.Fn, Degraded: true, Reason: brew.ReasonBadConfig,
+			Err: fmt.Errorf("%w: nil configuration", brew.ErrBadConfig),
+		})
+	}
+	if s.closed.Load() {
+		return s.shutdownTicket(req.Fn)
+	}
+
+	// The fault-injection seam is per-request runtime behavior outside the
+	// fingerprint: such requests must not share traces or cache slots.
+	cacheable := req.Config.Inject == nil
+	var k cacheKey
+	if cacheable {
+		k = keyOf(req)
+		if e := s.cache.get(k); e != nil {
+			s.st.cacheHits.Add(1)
+			mCacheHits.Inc()
+			return doneTicket(Outcome{Entry: e, Addr: e.Addr(), CacheHit: true})
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return s.shutdownTicket(req.Fn)
+	}
+	if cacheable {
+		if f := s.inflight[k]; f != nil {
+			t := &Ticket{addr: f.entry.Addr(), coalesced: true, done: make(chan struct{})}
+			f.tickets = append(f.tickets, t)
+			s.st.coalesced.Add(1)
+			mCoalesceHits.Inc()
+			s.mu.Unlock()
+			return t
+		}
+		s.st.cacheMisses.Add(1)
+		mCacheMisses.Inc()
+	}
+	if s.q.full() {
+		s.st.rejected.Add(1)
+		mRejected.Inc()
+		s.mu.Unlock()
+		return doneTicket(Outcome{
+			Addr: req.Fn, Degraded: true, Reason: ReasonQueueFull, Err: ErrQueueFull,
+		})
+	}
+
+	// Admit: take ownership of the request (the caller may mutate its
+	// Config or reuse its slices after Submit returns) and hand out the
+	// rewrite-behind stub.
+	own := &brew.Request{
+		Config: req.Config.Clone(),
+		Fn:     req.Fn,
+		Args:   append([]uint64(nil), req.Args...),
+		FArgs:  append([]float64(nil), req.FArgs...),
+		Guards: append([]brew.ParamGuard(nil), req.Guards...),
+		Mode:   brew.ModeDegrade,
+	}
+	entry := s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)
+	f := &flight{k: k, cacheable: cacheable, req: own, entry: entry, prio: req.Priority}
+	t := &Ticket{addr: entry.Addr(), done: make(chan struct{})}
+	f.tickets = []*Ticket{t}
+	s.q.push(f)
+	mQueueDepth.Set(int64(s.q.len()))
+	if cacheable {
+		s.inflight[k] = f
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	return t
+}
+
+// Do is the blocking convenience form: Submit then wait for the outcome.
+func (s *Service) Do(req *Request) Outcome {
+	return s.Submit(req).Outcome()
+}
+
+func (s *Service) shutdownTicket(fn uint64) *Ticket {
+	return doneTicket(Outcome{Addr: fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
+}
+
+// worker drains the queue: trace, promote, cache, complete.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.q.empty() && !s.closed.Load() {
+			s.cond.Wait()
+		}
+		f := s.q.pop()
+		if f == nil { // closed, queue drained
+			s.mu.Unlock()
+			return
+		}
+		mQueueDepth.Set(int64(s.q.len()))
+		s.mu.Unlock()
+
+		s.st.traces.Add(1)
+		mTraces.Inc()
+		start := time.Now()
+		out, rerr := brew.Do(s.m, f.req)
+		mLatencyUS.Observe(uint64(time.Since(start).Microseconds()))
+
+		promoted := s.mgr.Promote(f.entry, out, rerr)
+		res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
+		if promoted {
+			s.st.promoted.Add(1)
+			mPromotions.Inc()
+			if f.cacheable {
+				// Insert before dropping the inflight slot so a racing
+				// Submit sees either the flight or the cache, never a gap
+				// that would duplicate the trace.
+				for _, victim := range s.cache.put(f.k, f.entry) {
+					s.mgr.Release(victim)
+					s.st.evictions.Add(1)
+					mCacheEvictions.Inc()
+				}
+			} else {
+				s.trackOrphan(f.entry)
+			}
+		} else {
+			// Degraded: the entry keeps routing to the original function
+			// and is NOT cached — a later Submit with the same key retries
+			// the specialization from scratch.
+			s.st.degraded.Add(1)
+			mDegraded.Inc()
+			res.Degraded = true
+			res.Err = rerr
+			if out != nil {
+				res.Reason = out.Reason
+			}
+			s.trackOrphan(f.entry)
+		}
+
+		s.mu.Lock()
+		if f.cacheable {
+			delete(s.inflight, f.k)
+		}
+		tickets := f.tickets
+		f.tickets = nil
+		for _, t := range tickets {
+			t.complete(res)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Service) trackOrphan(e *specmgr.Entry) {
+	s.mu.Lock()
+	s.orphans = append(s.orphans, e)
+	s.mu.Unlock()
+}
+
+// Close stops the service: queued (not yet running) requests complete
+// degraded with ReasonShutdown, in-flight rewrites finish, and every entry
+// the service owns — queued, cached, and orphaned — is released, returning
+// all JIT code-buffer space. Outcome addresses must no longer be used
+// afterwards. Close is idempotent; concurrent Submits complete degraded.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	s.mu.Lock()
+	var drained []*flight
+	for f := s.q.pop(); f != nil; f = s.q.pop() {
+		drained = append(drained, f)
+	}
+	mQueueDepth.Set(0)
+	for _, f := range drained {
+		if f.cacheable {
+			delete(s.inflight, f.k)
+		}
+		for _, t := range f.tickets {
+			t.complete(Outcome{Addr: f.req.Fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, f := range drained {
+		s.mgr.Release(f.entry)
+	}
+	s.wg.Wait()
+
+	s.mu.Lock()
+	orphans := s.orphans
+	s.orphans = nil
+	s.mu.Unlock()
+	for _, e := range orphans {
+		s.mgr.Release(e)
+	}
+	for _, e := range s.cache.drain() {
+		s.mgr.Release(e)
+	}
+}

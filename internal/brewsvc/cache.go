@@ -1,0 +1,119 @@
+package brewsvc
+
+import (
+	"sync"
+
+	"repro/internal/specmgr"
+)
+
+// cache is the sharded specialized-code cache: key-partitioned shards,
+// each an independently locked LRU over promoted entries. Shard locks are
+// leaves (nothing is acquired under them), so lookups from many submitters
+// and inserts from many workers never serialize on one mutex. Eviction
+// returns the victims to the caller, which releases them through the
+// specialization manager (FreeJIT reclamation) outside the shard lock.
+type cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	perShard int
+	ents     map[cacheKey]*cacheEnt
+	clock    uint64
+}
+
+type cacheEnt struct {
+	e       *specmgr.Entry
+	lastUse uint64
+}
+
+func newCache(shards, perShard int) *cache {
+	c := &cache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i].perShard = perShard
+		c.shards[i].ents = make(map[cacheKey]*cacheEnt)
+	}
+	return c
+}
+
+func (c *cache) shardFor(k cacheKey) *cacheShard {
+	return &c.shards[k.hash()%uint64(len(c.shards))]
+}
+
+// get returns the cached entry for k (touching its LRU slot), or nil.
+func (c *cache) get(k cacheKey) *specmgr.Entry {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent := s.ents[k]
+	if ent == nil {
+		return nil
+	}
+	s.clock++
+	ent.lastUse = s.clock
+	return ent.e
+}
+
+// put inserts a promoted entry and returns the entries evicted to make
+// room (the displaced slot on key collision plus LRU victims over
+// capacity). The caller releases them outside the shard lock.
+func (c *cache) put(k cacheKey, e *specmgr.Entry) []*specmgr.Entry {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var evicted []*specmgr.Entry
+	if old := s.ents[k]; old != nil {
+		// Singleflight admission makes a same-key race impossible, but a
+		// re-trace after an external Release could land here; keep the
+		// newer code.
+		evicted = append(evicted, old.e)
+	}
+	s.clock++
+	s.ents[k] = &cacheEnt{e: e, lastUse: s.clock}
+	for len(s.ents) > s.perShard {
+		var victimKey cacheKey
+		var victim *cacheEnt
+		for vk, ve := range s.ents {
+			if ve.e == e {
+				continue // never evict the just-inserted entry
+			}
+			if victim == nil || ve.lastUse < victim.lastUse {
+				victimKey, victim = vk, ve
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(s.ents, victimKey)
+		evicted = append(evicted, victim.e)
+	}
+	return evicted
+}
+
+// drain empties every shard and returns all entries (Close reclamation).
+func (c *cache) drain() []*specmgr.Entry {
+	var out []*specmgr.Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, ent := range s.ents {
+			out = append(out, ent.e)
+		}
+		s.ents = make(map[cacheKey]*cacheEnt)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// len counts cached entries across shards (tests and metrics).
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.ents)
+		s.mu.Unlock()
+	}
+	return n
+}

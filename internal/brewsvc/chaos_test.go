@@ -1,0 +1,127 @@
+package brewsvc_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/faultinject"
+)
+
+// TestChaosServiceNeverWrongNeverLeaks drives seed-varied fault injection
+// through the concurrent service until at least 500 faults have fired
+// (about 100 under -short) and asserts the service-level robustness
+// invariant on every round:
+//
+//   - a fault degrades only the request carrying the injector — the clean
+//     requests submitted concurrently in the same round always specialize
+//     (the cache is never poisoned, the queue never wedges);
+//   - every outcome is callable and the sweep checksum always matches the
+//     golden reference, specialized or degraded;
+//   - after Close the code-buffer accounting returns to the baseline, so
+//     chaos cannot leak JIT space through the cache, the orphan list, or
+//     the queue.
+//
+// Execution happens strictly after all of a round's outcomes are in — the
+// machine must not run emulated code while rewrites are in flight.
+func TestChaosServiceNeverWrongNeverLeaks(t *testing.T) {
+	m, w := newStencil(t)
+	baseline := m.JITFreeBytes()
+
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 4, QueueCap: 32, Shards: 2, PerShard: 4})
+
+	const iters = 3
+	target := uint64(500)
+	if testing.Short() {
+		target = 100
+	}
+
+	var fired uint64
+	rounds, degradedReqs := 0, 0
+	for seed := int64(1); fired < target; seed++ {
+		rounds++
+
+		// Per-round requests: three fault-injected (each with its own
+		// injector — Inject-bearing requests are isolated by design) and
+		// one clean cacheable request racing them through the same queue.
+		injs := make([]*faultinject.Injector, 3)
+		reqs := make([]*brewsvc.Request, 0, 4)
+		for i := range injs {
+			s := seed + int64(i)
+			inj := faultinject.New(s)
+			inj.Arm(faultinject.PointOpcode, 0.002*float64(s%3))
+			inj.Arm(faultinject.PointBudget, 0.002*float64((s/3)%3))
+			inj.Arm(faultinject.PointPanic, 0.001*float64((s/9)%3))
+			inj.Arm(faultinject.PointJITAlloc, 0.5*float64(s%2))
+			inj.Arm(faultinject.PointDispatch, 0.5*float64((s/2)%2))
+			injs[i] = inj
+
+			cfg, args := w.ApplyConfig()
+			cfg.Inject = inj.Hook()
+			if s%5 == 0 {
+				// Genuine (non-injected) per-request budget exhaustion.
+				cfg.Budget = &brew.Budget{MaxTracedInstrs: int(10 + s%200)}
+			}
+			req := &brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args}
+			if s%4 == 0 {
+				req.Guards = []brew.ParamGuard{{Param: 2, Value: gridXS}}
+			}
+			reqs = append(reqs, req)
+		}
+		cleanCfg, cleanArgs := w.ApplyConfig()
+		reqs = append(reqs, &brewsvc.Request{Config: cleanCfg, Fn: w.Apply, Args: cleanArgs})
+
+		outs := make([]brewsvc.Outcome, len(reqs))
+		var wg sync.WaitGroup
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(i int, req *brewsvc.Request) {
+				defer wg.Done()
+				outs[i] = svc.Do(req)
+			}(i, req)
+		}
+		wg.Wait()
+
+		clean := outs[len(outs)-1]
+		if clean.Degraded {
+			t.Fatalf("seed %d: clean request degraded: %s (%v) — fault leaked across requests",
+				seed, clean.Reason, clean.Err)
+		}
+		for i, out := range outs {
+			if out.Addr == 0 {
+				t.Fatalf("seed %d: request %d has no callable address", seed, i)
+			}
+			if out.Degraded {
+				degradedReqs++
+			}
+
+			// The checksum matches the golden reference whether the
+			// outcome is specialized or degraded.
+			if err := w.ResetMatrices(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.RunSweeps(out.Addr, false, iters)
+			if err != nil {
+				t.Fatalf("seed %d: request %d sweep: %v", seed, i, err)
+			}
+			if want := w.Golden(iters); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d: request %d wrong result %g, want %g (degraded=%v)",
+					seed, i, got, want, out.Degraded)
+			}
+		}
+
+		for _, inj := range injs {
+			fired += inj.TotalFired()
+		}
+	}
+
+	st := svc.Stats()
+	svc.Close()
+	if got := m.JITFreeBytes(); got != baseline {
+		t.Errorf("chaos leaked code-buffer space: %d free, baseline %d", got, baseline)
+	}
+	t.Logf("chaos: %d rounds, %d injected faults, %d degraded requests, stats %+v",
+		rounds, fired, degradedReqs, st)
+}

@@ -1,0 +1,83 @@
+package brewsvc
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/brew"
+	"repro/internal/isa"
+)
+
+// cacheKey identifies one specialization: the function, the canonical
+// configuration fingerprint, and the values the specialization was built
+// for. Two requests with the same key produce interchangeable code, so
+// they may share a trace (coalescing) and a cache slot.
+type cacheKey struct {
+	fn   uint64
+	cfg  uint64 // brew.Config.Fingerprint()
+	vals uint64 // hash of known-parameter values and guard values
+}
+
+// FNV-1a/64, matching the Config.Fingerprint construction.
+const (
+	keyOffset64 uint64 = 14695981039346656037
+	keyPrime64  uint64 = 1099511628211
+)
+
+func keyMix(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(v>>i))) * keyPrime64
+	}
+	return h
+}
+
+// keyOf computes the request's cache key. Only parameters the Config
+// declares known contribute their argument values: callers differing in
+// unknown-parameter values request the same specialization and coalesce.
+// Guards contribute order-independently.
+func keyOf(req *Request) cacheKey {
+	h := keyOffset64
+	for i := 1; i <= len(isa.IntArgRegs); i++ {
+		class, _ := req.Config.IntParamClass(i)
+		if class == brew.ParamUnknown {
+			continue
+		}
+		h = keyMix(h, uint64(i))
+		if i <= len(req.Args) {
+			h = keyMix(h, req.Args[i-1])
+		}
+	}
+	for i := 1; i <= len(isa.FloatArgRegs); i++ {
+		if req.Config.FloatParamClass(i) == brew.ParamUnknown {
+			continue
+		}
+		h = keyMix(h, uint64(i)|1<<32)
+		if i <= len(req.FArgs) {
+			h = keyMix(h, math.Float64bits(req.FArgs[i-1]))
+		}
+	}
+	if len(req.Guards) > 0 {
+		gs := append([]brew.ParamGuard(nil), req.Guards...)
+		sort.Slice(gs, func(i, j int) bool {
+			if gs[i].Param != gs[j].Param {
+				return gs[i].Param < gs[j].Param
+			}
+			return gs[i].Value < gs[j].Value
+		})
+		h = keyMix(h, uint64(len(gs))|1<<33)
+		for _, g := range gs {
+			h = keyMix(h, uint64(g.Param))
+			h = keyMix(h, g.Value)
+		}
+	}
+	return cacheKey{fn: req.Fn, cfg: req.Config.Fingerprint(), vals: h}
+}
+
+// hash folds the key into one word for shard selection.
+func (k cacheKey) hash() uint64 {
+	h := keyOffset64
+	h = keyMix(h, k.fn)
+	h = keyMix(h, k.cfg)
+	h = keyMix(h, k.vals)
+	return h
+}

@@ -1,0 +1,23 @@
+package brewsvc
+
+import "repro/internal/telemetry"
+
+// Service metrics, mirroring the unconditional Stats counters into the
+// process-wide registry. Updates are no-ops while telemetry is disabled.
+var (
+	mSubmitted      = telemetry.Default.Counter("brewsvc.submitted")
+	mCoalesceHits   = telemetry.Default.Counter("brewsvc.coalesce_hits")
+	mCacheHits      = telemetry.Default.Counter("brewsvc.cache_hits")
+	mCacheMisses    = telemetry.Default.Counter("brewsvc.cache_misses")
+	mCacheEvictions = telemetry.Default.Counter("brewsvc.cache_evictions")
+	mRejected       = telemetry.Default.Counter("brewsvc.rejected")
+	mTraces         = telemetry.Default.Counter("brewsvc.traces")
+	mPromotions     = telemetry.Default.Counter("brewsvc.promotions")
+	mDegraded       = telemetry.Default.Counter("brewsvc.degraded")
+
+	mQueueDepth = telemetry.Default.Gauge("brewsvc.queue_depth")
+
+	// Worker-observed rewrite latency in microseconds.
+	mLatencyUS = telemetry.Default.Histogram("brewsvc.rewrite_latency_us",
+		[]uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
+)

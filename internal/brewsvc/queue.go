@@ -1,0 +1,52 @@
+package brewsvc
+
+// queue is the bounded three-level priority queue. All methods require
+// Service.mu; the bound applies to the total across levels so low-priority
+// floods exert backpressure on everyone (admission control happens before
+// priorities — a full queue is a full queue).
+type queue struct {
+	capacity int
+	levels   [3][]*flight // indexed by Priority, FIFO within a level
+	n        int
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{capacity: capacity}
+}
+
+func (q *queue) empty() bool { return q.n == 0 }
+func (q *queue) full() bool  { return q.n >= q.capacity }
+func (q *queue) len() int    { return q.n }
+
+// push appends the flight to its priority level. The caller has already
+// checked full(); push panics on overflow to catch admission bugs.
+func (q *queue) push(f *flight) {
+	if q.full() {
+		panic("brewsvc: queue overflow past admission check")
+	}
+	p := f.prio
+	if p > PriorityHigh {
+		p = PriorityHigh
+	}
+	q.levels[p] = append(q.levels[p], f)
+	q.n++
+}
+
+// pop removes the oldest flight of the highest non-empty level, or nil.
+func (q *queue) pop() *flight {
+	for p := int(PriorityHigh); p >= int(PriorityLow); p-- {
+		l := q.levels[p]
+		if len(l) == 0 {
+			continue
+		}
+		f := l[0]
+		l[0] = nil // release the reference; the backing array is reused
+		q.levels[p] = l[1:]
+		if len(q.levels[p]) == 0 {
+			q.levels[p] = nil // reset so the backing array can be collected
+		}
+		q.n--
+		return f
+	}
+	return nil
+}

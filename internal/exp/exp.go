@@ -184,10 +184,13 @@ func RunUnrolling(o Options) ([]Row, error) {
 			SetParam(2, brew.ParamKnown).
 			SetParamPtrToKnown(3, stencil.StructSSize)
 		cfg.SetFuncOpts(w.Apply, v.opts)
-		res, err := brew.Rewrite(w.M, cfg, w.Apply, []uint64{0, uint64(w.XS), w.S5}, nil)
+		out, err := brew.Do(w.M, &brew.Request{
+			Config: cfg, Fn: w.Apply, Args: []uint64{0, uint64(w.XS), w.S5},
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.id, err)
 		}
+		res := out.Result
 		c0 := w.M.Stats.Cycles
 		if _, err := w.RunSweeps(res.Addr, false, o.Iters); err != nil {
 			return nil, err
@@ -270,11 +273,11 @@ func RunInlining(o Options) ([]Row, error) {
 				cfg.SetFuncOpts(mid, brew.FuncOpts{NoInline: true})
 				cfg.SetFuncOpts(leaf, brew.FuncOpts{NoInline: true})
 			}
-			res, err := brew.Rewrite(m, cfg, fn, nil, nil)
+			out, err := brew.Do(m, &brew.Request{Config: cfg, Fn: fn})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.id, err)
 			}
-			entry = res.Addr
+			entry = out.Addr
 		}
 		c0 := m.Stats.Cycles
 		sum, err := m.CallFloat(entry, []uint64{arr, n}, nil)
@@ -324,19 +327,19 @@ loop:
 		cfg := brew.NewConfig()
 		cfg.MaxVariantsPerAddr = thr
 		cfg.SetFuncOpts(fn, brew.FuncOpts{BranchesUnknown: true})
-		res, err := brew.Rewrite(m, cfg, fn, nil, nil)
+		out, err := brew.Do(m, &brew.Request{Config: cfg, Fn: fn})
 		if err != nil {
 			return nil, fmt.Errorf("threshold %d: %w", thr, err)
 		}
-		got, err := m.Call(res.Addr, 100)
+		got, err := m.Call(out.Addr, 100)
 		if err != nil || got != 5050 {
 			return nil, fmt.Errorf("threshold %d: sum=%d err=%v", thr, got, err)
 		}
 		rows = append(rows, Row{
 			ID:     fmt.Sprintf("X3-t%d", thr),
 			Name:   fmt.Sprintf("variant threshold %d", thr),
-			Cycles: uint64(res.CodeSize),
-			Note:   fmt.Sprintf("%d blocks, %d bytes", res.Blocks, res.CodeSize),
+			Cycles: uint64(out.Result.CodeSize),
+			Note:   fmt.Sprintf("%d blocks, %d bytes", out.Result.Blocks, out.Result.CodeSize),
 		})
 	}
 	return rows, nil
@@ -377,11 +380,14 @@ long driver(long n, long hot) {
 	if frac < 0.9 {
 		return nil, fmt.Errorf("profile unstable: %v %f", hot, frac)
 	}
-	g, err := brew.RewriteGuarded(m, brew.NewConfig(), poly,
-		[]brew.ParamGuard{{Param: 2, Value: hot.Value}}, nil, nil)
+	gout, err := brew.Do(m, &brew.Request{
+		Config: brew.NewConfig(), Fn: poly,
+		Guards: []brew.ParamGuard{{Param: 2, Value: hot.Value}},
+	})
 	if err != nil {
 		return nil, err
 	}
+	g := gout.Guarded
 
 	run := func(fn uint64, k uint64) (uint64, error) {
 		c0 := m.Stats.Cycles
@@ -453,11 +459,11 @@ double vsum(double *a, long n) {
 		cfg := brew.NewConfig().SetParam(2, brew.ParamKnown)
 		cfg.MaxCodeBytes = 1 << 20
 		cfg.Vectorize = vectorize
-		res, err := brew.Rewrite(m, cfg, fn, []uint64{0, n}, nil)
+		out, err := brew.Do(m, &brew.Request{Config: cfg, Fn: fn, Args: []uint64{0, n}})
 		if err != nil {
 			return 0, nil, 0, err
 		}
-		return res.Addr, m, arr, nil
+		return out.Addr, m, arr, nil
 	}
 	var rows []Row
 	var base uint64

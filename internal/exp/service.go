@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// RunService is E5: amortized specialization cost through the concurrent
+// service (internal/brewsvc). The deterministic cost metric is traced
+// original instructions per caller — the dominant rewrite cost, and exact
+// under emulation (wall-clock would measure the host scheduler).
+//
+//   - E5a: 64 independent brew.Do calls, each paying a full trace
+//     (the pre-service baseline; per-caller cost = one trace).
+//   - E5b: a 64-goroutine burst through the service — singleflight
+//     coalescing runs exactly one trace, so the per-caller cost is 1/64 of
+//     a trace.
+//   - E5c: the same burst repeated against the warm cache — zero traces.
+//
+// The Ratio column is per-caller cost relative to E5a; the service
+// acceptance bar is E5b at least 10x below the baseline.
+func RunService(o Options) ([]Row, error) {
+	o = o.fill()
+	const callers = 64
+
+	w, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return nil, err
+	}
+	m := w.M
+
+	// E5a: independent rewrites, sequential (the RewriteBatch contract
+	// forbids concurrent rewrites sharing a machine without the service's
+	// coordination; independence is the point of the baseline). Each
+	// result is released so the code buffer does not distort later runs.
+	var baselineTraced uint64
+	for i := 0; i < callers; i++ {
+		cfg, args := w.ApplyConfig()
+		out, err := brew.Do(m, &brew.Request{Config: cfg, Fn: w.Apply, Args: args})
+		if err != nil {
+			return nil, fmt.Errorf("E5a caller %d: %w", i, err)
+		}
+		baselineTraced += uint64(out.Result.TracedInstrs)
+		if err := m.FreeJIT(out.Result.Addr); err != nil {
+			return nil, fmt.Errorf("E5a caller %d: free: %w", i, err)
+		}
+	}
+	perCallerA := baselineTraced / callers
+
+	// E5b: one concurrent burst through the service. All 64 requests carry
+	// the same assumptions, so they coalesce onto a single trace.
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 4, QueueCap: callers * 2})
+	defer svc.Close()
+
+	outs := make([]brewsvc.Outcome, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, args := w.ApplyConfig()
+			outs[i] = svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out.Degraded {
+			return nil, fmt.Errorf("E5b caller %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+	}
+	st := svc.Stats()
+	if st.Traces != 1 {
+		return nil, fmt.Errorf("E5b: %d traces for one coalesced burst, want 1", st.Traces)
+	}
+	burstTraced := uint64(outs[0].Entry.Result().TracedInstrs)
+	perCallerB := burstTraced / callers
+
+	// E5c: the warm-cache burst — every caller hits the shared cache.
+	for i := 0; i < callers; i++ {
+		cfg, args := w.ApplyConfig()
+		out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		if out.Degraded || !out.CacheHit {
+			return nil, fmt.Errorf("E5c caller %d: degraded=%v cacheHit=%v", i, out.Degraded, out.CacheHit)
+		}
+	}
+	st2 := svc.Stats()
+	if st2.Traces != 1 {
+		return nil, fmt.Errorf("E5c: warm burst re-traced (%d traces)", st2.Traces)
+	}
+
+	ratio := func(c uint64) float64 { return float64(c) / float64(perCallerA) }
+	return []Row{
+		{
+			ID: "E5a", Name: fmt.Sprintf("%d independent rewrites", callers),
+			Cycles: perCallerA, Instrs: baselineTraced, Ratio: 1.0,
+			Note: "per-caller traced instrs; full trace each",
+		},
+		{
+			ID: "E5b", Name: fmt.Sprintf("%d-goroutine burst, coalesced", callers),
+			Cycles: perCallerB, Instrs: burstTraced, Ratio: ratio(perCallerB),
+			Note: fmt.Sprintf("1 trace shared by %d callers (%d coalesce + %d cache hits)",
+				callers, st.CoalesceHits, st.CacheHits),
+		},
+		{
+			ID: "E5c", Name: fmt.Sprintf("%d-caller warm-cache burst", callers),
+			Cycles: 0, Instrs: 0, Ratio: 0,
+			Note: fmt.Sprintf("0 traces; %d cache hits", st2.CacheHits-st.CacheHits),
+		},
+	}, nil
+}

@@ -182,7 +182,9 @@ func hErr(c Case) error {
 	if err != nil {
 		return err
 	}
-	_, rerr := brew.Rewrite(inst.M, inst.Cfg, inst.Fn, inst.Args, inst.FArgs)
+	_, rerr := brew.Do(inst.M, &brew.Request{
+		Config: inst.Cfg, Fn: inst.Fn, Args: inst.Args, FArgs: inst.FArgs,
+	})
 	return rerr
 }
 
@@ -201,18 +203,17 @@ func newHarness(c Case) (*harness, error) {
 	if c.Inject != nil {
 		rewr.Cfg.Inject = c.Inject
 	}
-	var res *brew.Result
-	var rerr error
+	req := &brew.Request{Config: rewr.Cfg, Fn: rewr.Fn, Args: rewr.Args, FArgs: rewr.FArgs}
 	if c.Degrade {
 		// Never a skip: a failed rewrite degrades to the original entry,
 		// and the differential check runs against that fallback.
-		res, rerr = brew.RewriteOrDegrade(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
-	} else {
-		res, rerr = brew.Rewrite(rewr.M, rewr.Cfg, rewr.Fn, rewr.Args, rewr.FArgs)
-		if rerr != nil {
-			return nil, nil // refusal; Run re-derives the error
-		}
+		req.Mode = brew.ModeDegrade
 	}
+	out, rerr := brew.Do(rewr.M, req)
+	if !c.Degrade && rerr != nil {
+		return nil, nil // refusal; Run re-derives the error
+	}
+	res := out.Result
 	h := &harness{
 		c:        c,
 		orig:     &machState{inst: orig, snap: snapshot(orig.M)},

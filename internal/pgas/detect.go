@@ -122,11 +122,13 @@ func (s *System) detector() (*detector, error) {
 		SetParam(4, brew.ParamKnown)
 	cfg.SetFuncOpts(s.GSum, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
 	cfg.LoadHandler = d.handler
-	res, err := brew.Rewrite(s.M, cfg, s.GSum, []uint64{s.Garr, 0, 0, s.PgasGet}, nil)
+	out, err := brew.Do(s.M, &brew.Request{
+		Config: cfg, Fn: s.GSum, Args: []uint64{s.Garr, 0, 0, s.PgasGet},
+	})
 	if err != nil {
 		return nil, err
 	}
-	d.instrumented = res.Addr
+	d.instrumented = out.Addr
 	s.det = d
 	return d, nil
 }

@@ -270,7 +270,13 @@ func (s *System) SpecializeSum() (*brew.Result, error) {
 	// every branch condition depends on the (unknown) index, so locality
 	// checks survive naturally while the descriptor folds.
 	cfg.SetFuncOpts(s.GSum, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
-	return brew.Rewrite(s.M, cfg, s.GSum, []uint64{s.Garr, 0, 0, s.PgasGet}, nil)
+	out, err := brew.Do(s.M, &brew.Request{
+		Config: cfg, Fn: s.GSum, Args: []uint64{s.Garr, 0, 0, s.PgasGet},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // Preload simulates an RDMA bulk transfer of global range [lo, hi) into
@@ -315,7 +321,13 @@ func (s *System) SpecializeSumPrefetched() (*brew.Result, error) {
 		SetParamPtrToKnown(1, garrSize).
 		SetParam(4, brew.ParamKnown)
 	cfg.SetFuncOpts(s.GSum, brew.FuncOpts{BranchesUnknown: true, ResultsUnknown: true})
-	return brew.Rewrite(s.M, cfg, s.GSum, []uint64{s.Garr, 0, 0, s.PgasGetPref}, nil)
+	out, err := brew.Do(s.M, &brew.Request{
+		Config: cfg, Fn: s.GSum, Args: []uint64{s.Garr, 0, 0, s.PgasGetPref},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // SumWith runs a (possibly rewritten) reduction entry with the given

@@ -82,6 +82,7 @@ type Entry struct {
 	fargs      []float64
 	guards     []brew.ParamGuard
 	watches    []*vm.Watch
+	pending    bool // adopted, awaiting Promote (stub routes to fn meanwhile)
 	deopted    bool
 	reason     string // last deopt (or degradation) reason
 	respecDone bool   // one respecialization attempt per deopt
@@ -115,31 +116,123 @@ func (g *Manager) Lookup(fn uint64) *Entry {
 // fargs are retained for respecialization and must not be mutated by the
 // caller afterwards.
 func (g *Manager) Specialize(cfg *brew.Config, fn uint64, args []uint64, fargs []float64) (*Entry, error) {
-	res, err := brew.RewriteOrDegrade(g.m, cfg, fn, args, fargs)
-	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: res}
-	g.register(e, res.Addr, err)
+	out, err := brew.Do(g.m, &brew.Request{
+		Config: cfg, Fn: fn, Args: args, FArgs: fargs, Mode: brew.ModeDegrade,
+	})
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: out.Result}
+	if out.Degraded {
+		e.reason = out.Reason
+	}
+	g.register(e, out.Addr, err)
 	return e, err
 }
 
-// SpecializeGuarded is Specialize for guarded specializations
-// (brew.RewriteGuarded): the entry dispatches on the guard conditions and
-// is additionally subject to the guard-miss-storm deopt policy.
+// SpecializeGuarded is Specialize for guarded specializations (Request
+// Guards): the entry dispatches on the guard conditions and is additionally
+// subject to the guard-miss-storm deopt policy.
 func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.ParamGuard, args []uint64, fargs []float64) (*Entry, error) {
-	gr, err := brew.RewriteGuarded(g.m, cfg, fn, guards, args, fargs)
 	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards}
-	target := fn
-	if err != nil {
-		reason := brew.DegradeReason(err)
+	if len(guards) == 0 {
+		// A guardless guarded request would silently become a plain
+		// specialization through Do; keep the historical refusal.
 		e.res = &brew.Result{Addr: fn, Degraded: true}
-		e.reason = reason
-		err = fmt.Errorf("%w (%s): %w", brew.ErrDegraded, reason, err)
-	} else {
-		e.guarded = gr
-		e.res = gr.Rewrite
-		target = gr.Addr
+		e.reason = brew.ReasonBadConfig
+		err := fmt.Errorf("%w (%s): %w: no guards", brew.ErrDegraded, brew.ReasonBadConfig, brew.ErrBadConfig)
+		g.register(e, fn, err)
+		return e, err
 	}
-	g.register(e, target, err)
+	out, err := brew.Do(g.m, &brew.Request{
+		Config: cfg, Fn: fn, Guards: guards, Args: args, FArgs: fargs, Mode: brew.ModeDegrade,
+	})
+	e.res, e.guarded = out.Result, out.Guarded
+	if out.Degraded {
+		e.reason = out.Reason
+	}
+	g.register(e, out.Addr, err)
 	return e, err
+}
+
+// AdoptPending creates a detached pending entry for a rewrite that has not
+// run yet: the entry's stub is installed routing to the original function,
+// so callers can take its Addr immediately and run at generic speed until
+// Promote hot-patches the stub to the specialized code ("rewrite-behind" —
+// the hot path never blocks on a trace). Detached entries do not occupy the
+// per-function slot in the manager's table, so several specializations of
+// the same function can be co-resident (the service cache keeps one entry
+// per (fn, config fingerprint, argument values) key); they are exempt from
+// MaxLive eviction and are released explicitly via Release.
+//
+// cfg, args and fargs are retained for respecialization and must not be
+// mutated by the caller afterwards.
+func (g *Manager) AdoptPending(cfg *brew.Config, fn uint64, args []uint64, fargs []float64, guards []brew.ParamGuard) *Entry {
+	e := &Entry{
+		mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards,
+		res:     &brew.Result{Addr: fn, Degraded: true}, // placeholder until Promote
+		pending: true,
+	}
+	// Stub failure (JIT space exhausted) leaves stub == 0: the entry then
+	// routes to fn directly and Promote can only degrade it.
+	e.stub, _ = g.installStub(fn)
+	return e
+}
+
+// Promote completes a pending entry with the outcome of its rewrite
+// (typically produced by a brewsvc worker via brew.Do under ModeDegrade).
+// On success the stub is atomically patched to the specialized code and the
+// assumption watchpoints are armed; every caller holding the entry's Addr
+// switches to the specialization at the next emulated fetch. On a degraded
+// outcome — or when the entry was released or lost its stub while the
+// rewrite ran — the fresh code is freed and the entry stays at generic
+// speed. Promote reports whether the entry now runs specialized code.
+func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !e.pending {
+		return false
+	}
+	e.pending = false
+
+	free := func() {
+		if out == nil || out.Degraded {
+			return
+		}
+		if out.Guarded != nil {
+			_ = g.m.FreeJIT(out.Guarded.Addr)
+		}
+		if out.Result != nil && !out.Result.Degraded {
+			_ = g.m.FreeJIT(out.Result.Addr)
+		}
+	}
+	if e.released {
+		free()
+		return false
+	}
+	if out == nil || out.Degraded || rerr != nil {
+		free() // defensive: a degraded outcome carries no code
+		if out != nil && out.Reason != "" {
+			e.reason = out.Reason
+		} else if rerr != nil {
+			e.reason = brew.DegradeReason(rerr)
+		}
+		mDegraded.Inc()
+		return false
+	}
+	if e.stub == 0 {
+		// Nowhere to hot-install: without a patchable stub the handed-out
+		// Addr is the original function forever.
+		free()
+		e.reason = brew.ReasonCodeBuffer
+		mDegraded.Inc()
+		return false
+	}
+	e.res, e.guarded = out.Result, out.Guarded
+	e.reason = ""
+	g.patchStub(e.stub, out.Addr)
+	g.armWatches(e)
+	g.clock++
+	e.lastUse = g.clock
+	mSpecializations.Inc()
+	return true
 }
 
 // register installs the stub, arms watchpoints, and inserts the entry,
@@ -251,11 +344,28 @@ func (e *Entry) addrLocked() uint64 {
 func (e *Entry) Fn() uint64 { return e.fn }
 
 // Degraded reports whether the entry currently runs the original function
-// because specialization failed (not because of a deopt).
+// because specialization failed (not because of a deopt, and not because it
+// is still pending).
 func (e *Entry) Degraded() bool {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
-	return e.res.Degraded
+	return e.res.Degraded && !e.pending
+}
+
+// Pending reports whether the entry awaits Promote (AdoptPending); its Addr
+// routes to the original function until then.
+func (e *Entry) Pending() bool {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.pending
+}
+
+// Result returns the entry's current rewrite result (a degraded placeholder
+// for pending, degraded, or released entries).
+func (e *Entry) Result() *brew.Result {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.res
 }
 
 // Deopted reports whether the entry is deoptimized and why.
@@ -382,22 +492,16 @@ func (g *Manager) respecializeLocked(e *Entry) {
 	args, fargs := e.args, e.fargs
 	g.mu.Unlock()
 
+	out, err := brew.Do(g.m, &brew.Request{
+		Config: cfg, Fn: fn, Args: args, FArgs: fargs, Guards: guards,
+	})
 	var (
 		target uint64
 		res    *brew.Result
 		gr     *brew.GuardedResult
-		err    error
 	)
-	if guards != nil {
-		gr, err = brew.RewriteGuarded(g.m, cfg, fn, guards, args, fargs)
-		if err == nil {
-			res, target = gr.Rewrite, gr.Addr
-		}
-	} else {
-		res, err = brew.Rewrite(g.m, cfg, fn, args, fargs)
-		if err == nil {
-			target = res.Addr
-		}
+	if err == nil {
+		res, gr, target = out.Result, out.Guarded, out.Addr
 	}
 
 	g.mu.Lock()

@@ -278,13 +278,21 @@ func (w *Workload) SweepConfig() (*brew.Config, []uint64) {
 // width and the s5 stencil (the paper's Figure 5 configuration).
 func (w *Workload) RewriteApply() (*brew.Result, error) {
 	cfg, args := w.ApplyConfig()
-	return brew.Rewrite(w.M, cfg, w.Apply, args, nil)
+	out, err := brew.Do(w.M, &brew.Request{Config: cfg, Fn: w.Apply, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // RewriteApplyGrouped specializes the grouped kernel.
 func (w *Workload) RewriteApplyGrouped() (*brew.Result, error) {
 	cfg, args := w.GroupedConfig()
-	return brew.Rewrite(w.M, cfg, w.ApplyGrouped, args, nil)
+	out, err := brew.Do(w.M, &brew.Request{Config: cfg, Fn: w.ApplyGrouped, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // RewriteSweep specializes the whole function-pointer sweep: matrix width,
@@ -294,7 +302,11 @@ func (w *Workload) RewriteApplyGrouped() (*brew.Result, error) {
 // are folded away; it must be called with the full argument list.
 func (w *Workload) RewriteSweep() (*brew.Result, error) {
 	cfg, args := w.SweepConfig()
-	return brew.Rewrite(w.M, cfg, w.Sweep, args, nil)
+	out, err := brew.Do(w.M, &brew.Request{Config: cfg, Fn: w.Sweep, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // RunRewrittenSweeps drives a whole-sweep rewrite (from RewriteSweep),

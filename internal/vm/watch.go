@@ -72,3 +72,20 @@ func (m *Machine) FreeJIT(addr uint64) error {
 	defer m.jitMu.Unlock()
 	return m.JITAlloc.Free(addr)
 }
+
+// JITFreeBytes returns the free code-buffer space under the JIT lock, so
+// concurrent installs and releases cannot tear the reading (the direct
+// JITAlloc accessors are only safe on a quiescent machine). Leak checks
+// compare it against a baseline taken before any specialization.
+func (m *Machine) JITFreeBytes() uint64 {
+	m.jitMu.Lock()
+	defer m.jitMu.Unlock()
+	return m.JITAlloc.FreeBytes()
+}
+
+// JITLiveBytes is JITFreeBytes for the currently allocated total.
+func (m *Machine) JITLiveBytes() uint64 {
+	m.jitMu.Lock()
+	defer m.jitMu.Unlock()
+	return m.JITAlloc.LiveBytes()
+}

@@ -20,7 +20,7 @@
 //	fn, _ := prog.FuncAddr("scale")
 //
 //	cfg := repro.NewConfig().SetParam(2, repro.ParamKnown)
-//	res, _ := sys.Rewrite(cfg, fn, []uint64{0, 128}, nil)
+//	res, _ := sys.Do(&repro.Request{Config: cfg, Fn: fn, Args: []uint64{0, 128}})
 //	out, _ := sys.CallFloat(res.Addr, []uint64{vec, 128}, nil)
 package repro
 
@@ -41,6 +41,13 @@ type (
 	FuncOpts = brew.FuncOpts
 	// ParamClass declares a parameter assumption.
 	ParamClass = brew.ParamClass
+	// Request is one specialization request: the input of Do.
+	Request = brew.Request
+	// Outcome is the unified result of Do: specialized, guarded, or
+	// degraded.
+	Outcome = brew.Outcome
+	// Mode selects Do's failure semantics.
+	Mode = brew.Mode
 	// Result describes a successful rewrite.
 	Result = brew.Result
 	// GuardedResult describes a profile-guarded specialization.
@@ -53,6 +60,15 @@ type (
 	Machine = vm.Machine
 	// Stats are the machine's execution counters.
 	Stats = vm.Stats
+)
+
+// Do failure semantics (see brew.Mode).
+const (
+	// ModeSpecialize fails the request on any pipeline error.
+	ModeSpecialize = brew.ModeSpecialize
+	// ModeDegrade converts every pipeline error into a degraded Outcome
+	// addressing the original function.
+	ModeDegrade = brew.ModeDegrade
 )
 
 // Parameter classes (paper: BREW_UNKNOWN, BREW_KNOWN, BREW_PTR_TOKNOWN).
@@ -72,6 +88,8 @@ var (
 	ErrBadCode        = brew.ErrBadCode
 	ErrUnsupported    = brew.ErrUnsupported
 	ErrBadConfig      = brew.ErrBadConfig
+	// ErrDegraded wraps the cause of every ModeDegrade fallback.
+	ErrDegraded = brew.ErrDegraded
 )
 
 // NewConfig returns a rewriter configuration with library defaults
@@ -108,9 +126,19 @@ func (s *System) LoadAsm(src string) (*asm.Image, error) {
 	return asm.Load(s.VM, src)
 }
 
+// Do runs one specialization request through the unified rewrite entry
+// point: plain, guarded (Request.Guards), or never-failing
+// (Request.Mode = ModeDegrade). The returned Outcome.Addr is always a
+// drop-in replacement for the requested function.
+func (s *System) Do(req *Request) (*Outcome, error) {
+	return brew.Do(s.VM, req)
+}
+
 // Rewrite generates a specialized drop-in replacement for the function at
 // fn (the paper's brew_rewrite). args/fargs supply the emulated call's
 // parameter setting; only parameters declared known in cfg are consulted.
+//
+// Deprecated: use Do with a Request.
 func (s *System) Rewrite(cfg *Config, fn uint64, args []uint64, fargs []float64) (*Result, error) {
 	return brew.Rewrite(s.VM, cfg, fn, args, fargs)
 }
@@ -118,6 +146,8 @@ func (s *System) Rewrite(cfg *Config, fn uint64, args []uint64, fargs []float64)
 // RewriteGuarded generates a guarded specialization: a dispatcher checking
 // the guards, the specialized body, and fallback to the original
 // (Section III.D's profile-driven variant generation).
+//
+// Deprecated: use Do with Request.Guards.
 func (s *System) RewriteGuarded(cfg *Config, fn uint64, guards []ParamGuard, args []uint64, fargs []float64) (*GuardedResult, error) {
 	return brew.RewriteGuarded(s.VM, cfg, fn, guards, args, fargs)
 }
@@ -167,6 +197,9 @@ type BatchRequest = brew.BatchRequest
 // RewriteBatch performs several independent rewrites concurrently
 // (tracing only reads machine memory; installation is serialized). The
 // machine must not execute code while the batch runs.
+//
+// Deprecated: use Do per request, or internal/brewsvc for a long-lived
+// concurrent specialization service with coalescing and caching.
 func (s *System) RewriteBatch(reqs []BatchRequest) ([]*Result, []error) {
 	return brew.RewriteBatch(s.VM, reqs)
 }

@@ -34,12 +34,23 @@ func main() {
 	}
 	rows := 0
 	for _, f := range out.Families {
+		nonzero := 0
 		for _, r := range f.Rows {
-			if r.ID == "" || r.Cycles == 0 {
-				fmt.Fprintf(os.Stderr, "checkjson: family %s has a row with empty id or zero cycles\n", f.Key)
+			if r.ID == "" {
+				fmt.Fprintf(os.Stderr, "checkjson: family %s has a row with an empty id\n", f.Key)
 				os.Exit(1)
 			}
+			// Individual rows may legitimately cost zero (e.g. E5c's
+			// warm-cache burst traces nothing), but a family where every
+			// row is zero is a broken measurement.
+			if r.Cycles > 0 {
+				nonzero++
+			}
 			rows++
+		}
+		if len(f.Rows) > 0 && nonzero == 0 {
+			fmt.Fprintf(os.Stderr, "checkjson: family %s has no row with nonzero cycles\n", f.Key)
+			os.Exit(1)
 		}
 	}
 	if rows == 0 {

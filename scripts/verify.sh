@@ -30,6 +30,19 @@ if [ "${RACE:-1}" = 1 ]; then
     # test at 150 injected faults).
     echo "== go test -race (short budget: specmgr, faultinject)"
     go test -race -short ./internal/specmgr/ ./internal/faultinject/
+    # The specialization service is concurrency-first (worker pool,
+    # singleflight coalescing, sharded cache): full suite under -race,
+    # including the 64-goroutine exactly-one-trace test and service chaos.
+    echo "== go test -race (short budget: brewsvc)"
+    go test -race -short ./internal/brewsvc/
+fi
+
+# API-migration lint: commands and examples must use the unified brew.Do /
+# service entry points, not the deprecated wrappers.
+echo "== deprecated rewrite API lint (cmd/, examples/)"
+if grep -rnE '\.(Rewrite|RewriteBatch|RewriteGuarded|RewriteOrDegrade)\(' cmd/ examples/; then
+    echo "verify: FAIL — cmd/ or examples/ call deprecated rewrite entry points (use Do)" >&2
+    exit 1
 fi
 
 # Fallback-path smoke: fault-injected rewrites must degrade to the
@@ -37,11 +50,12 @@ fi
 echo "== brew-verify -faults smoke"
 go run ./cmd/brew-verify -seeds 0 -stencil=false -faults 60 -q
 
-# brew-bench smoke: tiny grid, JSON output must parse.
+# brew-bench smoke: tiny grid, JSON output must parse. The service family
+# also enforces the E5 acceptance bar (64-caller burst = exactly 1 trace).
 echo "== brew-bench -json smoke (tiny grid)"
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
-go run ./cmd/brew-bench -only stencil -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./cmd/brew-bench -only stencil,service -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
 
 if [ "${FUZZ:-1}" = 1 ]; then
