@@ -24,6 +24,7 @@ func main() {
 		argStr = flag.String("args", "", "comma-separated integer arguments")
 		fArg   = flag.String("fargs", "", "comma-separated float arguments")
 		known  = flag.String("known", "", "comma-separated 1-based parameter indices to specialize on")
+		effort = flag.String("effort", "full", "rewrite tier: full (whole pipeline) or quick (trace + constant folding)")
 		dis    = flag.Bool("dis", false, "disassemble the (possibly rewritten) entry")
 		fres   = flag.Bool("float", false, "print the float result (F0) instead of R0")
 		stats  = flag.Bool("stats", true, "print execution statistics")
@@ -62,6 +63,13 @@ func main() {
 	var res *repro.Result
 	if *known != "" {
 		cfg := repro.NewConfig()
+		switch *effort {
+		case "full":
+		case "quick":
+			cfg.Effort = repro.EffortQuick
+		default:
+			log.Fatalf("-effort: %q (want full or quick)", *effort)
+		}
 		for _, s := range strings.Split(*known, ",") {
 			idx, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
@@ -74,8 +82,8 @@ func main() {
 			log.Fatalf("rewrite: %v", err)
 		}
 		res = out.Result
-		fmt.Printf("rewritten %s: %d bytes, %d blocks (original kept at 0x%x)\n",
-			*entry, res.CodeSize, res.Blocks, fn)
+		fmt.Printf("rewritten %s (%s effort): %d bytes, %d blocks (original kept at 0x%x)\n",
+			*entry, res.Report.Effort, res.CodeSize, res.Blocks, fn)
 		fn = res.Addr
 	}
 	if *dis {

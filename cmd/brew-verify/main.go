@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/brew"
 	"repro/internal/faultinject"
 	"repro/internal/oracle"
 )
@@ -58,38 +59,57 @@ func main() {
 		os.Exit(1)
 	}
 
-	for seed := *start; seed < *start+int64(*seeds); seed++ {
-		c := oracle.Generated(seed)
-		c.Trials = *trials
-		res, err := oracle.Run(c, seed)
-		if err != nil {
-			fail("%s: harness error: %v", c.Name, err)
-		}
-		rep.Add(res)
-		if res.Divergence != nil && !*quiet {
-			fmt.Print(res.Divergence.Format())
-		}
+	// Every generated and stencil case runs at both rewrite tiers: the
+	// tier-0 (EffortQuick) pipeline must be exactly as equivalent to the
+	// original as the full pipeline is.
+	efforts := []struct {
+		effort brew.Effort
+		suffix string
+	}{
+		{brew.EffortFull, ""},
+		{brew.EffortQuick, "+quick"},
 	}
 
-	if *stencil {
-		cases, err := oracle.StencilCases(*xs, *ys)
-		if err != nil {
-			fail("stencil: %v", err)
-		}
-		for i, c := range cases {
+	for seed := *start; seed < *start+int64(*seeds); seed++ {
+		for _, e := range efforts {
+			c := oracle.Generated(seed)
+			c.Name += e.suffix
 			c.Trials = *trials
-			res, err := oracle.Run(c, int64(i)+1)
+			c.Effort = e.effort
+			res, err := oracle.Run(c, seed)
 			if err != nil {
 				fail("%s: harness error: %v", c.Name, err)
-			}
-			if res.RewriteErr != nil {
-				// The stencil configurations are the paper's experiments;
-				// a refusal there is a regression, not a skip.
-				fail("%s: rewrite refused: %v", c.Name, res.RewriteErr)
 			}
 			rep.Add(res)
 			if res.Divergence != nil && !*quiet {
 				fmt.Print(res.Divergence.Format())
+			}
+		}
+	}
+
+	if *stencil {
+		for _, e := range efforts {
+			cases, err := oracle.StencilCases(*xs, *ys)
+			if err != nil {
+				fail("stencil: %v", err)
+			}
+			for i, c := range cases {
+				c.Name += e.suffix
+				c.Trials = *trials
+				c.Effort = e.effort
+				res, err := oracle.Run(c, int64(i)+1)
+				if err != nil {
+					fail("%s: harness error: %v", c.Name, err)
+				}
+				if res.RewriteErr != nil {
+					// The stencil configurations are the paper's experiments;
+					// a refusal there is a regression, not a skip.
+					fail("%s: rewrite refused: %v", c.Name, res.RewriteErr)
+				}
+				rep.Add(res)
+				if res.Divergence != nil && !*quiet {
+					fmt.Print(res.Divergence.Format())
+				}
 			}
 		}
 	}

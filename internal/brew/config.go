@@ -213,6 +213,12 @@ type Config struct {
 	// results may differ in the last bits from the original — the same
 	// contract as a compiler's -ffast-math.
 	Vectorize bool
+
+	// Effort selects the rewrite tier. The zero value, EffortFull, is
+	// today's complete pipeline. EffortQuick (tier-0) skips the
+	// optimization pass stack and vectorization — fastest
+	// time-to-first-specialized-call, observably equivalent code.
+	Effort Effort
 }
 
 // NewConfig returns a Config with library defaults (brew_initConf).
@@ -349,6 +355,9 @@ func (c *Config) validate() error {
 	if b := c.Budget; b != nil &&
 		(b.MaxTracedInstrs < 0 || b.MaxEmittedBytes < 0 || b.Deadline < 0) {
 		return errors.Join(ErrBadConfig, errors.New("negative budget"))
+	}
+	if !c.Effort.valid() {
+		return errors.Join(ErrBadConfig, errors.New("unknown effort"))
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package brew_test
 import (
 	"testing"
 
+	"repro/internal/brew"
 	"repro/internal/oracle"
 )
 
@@ -23,17 +24,23 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(int64(18))   // renameCalleeSaved inlined save/restore miscompile
 	f.Add(int64(1234)) // wider slice of the generator space
 	f.Fuzz(func(t *testing.T, seed int64) {
-		c := oracle.Generated(seed)
-		c.Trials = 3 // keep individual fuzz executions cheap
-		res, err := oracle.Run(c, seed)
-		if err != nil {
-			t.Fatalf("seed %d: harness error: %v", seed, err)
-		}
-		if res.RewriteErr != nil {
-			t.Skip() // typed refusal, not a bug
-		}
-		if res.Divergence != nil {
-			t.Fatalf("seed %d:\n%s", seed, res.Divergence.Format())
+		// Both rewrite tiers must be observably equivalent: the full
+		// pipeline and the tier-0 quick pipeline (trace + constant
+		// folding only) are checked against the original on every seed.
+		for _, effort := range []brew.Effort{brew.EffortFull, brew.EffortQuick} {
+			c := oracle.Generated(seed)
+			c.Trials = 3 // keep individual fuzz executions cheap
+			c.Effort = effort
+			res, err := oracle.Run(c, seed)
+			if err != nil {
+				t.Fatalf("seed %d (%s): harness error: %v", seed, effort, err)
+			}
+			if res.RewriteErr != nil {
+				continue // typed refusal, not a bug
+			}
+			if res.Divergence != nil {
+				t.Fatalf("seed %d (%s):\n%s", seed, effort, res.Divergence.Format())
+			}
 		}
 	})
 }

@@ -1,0 +1,33 @@
+package brew
+
+// Effort selects the rewrite tier. The split follows the
+// generating-extension view (Vaughn & Reps): a cheap residualizer first,
+// an optimizing specializer only where profiles prove it pays.
+type Effort uint8
+
+const (
+	// EffortFull is today's complete pipeline: trace with constant
+	// folding, then the optimization pass stack (and vectorization when
+	// enabled). It is the zero value, so existing configurations keep
+	// their behavior.
+	EffortFull Effort = iota
+	// EffortQuick is tier-0: the trace with constant folding only. The
+	// optimization passes and vectorization are skipped for the fastest
+	// time-to-first-specialized-call; the generated code is observably
+	// equivalent, just less optimized. internal/brewsvc promotes hot
+	// tier-0 entries to EffortFull in the background.
+	EffortQuick
+)
+
+// String returns "full" or "quick".
+func (e Effort) String() string {
+	switch e {
+	case EffortFull:
+		return "full"
+	case EffortQuick:
+		return "quick"
+	}
+	return "invalid"
+}
+
+func (e Effort) valid() bool { return e <= EffortQuick }

@@ -1,0 +1,79 @@
+package brew_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// TestEffortTiers pins the tier contract on the E1 stencil kernel: the
+// quick tier runs no optimization passes (PassWork 0, no fixpoint
+// sweeps), the full tier runs the pass stack to a fixpoint, both trace
+// the same instruction stream, and both produce observably equivalent
+// code. The report's Effort field records the tier the code was built at.
+func TestEffortTiers(t *testing.T) {
+	rewrite := func(effort brew.Effort) (*vm.Machine, *stencil.Workload, *brew.Result) {
+		m := vm.MustNew()
+		w, err := stencil.New(m, 16, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, args := w.ApplyConfig()
+		cfg.Effort = effort
+		out, err := brew.Do(m, &brew.Request{Config: cfg, Fn: w.Apply, Args: args})
+		if err != nil {
+			t.Fatalf("%s rewrite: %v", effort, err)
+		}
+		return m, w, out.Result
+	}
+
+	mq, wq, rq := rewrite(brew.EffortQuick)
+	mf, _, rf := rewrite(brew.EffortFull)
+
+	if rq.Report.Effort != "quick" || rf.Report.Effort != "full" {
+		t.Fatalf("report efforts %q/%q, want quick/full", rq.Report.Effort, rf.Report.Effort)
+	}
+	if rq.Report.PassWork != 0 || len(rq.Report.OptSweeps) != 0 {
+		t.Fatalf("quick tier ran the pass stack: work %d, sweeps %v",
+			rq.Report.PassWork, rq.Report.OptSweeps)
+	}
+	if rf.Report.PassWork == 0 || len(rf.Report.OptSweeps) == 0 {
+		t.Fatalf("full tier skipped the pass stack: work %d, sweeps %v",
+			rf.Report.PassWork, rf.Report.OptSweeps)
+	}
+	// Run-to-fixpoint: the loop ends on a sweep that removed nothing, or
+	// at the bound — a sweep before the last must always remove something.
+	sweeps := rf.Report.OptSweeps
+	for i, removed := range sweeps[:len(sweeps)-1] {
+		if removed == 0 {
+			t.Fatalf("fixpoint loop continued past an empty sweep: %v (sweep %d)", sweeps, i)
+		}
+	}
+	if rq.Report.TracedInstrs != rf.Report.TracedInstrs {
+		t.Fatalf("tiers traced different streams: %d vs %d instrs",
+			rq.Report.TracedInstrs, rf.Report.TracedInstrs)
+	}
+	if rq.Report.EmittedFinal <= rf.Report.EmittedFinal {
+		t.Fatalf("quick tier emitted %d instrs, full tier %d — the pass stack removed nothing",
+			rq.Report.EmittedFinal, rf.Report.EmittedFinal)
+	}
+
+	// Both tiers are drop-in replacements for the original.
+	cell := wq.M1 + uint64((16+1)*8)
+	args := []uint64{cell, 16, wq.S5}
+	want, err := mq.CallFloat(wq.Apply, args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotQ, err := mq.CallFloat(rq.Addr, args, nil)
+	if err != nil || math.Abs(gotQ-want) > 1e-12 {
+		t.Fatalf("quick tier = %g, %v; want %g", gotQ, err, want)
+	}
+	gotF, err := mf.CallFloat(rf.Addr, args, nil)
+	if err != nil || math.Abs(gotF-want) > 1e-12 {
+		t.Fatalf("full tier = %g, %v; want %g", gotF, err, want)
+	}
+}

@@ -14,7 +14,7 @@ const (
 	fnvPrime64  fp = 1099511628211
 )
 
-func (h *fp) byte(b byte)  { *h = (*h ^ fp(b)) * fnvPrime64 }
+func (h *fp) byte(b byte) { *h = (*h ^ fp(b)) * fnvPrime64 }
 func (h *fp) u64(v uint64) {
 	for i := 0; i < 64; i += 8 {
 		h.byte(byte(v >> i))
@@ -51,7 +51,9 @@ func (h *fp) funcOpts(o FuncOpts) {
 
 // Fingerprint returns a canonical 64-bit hash of the rewrite assumptions
 // this configuration declares: parameter classes, known memory ranges,
-// per-function options, handlers, limits, budget, and flags. It is
+// per-function options, handlers, limits, budget, flags, and the effort
+// tier (tier-0 and tier-1 code are distinct artifacts, so they must
+// never share a cache slot or coalesce onto one flight). It is
 // order-independent — two semantically equal configurations built by
 // different call sequences (ranges added in different orders, options set
 // for functions in different orders) fingerprint identically — so it is
@@ -133,6 +135,9 @@ func (c *Config) Fingerprint() uint64 {
 
 	h.tag("flags")
 	h.bool(c.Vectorize)
+
+	h.tag("effort")
+	h.byte(byte(c.Effort))
 
 	h.tag("budget")
 	if c.Budget != nil {

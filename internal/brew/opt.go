@@ -35,10 +35,17 @@ func optimize(blocks []*eblock, frameSafe, vectorizeOpt bool, rep *reportBuilder
 		before := count()
 		f()
 		if rep != nil {
-			rep.pass(name, before-count())
+			rep.pass(name, before, before-count())
 		}
 	}
-	for pass := 0; pass < 2; pass++ {
+	// The core local passes run to a fixpoint: stop after the first full
+	// sweep that removes nothing, so already-clean code pays for exactly
+	// one verification sweep instead of a fixed pass budget. maxOptSweeps
+	// bounds pathological ping-ponging; in practice the loop converges
+	// within a few sweeps.
+	const maxOptSweeps = 8
+	for sweep := 0; sweep < maxOptSweeps; sweep++ {
+		start := count()
 		if frameSafe {
 			run("forwardFrameStores", func() {
 				for _, b := range blocks {
@@ -63,6 +70,13 @@ func optimize(blocks []*eblock, frameSafe, vectorizeOpt bool, rep *reportBuilder
 				redundantLoads(b)
 			}
 		})
+		removed := start - count()
+		if rep != nil {
+			rep.sweep(removed)
+		}
+		if removed == 0 {
+			break
+		}
 	}
 	if frameSafe {
 		run("renameCalleeSaved", func() { renameCalleeSaved(blocks) })

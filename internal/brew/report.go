@@ -93,6 +93,18 @@ type RewriteReport struct {
 
 	Overhead Overhead `json:"overhead"`
 
+	// Effort is the tier the rewrite ran at ("full" or "quick").
+	Effort string `json:"effort,omitempty"`
+	// PassWork sums the pre-pass instruction counts over every
+	// optimization pass run — the deterministic pass-stack cost the E6
+	// tiering benchmark charges against tier-1. Zero at EffortQuick.
+	PassWork int `json:"pass_work,omitempty"`
+	// OptSweeps records, per fixpoint sweep of the core pass loop, how
+	// many instructions the sweep removed; the loop stops after the first
+	// sweep that removes nothing, so the last entry is always 0 unless
+	// the sweep bound was hit.
+	OptSweeps []int `json:"opt_sweeps,omitempty"`
+
 	Blocks    []BlockReport `json:"blocks"`
 	Passes    []PassReport  `json:"passes"`
 	Decisions []Decision    `json:"decisions"`
@@ -115,7 +127,11 @@ func (r *RewriteReport) Text() string {
 		}
 		return 100 * float64(n) / float64(r.TracedInstrs)
 	}
-	fmt.Fprintf(&b, "rewrite of 0x%x -> 0x%x (%d bytes)\n", r.Fn, r.Addr, r.CodeSize)
+	fmt.Fprintf(&b, "rewrite of 0x%x -> 0x%x (%d bytes)", r.Fn, r.Addr, r.CodeSize)
+	if r.Effort != "" {
+		fmt.Fprintf(&b, "  effort=%s", r.Effort)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "traced %d original instructions:\n", r.TracedInstrs)
 	fmt.Fprintf(&b, "  kept    %6d  (%5.1f%%)\n", r.Kept, pct(r.Kept))
 	fmt.Fprintf(&b, "  elided  %6d  (%5.1f%%)\n", r.Elided, pct(r.Elided))
@@ -138,6 +154,10 @@ func (r *RewriteReport) Text() string {
 	fmt.Fprintf(&b, "\noptimization passes:\n")
 	for _, p := range r.Passes {
 		fmt.Fprintf(&b, "  %-20s runs=%-2d removed=%d\n", p.Name, p.Runs, p.Removed)
+	}
+	if len(r.OptSweeps) > 0 {
+		fmt.Fprintf(&b, "  fixpoint sweeps: %d (removed per sweep %v), pass work %d instr-scans\n",
+			len(r.OptSweeps), r.OptSweeps, r.PassWork)
 	}
 	fmt.Fprintf(&b, "\nper-instruction decisions (%d PCs):\n", len(r.Decisions))
 	for _, d := range r.Decisions {
@@ -184,6 +204,8 @@ type reportBuilder struct {
 
 	passes    []*PassReport
 	passIndex map[string]*PassReport
+	passWork  int
+	sweeps    []int
 }
 
 func newReportBuilder() *reportBuilder {
@@ -269,7 +291,7 @@ func (rb *reportBuilder) endStep(blockID int, ins isa.Instr, emitBase int) {
 	}
 }
 
-func (rb *reportBuilder) pass(name string, removed int) {
+func (rb *reportBuilder) pass(name string, scanned, removed int) {
 	p := rb.passIndex[name]
 	if p == nil {
 		p = &PassReport{Name: name}
@@ -278,6 +300,13 @@ func (rb *reportBuilder) pass(name string, removed int) {
 	}
 	p.Runs++
 	p.Removed += removed
+	rb.passWork += scanned
+}
+
+// sweep records one fixpoint sweep of the core pass loop and its net
+// instruction removal.
+func (rb *reportBuilder) sweep(removed int) {
+	rb.sweeps = append(rb.sweeps, removed)
 }
 
 // build assembles the final report from the builder and the optimized
@@ -297,6 +326,8 @@ func (rb *reportBuilder) build(fn uint64, res *Result, blocks []*eblock) *Rewrit
 		UnrollTraceOvers:  rb.traceOvers,
 		VariantMigrations: rb.migrations,
 		Overhead:          rb.overhead,
+		PassWork:          rb.passWork,
+		OptSweeps:         append([]int(nil), rb.sweeps...),
 	}
 	for _, b := range blocks {
 		br := rb.perBlock[b.id]

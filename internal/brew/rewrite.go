@@ -110,10 +110,15 @@ func rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 
 	// Optimization passes over the captured blocks (Section III.G: "we run
 	// optimization passes over the newly generated, captured blocks").
-	if err := injectAt(cfg, SiteOptimize); err != nil {
-		return nil, err
+	// Tier-0 (EffortQuick) skips the whole pass stack, vectorization
+	// included: the trace's constant folding is the entire pipeline, so
+	// the SiteOptimize injection point does not exist at this tier.
+	if cfg.Effort != EffortQuick {
+		if err := injectAt(cfg, SiteOptimize); err != nil {
+			return nil, err
+		}
+		optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize, t.rep)
 	}
-	optimize(t.blocks, !t.escapedEver && !t.frameOpaque, cfg.Vectorize, t.rep)
 
 	// Size probe at base 0, then allocation and final relocation under
 	// the machine's JIT lock (several rewrites may run concurrently).
@@ -145,6 +150,7 @@ func rewrite(m *vm.Machine, cfg *Config, fn uint64, args []uint64, fargs []float
 		listing:      dumpBlocks(t.blocks),
 	}
 	res.Report = t.rep.build(fn, res, t.blocks)
+	res.Report.Effort = cfg.Effort.String()
 	publishRewriteTelemetry(res.Report)
 	return res, nil
 }

@@ -23,6 +23,15 @@
 // and never wedges the queue. Requests carrying a Config.Inject hook are
 // neither coalesced nor cached — the hook is per-request runtime behavior,
 // invisible to the fingerprint by design.
+//
+// Tiered rewriting: requests carrying brew.EffortQuick install cheap
+// tier-0 code (trace + constant folding, no optimization passes) and,
+// when Options.PromoteAfter is set, accumulate hotness until a background
+// worker re-rewrites them at brew.EffortFull and hot-swaps the optimized
+// body (promote.go). The effort tier is part of the Config fingerprint,
+// so tier-0 and tier-1 requests never coalesce onto one flight or share
+// a cache slot — an explicit EffortFull request can never be served
+// tier-0 code.
 package brewsvc
 
 import (
@@ -177,6 +186,13 @@ type Options struct {
 	// Policy configures the internally created manager (ignored when
 	// Manager is set). Detached service entries are exempt from MaxLive.
 	Policy specmgr.Policy
+	// PromoteAfter is the tiered-rewriting hotness threshold: a cached
+	// tier-0 (brew.EffortQuick) entry whose hotness — managed calls plus
+	// profiler samples attributed by NoteSample — reaches this value is
+	// re-rewritten at brew.EffortFull by a background worker and
+	// hot-swapped in place (see promote.go). Zero or negative disables
+	// promotion.
+	PromoteAfter int
 }
 
 func (o Options) withDefaults() Options {
@@ -207,12 +223,16 @@ type Stats struct {
 	Promoted     uint64 // successful hot-installs
 	Degraded     uint64 // worker rewrites that degraded to the original
 	Evictions    uint64 // cache LRU evictions
+
+	// Tiered rewriting (promote.go).
+	TierPromotions uint64 // hot tier-0 entries hot-swapped to EffortFull code
+	TierDemotions  uint64 // promotion attempts that failed (entry stays tier-0)
 }
 
 type stats struct {
 	submitted, coalesced, cacheHits, cacheMisses atomic.Uint64
 	rejected, traces, promoted, degraded         atomic.Uint64
-	evictions                                    atomic.Uint64
+	evictions, tierPromoted, tierDemoted         atomic.Uint64
 }
 
 // Service is the concurrent specialization service. Create with New, stop
@@ -230,7 +250,8 @@ type Service struct {
 	cond     *sync.Cond
 	q        *queue
 	inflight map[cacheKey]*flight
-	orphans  []*specmgr.Entry // promoted-but-uncacheable or degraded entries, released at Close
+	orphans  []*specmgr.Entry             // promoted-but-uncacheable or degraded entries, released at Close
+	tracked  map[*specmgr.Entry]*hotTrack // tier-0 entries eligible for promotion
 
 	cache *cache
 	wg    sync.WaitGroup
@@ -238,10 +259,12 @@ type Service struct {
 }
 
 // flight is one in-progress specialization shared by every coalesced
-// caller.
+// caller. A promo flight re-rewrites an already-live tier-0 entry at
+// EffortFull and completes through specmgr.Repromote instead of Promote.
 type flight struct {
 	k         cacheKey
 	cacheable bool
+	promo     bool
 	req       *brew.Request // service-owned copy (config cloned, slices copied)
 	entry     *specmgr.Entry
 	prio      Priority
@@ -287,6 +310,9 @@ func (s *Service) Stats() Stats {
 		Promoted:     s.st.promoted.Load(),
 		Degraded:     s.st.degraded.Load(),
 		Evictions:    s.st.evictions.Load(),
+
+		TierPromotions: s.st.tierPromoted.Load(),
+		TierDemotions:  s.st.tierDemoted.Load(),
 	}
 }
 
@@ -373,6 +399,10 @@ func (s *Service) Submit(req *Request) *Ticket {
 		s.inflight[k] = f
 	}
 	s.cond.Signal()
+	// Every admission is a safe pump point for due tier promotions: the
+	// submitter is about to wait on rewrites, so the machine is not
+	// executing (the package-level contract).
+	s.pumpLocked()
 	s.mu.Unlock()
 	return t
 }
@@ -406,7 +436,18 @@ func (s *Service) worker() {
 		mTraces.Inc()
 		start := time.Now()
 		out, rerr := brew.Do(s.m, f.req)
-		mLatencyUS.Observe(uint64(time.Since(start).Microseconds()))
+		us := uint64(time.Since(start).Microseconds())
+		mLatencyUS.Observe(us)
+		if f.req.Config.Effort == brew.EffortQuick {
+			mLatencyQuickUS.Observe(us)
+		} else {
+			mLatencyFullUS.Observe(us)
+		}
+
+		if f.promo {
+			s.completePromotion(f, out, rerr)
+			continue
+		}
 
 		promoted := s.mgr.Promote(f.entry, out, rerr)
 		res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
@@ -418,9 +459,16 @@ func (s *Service) worker() {
 				// Submit sees either the flight or the cache, never a gap
 				// that would duplicate the trace.
 				for _, victim := range s.cache.put(f.k, f.entry) {
+					s.untrack(victim)
 					s.mgr.Release(victim)
 					s.st.evictions.Add(1)
 					mCacheEvictions.Inc()
+				}
+				if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
+					out != nil && out.Result != nil && !out.Result.Degraded {
+					s.mu.Lock()
+					s.trackLocked(f, out.Result)
+					s.mu.Unlock()
 				}
 			} else {
 				s.trackOrphan(f.entry)

@@ -15,9 +15,20 @@ var (
 	mPromotions     = telemetry.Default.Counter("brewsvc.promotions")
 	mDegraded       = telemetry.Default.Counter("brewsvc.degraded")
 
+	// Tiered rewriting (promote.go): successful tier-0 -> tier-1 hot
+	// swaps, and promotion attempts that failed (the entry stays tier-0).
+	mTierPromotions = telemetry.Default.Counter("brewsvc.tier_promotions")
+	mTierDemotions  = telemetry.Default.Counter("brewsvc.tier_demotions")
+
 	mQueueDepth = telemetry.Default.Gauge("brewsvc.queue_depth")
 
-	// Worker-observed rewrite latency in microseconds.
+	// Worker-observed rewrite latency in microseconds: all rewrites, plus
+	// per-tier splits (the E6 wall-clock companion to the deterministic
+	// work-unit metric).
 	mLatencyUS = telemetry.Default.Histogram("brewsvc.rewrite_latency_us",
+		[]uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
+	mLatencyQuickUS = telemetry.Default.Histogram("brewsvc.rewrite_latency_quick_us",
+		[]uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
+	mLatencyFullUS = telemetry.Default.Histogram("brewsvc.rewrite_latency_full_us",
 		[]uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
 )

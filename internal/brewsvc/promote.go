@@ -1,0 +1,153 @@
+package brewsvc
+
+import (
+	"repro/internal/brew"
+	"repro/internal/specmgr"
+	"repro/internal/vm"
+)
+
+// Tiered promotion: a cacheable tier-0 (brew.EffortQuick) specialization
+// installs immediately, then accumulates hotness — managed calls counted
+// by the specmgr entry's cheap stub-side counter plus sampling-profiler
+// hits landing in its code (NoteSample / AttachHotness). Once the
+// combined count reaches Options.PromoteAfter, the entry is due: the next
+// pump point (a Submit admission, or an explicit PumpPromotions call)
+// enqueues a low-priority background flight that re-rewrites the function
+// at brew.EffortFull and hot-swaps the optimized body through
+// specmgr.Repromote. Cold functions never pay the optimization pass
+// stack; hot functions converge to full-effort steady-state code.
+//
+// Promotion flights ride the ordinary worker pool and queue, so they
+// obey the same contract as every rewrite: the machine must not execute
+// emulated code while they are in flight. Hotness accumulation itself is
+// execution-side and lock-cheap by design; the slow rewrite is only ever
+// started from a pump point.
+
+// hotTrack is the service-side record of one promotable tier-0 entry.
+type hotTrack struct {
+	req    *brew.Request // the service-owned tier-0 request it was built from
+	k      cacheKey
+	lo, hi uint64 // specialized-code range for profiler-sample attribution
+	queued bool   // promotion flight enqueued (one shot per entry)
+}
+
+// track registers a freshly promoted tier-0 entry for hotness-driven
+// promotion (Service.mu held).
+func (s *Service) trackLocked(f *flight, res *brew.Result) {
+	if s.tracked == nil {
+		s.tracked = make(map[*specmgr.Entry]*hotTrack)
+	}
+	s.tracked[f.entry] = &hotTrack{
+		req: f.req, k: f.k,
+		lo: res.Addr, hi: res.Addr + uint64(res.CodeSize),
+	}
+}
+
+// untrack drops an entry from promotion tracking (on eviction, release,
+// or promotion completion).
+func (s *Service) untrack(e *specmgr.Entry) {
+	s.mu.Lock()
+	delete(s.tracked, e)
+	s.mu.Unlock()
+}
+
+// NoteSample attributes one sampling-profiler hit to whichever tracked
+// tier-0 entry's specialized code contains pc (no-op otherwise). It is
+// safe to call from the emulation goroutine mid-execution: it only bumps
+// an atomic counter under the service lock, never starts a rewrite.
+func (s *Service) NoteSample(pc uint64) {
+	s.mu.Lock()
+	for e, tr := range s.tracked {
+		if pc >= tr.lo && pc < tr.hi {
+			s.mu.Unlock()
+			e.NoteSample()
+			return
+		}
+	}
+	s.mu.Unlock()
+}
+
+// AttachHotness wires the machine's sampling profiler into the service's
+// hotness accounting: every sample PC is offered to NoteSample. This is
+// the profiler half of the promotion signal; the other half is the
+// stub-side call counter specmgr entries maintain.
+func (s *Service) AttachHotness(p *vm.Profiler) {
+	p.OnSample = s.NoteSample
+}
+
+// PumpPromotions evaluates every tracked tier-0 entry against the
+// PromoteAfter threshold and enqueues a background EffortFull re-rewrite
+// for those due. It returns a ticket per enqueued promotion (callers that
+// do not care may discard them; the flights complete regardless). A full
+// queue defers the due entries to the next pump rather than rejecting
+// them. Submit pumps automatically on every admission, so explicit calls
+// are only needed when hotness accrues without new submissions.
+func (s *Service) PumpPromotions() []*Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pumpLocked()
+}
+
+func (s *Service) pumpLocked() []*Ticket {
+	if s.opt.PromoteAfter <= 0 || len(s.tracked) == 0 || s.closed.Load() {
+		return nil
+	}
+	var tickets []*Ticket
+	for e, tr := range s.tracked {
+		if tr.queued || s.q.full() {
+			continue
+		}
+		calls, samples := e.Hotness()
+		if calls+samples < uint64(s.opt.PromoteAfter) {
+			continue
+		}
+		cfg := tr.req.Config.Clone()
+		cfg.Effort = brew.EffortFull
+		f := &flight{
+			k: tr.k, promo: true, prio: PriorityLow,
+			req: &brew.Request{
+				Config: cfg, Fn: tr.req.Fn,
+				Args: tr.req.Args, FArgs: tr.req.FArgs, Guards: tr.req.Guards,
+				Mode: brew.ModeDegrade,
+			},
+			entry: e,
+		}
+		t := &Ticket{addr: e.Addr(), done: make(chan struct{})}
+		f.tickets = []*Ticket{t}
+		tr.queued = true
+		s.q.push(f)
+		mQueueDepth.Set(int64(s.q.len()))
+		s.cond.Signal()
+		tickets = append(tickets, t)
+	}
+	return tickets
+}
+
+// completePromotion finishes a tier-promotion flight: hot-swap on
+// success, demotion accounting on failure (the entry keeps serving its
+// tier-0 code — a failed promotion is never worse than no promotion).
+func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
+	ok := s.mgr.Repromote(f.entry, f.req.Config, out, rerr)
+	res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
+	if ok {
+		s.st.tierPromoted.Add(1)
+		mTierPromotions.Inc()
+	} else {
+		s.st.tierDemoted.Add(1)
+		mTierDemotions.Inc()
+		res.Degraded = true
+		res.Err = rerr
+		if out != nil {
+			res.Reason = out.Reason
+		}
+	}
+
+	s.mu.Lock()
+	delete(s.tracked, f.entry) // one shot: promoted, or permanently demoted
+	tickets := f.tickets
+	f.tickets = nil
+	for _, t := range tickets {
+		t.complete(res)
+	}
+	s.mu.Unlock()
+}

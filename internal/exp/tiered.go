@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// RunTiered is E6: tiered rewriting on the E1 stencil kernel. Tier-0
+// (brew.EffortQuick) trades code quality for rewrite latency; hotness-
+// driven promotion through the service recovers full-effort steady-state
+// performance in the background.
+//
+// The deterministic rewrite-cost metric is work units: traced original
+// instructions plus the optimization pass stack's instruction scans
+// (RewriteReport.PassWork) — wall-clock under emulation measures the host
+// scheduler, not the rewriter. Steady-state cycles use one protocol for
+// every tier: reset matrices, one warm sweep, then o.Iters measured
+// sweeps, calling the specialized body directly.
+//
+//   - E6a: tier-0 rewrite cost (trace only; the pass stack is skipped).
+//   - E6b: tier-1 rewrite cost (trace + fixpoint pass sweeps). The
+//     acceptance bar is at least 3x the tier-0 cost — equivalently,
+//     tier-0 rewrite latency at least 3x below tier-1.
+//   - E6c: tier-0 code steady-state sweep cycles.
+//   - E6d: tier-1 code steady-state sweep cycles (the E1c pipeline).
+//   - E6e: steady-state sweep cycles after hotness-driven promotion
+//     (tier-0 installed via the service, profiler-fed hotness crosses
+//     Options.PromoteAfter, background worker re-rewrites at EffortFull,
+//     specmgr.Repromote hot-swaps). Must equal E6d exactly.
+//
+// Ratios: E6b is relative to E6a (work units); E6c and E6e are relative
+// to E6d (cycles).
+func RunTiered(o Options) ([]Row, error) {
+	o = o.fill()
+
+	// Steady-state measurement protocol, identical for every tier: the
+	// matrices are reset, one unmeasured sweep warms the data cache, and
+	// o.Iters sweeps are measured. The checksum after warm+measured
+	// sweeps must match the host-computed golden reference.
+	steady := func(w *stencil.Workload, kernel uint64) (uint64, error) {
+		if err := w.ResetMatrices(); err != nil {
+			return 0, err
+		}
+		if _, err := w.RunSweeps(kernel, false, 1); err != nil {
+			return 0, err
+		}
+		c0 := w.M.Stats.Cycles
+		sum, err := w.RunSweeps(kernel, false, o.Iters)
+		if err != nil {
+			return 0, err
+		}
+		cycles := w.M.Stats.Cycles - c0
+		// Each RunSweeps call restarts from (M1, M2), so the measured
+		// checksum is the o.Iters golden value; the warm sweep only
+		// touches cache state.
+		if want := w.Golden(o.Iters); math.Abs(sum-want) > 1e-9 {
+			return 0, fmt.Errorf("steady-state checksum %g, want %g", sum, want)
+		}
+		return cycles, nil
+	}
+
+	// E6a: tier-0 rewrite on a fresh machine.
+	wq, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return nil, err
+	}
+	cfgQ, argsQ := wq.ApplyConfig()
+	cfgQ.Effort = brew.EffortQuick
+	outQ, err := brew.Do(wq.M, &brew.Request{Config: cfgQ, Fn: wq.Apply, Args: argsQ})
+	if err != nil {
+		return nil, fmt.Errorf("E6a quick rewrite: %w", err)
+	}
+	repQ := outQ.Result.Report
+	if repQ.PassWork != 0 {
+		return nil, fmt.Errorf("E6a: tier-0 ran optimization passes (pass work %d)", repQ.PassWork)
+	}
+	workQ := uint64(repQ.TracedInstrs + repQ.PassWork)
+
+	// E6b: tier-1 rewrite on a fresh machine.
+	wf, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return nil, err
+	}
+	cfgF, argsF := wf.ApplyConfig()
+	outF, err := brew.Do(wf.M, &brew.Request{Config: cfgF, Fn: wf.Apply, Args: argsF})
+	if err != nil {
+		return nil, fmt.Errorf("E6b full rewrite: %w", err)
+	}
+	repF := outF.Result.Report
+	workF := uint64(repF.TracedInstrs + repF.PassWork)
+	if workF < 3*workQ {
+		return nil, fmt.Errorf("E6: tier-1 rewrite cost %d work units is not >= 3x tier-0 cost %d",
+			workF, workQ)
+	}
+
+	// E6c / E6d: steady-state cycles of the two code tiers.
+	cycQ, err := steady(wq, outQ.Result.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("E6c: %w", err)
+	}
+	cycF, err := steady(wf, outF.Result.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("E6d: %w", err)
+	}
+
+	// E6e: the promotion path. Tier-0 installs through the service, the
+	// sampling profiler feeds hotness until the threshold trips, and a
+	// background worker hot-swaps the EffortFull body.
+	ws, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return nil, err
+	}
+	const promoteAfter = 32
+	svc := brewsvc.New(ws.M, brewsvc.Options{Workers: 2, PromoteAfter: promoteAfter})
+	defer svc.Close()
+
+	cfgS, argsS := ws.ApplyConfig()
+	cfgS.Effort = brew.EffortQuick
+	out := svc.Do(&brewsvc.Request{Config: cfgS, Fn: ws.Apply, Args: argsS})
+	if out.Degraded {
+		return nil, fmt.Errorf("E6e: tier-0 submit degraded: %s (%v)", out.Reason, out.Err)
+	}
+	if got := out.Entry.Tier(); got != brew.EffortQuick {
+		return nil, fmt.Errorf("E6e: installed tier %s, want quick", got)
+	}
+
+	// Drive one sweep through the entry's stub with the sampling profiler
+	// attached: samples landing in the tier-0 body accumulate hotness.
+	prof := vm.NewProfiler(128, nil)
+	ws.M.AttachProfiler(prof)
+	svc.AttachHotness(prof)
+	if err := ws.ResetMatrices(); err != nil {
+		return nil, err
+	}
+	if _, err := ws.RunSweeps(out.Addr, false, 1); err != nil {
+		return nil, fmt.Errorf("E6e: hotness-driving sweep: %w", err)
+	}
+	ws.M.AttachProfiler(nil)
+	calls, samples := out.Entry.Hotness()
+	if calls+samples < promoteAfter {
+		return nil, fmt.Errorf("E6e: hotness %d calls + %d samples below threshold %d after a full sweep",
+			calls, samples, promoteAfter)
+	}
+
+	tks := svc.PumpPromotions()
+	if len(tks) != 1 {
+		return nil, fmt.Errorf("E6e: %d promotions enqueued, want 1", len(tks))
+	}
+	pout := tks[0].Outcome()
+	if pout.Degraded {
+		return nil, fmt.Errorf("E6e: promotion degraded: %s (%v)", pout.Reason, pout.Err)
+	}
+	if got := out.Entry.Tier(); got != brew.EffortFull {
+		return nil, fmt.Errorf("E6e: post-promotion tier %s, want full", got)
+	}
+	st := svc.Stats()
+	if st.TierPromotions != 1 || st.TierDemotions != 0 {
+		return nil, fmt.Errorf("E6e: promotion stats %d/%d, want 1/0", st.TierPromotions, st.TierDemotions)
+	}
+
+	cycP, err := steady(ws, out.Entry.Result().Addr)
+	if err != nil {
+		return nil, fmt.Errorf("E6e: %w", err)
+	}
+	if cycP != cycF {
+		return nil, fmt.Errorf("E6e: post-promotion steady state %d cycles != tier-1 direct %d cycles",
+			cycP, cycF)
+	}
+
+	workRatio := func(c uint64) float64 { return float64(c) / float64(workQ) }
+	cycRatio := func(c uint64) float64 { return float64(c) / float64(cycF) }
+	return []Row{
+		{
+			ID: "E6a", Name: "tier-0 (quick) rewrite cost",
+			Cycles: workQ, Instrs: uint64(repQ.TracedInstrs), Ratio: 1.0,
+			Note: "work units = traced instrs; pass stack skipped",
+		},
+		{
+			ID: "E6b", Name: "tier-1 (full) rewrite cost",
+			Cycles: workF, Instrs: uint64(repF.TracedInstrs), Ratio: workRatio(workF),
+			Note: fmt.Sprintf("traced + %d pass-scan work units over %d fixpoint sweeps (bar: >= 3x E6a)",
+				repF.PassWork, len(repF.OptSweeps)),
+		},
+		{
+			ID: "E6c", Name: "tier-0 code steady state",
+			Cycles: cycQ, Ratio: cycRatio(cycQ),
+			Note: fmt.Sprintf("%d warm+%d measured sweeps, unoptimized body", 1, o.Iters),
+		},
+		{
+			ID: "E6d", Name: "tier-1 code steady state (E1c pipeline)",
+			Cycles: cycF, Ratio: 1.0,
+			Note: "same protocol, full-effort body",
+		},
+		{
+			ID: "E6e", Name: "post-promotion steady state",
+			Cycles: cycP, Ratio: cycRatio(cycP),
+			Note: fmt.Sprintf("hot-swapped after %d calls + %d profiler samples (bar: == E6d exactly)",
+				calls, samples),
+		},
+	}, nil
+}

@@ -83,6 +83,12 @@ type Case struct {
 	// Inject, when non-nil, is installed as the rewrite configuration's
 	// fault-injection hook (brew.Config.Inject) on the rewritten instance.
 	Inject func(site string) error
+	// Effort overrides the rewrite tier on the rewritten instance
+	// (default EffortFull). Running the same case at brew.EffortQuick
+	// checks that the tier-0 pipeline — trace with constant folding, no
+	// optimization passes — is observably equivalent too: a quick
+	// pipeline must never trade correctness for speed.
+	Effort brew.Effort
 }
 
 // CaseResult is the outcome of one differential case.
@@ -182,6 +188,7 @@ func hErr(c Case) error {
 	if err != nil {
 		return err
 	}
+	inst.Cfg.Effort = c.Effort
 	_, rerr := brew.Do(inst.M, &brew.Request{
 		Config: inst.Cfg, Fn: inst.Fn, Args: inst.Args, FArgs: inst.FArgs,
 	})
@@ -203,6 +210,7 @@ func newHarness(c Case) (*harness, error) {
 	if c.Inject != nil {
 		rewr.Cfg.Inject = c.Inject
 	}
+	rewr.Cfg.Effort = c.Effort
 	req := &brew.Request{Config: rewr.Cfg, Fn: rewr.Fn, Args: rewr.Args, FArgs: rewr.FArgs}
 	if c.Degrade {
 		// Never a skip: a failed rewrite degrades to the original entry,

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/brew"
 	"repro/internal/isa"
@@ -73,6 +74,14 @@ type Entry struct {
 	mgr *Manager
 	fn  uint64
 
+	// Hotness counters (tiered rewriting): hotCalls is the cheap
+	// stub-side counter bumped on every managed call; hotSamples counts
+	// sampling-profiler hits attributed to this entry's code (each sample
+	// represents one profiler interval of cycles). Atomic so the call
+	// path and the profiler feed never take mgr.mu.
+	hotCalls   atomic.Uint64
+	hotSamples atomic.Uint64
+
 	// Everything below is guarded by mgr.mu.
 	stub       uint64 // patchable JMP, 0 if stub allocation failed
 	res        *brew.Result
@@ -82,12 +91,37 @@ type Entry struct {
 	fargs      []float64
 	guards     []brew.ParamGuard
 	watches    []*vm.Watch
-	pending    bool // adopted, awaiting Promote (stub routes to fn meanwhile)
+	tier       brew.Effort // effort the current code was rewritten at
+	pending    bool        // adopted, awaiting Promote (stub routes to fn meanwhile)
 	deopted    bool
 	reason     string // last deopt (or degradation) reason
 	respecDone bool   // one respecialization attempt per deopt
 	released   bool
 	lastUse    uint64
+}
+
+// NoteCall bumps the entry's call-hotness counter. Entry.Call/CallFloat
+// do this automatically; hosts dispatching through the raw stub address
+// call it from their own dispatch path (the "cheap stub-side counter").
+func (e *Entry) NoteCall() { e.hotCalls.Add(1) }
+
+// NoteSample attributes one sampling-profiler hit to the entry (the
+// profiler fires every Interval cycles, so samples are a cycle-weighted
+// hotness signal covering calls that bypass Entry.Call).
+func (e *Entry) NoteSample() { e.hotSamples.Add(1) }
+
+// Hotness returns the entry's accumulated hotness counters.
+func (e *Entry) Hotness() (calls, samples uint64) {
+	return e.hotCalls.Load(), e.hotSamples.Load()
+}
+
+// Tier returns the effort the entry's current specialized code was
+// rewritten at (EffortFull for pending/degraded entries running the
+// original function — the tier is meaningful only alongside Result).
+func (e *Entry) Tier() brew.Effort {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return e.tier
 }
 
 // New returns a Manager for machine m.
@@ -119,7 +153,7 @@ func (g *Manager) Specialize(cfg *brew.Config, fn uint64, args []uint64, fargs [
 	out, err := brew.Do(g.m, &brew.Request{
 		Config: cfg, Fn: fn, Args: args, FArgs: fargs, Mode: brew.ModeDegrade,
 	})
-	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: out.Result}
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: out.Result, tier: cfg.Effort}
 	if out.Degraded {
 		e.reason = out.Reason
 	}
@@ -131,7 +165,7 @@ func (g *Manager) Specialize(cfg *brew.Config, fn uint64, args []uint64, fargs [
 // Guards): the entry dispatches on the guard conditions and is additionally
 // subject to the guard-miss-storm deopt policy.
 func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.ParamGuard, args []uint64, fargs []float64) (*Entry, error) {
-	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards}
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards, tier: cfg.Effort}
 	if len(guards) == 0 {
 		// A guardless guarded request would silently become a plain
 		// specialization through Do; keep the historical refusal.
@@ -169,6 +203,7 @@ func (g *Manager) AdoptPending(cfg *brew.Config, fn uint64, args []uint64, fargs
 		mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards,
 		res:     &brew.Result{Addr: fn, Degraded: true}, // placeholder until Promote
 		pending: true,
+		tier:    cfg.Effort,
 	}
 	// Stub failure (JIT space exhausted) leaves stub == 0: the entry then
 	// routes to fn directly and Promote can only degrade it.
@@ -227,11 +262,67 @@ func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 	}
 	e.res, e.guarded = out.Result, out.Guarded
 	e.reason = ""
+	e.tier = e.cfg.Effort
 	g.patchStub(e.stub, out.Addr)
 	g.armWatches(e)
 	g.clock++
 	e.lastUse = g.clock
 	mSpecializations.Inc()
+	return true
+}
+
+// Repromote hot-swaps a live entry's specialized code for the outcome of
+// a re-rewrite at a different effort — the tier-promotion path: a
+// brewsvc background worker re-rewrites a hot tier-0 entry at
+// brew.EffortFull and installs the optimized body here. cfg is the
+// configuration the new code was built under; on success it replaces the
+// entry's retained configuration (so later respecializations stay at the
+// promoted tier), the old body and dispatcher are freed, the stub is
+// atomically patched to the new code, and the assumption watchpoints are
+// re-armed over the new configuration's frozen ranges.
+//
+// The swap is refused — and the fresh code freed — when the entry was
+// released, deopted, demoted to the original function, or still pending
+// while the rewrite ran, or when the outcome itself is degraded: the
+// entry then keeps serving whatever it served before, so a failed
+// promotion is never worse than no promotion. Like every rewrite, the
+// call requires that the machine is not executing emulated code (the old
+// body may not be freed out from under the emulated call stack).
+func (g *Manager) Repromote(e *Entry, cfg *brew.Config, out *brew.Outcome, rerr error) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	free := func() {
+		if out == nil || out.Degraded {
+			return
+		}
+		if out.Guarded != nil {
+			_ = g.m.FreeJIT(out.Guarded.Addr)
+		}
+		if out.Result != nil && !out.Result.Degraded {
+			_ = g.m.FreeJIT(out.Result.Addr)
+		}
+	}
+	if e.released || e.pending || e.deopted || e.res.Degraded || e.stub == 0 {
+		free()
+		return false
+	}
+	if out == nil || out.Degraded || rerr != nil {
+		free()
+		return false
+	}
+	g.disarmWatches(e)
+	_ = g.freeCode(e)
+	e.res, e.guarded = out.Result, out.Guarded
+	if cfg != nil {
+		e.cfg = cfg
+	}
+	e.tier = e.cfg.Effort
+	e.reason = ""
+	g.patchStub(e.stub, out.Addr)
+	g.armWatches(e)
+	g.clock++
+	e.lastUse = g.clock
 	return true
 }
 
@@ -411,6 +502,7 @@ func (e *Entry) prepare() (*brew.GuardedResult, uint64, error) {
 // Call invokes the entry with guard accounting and the adaptive deopt
 // policy applied. The machine must not be executing concurrently.
 func (e *Entry) Call(args ...uint64) (uint64, error) {
+	e.hotCalls.Add(1)
 	gr, target, err := e.prepare()
 	if err != nil {
 		return 0, err
@@ -425,6 +517,7 @@ func (e *Entry) Call(args ...uint64) (uint64, error) {
 
 // CallFloat is Call for float-returning functions.
 func (e *Entry) CallFloat(intArgs []uint64, fArgs []float64) (float64, error) {
+	e.hotCalls.Add(1)
 	gr, target, err := e.prepare()
 	if err != nil {
 		return 0, err

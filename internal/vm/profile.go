@@ -22,6 +22,12 @@ type Profiler struct {
 	// Symbolize maps a simulated PC to a function name and source line.
 	// PCs it rejects (e.g. rewritten JIT code) render as hex addresses.
 	Symbolize func(pc uint64) (fn string, line int, ok bool)
+	// OnSample, when non-nil, observes every raw sample PC before
+	// aggregation. brewsvc attaches its hotness accounting here: samples
+	// landing in tier-0 specialized code feed the promotion counter. The
+	// hook runs on the emulation goroutine and must be cheap and must not
+	// drive emulated execution.
+	OnSample func(pc uint64)
 
 	nextAt uint64
 	stack  []uint64 // call targets of the active simulated frames, outermost first
@@ -80,6 +86,9 @@ func (p *Profiler) popCall() {
 
 func (p *Profiler) sample(cycles, pc uint64) {
 	p.total++
+	if p.OnSample != nil {
+		p.OnSample(pc)
+	}
 	fn, line := p.name(pc)
 	// The innermost shadow-stack entry is the function the PC is in; the
 	// leaf frame comes from the PC itself, so walk only the callers.

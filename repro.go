@@ -48,6 +48,8 @@ type (
 	Outcome = brew.Outcome
 	// Mode selects Do's failure semantics.
 	Mode = brew.Mode
+	// Effort selects the rewrite tier: full pipeline or quick tier-0.
+	Effort = brew.Effort
 	// Result describes a successful rewrite.
 	Result = brew.Result
 	// GuardedResult describes a profile-guarded specialization.
@@ -69,6 +71,17 @@ const (
 	// ModeDegrade converts every pipeline error into a degraded Outcome
 	// addressing the original function.
 	ModeDegrade = brew.ModeDegrade
+)
+
+// Rewrite effort tiers (Config.Effort).
+const (
+	// EffortFull (the zero value) runs the complete pipeline: trace,
+	// optimization pass stack, optional vectorization.
+	EffortFull = brew.EffortFull
+	// EffortQuick is tier-0: trace plus constant folding only, for
+	// low-latency installation; pair with a later EffortFull re-rewrite
+	// (internal/brewsvc promotes hot entries automatically).
+	EffortQuick = brew.EffortQuick
 )
 
 // Parameter classes (paper: BREW_UNKNOWN, BREW_KNOWN, BREW_PTR_TOKNOWN).

@@ -1,6 +1,9 @@
 // checkjson validates a brew-bench -json output file: it must parse and
 // carry at least one family with at least one row with a nonzero cycle
-// count. Used by scripts/verify.sh.
+// count. If the tiered family (E6) is present, its acceptance bars are
+// enforced: tier-0 rewrite cost at least 3x below tier-1 (E6b >= 3*E6a)
+// and post-promotion steady-state cycles exactly equal to the tier-1
+// direct result (E6e == E6d). Used by scripts/verify.sh.
 package main
 
 import (
@@ -51,6 +54,34 @@ func main() {
 		if len(f.Rows) > 0 && nonzero == 0 {
 			fmt.Fprintf(os.Stderr, "checkjson: family %s has no row with nonzero cycles\n", f.Key)
 			os.Exit(1)
+		}
+		if f.Key == "tiered" {
+			byID := map[string]uint64{}
+			for _, r := range f.Rows {
+				byID[r.ID] = r.Cycles
+			}
+			for _, id := range []string{"E6a", "E6b", "E6d", "E6e"} {
+				if _, ok := byID[id]; !ok {
+					fmt.Fprintf(os.Stderr, "checkjson: tiered family is missing row %s\n", id)
+					os.Exit(1)
+				}
+			}
+			// E6a/E6b cycles are deterministic rewrite work units; the
+			// tiered-rewriting acceptance bar is tier-0 at least 3x cheaper.
+			if byID["E6b"] < 3*byID["E6a"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: tiered: tier-1 rewrite cost %d is not >= 3x tier-0 cost %d\n",
+					byID["E6b"], byID["E6a"])
+				os.Exit(1)
+			}
+			// Promotion must fully recover tier-1 code quality: identical
+			// steady-state cycles, not merely close.
+			if byID["E6e"] != byID["E6d"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: tiered: post-promotion steady state %d cycles != tier-1 direct %d\n",
+					byID["E6e"], byID["E6d"])
+				os.Exit(1)
+			}
 		}
 	}
 	if rows == 0 {

@@ -32,7 +32,9 @@ if [ "${RACE:-1}" = 1 ]; then
     go test -race -short ./internal/specmgr/ ./internal/faultinject/
     # The specialization service is concurrency-first (worker pool,
     # singleflight coalescing, sharded cache): full suite under -race,
-    # including the 64-goroutine exactly-one-trace test and service chaos.
+    # including the 64-goroutine exactly-one-trace test, service chaos,
+    # and the tier-promotion suite (hot-swap torn-address readers,
+    # per-effort coalescing keys, quick-vs-full cache isolation).
     echo "== go test -race (short budget: brewsvc)"
     go test -race -short ./internal/brewsvc/
 fi
@@ -51,11 +53,14 @@ echo "== brew-verify -faults smoke"
 go run ./cmd/brew-verify -seeds 0 -stencil=false -faults 60 -q
 
 # brew-bench smoke: tiny grid, JSON output must parse. The service family
-# also enforces the E5 acceptance bar (64-caller burst = exactly 1 trace).
+# also enforces the E5 acceptance bar (64-caller burst = exactly 1 trace);
+# the tiered family enforces the E6 bars (tier-0 rewrite cost >= 3x below
+# tier-1, post-promotion steady state == tier-1 direct), which checkjson
+# re-checks from the JSON.
 echo "== brew-bench -json smoke (tiny grid)"
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
-go run ./cmd/brew-bench -only stencil,service -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./cmd/brew-bench -only stencil,service,tiered -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
 
 if [ "${FUZZ:-1}" = 1 ]; then
