@@ -26,9 +26,12 @@
 //
 // Tiered rewriting: requests carrying brew.EffortQuick install cheap
 // tier-0 code (trace + constant folding, no optimization passes) and,
-// when Options.PromoteAfter is set, accumulate hotness until a background
-// worker re-rewrites them at brew.EffortFull and hot-swaps the optimized
-// body (promote.go). The effort tier is part of the Config fingerprint,
+// when Options.PromoteAfter is set, accumulate hotness until an explicit
+// PumpPromotions call hands them to a background worker that re-rewrites
+// at brew.EffortFull and hot-swaps the optimized body (promote.go).
+// Promotion rewrites start ONLY from PumpPromotions — call it while the
+// machine is idle and await the returned tickets before resuming
+// emulated execution. The effort tier is part of the Config fingerprint,
 // so tier-0 and tier-1 requests never coalesce onto one flight or share
 // a cache slot — an explicit EffortFull request can never be served
 // tier-0 code.
@@ -188,10 +191,11 @@ type Options struct {
 	Policy specmgr.Policy
 	// PromoteAfter is the tiered-rewriting hotness threshold: a cached
 	// tier-0 (brew.EffortQuick) entry whose hotness — managed calls plus
-	// profiler samples attributed by NoteSample — reaches this value is
-	// re-rewritten at brew.EffortFull by a background worker and
-	// hot-swapped in place (see promote.go). Zero or negative disables
-	// promotion.
+	// profiler samples attributed by NoteSample — reaches this value
+	// becomes due for promotion. The EffortFull re-rewrite and hot-swap
+	// start only from an explicit PumpPromotions call, whose tickets the
+	// host must await before resuming emulated execution (see
+	// promote.go). Zero or negative disables promotion.
 	PromoteAfter int
 }
 
@@ -252,6 +256,7 @@ type Service struct {
 	inflight map[cacheKey]*flight
 	orphans  []*specmgr.Entry             // promoted-but-uncacheable or degraded entries, released at Close
 	tracked  map[*specmgr.Entry]*hotTrack // tier-0 entries eligible for promotion
+	hotIndex atomic.Pointer[[]hotRange]   // immutable sorted snapshot of tracked code ranges (NoteSample)
 
 	cache *cache
 	wg    sync.WaitGroup
@@ -399,10 +404,6 @@ func (s *Service) Submit(req *Request) *Ticket {
 		s.inflight[k] = f
 	}
 	s.cond.Signal()
-	// Every admission is a safe pump point for due tier promotions: the
-	// submitter is about to wait on rewrites, so the machine is not
-	// executing (the package-level contract).
-	s.pumpLocked()
 	s.mu.Unlock()
 	return t
 }
@@ -455,6 +456,18 @@ func (s *Service) worker() {
 			s.st.promoted.Add(1)
 			mPromotions.Inc()
 			if f.cacheable {
+				// Track BEFORE publishing to the cache: the moment the
+				// entry is visible there, a racing put can evict and
+				// release it, and that eviction's untrack must find the
+				// registration — a track added after the release would
+				// pin a stale code range in the sample index and leak the
+				// dead record in s.tracked.
+				if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
+					out != nil && out.Result != nil && !out.Result.Degraded {
+					s.mu.Lock()
+					s.trackLocked(f, out.Result)
+					s.mu.Unlock()
+				}
 				// Insert before dropping the inflight slot so a racing
 				// Submit sees either the flight or the cache, never a gap
 				// that would duplicate the trace.
@@ -463,12 +476,6 @@ func (s *Service) worker() {
 					s.mgr.Release(victim)
 					s.st.evictions.Add(1)
 					mCacheEvictions.Inc()
-				}
-				if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
-					out != nil && out.Result != nil && !out.Result.Degraded {
-					s.mu.Lock()
-					s.trackLocked(f, out.Result)
-					s.mu.Unlock()
 				}
 			} else {
 				s.trackOrphan(f.entry)

@@ -1,6 +1,8 @@
 package brewsvc
 
 import (
+	"sort"
+
 	"repro/internal/brew"
 	"repro/internal/specmgr"
 	"repro/internal/vm"
@@ -10,18 +12,21 @@ import (
 // installs immediately, then accumulates hotness — managed calls counted
 // by the specmgr entry's cheap stub-side counter plus sampling-profiler
 // hits landing in its code (NoteSample / AttachHotness). Once the
-// combined count reaches Options.PromoteAfter, the entry is due: the next
-// pump point (a Submit admission, or an explicit PumpPromotions call)
-// enqueues a low-priority background flight that re-rewrites the function
-// at brew.EffortFull and hot-swaps the optimized body through
-// specmgr.Repromote. Cold functions never pay the optimization pass
-// stack; hot functions converge to full-effort steady-state code.
+// combined count reaches Options.PromoteAfter, the entry is due: an
+// explicit PumpPromotions call enqueues a low-priority background flight
+// that re-rewrites the function at brew.EffortFull and hot-swaps the
+// optimized body through specmgr.Repromote. Cold functions never pay the
+// optimization pass stack; hot functions converge to full-effort
+// steady-state code.
 //
 // Promotion flights ride the ordinary worker pool and queue, so they
 // obey the same contract as every rewrite: the machine must not execute
-// emulated code while they are in flight. Hotness accumulation itself is
-// execution-side and lock-cheap by design; the slow rewrite is only ever
-// started from a pump point.
+// emulated code while they are in flight. That is why promotion is
+// pumped only explicitly — PumpPromotions is called by the host at a
+// point where it knows the machine is idle, and the host must await the
+// returned tickets before resuming emulated execution. Hotness
+// accumulation itself is execution-side and lock-free by design; the
+// slow rewrite is never started from the profiler hook.
 
 // hotTrack is the service-side record of one promotable tier-0 entry.
 type hotTrack struct {
@@ -29,6 +34,31 @@ type hotTrack struct {
 	k      cacheKey
 	lo, hi uint64 // specialized-code range for profiler-sample attribution
 	queued bool   // promotion flight enqueued (one shot per entry)
+}
+
+// hotRange is one entry of the immutable sample-attribution index: the
+// tracked entries' code ranges, sorted by lo. JIT code ranges are
+// disjoint, so at most one range can contain a given pc.
+type hotRange struct {
+	lo, hi uint64
+	e      *specmgr.Entry
+}
+
+// rebuildHotIndexLocked publishes a fresh immutable index of the tracked
+// code ranges for the lock-free NoteSample path (Service.mu held). Track
+// and untrack are rare (one per install/eviction/promotion), so an O(n
+// log n) rebuild here buys an O(log n) lock-free sample path.
+func (s *Service) rebuildHotIndexLocked() {
+	if len(s.tracked) == 0 {
+		s.hotIndex.Store(nil)
+		return
+	}
+	idx := make([]hotRange, 0, len(s.tracked))
+	for e, tr := range s.tracked {
+		idx = append(idx, hotRange{lo: tr.lo, hi: tr.hi, e: e})
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i].lo < idx[j].lo })
+	s.hotIndex.Store(&idx)
 }
 
 // track registers a freshly promoted tier-0 entry for hotness-driven
@@ -41,30 +71,38 @@ func (s *Service) trackLocked(f *flight, res *brew.Result) {
 		req: f.req, k: f.k,
 		lo: res.Addr, hi: res.Addr + uint64(res.CodeSize),
 	}
+	s.rebuildHotIndexLocked()
 }
 
 // untrack drops an entry from promotion tracking (on eviction, release,
 // or promotion completion).
 func (s *Service) untrack(e *specmgr.Entry) {
 	s.mu.Lock()
-	delete(s.tracked, e)
+	if _, ok := s.tracked[e]; ok {
+		delete(s.tracked, e)
+		s.rebuildHotIndexLocked()
+	}
 	s.mu.Unlock()
 }
 
 // NoteSample attributes one sampling-profiler hit to whichever tracked
 // tier-0 entry's specialized code contains pc (no-op otherwise). It is
-// safe to call from the emulation goroutine mid-execution: it only bumps
-// an atomic counter under the service lock, never starts a rewrite.
+// safe to call from the emulation goroutine mid-execution and stays off
+// every service lock: it binary-searches an immutable snapshot of the
+// tracked ranges and bumps the entry's atomic counter, never starting a
+// rewrite. A sample racing an eviction may land on a just-released
+// entry's counter; the entry object outlives its code, so the bump is
+// harmless and simply never feeds a promotion.
 func (s *Service) NoteSample(pc uint64) {
-	s.mu.Lock()
-	for e, tr := range s.tracked {
-		if pc >= tr.lo && pc < tr.hi {
-			s.mu.Unlock()
-			e.NoteSample()
-			return
-		}
+	idx := s.hotIndex.Load()
+	if idx == nil {
+		return
 	}
-	s.mu.Unlock()
+	ranges := *idx
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].hi > pc })
+	if i < len(ranges) && pc >= ranges[i].lo {
+		ranges[i].e.NoteSample()
+	}
 }
 
 // AttachHotness wires the machine's sampling profiler into the service's
@@ -77,18 +115,17 @@ func (s *Service) AttachHotness(p *vm.Profiler) {
 
 // PumpPromotions evaluates every tracked tier-0 entry against the
 // PromoteAfter threshold and enqueues a background EffortFull re-rewrite
-// for those due. It returns a ticket per enqueued promotion (callers that
-// do not care may discard them; the flights complete regardless). A full
-// queue defers the due entries to the next pump rather than rejecting
-// them. Submit pumps automatically on every admission, so explicit calls
-// are only needed when hotness accrues without new submissions.
+// for those due, returning a ticket per enqueued promotion. This is the
+// ONLY place promotion flights start, and the rewrite contract makes the
+// tickets mandatory: call PumpPromotions while the machine is idle and
+// await every returned ticket (Ticket.Outcome) before resuming emulated
+// execution — the re-rewrite traces machine memory, and the hot-swap
+// frees the tier-0 body the machine would otherwise still be executing.
+// A full queue defers the due entries to the next pump rather than
+// rejecting them.
 func (s *Service) PumpPromotions() []*Ticket {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pumpLocked()
-}
-
-func (s *Service) pumpLocked() []*Ticket {
 	if s.opt.PromoteAfter <= 0 || len(s.tracked) == 0 || s.closed.Load() {
 		return nil
 	}
@@ -144,6 +181,7 @@ func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
 
 	s.mu.Lock()
 	delete(s.tracked, f.entry) // one shot: promoted, or permanently demoted
+	s.rebuildHotIndexLocked()
 	tickets := f.tickets
 	f.tickets = nil
 	for _, t := range tickets {

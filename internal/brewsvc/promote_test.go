@@ -85,6 +85,72 @@ func TestPromotionHotSwapViaCalls(t *testing.T) {
 	}
 }
 
+// TestSubmitDoesNotAutoPromote: a due tier-0 entry must NOT be promoted
+// behind a submitter's back — admissions never start promotion flights,
+// because nobody could await them and the host might resume emulated
+// execution while the background re-rewrite traces machine memory. Only
+// an explicit PumpPromotions (whose tickets the host awaits) may start
+// the flight.
+func TestSubmitDoesNotAutoPromote(t *testing.T) {
+	m, w := newStencil(t)
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 1, PromoteAfter: 1})
+	defer svc.Close()
+
+	qcfg, qargs := w.ApplyConfig()
+	qcfg.Effort = brew.EffortQuick
+	qout := svc.Do(&brewsvc.Request{Config: qcfg, Fn: w.Apply, Args: qargs})
+	if qout.Degraded {
+		t.Fatalf("tier-0 submit degraded: %s (%v)", qout.Reason, qout.Err)
+	}
+	qout.Entry.NoteSample() // the entry is now due for promotion
+
+	// An unrelated admission runs to completion without touching it.
+	fcfg, fargs := w.ApplyConfig()
+	if fout := svc.Do(&brewsvc.Request{Config: fcfg, Fn: w.Apply, Args: fargs}); fout.Degraded {
+		t.Fatalf("full submit degraded: %s (%v)", fout.Reason, fout.Err)
+	}
+
+	// The entry must still be unqueued: the explicit pump — and only it —
+	// enqueues the flight. Had Submit auto-pumped, the one-shot queued
+	// flag would already be set and this pump would return nothing.
+	tks := svc.PumpPromotions()
+	if len(tks) != 1 {
+		t.Fatalf("%d promotions from the explicit pump, want 1 (a Submit started the flight)", len(tks))
+	}
+	if p := tks[0].Outcome(); p.Degraded {
+		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
+	}
+	if got := qout.Entry.Tier(); got != brew.EffortFull {
+		t.Fatalf("post-promotion tier %s, want full", got)
+	}
+}
+
+// TestNoteSampleAttribution drives the lock-free sample index directly:
+// PCs inside a tracked tier-0 body land on that entry's sample counter,
+// PCs on either side of the range do not.
+func TestNoteSampleAttribution(t *testing.T) {
+	m, w := newStencil(t)
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 1, PromoteAfter: 1 << 20})
+	defer svc.Close()
+
+	cfg, args := w.ApplyConfig()
+	cfg.Effort = brew.EffortQuick
+	out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+	if out.Degraded {
+		t.Fatalf("tier-0 submit degraded: %s (%v)", out.Reason, out.Err)
+	}
+	res := out.Entry.Result()
+	lo, hi := res.Addr, res.Addr+uint64(res.CodeSize)
+
+	svc.NoteSample(lo)     // first byte: hit
+	svc.NoteSample(hi - 1) // last byte: hit
+	svc.NoteSample(hi)     // one past the end: miss
+	svc.NoteSample(lo - 1) // just before: miss
+	if _, samples := out.Entry.Hotness(); samples != 2 {
+		t.Fatalf("attributed %d samples, want 2", samples)
+	}
+}
+
 // TestPromotionNoTornAddress hammers the entry's read API from many
 // goroutines while a promotion hot-swaps the body underneath: no reader
 // may ever observe a torn or intermediate specialized address (only the
