@@ -21,7 +21,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
 		nodes    = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
 		bs       = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
-		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade,service,tiered")
+		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade,service,tiered,polymorph")
 		jsonPath = flag.String("json", "", "also write the result rows as JSON to this path")
 	)
 	flag.Parse()
@@ -51,6 +51,7 @@ func main() {
 		{"degrade", "E4: graceful degradation and self-healing specialization (Section III.G)", exp.RunDegradation},
 		{"service", "E5: concurrent specialization service throughput (cycles = per-caller traced instrs)", exp.RunService},
 		{"tiered", "E6: tiered rewriting — quick tier-0 vs full tier-1, hotness-driven promotion (E6a/E6b cycles = rewrite work units)", exp.RunTiered},
+		{"polymorph", "E7: multi-version specialization under a polymorphic caller mix (cycles = per-caller cost in work units)", exp.RunPolymorph},
 	}
 	type jsonFamily struct {
 		Key   string    `json:"key"`

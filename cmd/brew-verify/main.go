@@ -114,6 +114,30 @@ func main() {
 		}
 	}
 
+	// Multi-variant dispatch cases at both tiers: several guarded
+	// specializations behind one inline-cache stub, trials hitting every
+	// hot class and falling through on the rest.
+	for _, e := range efforts {
+		for i, c := range oracle.VariantCases() {
+			c.Name += e.suffix
+			c.Trials = *trials
+			c.Effort = e.effort
+			res, err := oracle.Run(c, int64(i)+1)
+			if err != nil {
+				fail("%s: harness error: %v", c.Name, err)
+			}
+			if res.RewriteErr != nil {
+				// The variant installs are deterministic; a refusal is a
+				// regression, not a skip.
+				fail("%s: variant install refused: %v", c.Name, res.RewriteErr)
+			}
+			rep.Add(res)
+			if res.Divergence != nil && !*quiet {
+				fmt.Print(res.Divergence.Format())
+			}
+		}
+	}
+
 	for seed := int64(0); seed < int64(*faults); seed++ {
 		c := oracle.Generated(*start + seed)
 		c.Name += "+faults"

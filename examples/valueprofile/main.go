@@ -1,6 +1,9 @@
 // Value profiling + guarded specialization (paper Section III.D): observe
 // that a parameter "often is 42", generate a variant specialized for that
 // value behind a runtime guard, and fall back to the original otherwise.
+// A second phase grows that into a multi-version variant table (Section
+// III.F): several specialized bodies behind one inline-cache dispatch
+// stub, with full misses falling through to the generic original.
 package main
 
 import (
@@ -8,7 +11,9 @@ import (
 	"log"
 
 	"repro"
+	"repro/internal/brew"
 	"repro/internal/profile"
+	"repro/internal/specmgr"
 )
 
 const src = `
@@ -86,4 +91,33 @@ func main() {
 	measure("guarded hot path, poly=31", g.Addr, 31)
 	measure("guarded cold path, poly=37", g.Addr, 37)
 	fmt.Println("\ncold calls pay only the guard and run the original function.")
+
+	// Phase 3: both values are hot — keep both specializations live in a
+	// variant table behind one inline-cache stub (managed lifecycle:
+	// per-variant demotion, LRU eviction, stable entry address).
+	mgr := specmgr.New(sys.VM, specmgr.Policy{MaxVariants: 2})
+	e, err := mgr.SpecializeGuarded(repro.NewConfig(), checksum,
+		[]brew.ParamGuard{{Param: 3, Value: 31}}, []uint64{0, 0, 0}, nil)
+	if err != nil || e.Degraded() {
+		log.Fatalf("variant 31: %v (degraded=%v)", err, e != nil && e.Degraded())
+	}
+	vcfg := repro.NewConfig()
+	vout, verr := sys.Do(&repro.Request{
+		Config: vcfg, Fn: checksum,
+		Guards: []repro.ParamGuard{{Param: 3, Value: 37}},
+		Args:   []uint64{0, 0, 0}, Mode: repro.ModeDegrade,
+	})
+	if _, ok := mgr.InstallVariant(e, vcfg,
+		[]brew.ParamGuard{{Param: 3, Value: 37}},
+		[]uint64{0, 0, 0}, nil, vout, verr); !ok {
+		log.Fatal("variant 37: install refused")
+	}
+	fmt.Printf("\nvariant table at 0x%x: %d live variants behind one stub\n",
+		e.Addr(), len(e.Variants()))
+	measure("variant table, poly=31", e.Addr(), 31)
+	measure("variant table, poly=37", e.Addr(), 37)
+	measure("variant table, poly=41", e.Addr(), 41)
+	fmt.Println("\nboth hot values run specialized bodies through the same " +
+		"address; the\nunspecialized poly=41 falls through the chain to the original.")
+	mgr.Release(e)
 }

@@ -63,6 +63,13 @@ func (g *GuardedResult) Misses() uint64 { return g.misses.Load() }
 // resets it. The deopt policy reads this.
 func (g *GuardedResult) MissStreak() uint64 { return g.mStreak.Load() }
 
+// Note records one dispatch outcome observed by an external dispatcher:
+// hosts that route calls through their own inline-cache code (e.g. the
+// specmgr variant chain) instead of the built-in dispatcher at Addr call
+// Note to keep the hit/miss/streak accounting — and through it the
+// guard-miss-storm deopt policy — working.
+func (g *GuardedResult) Note(hit bool) { g.note(hit) }
+
 // note records one dispatch outcome.
 func (g *GuardedResult) note(hit bool) {
 	if hit {

@@ -10,7 +10,16 @@
 //     (fn, Config fingerprint, known argument/guard values) trigger exactly
 //     one trace and share the resulting JIT code, landing in
 //   - a sharded specialized-code cache (config-fingerprint keyed, LRU per
-//     shard, FreeJIT-reclaimed through specmgr.Release on eviction).
+//     shard, reclaimed through the specialization manager on eviction).
+//
+// Multi-version specialization: guarded requests that differ only in
+// their guard values share one specmgr entry (keyed by entryKey — the
+// guard param set, not the values) and install as sibling variants of its
+// table, dispatched by the entry's inline-cache chain. Each cache slot
+// remembers the specific variant its guard values route to; a hit on a
+// slot whose variant was demoted (guard-miss storm, assumption
+// violation) or evicted drops the slot and re-traces, so the cache never
+// serves a dead variant.
 //
 // Completed rewrites are hot-installed through specmgr jump stubs
 // ("rewrite-behind"): Submit returns a Ticket whose Addr is callable
@@ -105,6 +114,9 @@ type Outcome struct {
 	// Addr is always callable: specialized code, a guard dispatcher, or —
 	// degraded — the original function.
 	Addr uint64
+	// Variant is the table variant this request's guard values route to
+	// (nil for degraded, rejected, and uncacheable outcomes).
+	Variant *specmgr.Variant
 	// Degraded marks an outcome running the original function; Reason
 	// holds the brew.Reason* / Reason* vocabulary label and Err the cause.
 	Degraded bool
@@ -254,24 +266,37 @@ type Service struct {
 	cond     *sync.Cond
 	q        *queue
 	inflight map[cacheKey]*flight
-	orphans  []*specmgr.Entry             // promoted-but-uncacheable or degraded entries, released at Close
-	tracked  map[*specmgr.Entry]*hotTrack // tier-0 entries eligible for promotion
-	hotIndex atomic.Pointer[[]hotRange]   // immutable sorted snapshot of tracked code ranges (NoteSample)
+	byFn     map[entryKey]*sharedEnt        // variant-table entries shared across guard values
+	orphans  []*specmgr.Entry               // promoted-but-uncacheable or degraded entries, released at Close
+	tracked  map[*specmgr.Variant]*hotTrack // tier-0 variants eligible for promotion
+	hotIndex atomic.Pointer[[]hotRange]     // immutable sorted snapshot of tracked code ranges (NoteSample)
 
 	cache *cache
 	wg    sync.WaitGroup
 	st    stats
 }
 
+// sharedEnt is the service-side ownership record of one variant-table
+// entry: refs counts the flights and cache slots pointing at it; at zero
+// the entry leaves the table and is released (or orphaned, when its
+// address was handed out degraded). Guarded by Service.mu.
+type sharedEnt struct {
+	e    *specmgr.Entry
+	refs int
+}
+
 // flight is one in-progress specialization shared by every coalesced
-// caller. A promo flight re-rewrites an already-live tier-0 entry at
-// EffortFull and completes through specmgr.Repromote instead of Promote.
+// caller. A promo flight re-rewrites an already-live tier-0 variant at
+// EffortFull and completes through specmgr.RepromoteVariant instead of
+// InstallVariant.
 type flight struct {
 	k         cacheKey
+	ek        entryKey
 	cacheable bool
 	promo     bool
 	req       *brew.Request // service-owned copy (config cloned, slices copied)
 	entry     *specmgr.Entry
+	variant   *specmgr.Variant // promo flights: the variant being re-tiered
 	prio      Priority
 	tickets   []*Ticket // guarded by Service.mu
 }
@@ -290,6 +315,7 @@ func New(m *vm.Machine, opt Options) *Service {
 		opt:      opt,
 		q:        newQueue(opt.QueueCap),
 		inflight: make(map[cacheKey]*flight),
+		byFn:     make(map[entryKey]*sharedEnt),
 		cache:    newCache(opt.Shards, opt.PerShard),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -348,12 +374,21 @@ func (s *Service) Submit(req *Request) *Ticket {
 	// fingerprint: such requests must not share traces or cache slots.
 	cacheable := req.Config.Inject == nil
 	var k cacheKey
+	var ek entryKey
 	if cacheable {
 		k = keyOf(req)
-		if e := s.cache.get(k); e != nil {
-			s.st.cacheHits.Add(1)
-			mCacheHits.Inc()
-			return doneTicket(Outcome{Entry: e, Addr: e.Addr(), CacheHit: true})
+		ek = entryKeyOf(req)
+		if cv, ok := s.cache.get(k); ok {
+			if cv.v.Live() {
+				s.st.cacheHits.Add(1)
+				mCacheHits.Inc()
+				return doneTicket(Outcome{Entry: cv.e, Addr: cv.e.Addr(), Variant: cv.v, CacheHit: true})
+			}
+			// The slot's variant was demoted (guard-miss storm, assumption
+			// violation) since it was cached: serving it would route this
+			// caller to the generic original forever. Drop the slot and
+			// fall through to a fresh trace.
+			s.dropDeadSlot(k, cv)
 		}
 	}
 
@@ -385,7 +420,8 @@ func (s *Service) Submit(req *Request) *Ticket {
 
 	// Admit: take ownership of the request (the caller may mutate its
 	// Config or reuse its slices after Submit returns) and hand out the
-	// rewrite-behind stub.
+	// rewrite-behind stub. Cacheable requests share the variant-table
+	// entry for their entry key; uncacheable ones get a private entry.
 	own := &brew.Request{
 		Config: req.Config.Clone(),
 		Fn:     req.Fn,
@@ -394,8 +430,19 @@ func (s *Service) Submit(req *Request) *Ticket {
 		Guards: append([]brew.ParamGuard(nil), req.Guards...),
 		Mode:   brew.ModeDegrade,
 	}
-	entry := s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)
-	f := &flight{k: k, cacheable: cacheable, req: own, entry: entry, prio: req.Priority}
+	var entry *specmgr.Entry
+	if cacheable {
+		se := s.byFn[ek]
+		if se == nil {
+			se = &sharedEnt{e: s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)}
+			s.byFn[ek] = se
+		}
+		se.refs++ // the flight's reference; transfers to the cache slot on success
+		entry = se.e
+	} else {
+		entry = s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)
+	}
+	f := &flight{k: k, ek: ek, cacheable: cacheable, req: own, entry: entry, prio: req.Priority}
 	t := &Ticket{addr: entry.Addr(), done: make(chan struct{})}
 	f.tickets = []*Ticket{t}
 	s.q.push(f)
@@ -406,6 +453,40 @@ func (s *Service) Submit(req *Request) *Ticket {
 	s.cond.Signal()
 	s.mu.Unlock()
 	return t
+}
+
+// dropDeadSlot removes a cache slot whose variant died and drops the
+// reference the slot held. Safe against racing submitters: only the one
+// whose remove actually hit the slot adjusts the refcount.
+func (s *Service) dropDeadSlot(k cacheKey, cv cacheVal) {
+	if !s.cache.remove(k, cv.v) {
+		return
+	}
+	s.st.evictions.Add(1)
+	mCacheEvictions.Inc()
+	s.untrack(cv.v)
+	s.mu.Lock()
+	release := s.derefEntryLocked(cv.ek, cv.e)
+	s.mu.Unlock()
+	if release {
+		s.mgr.Release(cv.e)
+	}
+}
+
+// derefEntryLocked drops one reference on ek's shared entry and reports
+// whether the caller must release it (last reference gone). Service.mu
+// held.
+func (s *Service) derefEntryLocked(ek entryKey, e *specmgr.Entry) bool {
+	se := s.byFn[ek]
+	if se == nil || se.e != e {
+		return false
+	}
+	se.refs--
+	if se.refs > 0 {
+		return false
+	}
+	delete(s.byFn, ek)
+	return true
 }
 
 // Do is the blocking convenience form: Submit then wait for the outcome.
@@ -450,48 +531,11 @@ func (s *Service) worker() {
 			continue
 		}
 
-		promoted := s.mgr.Promote(f.entry, out, rerr)
-		res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
-		if promoted {
-			s.st.promoted.Add(1)
-			mPromotions.Inc()
-			if f.cacheable {
-				// Track BEFORE publishing to the cache: the moment the
-				// entry is visible there, a racing put can evict and
-				// release it, and that eviction's untrack must find the
-				// registration — a track added after the release would
-				// pin a stale code range in the sample index and leak the
-				// dead record in s.tracked.
-				if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
-					out != nil && out.Result != nil && !out.Result.Degraded {
-					s.mu.Lock()
-					s.trackLocked(f, out.Result)
-					s.mu.Unlock()
-				}
-				// Insert before dropping the inflight slot so a racing
-				// Submit sees either the flight or the cache, never a gap
-				// that would duplicate the trace.
-				for _, victim := range s.cache.put(f.k, f.entry) {
-					s.untrack(victim)
-					s.mgr.Release(victim)
-					s.st.evictions.Add(1)
-					mCacheEvictions.Inc()
-				}
-			} else {
-				s.trackOrphan(f.entry)
-			}
+		var res Outcome
+		if f.cacheable {
+			res = s.completeCacheable(f, out, rerr)
 		} else {
-			// Degraded: the entry keeps routing to the original function
-			// and is NOT cached — a later Submit with the same key retries
-			// the specialization from scratch.
-			s.st.degraded.Add(1)
-			mDegraded.Inc()
-			res.Degraded = true
-			res.Err = rerr
-			if out != nil {
-				res.Reason = out.Reason
-			}
-			s.trackOrphan(f.entry)
+			res = s.completeUncacheable(f, out, rerr)
 		}
 
 		s.mu.Lock()
@@ -505,6 +549,95 @@ func (s *Service) worker() {
 		}
 		s.mu.Unlock()
 	}
+}
+
+// completeCacheable installs a finished cacheable rewrite as a variant of
+// the shared entry and publishes it to the cache.
+func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+	v, ok := s.mgr.InstallVariant(f.entry, f.req.Config, f.req.Guards, f.req.Args, f.req.FArgs, out, rerr)
+	res := Outcome{Entry: f.entry, Addr: f.entry.Addr(), Variant: v}
+	if !ok {
+		// Degraded: the variant was not installed and the key is NOT
+		// cached — a later Submit with the same key retries the
+		// specialization from scratch. The entry itself survives as long
+		// as siblings or slots reference it; the last reference orphans it
+		// (its handed-out Addr stays callable until Close).
+		s.st.degraded.Add(1)
+		mDegraded.Inc()
+		res.Degraded = true
+		res.Err = rerr
+		if out != nil {
+			res.Reason = out.Reason
+		}
+		s.mu.Lock()
+		removed := s.derefEntryLocked(f.ek, f.entry)
+		s.mu.Unlock()
+		if removed {
+			s.trackOrphan(f.entry)
+		}
+		return res
+	}
+	s.st.promoted.Add(1)
+	mPromotions.Inc()
+	// Track BEFORE publishing to the cache: the moment the variant is
+	// visible there, a racing put can evict and remove it, and that
+	// eviction's untrack must find the registration — a track added after
+	// the removal would pin a stale code range in the sample index and
+	// leak the dead record in s.tracked.
+	if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
+		out != nil && out.Result != nil && !out.Result.Degraded {
+		s.mu.Lock()
+		s.trackLocked(f, v, out.Result)
+		s.mu.Unlock()
+	}
+	// Insert before dropping the inflight slot so a racing Submit sees
+	// either the flight or the cache, never a gap that would duplicate
+	// the trace. The flight's entry reference transfers to the slot.
+	for _, victim := range s.cache.put(f.k, cacheVal{e: f.entry, v: v, ek: f.ek}) {
+		s.evictVictim(victim, v)
+	}
+	return res
+}
+
+// evictVictim reclaims one displaced cache slot: the variant it served is
+// removed from its table (unless it IS the just-installed variant — a
+// same-key collision replaced the slot, and the new slot carries the
+// reference for the same code) and the slot's entry reference is dropped,
+// releasing the entry when it was the last.
+func (s *Service) evictVictim(victim cacheVal, justInstalled *specmgr.Variant) {
+	s.st.evictions.Add(1)
+	mCacheEvictions.Inc()
+	if victim.v != justInstalled {
+		s.untrack(victim.v)
+		s.mgr.RemoveVariant(victim.e, victim.v)
+	}
+	s.mu.Lock()
+	release := s.derefEntryLocked(victim.ek, victim.e)
+	s.mu.Unlock()
+	if release {
+		s.mgr.Release(victim.e)
+	}
+}
+
+// completeUncacheable finishes a private-entry flight (Config.Inject set:
+// no coalescing, no cache, legacy whole-entry promotion).
+func (s *Service) completeUncacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+	promoted := s.mgr.Promote(f.entry, out, rerr)
+	res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
+	if promoted {
+		s.st.promoted.Add(1)
+		mPromotions.Inc()
+	} else {
+		s.st.degraded.Add(1)
+		mDegraded.Inc()
+		res.Degraded = true
+		res.Err = rerr
+		if out != nil {
+			res.Reason = out.Reason
+		}
+	}
+	s.trackOrphan(f.entry)
+	return res
 }
 
 func (s *Service) trackOrphan(e *specmgr.Entry) {
@@ -529,9 +662,15 @@ func (s *Service) Close() {
 		drained = append(drained, f)
 	}
 	mQueueDepth.Set(0)
+	var unref []*specmgr.Entry
 	for _, f := range drained {
 		if f.cacheable {
 			delete(s.inflight, f.k)
+			if s.derefEntryLocked(f.ek, f.entry) {
+				// Last reference: the entry just left byFn, so the sweep
+				// below cannot reach it anymore.
+				unref = append(unref, f.entry)
+			}
 		}
 		for _, t := range f.tickets {
 			t.complete(Outcome{Addr: f.req.Fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
@@ -540,19 +679,36 @@ func (s *Service) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
+	// Private entries of drained flights are owned by nobody else; shared
+	// (cacheable) entries still referenced are swept via byFn/cache below.
+	for _, e := range unref {
+		s.mgr.Release(e)
+	}
 	for _, f := range drained {
-		s.mgr.Release(f.entry)
+		if !f.cacheable && !f.promo {
+			s.mgr.Release(f.entry)
+		}
 	}
 	s.wg.Wait()
 
 	s.mu.Lock()
 	orphans := s.orphans
 	s.orphans = nil
+	shared := make([]*specmgr.Entry, 0, len(s.byFn))
+	for ek, se := range s.byFn {
+		shared = append(shared, se.e)
+		delete(s.byFn, ek)
+	}
 	s.mu.Unlock()
 	for _, e := range orphans {
 		s.mgr.Release(e)
 	}
-	for _, e := range s.cache.drain() {
+	for _, e := range shared {
 		s.mgr.Release(e)
+	}
+	// Release is idempotent: slots whose entries were just swept via byFn
+	// are harmless repeats.
+	for _, cv := range s.cache.drain() {
+		s.mgr.Release(cv.e)
 	}
 }

@@ -6,12 +6,22 @@ import (
 	"repro/internal/specmgr"
 )
 
+// cacheVal is what a cache slot serves: the shared variant-table entry,
+// the specific variant this key's guard values route to (for the
+// liveness check on hit), and the entry key whose reference the slot
+// holds.
+type cacheVal struct {
+	e  *specmgr.Entry
+	v  *specmgr.Variant
+	ek entryKey
+}
+
 // cache is the sharded specialized-code cache: key-partitioned shards,
-// each an independently locked LRU over promoted entries. Shard locks are
-// leaves (nothing is acquired under them), so lookups from many submitters
-// and inserts from many workers never serialize on one mutex. Eviction
-// returns the victims to the caller, which releases them through the
-// specialization manager (FreeJIT reclamation) outside the shard lock.
+// each an independently locked LRU over installed variants. Shard locks
+// are leaves (nothing is acquired under them), so lookups from many
+// submitters and inserts from many workers never serialize on one mutex.
+// Eviction returns the victims to the caller, which removes the variants
+// and drops the entry references outside the shard lock.
 type cache struct {
 	shards []cacheShard
 }
@@ -24,7 +34,7 @@ type cacheShard struct {
 }
 
 type cacheEnt struct {
-	e       *specmgr.Entry
+	val     cacheVal
 	lastUse uint64
 }
 
@@ -41,42 +51,42 @@ func (c *cache) shardFor(k cacheKey) *cacheShard {
 	return &c.shards[k.hash()%uint64(len(c.shards))]
 }
 
-// get returns the cached entry for k (touching its LRU slot), or nil.
-func (c *cache) get(k cacheKey) *specmgr.Entry {
+// get returns the cached value for k (touching its LRU slot).
+func (c *cache) get(k cacheKey) (cacheVal, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ent := s.ents[k]
 	if ent == nil {
-		return nil
+		return cacheVal{}, false
 	}
 	s.clock++
 	ent.lastUse = s.clock
-	return ent.e
+	return ent.val, true
 }
 
-// put inserts a promoted entry and returns the entries evicted to make
+// put inserts an installed variant and returns the values evicted to make
 // room (the displaced slot on key collision plus LRU victims over
-// capacity). The caller releases them outside the shard lock.
-func (c *cache) put(k cacheKey, e *specmgr.Entry) []*specmgr.Entry {
+// capacity). The caller reclaims them outside the shard lock.
+func (c *cache) put(k cacheKey, val cacheVal) []cacheVal {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var evicted []*specmgr.Entry
+	var evicted []cacheVal
 	if old := s.ents[k]; old != nil {
 		// Singleflight admission makes a same-key race impossible, but a
-		// re-trace after an external Release could land here; keep the
-		// newer code.
-		evicted = append(evicted, old.e)
+		// re-trace after a demotion or an external Release lands here; keep
+		// the newer code.
+		evicted = append(evicted, old.val)
 	}
 	s.clock++
-	s.ents[k] = &cacheEnt{e: e, lastUse: s.clock}
+	s.ents[k] = &cacheEnt{val: val, lastUse: s.clock}
 	for len(s.ents) > s.perShard {
 		var victimKey cacheKey
 		var victim *cacheEnt
 		for vk, ve := range s.ents {
-			if ve.e == e {
-				continue // never evict the just-inserted entry
+			if ve.val.v == val.v {
+				continue // never evict the just-inserted variant
 			}
 			if victim == nil || ve.lastUse < victim.lastUse {
 				victimKey, victim = vk, ve
@@ -86,19 +96,34 @@ func (c *cache) put(k cacheKey, e *specmgr.Entry) []*specmgr.Entry {
 			break
 		}
 		delete(s.ents, victimKey)
-		evicted = append(evicted, victim.e)
+		evicted = append(evicted, victim.val)
 	}
 	return evicted
 }
 
-// drain empties every shard and returns all entries (Close reclamation).
-func (c *cache) drain() []*specmgr.Entry {
-	var out []*specmgr.Entry
+// remove drops the slot for k if it still serves the same variant (a
+// racing put may have replaced it) and reports whether it did. Used by
+// the hit path when it finds the slot's variant demoted.
+func (c *cache) remove(k cacheKey, v *specmgr.Variant) bool {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent := s.ents[k]
+	if ent == nil || ent.val.v != v {
+		return false
+	}
+	delete(s.ents, k)
+	return true
+}
+
+// drain empties every shard and returns all values (Close reclamation).
+func (c *cache) drain() []cacheVal {
+	var out []cacheVal
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for _, ent := range s.ents {
-			out = append(out, ent.e)
+			out = append(out, ent.val)
 		}
 		s.ents = make(map[cacheKey]*cacheEnt)
 		s.mu.Unlock()
@@ -106,7 +131,7 @@ func (c *cache) drain() []*specmgr.Entry {
 	return out
 }
 
-// len counts cached entries across shards (tests and metrics).
+// len counts cached slots across shards (tests and metrics).
 func (c *cache) len() int {
 	n := 0
 	for i := range c.shards {

@@ -31,12 +31,10 @@ func keyMix(h, v uint64) uint64 {
 	return h
 }
 
-// keyOf computes the request's cache key. Only parameters the Config
-// declares known contribute their argument values: callers differing in
-// unknown-parameter values request the same specialization and coalesce.
-// Guards contribute order-independently.
-func keyOf(req *Request) cacheKey {
-	h := keyOffset64
+// mixKnownParams folds the known-parameter values into h: only parameters
+// the Config declares known contribute their argument values, so callers
+// differing in unknown-parameter values request the same specialization.
+func mixKnownParams(h uint64, req *Request) uint64 {
 	for i := 1; i <= len(isa.IntArgRegs); i++ {
 		class, _ := req.Config.IntParamClass(i)
 		if class == brew.ParamUnknown {
@@ -56,6 +54,13 @@ func keyOf(req *Request) cacheKey {
 			h = keyMix(h, math.Float64bits(req.FArgs[i-1]))
 		}
 	}
+	return h
+}
+
+// keyOf computes the request's cache key. Guards contribute
+// order-independently.
+func keyOf(req *Request) cacheKey {
+	h := mixKnownParams(keyOffset64, req)
 	if len(req.Guards) > 0 {
 		gs := append([]brew.ParamGuard(nil), req.Guards...)
 		sort.Slice(gs, func(i, j int) bool {
@@ -71,6 +76,37 @@ func keyOf(req *Request) cacheKey {
 		}
 	}
 	return cacheKey{fn: req.Fn, cfg: req.Config.Fingerprint(), vals: h}
+}
+
+// entryKey identifies one variant-table entry: the function, the
+// configuration fingerprint (which includes the effort tier), the known
+// non-guard parameter values, and the SET of guarded parameters — but not
+// the guard values. Requests differing only in guard values map to the
+// same entry and become sibling variants behind its inline-cache dispatch
+// stub; requests differing in anything else need distinct stubs (the
+// chain can only distinguish callers by the guarded registers).
+type entryKey struct {
+	fn   uint64
+	cfg  uint64 // brew.Config.Fingerprint()
+	vals uint64 // hash of known-parameter values and the guard param set
+}
+
+// entryKeyOf computes the request's entry key. Unguarded requests get one
+// entry per cache key, the pre-variant behavior.
+func entryKeyOf(req *Request) entryKey {
+	h := mixKnownParams(keyOffset64, req)
+	if len(req.Guards) > 0 {
+		params := make([]int, 0, len(req.Guards))
+		for _, g := range req.Guards {
+			params = append(params, g.Param)
+		}
+		sort.Ints(params)
+		h = keyMix(h, uint64(len(params))|1<<34)
+		for _, p := range params {
+			h = keyMix(h, uint64(p))
+		}
+	}
+	return entryKey{fn: req.Fn, cfg: req.Config.Fingerprint(), vals: h}
 }
 
 // hash folds the key into one word for shard selection.

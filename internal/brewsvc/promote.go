@@ -8,15 +8,17 @@ import (
 	"repro/internal/vm"
 )
 
-// Tiered promotion: a cacheable tier-0 (brew.EffortQuick) specialization
+// Tiered promotion: a cacheable tier-0 (brew.EffortQuick) variant
 // installs immediately, then accumulates hotness — managed calls counted
-// by the specmgr entry's cheap stub-side counter plus sampling-profiler
-// hits landing in its code (NoteSample / AttachHotness). Once the
-// combined count reaches Options.PromoteAfter, the entry is due: an
-// explicit PumpPromotions call enqueues a low-priority background flight
-// that re-rewrites the function at brew.EffortFull and hot-swaps the
-// optimized body through specmgr.Repromote. Cold functions never pay the
-// optimization pass stack; hot functions converge to full-effort
+// by the specmgr entry's cheap stub-side counter (attributed to the
+// variant by the dispatch accounting) plus sampling-profiler hits landing
+// in its code (NoteSample / AttachHotness). Once the combined count
+// reaches Options.PromoteAfter, the variant is due: an explicit
+// PumpPromotions call enqueues a low-priority background flight that
+// re-rewrites the function at brew.EffortFull and hot-swaps the optimized
+// body through specmgr.RepromoteVariant — only that variant; its siblings
+// in the table keep their own tiers. Cold variants never pay the
+// optimization pass stack; hot variants converge to full-effort
 // steady-state code.
 //
 // Promotion flights ride the ordinary worker pool and queue, so they
@@ -28,20 +30,27 @@ import (
 // accumulation itself is execution-side and lock-free by design; the
 // slow rewrite is never started from the profiler hook.
 
-// hotTrack is the service-side record of one promotable tier-0 entry.
+// hotTrack is the service-side record of one promotable tier-0 variant.
 type hotTrack struct {
 	req    *brew.Request // the service-owned tier-0 request it was built from
 	k      cacheKey
-	lo, hi uint64 // specialized-code range for profiler-sample attribution
-	queued bool   // promotion flight enqueued (one shot per entry)
+	ek     entryKey
+	e      *specmgr.Entry
+	v      *specmgr.Variant
+	lo, hi uint64 // specialized-body range for profiler-sample attribution
+	queued bool   // promotion flight enqueued (one shot per variant)
 }
 
-// hotRange is one entry of the immutable sample-attribution index: the
-// tracked entries' code ranges, sorted by lo. JIT code ranges are
-// disjoint, so at most one range can contain a given pc.
+// hotRange is one entry of the immutable sample-attribution index, sorted
+// by lo. JIT code ranges are disjoint, so at most one range can contain a
+// given pc. Body ranges carry the variant (samples bump variant and
+// entry); dispatch-chain ranges carry v == nil — a guarded tier-0
+// entry's dispatcher cycles are real execution cost of that entry, so
+// they count toward its promotion signal instead of vanishing.
 type hotRange struct {
 	lo, hi uint64
 	e      *specmgr.Entry
+	v      *specmgr.Variant
 }
 
 // rebuildHotIndexLocked publishes a fresh immutable index of the tracked
@@ -53,46 +62,54 @@ func (s *Service) rebuildHotIndexLocked() {
 		s.hotIndex.Store(nil)
 		return
 	}
-	idx := make([]hotRange, 0, len(s.tracked))
-	for e, tr := range s.tracked {
-		idx = append(idx, hotRange{lo: tr.lo, hi: tr.hi, e: e})
+	idx := make([]hotRange, 0, 2*len(s.tracked))
+	seen := make(map[*specmgr.Entry]bool)
+	for v, tr := range s.tracked {
+		idx = append(idx, hotRange{lo: tr.lo, hi: tr.hi, e: tr.e, v: v})
+		if !seen[tr.e] {
+			seen[tr.e] = true
+			// Nested Service.mu -> Manager.mu, the established lock order.
+			if lo, hi := tr.e.DispatchRange(); hi > lo {
+				idx = append(idx, hotRange{lo: lo, hi: hi, e: tr.e})
+			}
+		}
 	}
 	sort.Slice(idx, func(i, j int) bool { return idx[i].lo < idx[j].lo })
 	s.hotIndex.Store(&idx)
 }
 
-// track registers a freshly promoted tier-0 entry for hotness-driven
-// promotion (Service.mu held).
-func (s *Service) trackLocked(f *flight, res *brew.Result) {
+// trackLocked registers a freshly installed tier-0 variant for
+// hotness-driven promotion (Service.mu held).
+func (s *Service) trackLocked(f *flight, v *specmgr.Variant, res *brew.Result) {
 	if s.tracked == nil {
-		s.tracked = make(map[*specmgr.Entry]*hotTrack)
+		s.tracked = make(map[*specmgr.Variant]*hotTrack)
 	}
-	s.tracked[f.entry] = &hotTrack{
-		req: f.req, k: f.k,
+	s.tracked[v] = &hotTrack{
+		req: f.req, k: f.k, ek: f.ek, e: f.entry, v: v,
 		lo: res.Addr, hi: res.Addr + uint64(res.CodeSize),
 	}
 	s.rebuildHotIndexLocked()
 }
 
-// untrack drops an entry from promotion tracking (on eviction, release,
+// untrack drops a variant from promotion tracking (on eviction, release,
 // or promotion completion).
-func (s *Service) untrack(e *specmgr.Entry) {
+func (s *Service) untrack(v *specmgr.Variant) {
 	s.mu.Lock()
-	if _, ok := s.tracked[e]; ok {
-		delete(s.tracked, e)
+	if _, ok := s.tracked[v]; ok {
+		delete(s.tracked, v)
 		s.rebuildHotIndexLocked()
 	}
 	s.mu.Unlock()
 }
 
 // NoteSample attributes one sampling-profiler hit to whichever tracked
-// tier-0 entry's specialized code contains pc (no-op otherwise). It is
-// safe to call from the emulation goroutine mid-execution and stays off
-// every service lock: it binary-searches an immutable snapshot of the
-// tracked ranges and bumps the entry's atomic counter, never starting a
-// rewrite. A sample racing an eviction may land on a just-released
-// entry's counter; the entry object outlives its code, so the bump is
-// harmless and simply never feeds a promotion.
+// tier-0 variant's specialized body — or tracked entry's dispatch chain —
+// contains pc (no-op otherwise). It is safe to call from the emulation
+// goroutine mid-execution and stays off every service lock: it
+// binary-searches an immutable snapshot of the tracked ranges and bumps
+// atomic counters, never starting a rewrite. A sample racing an eviction
+// may land on a just-released variant's counter; the objects outlive
+// their code, so the bump is harmless and simply never feeds a promotion.
 func (s *Service) NoteSample(pc uint64) {
 	idx := s.hotIndex.Load()
 	if idx == nil {
@@ -102,6 +119,9 @@ func (s *Service) NoteSample(pc uint64) {
 	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].hi > pc })
 	if i < len(ranges) && pc >= ranges[i].lo {
 		ranges[i].e.NoteSample()
+		if ranges[i].v != nil {
+			ranges[i].v.NoteSample()
+		}
 	}
 }
 
@@ -113,7 +133,7 @@ func (s *Service) AttachHotness(p *vm.Profiler) {
 	p.OnSample = s.NoteSample
 }
 
-// PumpPromotions evaluates every tracked tier-0 entry against the
+// PumpPromotions evaluates every tracked tier-0 variant against the
 // PromoteAfter threshold and enqueues a background EffortFull re-rewrite
 // for those due, returning a ticket per enqueued promotion. This is the
 // ONLY place promotion flights start, and the rewrite contract makes the
@@ -121,7 +141,7 @@ func (s *Service) AttachHotness(p *vm.Profiler) {
 // await every returned ticket (Ticket.Outcome) before resuming emulated
 // execution — the re-rewrite traces machine memory, and the hot-swap
 // frees the tier-0 body the machine would otherwise still be executing.
-// A full queue defers the due entries to the next pump rather than
+// A full queue defers the due variants to the next pump rather than
 // rejecting them.
 func (s *Service) PumpPromotions() []*Ticket {
 	s.mu.Lock()
@@ -129,27 +149,51 @@ func (s *Service) PumpPromotions() []*Ticket {
 	if s.opt.PromoteAfter <= 0 || len(s.tracked) == 0 || s.closed.Load() {
 		return nil
 	}
+	// A variant demoted or evicted since it was tracked can no longer be
+	// promoted; drop it here rather than burning a flight on a refusal.
+	perEntry := make(map[*specmgr.Entry]int)
+	dropped := false
+	for v, tr := range s.tracked {
+		if !v.Live() { // nested Service.mu -> Manager.mu
+			delete(s.tracked, v)
+			dropped = true
+			continue
+		}
+		perEntry[tr.e]++
+	}
+	if dropped {
+		s.rebuildHotIndexLocked()
+	}
 	var tickets []*Ticket
-	for e, tr := range s.tracked {
+	for v, tr := range s.tracked {
 		if tr.queued || s.q.full() {
 			continue
 		}
-		calls, samples := e.Hotness()
-		if calls+samples < uint64(s.opt.PromoteAfter) {
+		vc, vs := v.Hotness()
+		due := vc+vs >= uint64(s.opt.PromoteAfter)
+		if !due && perEntry[tr.e] == 1 {
+			// Sole tracked variant of its entry: entry-level hotness (raw
+			// stub calls, samples attributed to the dispatch chain) is
+			// unambiguously its signal too.
+			ec, es := tr.e.Hotness()
+			due = ec+es >= uint64(s.opt.PromoteAfter)
+		}
+		if !due {
 			continue
 		}
 		cfg := tr.req.Config.Clone()
 		cfg.Effort = brew.EffortFull
 		f := &flight{
-			k: tr.k, promo: true, prio: PriorityLow,
+			k: tr.k, ek: tr.ek, promo: true, prio: PriorityLow,
 			req: &brew.Request{
 				Config: cfg, Fn: tr.req.Fn,
 				Args: tr.req.Args, FArgs: tr.req.FArgs, Guards: tr.req.Guards,
 				Mode: brew.ModeDegrade,
 			},
-			entry: e,
+			entry:   tr.e,
+			variant: v,
 		}
-		t := &Ticket{addr: e.Addr(), done: make(chan struct{})}
+		t := &Ticket{addr: tr.e.Addr(), done: make(chan struct{})}
 		f.tickets = []*Ticket{t}
 		tr.queued = true
 		s.q.push(f)
@@ -161,11 +205,11 @@ func (s *Service) PumpPromotions() []*Ticket {
 }
 
 // completePromotion finishes a tier-promotion flight: hot-swap on
-// success, demotion accounting on failure (the entry keeps serving its
+// success, demotion accounting on failure (the variant keeps serving its
 // tier-0 code — a failed promotion is never worse than no promotion).
 func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
-	ok := s.mgr.Repromote(f.entry, f.req.Config, out, rerr)
-	res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
+	ok := s.mgr.RepromoteVariant(f.entry, f.variant, f.req.Config, out, rerr)
+	res := Outcome{Entry: f.entry, Addr: f.entry.Addr(), Variant: f.variant}
 	if ok {
 		s.st.tierPromoted.Add(1)
 		mTierPromotions.Inc()
@@ -180,7 +224,7 @@ func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
 	}
 
 	s.mu.Lock()
-	delete(s.tracked, f.entry) // one shot: promoted, or permanently demoted
+	delete(s.tracked, f.variant) // one shot: promoted, or permanently demoted
 	s.rebuildHotIndexLocked()
 	tickets := f.tickets
 	f.tickets = nil

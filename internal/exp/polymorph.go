@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/minc"
+	"repro/internal/specmgr"
+	"repro/internal/vm"
+)
+
+// RunPolymorph is E7: multi-version value-profiled specialization under a
+// polymorphic caller mix. A call site cycles through several hot argument
+// classes in blocks; each class is requested from the service as a
+// guarded specialization. With a variant table (Policy.MaxVariants >=
+// number of classes) every class is traced once and the inline-cache
+// dispatch stub routes each block to its resident body. With the
+// single-variant baseline (MaxVariants = 1) every class switch evicts the
+// previous body, so the returning class re-traces — the cache's dead-slot
+// liveness check forbids serving a slot whose variant was evicted.
+//
+// The deterministic cost model charges one work unit per traced original
+// instruction and optimization-pass scan (as in E6) plus one per executed
+// cycle; the per-caller cost is that total over the number of calls.
+//
+//   - E7a: single-variant baseline per-caller cost. The acceptance bar is
+//     at least 2x the variant-table cost (checkjson re-checks
+//     E7a >= 2*E7b from the JSON).
+//   - E7b: variant-table per-caller cost (the family baseline; exactly
+//     one trace per class over the whole mix).
+//   - E7c: inline-cache full miss — an unspecialized class through the
+//     stub falls through the chain to the generic original, same result,
+//     dispatch-compare overhead only.
+func RunPolymorph(o Options) ([]Row, error) {
+	o = o.fill()
+	const src = `
+long poly(long x, long k) {
+    long r = 1;
+    for (long i = 0; i < k; i++) { r = r * x + i; }
+    return r;
+}
+`
+	classes := []uint64{3, 5, 9}
+	const rounds, block = 10, 2
+
+	polyRef := func(x, k uint64) uint64 {
+		r := uint64(1)
+		for i := uint64(0); i < k; i++ {
+			r = r*x + i
+		}
+		return r
+	}
+
+	// Deterministic per-trace rewrite cost, probed once on a twin machine.
+	mt := vm.MustNew()
+	lt, err := minc.CompileAndLink(mt, src, nil)
+	if err != nil {
+		return nil, err
+	}
+	fnT, err := lt.FuncAddr("poly")
+	if err != nil {
+		return nil, err
+	}
+	outT, err := brew.Do(mt, &brew.Request{
+		Config: brew.NewConfig(), Fn: fnT,
+		Guards: []brew.ParamGuard{{Param: 2, Value: classes[0]}},
+		Args:   []uint64{0, 0},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E7: probe rewrite: %w", err)
+	}
+	rep := outT.Result.Report
+	work := uint64(rep.TracedInstrs + rep.PassWork)
+
+	type mixResult struct {
+		traces, cycles, calls uint64
+		m                     *vm.Machine
+		fn, addr              uint64
+		svc                   *brewsvc.Service
+	}
+	runMix := func(maxVariants int) (*mixResult, error) {
+		m := vm.MustNew()
+		l, err := minc.CompileAndLink(m, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := l.FuncAddr("poly")
+		if err != nil {
+			return nil, err
+		}
+		svc := brewsvc.New(m, brewsvc.Options{
+			Workers: 1, Policy: specmgr.Policy{MaxVariants: maxVariants},
+		})
+		r := &mixResult{m: m, fn: fn, svc: svc}
+		for round := 0; round < rounds; round++ {
+			for _, k := range classes {
+				out := svc.Do(&brewsvc.Request{
+					Config: brew.NewConfig(), Fn: fn,
+					Guards: []brew.ParamGuard{{Param: 2, Value: k}},
+					Args:   []uint64{0, 0},
+				})
+				if out.Degraded {
+					svc.Close()
+					return nil, fmt.Errorf("E7: class %d degraded: %s (%v)", k, out.Reason, out.Err)
+				}
+				r.addr = out.Addr
+				c0 := m.Stats.Cycles
+				for j := 0; j < block; j++ {
+					x := uint64(round+j) % 7
+					got, err := m.Call(out.Addr, x, k)
+					if err != nil {
+						svc.Close()
+						return nil, err
+					}
+					if want := polyRef(x, k); got != want {
+						svc.Close()
+						return nil, fmt.Errorf("E7: poly(%d,%d) = %d, want %d", x, k, got, want)
+					}
+					r.calls++
+				}
+				r.cycles += m.Stats.Cycles - c0
+			}
+		}
+		r.traces = svc.Stats().Traces
+		return r, nil
+	}
+
+	rA, err := runMix(1) // single-variant baseline
+	if err != nil {
+		return nil, err
+	}
+	rA.svc.Close()
+	rB, err := runMix(len(classes)) // full variant table
+	if err != nil {
+		return nil, err
+	}
+	defer rB.svc.Close()
+
+	if rB.traces != uint64(len(classes)) {
+		return nil, fmt.Errorf("E7b: %d traces for %d classes, want one per class",
+			rB.traces, len(classes))
+	}
+	if rA.traces <= rB.traces {
+		return nil, fmt.Errorf("E7a: baseline traced %d times, not more than the table's %d",
+			rA.traces, rB.traces)
+	}
+
+	perA := (rA.cycles + rA.traces*work) / rA.calls
+	perB := (rB.cycles + rB.traces*work) / rB.calls
+	if perA < 2*perB {
+		return nil, fmt.Errorf("E7: single-variant per-caller cost %d is not >= 2x variant-table cost %d",
+			perA, perB)
+	}
+
+	// E7c: a class no variant covers, through the stub. The chain must
+	// fall through to the generic original — same result, never wrong.
+	const missK = 7
+	c0 := rB.m.Stats.Cycles
+	gotStub, err := rB.m.Call(rB.addr, 4, missK)
+	if err != nil {
+		return nil, fmt.Errorf("E7c: stub call: %w", err)
+	}
+	cycStub := rB.m.Stats.Cycles - c0
+	c0 = rB.m.Stats.Cycles
+	gotOrig, err := rB.m.Call(rB.fn, 4, missK)
+	if err != nil {
+		return nil, fmt.Errorf("E7c: original call: %w", err)
+	}
+	cycOrig := rB.m.Stats.Cycles - c0
+	if gotStub != gotOrig || gotStub != polyRef(4, missK) {
+		return nil, fmt.Errorf("E7c: fallthrough result %d, original %d, want %d",
+			gotStub, gotOrig, polyRef(4, missK))
+	}
+	if cycStub < cycOrig {
+		return nil, fmt.Errorf("E7c: stub path %d cycles below the original's %d", cycStub, cycOrig)
+	}
+
+	ratio := func(c uint64) float64 { return float64(c) / float64(perB) }
+	return []Row{
+		{
+			ID: "E7a", Name: "single-variant baseline per-caller cost",
+			Cycles: perA, Ratio: ratio(perA),
+			Note: fmt.Sprintf("%d traces over %d calls: every class switch re-traces (bar: >= 2x E7b)",
+				rA.traces, rA.calls),
+		},
+		{
+			ID: "E7b", Name: "variant-table per-caller cost",
+			Cycles: perB, Ratio: 1.0,
+			Note: fmt.Sprintf("%d traces over %d calls: one per hot class, inline-cache dispatch",
+				rB.traces, rB.calls),
+		},
+		{
+			ID: "E7c", Name: "inline-cache full miss fallthrough",
+			Cycles: cycStub, Ratio: float64(cycStub) / float64(cycOrig),
+			Note: fmt.Sprintf("unspecialized k=%d through the stub = original result; +%d dispatch cycles",
+				missK, cycStub-cycOrig),
+		},
+	}, nil
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/brew"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/specmgr"
 	"repro/internal/vm"
 )
 
@@ -89,6 +90,17 @@ type Case struct {
 	// optimization passes — is observably equivalent too: a quick
 	// pipeline must never trade correctness for speed.
 	Effort brew.Effort
+	// VariantGuards, when non-empty, verifies the multi-version dispatch
+	// path instead of a single raw rewrite: each guard set is traced and
+	// installed as one variant of a specmgr variant-table entry on the
+	// rewritten machine, and every trial calls the entry's stable stub
+	// address. Argument vectors matching any variant's guards must be
+	// served by that specialized body, and vectors missing them all must
+	// fall through the inline-cache chain to the original — both
+	// observably equivalent to the original run. Any install failure is a
+	// skip (RewriteErr), like a rewriter refusal. Incompatible with
+	// Degrade and Inject.
+	VariantGuards [][]brew.ParamGuard
 }
 
 // CaseResult is the outcome of one differential case.
@@ -189,10 +201,39 @@ func hErr(c Case) error {
 		return err
 	}
 	inst.Cfg.Effort = c.Effort
+	if len(c.VariantGuards) > 0 {
+		_, _, rerr := installVariants(c, inst)
+		if rerr == nil {
+			rerr = fmt.Errorf("oracle %s: variant install refused", c.Name)
+		}
+		return rerr
+	}
 	_, rerr := brew.Do(inst.M, &brew.Request{
 		Config: inst.Cfg, Fn: inst.Fn, Args: inst.Args, FArgs: inst.FArgs,
 	})
 	return rerr
+}
+
+// installVariants builds a variant-table entry on inst's machine with one
+// variant per guard set in c.VariantGuards. A nil entry with a nil error
+// means an install was refused without a cause we can surface (the
+// outcome was degraded without an error).
+func installVariants(c Case, inst *Instance) (*specmgr.Manager, *specmgr.Entry, error) {
+	mgr := specmgr.New(inst.M, specmgr.Policy{})
+	e, rerr := mgr.SpecializeGuarded(inst.Cfg, inst.Fn, c.VariantGuards[0], inst.Args, inst.FArgs)
+	if rerr != nil || e.Degraded() {
+		return nil, nil, rerr
+	}
+	for _, gs := range c.VariantGuards[1:] {
+		out, derr := brew.Do(inst.M, &brew.Request{
+			Config: inst.Cfg, Fn: inst.Fn, Guards: gs,
+			Args: inst.Args, FArgs: inst.FArgs, Mode: brew.ModeDegrade,
+		})
+		if _, ok := mgr.InstallVariant(e, inst.Cfg, gs, inst.Args, inst.FArgs, out, derr); !ok {
+			return nil, nil, derr
+		}
+	}
+	return mgr, e, nil
 }
 
 func newHarness(c Case) (*harness, error) {
@@ -211,6 +252,29 @@ func newHarness(c Case) (*harness, error) {
 		rewr.Cfg.Inject = c.Inject
 	}
 	rewr.Cfg.Effort = c.Effort
+	if len(c.VariantGuards) > 0 {
+		// Multi-version path: the trials run through the entry's stub and
+		// inline-cache dispatch chain. The snapshots are taken after every
+		// install, so trial rollbacks keep the table's code intact (it
+		// lives in the excluded jit segment anyway).
+		_, e, rerr := installVariants(c, rewr)
+		if e == nil {
+			_ = rerr
+			return nil, nil // refusal; Run re-derives the error
+		}
+		h := &harness{
+			c:        c,
+			orig:     &machState{inst: orig, snap: snapshot(orig.M)},
+			rewr:     &machState{inst: rewr, snap: snapshot(rewr.M)},
+			rewrAddr: e.Addr(),
+			listing:  e.Result().Listing(),
+		}
+		h.stepLimit = c.StepLimit
+		if h.stepLimit <= 0 {
+			h.stepLimit = 8 << 20
+		}
+		return h, nil
+	}
 	req := &brew.Request{Config: rewr.Cfg, Fn: rewr.Fn, Args: rewr.Args, FArgs: rewr.FArgs}
 	if c.Degrade {
 		// Never a skip: a failed rewrite degrades to the original entry,

@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"repro/internal/brew"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// The polymorphic kernel the variant cases dispatch on: the loop bound k
+// (and for the two-guard case also x) selects the specialized body.
+const variantPolySrc = `
+long poly(long x, long k) {
+    long r = 1;
+    for (long i = 0; i < k; i++) { r = r * x + i; }
+    return r;
+}
+`
+
+func buildPoly() (*Instance, error) {
+	m, err := vm.New()
+	if err != nil {
+		return nil, err
+	}
+	l, err := minc.CompileAndLink(m, variantPolySrc, nil)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := l.FuncAddr("poly")
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{M: m, Fn: fn, Cfg: brew.NewConfig(), Args: []uint64{0, 0}}, nil
+}
+
+// VariantCases returns deterministic multi-variant dispatch cases: a
+// variant-table entry with several guarded specializations behind one
+// inline-cache stub, driven with argument vectors that hit every hot
+// class, miss them all (generic fallthrough), and — for the two-guard
+// case — match one guard of a set but not the other (partial miss).
+func VariantCases() []Case {
+	single := Case{
+		Name:  "V1-poly-variants",
+		Build: buildPoly,
+		VariantGuards: [][]brew.ParamGuard{
+			{{Param: 2, Value: 3}},
+			{{Param: 2, Value: 5}},
+			{{Param: 2, Value: 9}},
+		},
+		NewArgs: func(r *rand.Rand) ([]uint64, []float64) {
+			// Hot classes, unspecialized values and the k=0 edge, in a mix.
+			ks := []uint64{3, 5, 9, 0, 4, 7, 16}
+			return []uint64{r.Uint64() % 1000, ks[r.Intn(len(ks))]}, nil
+		},
+		Trials: 12,
+	}
+	double := Case{
+		Name:  "V2-poly-two-guards",
+		Build: buildPoly,
+		VariantGuards: [][]brew.ParamGuard{
+			{{Param: 1, Value: 2}, {Param: 2, Value: 5}},
+			{{Param: 1, Value: 3}, {Param: 2, Value: 7}},
+		},
+		NewArgs: func(r *rand.Rand) ([]uint64, []float64) {
+			// Full matches, full misses, and partial matches (one guard of
+			// a set satisfied): partial matches must fall through.
+			xs := []uint64{2, 3, 4}
+			ks := []uint64{5, 7, 6}
+			return []uint64{xs[r.Intn(len(xs))], ks[r.Intn(len(ks))]}, nil
+		},
+		Trials: 12,
+	}
+	return []Case{single, double}
+}

@@ -33,7 +33,7 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 	cell := w.M1 + uint64((gridXS+1)*8)
 
 	var fired uint64
-	runs, degradedRuns, deoptRuns := 0, 0, 0
+	runs, degradedRuns, deoptRuns, variantDeopts := 0, 0, 0, 0
 	for seed := int64(1); fired < target; seed++ {
 		runs++
 
@@ -70,6 +70,24 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 			degradedRuns++
 		}
 
+		// On guarded seeds, grow the entry into a variant table: a sibling
+		// for a different guard value, rewritten without the frozen
+		// descriptor and under the same injector (the install may fail;
+		// that must only cost speed). The frozen-store invariant below then
+		// exercises variant-level deopt: only the frozen variant demotes.
+		frozen := e.VariantFor([]uint64{0, gridXS, 0})
+		var sib *specmgr.Variant
+		if seed%4 == 0 {
+			scfg := brew.NewConfig()
+			scfg.Inject = inj.Hook()
+			sg := []brew.ParamGuard{{Param: 2, Value: gridXS + 1}}
+			sout, serr := brew.Do(m, &brew.Request{
+				Config: scfg, Fn: w.Apply, Guards: sg,
+				Args: []uint64{0, 0, 0}, Mode: brew.ModeDegrade,
+			})
+			sib, _ = mgr.InstallVariant(e, scfg, sg, []uint64{0, 0, 0}, nil, sout, serr)
+		}
+
 		// Invariant 1: the checksum matches the golden reference whether
 		// the entry is specialized or degraded.
 		if err := w.ResetMatrices(); err != nil {
@@ -92,7 +110,19 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 			if _, err := m.CallFloat(poke, []uint64{w.S5 + 8}, []float64{-0.5}); err != nil {
 				t.Fatalf("seed %d: poke: %v", seed, err)
 			}
-			if d, _ := e.Deopted(); !d && !wasDegraded {
+			if sib != nil && sib.Live() {
+				// A live sibling without the assumption keeps the entry
+				// serving: the store may only demote the frozen variant.
+				if frozen != nil && frozen.Live() {
+					t.Fatalf("seed %d: frozen store did not demote the frozen variant", seed)
+				}
+				if d, _ := e.Deopted(); d {
+					t.Fatalf("seed %d: entry deopted despite a live sibling", seed)
+				}
+				if frozen != nil {
+					variantDeopts++
+				}
+			} else if d, _ := e.Deopted(); !d && !wasDegraded {
 				t.Fatalf("seed %d: frozen store did not deoptimize", seed)
 			}
 			if d, _ := e.Deopted(); d {
@@ -146,6 +176,6 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 	if got := m.JITAlloc.FreeBytes(); got != baseline {
 		t.Errorf("chaos leaked code-buffer space: %d free, baseline %d", got, baseline)
 	}
-	t.Logf("chaos: %d runs, %d injected faults, %d degraded, %d deopts",
-		runs, fired, degradedRuns, deoptRuns)
+	t.Logf("chaos: %d runs, %d injected faults, %d degraded, %d deopts, %d variant-level deopts",
+		runs, fired, degradedRuns, deoptRuns, variantDeopts)
 }

@@ -11,6 +11,8 @@ var (
 	mRespecFailures    = telemetry.Default.Counter("specmgr.respec_failures")
 	mEvictions         = telemetry.Default.Counter("specmgr.evictions")
 	mWatchHits         = telemetry.Default.Counter("specmgr.watch_hits")
+	mVariantDemotions  = telemetry.Default.Counter("specmgr.variant_demotions")
+	mVariantEvictions  = telemetry.Default.Counter("specmgr.variant_evictions")
 
 	mDeoptBy = map[string]*telemetry.Counter{
 		DeoptAssumption: telemetry.Default.Counter("specmgr.deopt.assumption_violated"),

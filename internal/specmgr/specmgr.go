@@ -1,15 +1,26 @@
 // Package specmgr manages the lifetime of runtime specializations: it is
-// the self-healing layer above the BREW rewriter. Every specialization is
-// registered together with the assumptions it was built under — the frozen
-// memory regions (SetMemRange plus ParamPtrToKnown pointees) and guarded
-// parameter values — and the manager arms VM write-watchpoints over the
-// frozen ranges. A store into a frozen region deoptimizes the stale code
-// before the next call through the entry returns: the entry's patchable
-// stub is atomically redirected to the original function, and on the next
-// managed call the entry may lazily re-specialize against the new memory
-// contents.
+// the self-healing layer above the BREW rewriter. Each managed function is
+// an Entry fronted by a small patchable stub (the stable address callers
+// bake into tables), behind which lives a multi-version variant table: up
+// to Policy.MaxVariants specialized bodies keyed on observed hot argument
+// values, dispatched through an entry-owned inline-cache chain — one
+// compare-and-branch block per guarded variant, falling through to the
+// unconditional variant or the generic original on miss, so an
+// unspecialized value class is never wrong, only generic-speed.
 //
-// Together with brew.RewriteOrDegrade this yields the robustness
+// Every variant is registered together with the assumptions it was built
+// under — the frozen memory regions (SetMemRange plus ParamPtrToKnown
+// pointees) and guarded parameter values — and the manager arms VM
+// write-watchpoints over the frozen ranges. Lifecycle is per variant: a
+// store into a frozen region, or a guard-miss storm, demotes only the
+// offending variant by patching its chain block away before the next call
+// returns; cold variants are evicted individually (LRU within the table).
+// Only when the last live variant demotes does the entry as a whole
+// deoptimize — the stub is redirected to the original function, and on
+// the next managed call the entry may lazily re-specialize against the
+// new memory contents.
+//
+// Together with brew.Do's degrade mode this yields the robustness
 // invariant the chaos tests (chaos_test.go) enforce: the system is never
 // wrong and never crashes; at worst it runs the original code at generic
 // speed.
@@ -34,6 +45,9 @@ const (
 	DeoptGuardStorm = "guard-miss-storm"
 	// DeoptManual: explicit Manager.Deopt call.
 	DeoptManual = "manual"
+	// DeoptEvicted: the variant was removed by its owner (cache eviction),
+	// not by an invalidated assumption.
+	DeoptEvicted = "variant-evicted"
 )
 
 // ErrReleased reports a managed call through a released entry.
@@ -44,9 +58,13 @@ type Policy struct {
 	// MaxLive bounds live entries; exceeding it evicts the least recently
 	// used entry (releasing its code-buffer space). 0 means unlimited.
 	MaxLive int
-	// GuardMissLimit deoptimizes a guarded entry after this many
-	// consecutive guard misses observed by Entry.Call/CallFloat (the
-	// specialized variant is evidently no longer the hot case). 0 disables.
+	// MaxVariants bounds the live variants in one entry's table; installing
+	// past it evicts the least recently dispatched variant (its body is
+	// reclaimed, the rest of the table keeps serving). 0 means unlimited.
+	MaxVariants int
+	// GuardMissLimit demotes a guarded variant after this many consecutive
+	// guard misses observed by Entry.Call/CallFloat (the specialized
+	// variant is evidently no longer the hot case). 0 disables.
 	GuardMissLimit uint64
 	// Respecialize re-runs the rewrite lazily on the first managed call
 	// after a deoptimization, against the current memory contents. One
@@ -68,8 +86,9 @@ type Manager struct {
 	clock   uint64
 }
 
-// Entry is one managed specialization. Its stable address (Addr) is a
-// small patchable stub, so deoptimization retargets every caller at once.
+// Entry is one managed function. Its stable address (Addr) is a small
+// patchable stub routing into the variant table's dispatch chain, so
+// demotion and deoptimization retarget every caller at once.
 type Entry struct {
 	mgr *Manager
 	fn  uint64
@@ -78,21 +97,27 @@ type Entry struct {
 	// stub-side counter bumped on every managed call; hotSamples counts
 	// sampling-profiler hits attributed to this entry's code (each sample
 	// represents one profiler interval of cycles). Atomic so the call
-	// path and the profiler feed never take mgr.mu.
+	// path and the profiler feed never take mgr.mu. Per-variant hotness
+	// lives on the Variants themselves.
 	hotCalls   atomic.Uint64
 	hotSamples atomic.Uint64
 
 	// Everything below is guarded by mgr.mu.
-	stub       uint64 // patchable JMP, 0 if stub allocation failed
-	res        *brew.Result
-	guarded    *brew.GuardedResult
-	cfg        *brew.Config
-	args       []uint64
-	fargs      []float64
-	guards     []brew.ParamGuard
-	watches    []*vm.Watch
-	tier       brew.Effort // effort the current code was rewritten at
-	pending    bool        // adopted, awaiting Promote (stub routes to fn meanwhile)
+	stub     uint64         // patchable JMP, 0 if stub allocation failed
+	variants []*Variant     // live variants, chain dispatch order
+	retired  []*Variant     // demoted/evicted, code pending idle-point reclaim
+	chain    *dispatchChain // inline-cache dispatcher, nil when no guarded variant
+	primary  *Variant       // the variant Result/Tier/Guarded report (first install)
+
+	// The primary request, retained for respecialization; callers must not
+	// mutate cfg/args/fargs after handing them over.
+	cfg    *brew.Config
+	args   []uint64
+	fargs  []float64
+	guards []brew.ParamGuard
+
+	pending    bool // adopted, awaiting Promote (stub routes to fn meanwhile)
+	degraded   bool // specialization failed; running the original
 	deopted    bool
 	reason     string // last deopt (or degradation) reason
 	respecDone bool   // one respecialization attempt per deopt
@@ -115,13 +140,17 @@ func (e *Entry) Hotness() (calls, samples uint64) {
 	return e.hotCalls.Load(), e.hotSamples.Load()
 }
 
-// Tier returns the effort the entry's current specialized code was
-// rewritten at (EffortFull for pending/degraded entries running the
-// original function — the tier is meaningful only alongside Result).
+// Tier returns the effort of the code the entry actually serves: the
+// primary variant's rewrite effort, or EffortFull for pending, degraded,
+// deopted, or released entries — those run the original function, which
+// by definition is not a reduced-fidelity body.
 func (e *Entry) Tier() brew.Effort {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
-	return e.tier
+	if p := e.primary; p != nil && p.live && !e.pending && !e.deopted && !e.degraded && !e.released {
+		return p.tier
+	}
+	return brew.EffortFull
 }
 
 // New returns a Manager for machine m.
@@ -145,44 +174,35 @@ func (g *Manager) Lookup(fn uint64) *Entry {
 
 // Specialize rewrites fn under cfg and registers the result. It never
 // fails into an unusable state: on any rewrite failure the returned entry
-// transparently runs the original function (Result semantics of
-// brew.RewriteOrDegrade) and the error reports the cause. cfg, args and
-// fargs are retained for respecialization and must not be mutated by the
-// caller afterwards.
+// transparently runs the original function and the error reports the
+// cause. cfg, args and fargs are retained for respecialization and must
+// not be mutated by the caller afterwards.
 func (g *Manager) Specialize(cfg *brew.Config, fn uint64, args []uint64, fargs []float64) (*Entry, error) {
 	out, err := brew.Do(g.m, &brew.Request{
 		Config: cfg, Fn: fn, Args: args, FArgs: fargs, Mode: brew.ModeDegrade,
 	})
-	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, res: out.Result, tier: cfg.Effort}
-	if out.Degraded {
-		e.reason = out.Reason
-	}
-	g.register(e, out.Addr, err)
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs}
+	g.registerNew(e, out, err)
 	return e, err
 }
 
 // SpecializeGuarded is Specialize for guarded specializations (Request
-// Guards): the entry dispatches on the guard conditions and is additionally
-// subject to the guard-miss-storm deopt policy.
+// Guards): the entry's variant dispatches on the guard conditions and is
+// additionally subject to the guard-miss-storm demotion policy.
 func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.ParamGuard, args []uint64, fargs []float64) (*Entry, error) {
-	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards, tier: cfg.Effort}
+	e := &Entry{mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards}
 	if len(guards) == 0 {
 		// A guardless guarded request would silently become a plain
 		// specialization through Do; keep the historical refusal.
-		e.res = &brew.Result{Addr: fn, Degraded: true}
 		e.reason = brew.ReasonBadConfig
 		err := fmt.Errorf("%w (%s): %w: no guards", brew.ErrDegraded, brew.ReasonBadConfig, brew.ErrBadConfig)
-		g.register(e, fn, err)
+		g.registerNew(e, nil, err)
 		return e, err
 	}
 	out, err := brew.Do(g.m, &brew.Request{
 		Config: cfg, Fn: fn, Guards: guards, Args: args, FArgs: fargs, Mode: brew.ModeDegrade,
 	})
-	e.res, e.guarded = out.Result, out.Guarded
-	if out.Degraded {
-		e.reason = out.Reason
-	}
-	g.register(e, out.Addr, err)
+	g.registerNew(e, out, err)
 	return e, err
 }
 
@@ -193,7 +213,7 @@ func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.P
 // the hot path never blocks on a trace). Detached entries do not occupy the
 // per-function slot in the manager's table, so several specializations of
 // the same function can be co-resident (the service cache keeps one entry
-// per (fn, config fingerprint, argument values) key); they are exempt from
+// per (fn, config fingerprint, guard-set) key); they are exempt from
 // MaxLive eviction and are released explicitly via Release.
 //
 // cfg, args and fargs are retained for respecialization and must not be
@@ -201,24 +221,24 @@ func (g *Manager) SpecializeGuarded(cfg *brew.Config, fn uint64, guards []brew.P
 func (g *Manager) AdoptPending(cfg *brew.Config, fn uint64, args []uint64, fargs []float64, guards []brew.ParamGuard) *Entry {
 	e := &Entry{
 		mgr: g, fn: fn, cfg: cfg, args: args, fargs: fargs, guards: guards,
-		res:     &brew.Result{Addr: fn, Degraded: true}, // placeholder until Promote
 		pending: true,
-		tier:    cfg.Effort,
 	}
 	// Stub failure (JIT space exhausted) leaves stub == 0: the entry then
-	// routes to fn directly and Promote can only degrade it.
+	// routes to fn directly and installs can only degrade it.
 	e.stub, _ = g.installStub(fn)
 	return e
 }
 
 // Promote completes a pending entry with the outcome of its rewrite
-// (typically produced by a brewsvc worker via brew.Do under ModeDegrade).
-// On success the stub is atomically patched to the specialized code and the
-// assumption watchpoints are armed; every caller holding the entry's Addr
-// switches to the specialization at the next emulated fetch. On a degraded
-// outcome — or when the entry was released or lost its stub while the
-// rewrite ran — the fresh code is freed and the entry stays at generic
-// speed. Promote reports whether the entry now runs specialized code.
+// (typically produced by a brewsvc worker via brew.Do under ModeDegrade),
+// installing it as the entry's first — primary — variant. On success the
+// stub is atomically patched to the specialized code (directly, or through
+// the dispatch chain for guarded outcomes) and the assumption watchpoints
+// are armed; every caller holding the entry's Addr switches to the
+// specialization at the next emulated fetch. On a degraded outcome — or
+// when the entry was released or lost its stub while the rewrite ran —
+// the fresh code is freed and the entry stays at generic speed. Promote
+// reports whether the entry now runs specialized code.
 func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -227,23 +247,13 @@ func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 	}
 	e.pending = false
 
-	free := func() {
-		if out == nil || out.Degraded {
-			return
-		}
-		if out.Guarded != nil {
-			_ = g.m.FreeJIT(out.Guarded.Addr)
-		}
-		if out.Result != nil && !out.Result.Degraded {
-			_ = g.m.FreeJIT(out.Result.Addr)
-		}
-	}
 	if e.released {
-		free()
+		freeOutcome(g.m, out)
 		return false
 	}
 	if out == nil || out.Degraded || rerr != nil {
-		free() // defensive: a degraded outcome carries no code
+		freeOutcome(g.m, out) // defensive: a degraded outcome carries no code
+		e.degraded = true
 		if out != nil && out.Reason != "" {
 			e.reason = out.Reason
 		} else if rerr != nil {
@@ -255,101 +265,88 @@ func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 	if e.stub == 0 {
 		// Nowhere to hot-install: without a patchable stub the handed-out
 		// Addr is the original function forever.
-		free()
+		freeOutcome(g.m, out)
+		e.degraded = true
 		e.reason = brew.ReasonCodeBuffer
 		mDegraded.Inc()
 		return false
 	}
-	e.res, e.guarded = out.Result, out.Guarded
-	e.reason = ""
-	e.tier = e.cfg.Effort
-	g.patchStub(e.stub, out.Addr)
-	g.armWatches(e)
+	v := g.installOutcomeLocked(e, e.cfg, e.guards, e.args, e.fargs, out)
+	if v == nil {
+		mDegraded.Inc()
+		return false
+	}
+	e.primary = v
 	g.clock++
 	e.lastUse = g.clock
 	mSpecializations.Inc()
 	return true
 }
 
-// Repromote hot-swaps a live entry's specialized code for the outcome of
-// a re-rewrite at a different effort — the tier-promotion path: a
-// brewsvc background worker re-rewrites a hot tier-0 entry at
-// brew.EffortFull and installs the optimized body here. cfg is the
-// configuration the new code was built under; on success it replaces the
-// entry's retained configuration (so later respecializations stay at the
-// promoted tier), the old body and dispatcher are freed, the stub is
-// atomically patched to the new code, and the assumption watchpoints are
-// re-armed over the new configuration's frozen ranges.
+// Repromote hot-swaps the entry's primary variant for the outcome of a
+// re-rewrite at a different effort — the tier-promotion path: a brewsvc
+// background worker re-rewrites a hot tier-0 variant at brew.EffortFull
+// and installs the optimized body here. It is RepromoteVariant applied to
+// the primary variant; cfg on success replaces the entry's retained
+// configuration (so later respecializations stay at the promoted tier).
 //
 // The swap is refused — and the fresh code freed — when the entry was
-// released, deopted, demoted to the original function, or still pending
-// while the rewrite ran, or when the outcome itself is degraded: the
-// entry then keeps serving whatever it served before, so a failed
-// promotion is never worse than no promotion. Like every rewrite, the
-// call requires that the machine is not executing emulated code (the old
-// body may not be freed out from under the emulated call stack).
+// released, deopted, degraded, or still pending while the rewrite ran, or
+// when the outcome itself is degraded: the entry then keeps serving
+// whatever it served before, so a failed promotion is never worse than no
+// promotion. Like every rewrite, the call requires that the machine is
+// not executing emulated code (the old body may not be freed out from
+// under the emulated call stack).
 func (g *Manager) Repromote(e *Entry, cfg *brew.Config, out *brew.Outcome, rerr error) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-
-	free := func() {
-		if out == nil || out.Degraded {
-			return
-		}
-		if out.Guarded != nil {
-			_ = g.m.FreeJIT(out.Guarded.Addr)
-		}
-		if out.Result != nil && !out.Result.Degraded {
-			_ = g.m.FreeJIT(out.Result.Addr)
-		}
-	}
-	if e.released || e.pending || e.deopted || e.res.Degraded || e.stub == 0 {
-		free()
+	if e.released || e.pending || e.deopted || e.degraded || e.primary == nil || !e.primary.live {
+		freeOutcome(g.m, out)
 		return false
 	}
-	if out == nil || out.Degraded || rerr != nil {
-		free()
-		return false
-	}
-	g.disarmWatches(e)
-	_ = g.freeCode(e)
-	e.res, e.guarded = out.Result, out.Guarded
-	if cfg != nil {
-		e.cfg = cfg
-	}
-	e.tier = e.cfg.Effort
-	e.reason = ""
-	g.patchStub(e.stub, out.Addr)
-	g.armWatches(e)
-	g.clock++
-	e.lastUse = g.clock
-	return true
+	return g.repromoteVariantLocked(e, e.primary, cfg, out, rerr)
 }
 
-// register installs the stub, arms watchpoints, and inserts the entry,
-// evicting over MaxLive.
-func (g *Manager) register(e *Entry, target uint64, rerr error) {
-	if rerr != nil {
-		mDegraded.Inc()
-	} else {
-		mSpecializations.Inc()
-	}
-	// The stable entry: a 5-byte JMP that deoptimization can retarget
-	// atomically (at emulated-instruction granularity). If even this tiny
-	// allocation fails, fall back to the original entry directly — the
-	// entry then cannot be specialized, only degraded.
-	stub, err := g.installStub(target)
-	if err != nil && !e.res.Degraded {
-		_ = g.freeCode(e)
-		e.res = &brew.Result{Addr: e.fn, Degraded: true}
-		e.guarded = nil
-		e.reason = brew.ReasonCodeBuffer
-	}
+// registerNew installs the stub and inserts the fresh entry, evicting over
+// MaxLive. The specialization/degradation counter decision happens after
+// the stub outcome: a successful rewrite whose stub allocation fails
+// cannot be served and is counted as degraded, not as a live
+// specialization.
+func (g *Manager) registerNew(e *Entry, out *brew.Outcome, rerr error) {
+	// The stable entry: a 5-byte JMP that demotion can retarget atomically
+	// (at emulated-instruction granularity). If even this tiny allocation
+	// fails, fall back to the original entry directly — the entry then
+	// cannot be specialized, only degraded.
+	stub, serr := g.installStub(e.fn)
 	e.stub = stub // 0 on failure
 
 	g.mu.Lock()
-	if !e.res.Degraded {
-		g.armWatches(e)
+	switch {
+	case out == nil || out.Degraded || rerr != nil:
+		freeOutcome(g.m, out) // defensive: a degraded outcome carries no code
+		e.degraded = true
+		if e.reason == "" {
+			if out != nil && out.Reason != "" {
+				e.reason = out.Reason
+			} else if rerr != nil {
+				e.reason = brew.DegradeReason(rerr)
+			}
+		}
+		mDegraded.Inc()
+	case serr != nil:
+		freeOutcome(g.m, out)
+		e.degraded = true
+		e.reason = brew.ReasonCodeBuffer
+		mDegraded.Inc()
+	default:
+		if v := g.installOutcomeLocked(e, e.cfg, e.guards, e.args, e.fargs, out); v != nil {
+			e.primary = v
+			mSpecializations.Inc()
+		} else {
+			// installOutcomeLocked degraded the entry (chain allocation
+			// failed); count it with the other degradations.
+			mDegraded.Inc()
+		}
 	}
 	if old := g.entries[e.fn]; old != nil {
 		g.releaseLocked(old)
@@ -389,34 +386,12 @@ func (g *Manager) patchStub(stub, target uint64) {
 	}
 }
 
-// armWatches installs write-watchpoints over the entry's frozen ranges
-// (mgr.mu held).
-func (g *Manager) armWatches(e *Entry) {
-	for _, r := range e.cfg.FrozenRanges(e.args) {
-		e.watches = append(e.watches, g.m.AddWatch(r.Start, r.End,
-			func(*vm.Watch, uint64, int) {
-				// Fires from the store path mid-execution, outside mgr.mu
-				// (no managed code runs while the lock is held, so this
-				// cannot deadlock).
-				mWatchHits.Inc()
-				g.mu.Lock()
-				g.deoptLocked(e, DeoptAssumption)
-				g.mu.Unlock()
-			}))
-	}
-}
-
-// disarmWatches removes the entry's watchpoints (mgr.mu held; safe during
-// watch dispatch — the VM's watch list is copy-on-write).
-func (g *Manager) disarmWatches(e *Entry) {
-	for _, w := range e.watches {
-		g.m.RemoveWatch(w)
-	}
-	e.watches = nil
-}
+// patchJmp retargets one JMP inside the dispatch chain — same
+// single-instruction patch as the stub, so it is safe mid-execution.
+func (g *Manager) patchJmp(at, target uint64) { g.patchStub(at, target) }
 
 // Addr returns the entry's stable address: callers may bake it into other
-// specializations or tables; deoptimization retargets them all through the
+// specializations or tables; demotion retargets them all through the
 // stub. It is the original function for fully degraded entries.
 func (e *Entry) Addr() uint64 {
 	e.mgr.mu.Lock()
@@ -440,7 +415,7 @@ func (e *Entry) Fn() uint64 { return e.fn }
 func (e *Entry) Degraded() bool {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
-	return e.res.Degraded && !e.pending
+	return e.degraded && !e.pending
 }
 
 // Pending reports whether the entry awaits Promote (AdoptPending); its Addr
@@ -451,136 +426,212 @@ func (e *Entry) Pending() bool {
 	return e.pending
 }
 
-// Result returns the entry's current rewrite result (a degraded placeholder
-// for pending, degraded, or released entries).
+// Result returns the primary variant's rewrite result (a degraded
+// placeholder for pending, degraded, deopted, or released entries).
 func (e *Entry) Result() *brew.Result {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
-	return e.res
+	if p := e.primary; p != nil && p.live && p.res != nil && !e.pending {
+		return p.res
+	}
+	return &brew.Result{Addr: e.fn, Degraded: true}
 }
 
-// Deopted reports whether the entry is deoptimized and why.
+// Deopted reports whether the entry is deoptimized and why (the reason is
+// also set for degraded entries).
 func (e *Entry) Deopted() (bool, string) {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
 	return e.deopted, e.reason
 }
 
-// Guarded returns the guarded-dispatch result (nil for plain or degraded
-// entries); its counters feed the storm policy.
+// Guarded returns the primary variant's guard accounting (nil for plain,
+// pending, or degraded entries); its counters feed the storm policy. Only
+// the counters and Matches are meaningful: dispatch runs through the
+// entry's inline-cache chain, not the dispatcher brew built.
 func (e *Entry) Guarded() *brew.GuardedResult {
 	e.mgr.mu.Lock()
 	defer e.mgr.mu.Unlock()
-	return e.guarded
+	if p := e.primary; p != nil && p.live {
+		return p.gr
+	}
+	return nil
 }
 
-// prepare touches the LRU clock and performs a lazy respecialization if
-// the entry is deopted and the policy allows. Returns the guarded result
-// to dispatch through (nil: call the stub) and the call target.
-func (e *Entry) prepare() (*brew.GuardedResult, uint64, error) {
+// Variants returns a snapshot of the live variant table in dispatch
+// order.
+func (e *Entry) Variants() []*Variant {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	return append([]*Variant(nil), e.variants...)
+}
+
+// DispatchRange returns the JIT address range of the entry's inline-cache
+// dispatch chain, or (0, 0) when no chain exists (at most one
+// unconditional variant). Profiler samples landing in the chain belong to
+// the entry's dispatch work.
+func (e *Entry) DispatchRange() (lo, hi uint64) {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	if e.chain == nil {
+		return 0, 0
+	}
+	return e.chain.addr, e.chain.addr + uint64(e.chain.size)
+}
+
+// VariantFor returns the variant the dispatch chain would route args to
+// (the unconditional variant on a full miss), or nil when the entry runs
+// the original function.
+func (e *Entry) VariantFor(args []uint64) *Variant {
+	e.mgr.mu.Lock()
+	defer e.mgr.mu.Unlock()
+	if e.deopted || e.pending || e.released {
+		return nil
+	}
+	for _, v := range e.variants {
+		if len(v.key) > 0 && v.gr.Matches(args) {
+			return v
+		}
+	}
+	return e.uncondLocked()
+}
+
+func (e *Entry) uncondLocked() *Variant {
+	for _, v := range e.variants {
+		if len(v.key) == 0 {
+			return v
+		}
+	}
+	return nil
+}
+
+func (e *Entry) hasLiveLocked() bool { return len(e.variants) > 0 }
+
+// prepare is the managed-call entry point: it touches the LRU clock,
+// reclaims retired code (the machine is idle here — managed calls are
+// serial), performs a lazy respecialization if the entry is deopted and
+// the policy allows, and mirrors the chain's dispatch decision into the
+// per-variant hit/miss accounting. Returns the call target.
+func (e *Entry) prepare(args []uint64) (uint64, error) {
 	g := e.mgr
 	g.mu.Lock()
 	if e.released {
 		g.mu.Unlock()
-		return nil, 0, ErrReleased
+		return 0, ErrReleased
 	}
 	g.clock++
 	e.lastUse = g.clock
+	g.compactLocked(e)
 	if e.deopted && g.pol.Respecialize && !e.respecDone {
 		e.respecDone = true
 		g.respecializeLocked(e) // drops and reacquires g.mu
 	}
-	gr := e.guarded
-	if e.deopted {
-		gr = nil // dispatcher may still exist, but the stub routes to fn
-	}
+	e.noteDispatchLocked(g, args)
 	target := e.addrLocked()
 	g.mu.Unlock()
-	return gr, target, nil
+	return target, nil
 }
 
-// Call invokes the entry with guard accounting and the adaptive deopt
+// noteDispatchLocked replays the chain's dispatch decision over the live
+// variants in chain order: guard accounting (hit/miss/streak) for every
+// guarded variant up to and including the one that matches, and a
+// call-hotness bump for the variant that will run.
+func (e *Entry) noteDispatchLocked(g *Manager, args []uint64) {
+	if e.deopted || e.pending || e.released {
+		return
+	}
+	var uncond *Variant
+	for _, v := range e.variants {
+		if len(v.key) == 0 {
+			uncond = v
+			continue
+		}
+		hit := v.gr.Matches(args)
+		v.gr.Note(hit)
+		if hit {
+			v.hotCalls.Add(1)
+			g.clock++
+			v.lastUse = g.clock
+			return
+		}
+	}
+	if uncond != nil {
+		uncond.hotCalls.Add(1)
+		g.clock++
+		uncond.lastUse = g.clock
+	}
+}
+
+// Call invokes the entry with guard accounting and the adaptive demotion
 // policy applied. The machine must not be executing concurrently.
 func (e *Entry) Call(args ...uint64) (uint64, error) {
 	e.hotCalls.Add(1)
-	gr, target, err := e.prepare()
+	target, err := e.prepare(args)
 	if err != nil {
 		return 0, err
 	}
-	if gr != nil {
-		ret, err := gr.Call(e.mgr.m, args...)
-		e.mgr.checkStorm(e, gr)
-		return ret, err
-	}
-	return e.mgr.m.Call(target, args...)
+	ret, cerr := e.mgr.m.Call(target, args...)
+	e.mgr.checkStorm(e)
+	return ret, cerr
 }
 
-// CallFloat is Call for float-returning functions.
+// CallFloat is Call for float-returning functions. Guard dispatch is on
+// the integer arguments, as in the chain itself.
 func (e *Entry) CallFloat(intArgs []uint64, fArgs []float64) (float64, error) {
 	e.hotCalls.Add(1)
-	gr, target, err := e.prepare()
+	target, err := e.prepare(intArgs)
 	if err != nil {
 		return 0, err
 	}
-	if gr != nil {
-		ret, err := gr.CallFloat(e.mgr.m, intArgs, fArgs)
-		e.mgr.checkStorm(e, gr)
-		return ret, err
-	}
-	return e.mgr.m.CallFloat(target, intArgs, fArgs)
+	ret, cerr := e.mgr.m.CallFloat(target, intArgs, fArgs)
+	e.mgr.checkStorm(e)
+	return ret, cerr
 }
 
-// checkStorm applies the consecutive-miss deopt policy after a guarded
-// call.
-func (g *Manager) checkStorm(e *Entry, gr *brew.GuardedResult) {
-	if g.pol.GuardMissLimit == 0 || gr.MissStreak() < g.pol.GuardMissLimit {
+// checkStorm applies the consecutive-miss demotion policy after a managed
+// call: any guarded variant whose miss streak reached the limit is
+// evidently no longer a hot case and is demoted (only that variant — the
+// rest of the table keeps serving).
+func (g *Manager) checkStorm(e *Entry) {
+	if g.pol.GuardMissLimit == 0 {
 		return
 	}
 	g.mu.Lock()
-	g.deoptLocked(e, DeoptGuardStorm)
+	for _, v := range append([]*Variant(nil), e.variants...) {
+		if v.live && len(v.key) > 0 && v.gr.MissStreak() >= g.pol.GuardMissLimit {
+			g.demoteVariantLocked(e, v, DeoptGuardStorm)
+		}
+	}
 	g.mu.Unlock()
 }
 
-// Deopt manually deoptimizes an entry: the stub is patched back to the
-// original function and the assumption watchpoints are removed. The
-// specialized code stays allocated until respecialization or release (it
-// may still be on the emulated call stack).
+// Deopt manually deoptimizes an entry: every live variant is demoted, the
+// stub is patched back to the original function and the assumption
+// watchpoints are removed. The specialized code stays allocated until the
+// next idle-point compaction, respecialization or release (it may still
+// be on the emulated call stack).
 func (g *Manager) Deopt(e *Entry, reason string) {
 	if reason == "" {
 		reason = DeoptManual
 	}
 	g.mu.Lock()
-	g.deoptLocked(e, reason)
+	for _, v := range append([]*Variant(nil), e.variants...) {
+		g.demoteVariantLocked(e, v, reason)
+	}
 	g.mu.Unlock()
 }
 
-// deoptLocked is the core deoptimization. It runs under mgr.mu and may be
-// invoked from a watchpoint handler in the middle of emulated execution:
-// patching the stub mid-run is safe because the decode cache is
-// invalidated and the stub itself is never mid-execution (it is a single
-// instruction).
-func (g *Manager) deoptLocked(e *Entry, reason string) {
-	if e.deopted || e.released || e.res.Degraded {
-		return
-	}
-	if e.stub != 0 {
-		g.patchStub(e.stub, e.fn)
-	}
-	g.disarmWatches(e)
-	e.deopted = true
-	e.respecDone = false
-	e.reason = reason
-	publishDeopt(reason)
-}
-
-// respecializeLocked re-runs the rewrite against current memory. Called
-// with mgr.mu held; releases it around the (slow) rewrite.
+// respecializeLocked re-runs the primary rewrite against current memory.
+// Called with mgr.mu held; releases it around the (slow) rewrite.
 func (g *Manager) respecializeLocked(e *Entry) {
-	// The machine is idle here (managed calls are serial), so the old
-	// specialized code is not on the call stack and can be freed first —
-	// respecialization must not leak toward code-buffer exhaustion.
-	_ = g.freeCode(e)
-	e.guarded = nil
+	// The machine is idle here (managed calls are serial), so retired and
+	// demoted code is not on the call stack and is reclaimed before the
+	// rewrite — respecialization must not leak toward code-buffer
+	// exhaustion.
+	for _, v := range append([]*Variant(nil), e.variants...) {
+		g.retireVariantLocked(v)
+	}
+	g.compactLocked(e)
 	cfg, fn, guards := e.cfg, e.fn, e.guards
 	args, fargs := e.args, e.fargs
 	g.mu.Unlock()
@@ -588,23 +639,13 @@ func (g *Manager) respecializeLocked(e *Entry) {
 	out, err := brew.Do(g.m, &brew.Request{
 		Config: cfg, Fn: fn, Args: args, FArgs: fargs, Guards: guards,
 	})
-	var (
-		target uint64
-		res    *brew.Result
-		gr     *brew.GuardedResult
-	)
-	if err == nil {
-		res, gr, target = out.Result, out.Guarded, out.Addr
-	}
 
 	g.mu.Lock()
-	if e.released {
-		// Evicted while rewriting: drop the fresh code again.
+	if e.released || !e.deopted {
+		// Evicted — or revived by a concurrent install — while rewriting:
+		// drop the fresh code again.
 		if err == nil {
-			if gr != nil {
-				_ = g.m.FreeJIT(gr.Addr)
-			}
-			_ = g.m.FreeJIT(res.Addr)
+			freeOutcome(g.m, out)
 		}
 		return
 	}
@@ -613,23 +654,22 @@ func (g *Manager) respecializeLocked(e *Entry) {
 		// the original function. Next deopt (i.e. never, until a manual
 		// one) may retry.
 		mRespecFailures.Inc()
-		e.res = &brew.Result{Addr: e.fn, Degraded: true}
+		e.degraded = true
 		e.reason = brew.DegradeReason(err)
 		return
 	}
-	e.res, e.guarded = res, gr
-	e.deopted = false
-	e.reason = ""
-	if e.stub != 0 {
-		g.patchStub(e.stub, target)
+	v := g.installOutcomeLocked(e, cfg, guards, args, fargs, out)
+	if v == nil {
+		mRespecFailures.Inc()
+		return
 	}
-	g.armWatches(e)
+	e.primary = v
 	mRespecializations.Inc()
 }
 
-// Release removes an entry and frees its stub, specialized body and
-// dispatcher. The entry must not be called afterwards and its Addr must no
-// longer be used.
+// Release removes an entry and frees its stub, variant bodies and
+// dispatch chain. The entry must not be called afterwards and its Addr
+// must no longer be used.
 func (g *Manager) Release(e *Entry) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -644,27 +684,32 @@ func (g *Manager) releaseLocked(e *Entry) {
 		return
 	}
 	e.released = true
-	g.disarmWatches(e)
-	_ = g.freeCode(e)
+	for _, v := range e.variants {
+		g.disarmVariantWatches(v)
+		v.live = false
+		if v.res != nil && !v.res.Degraded {
+			_ = g.m.FreeJIT(v.res.Addr)
+		}
+		v.res = nil
+		v.gr = nil
+	}
+	e.variants = nil
+	for _, v := range e.retired {
+		if v.res != nil && !v.res.Degraded {
+			_ = g.m.FreeJIT(v.res.Addr)
+		}
+		v.res = nil
+		v.gr = nil
+	}
+	e.retired = nil
+	if e.chain != nil {
+		_ = g.m.FreeJIT(e.chain.addr)
+		e.chain = nil
+	}
 	if e.stub != 0 {
 		_ = g.m.FreeJIT(e.stub)
 		e.stub = 0
 	}
-}
-
-// freeCode frees the entry's specialized body and dispatcher (not the
-// stub) and clears the pointers so a double free is impossible.
-func (g *Manager) freeCode(e *Entry) error {
-	var err error
-	if e.guarded != nil {
-		err = errors.Join(err, g.m.FreeJIT(e.guarded.Addr))
-	}
-	if e.res != nil && !e.res.Degraded {
-		err = errors.Join(err, g.m.FreeJIT(e.res.Addr))
-	}
-	e.guarded = nil
-	e.res = &brew.Result{Addr: e.fn, Degraded: true}
-	return err
 }
 
 // evictOverLimitLocked evicts least-recently-used entries (never keep,

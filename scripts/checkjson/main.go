@@ -3,7 +3,11 @@
 // count. If the tiered family (E6) is present, its acceptance bars are
 // enforced: tier-0 rewrite cost at least 3x below tier-1 (E6b >= 3*E6a)
 // and post-promotion steady-state cycles exactly equal to the tier-1
-// direct result (E6e == E6d). Used by scripts/verify.sh.
+// direct result (E6e == E6d). If the polymorph family (E7) is present,
+// the multi-version specialization bar is enforced: the single-variant
+// baseline's per-caller cost must be at least 2x the variant table's
+// (E7a >= 2*E7b), and the generic-fallthrough row E7c must exist.
+// Used by scripts/verify.sh.
 package main
 
 import (
@@ -80,6 +84,27 @@ func main() {
 				fmt.Fprintf(os.Stderr,
 					"checkjson: tiered: post-promotion steady state %d cycles != tier-1 direct %d\n",
 					byID["E6e"], byID["E6d"])
+				os.Exit(1)
+			}
+		}
+		if f.Key == "polymorph" {
+			byID := map[string]uint64{}
+			for _, r := range f.Rows {
+				byID[r.ID] = r.Cycles
+			}
+			for _, id := range []string{"E7a", "E7b", "E7c"} {
+				if _, ok := byID[id]; !ok {
+					fmt.Fprintf(os.Stderr, "checkjson: polymorph family is missing row %s\n", id)
+					os.Exit(1)
+				}
+			}
+			// E7a/E7b cycles are deterministic per-caller costs (execution
+			// cycles plus rewrite work units over calls); the variant-table
+			// acceptance bar is a >= 2x steady-state win per caller.
+			if byID["E7a"] < 2*byID["E7b"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: polymorph: single-variant cost %d is not >= 2x variant-table cost %d\n",
+					byID["E7a"], byID["E7b"])
 				os.Exit(1)
 			}
 		}

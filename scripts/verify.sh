@@ -55,12 +55,14 @@ go run ./cmd/brew-verify -seeds 0 -stencil=false -faults 60 -q
 # brew-bench smoke: tiny grid, JSON output must parse. The service family
 # also enforces the E5 acceptance bar (64-caller burst = exactly 1 trace);
 # the tiered family enforces the E6 bars (tier-0 rewrite cost >= 3x below
-# tier-1, post-promotion steady state == tier-1 direct), which checkjson
-# re-checks from the JSON.
+# tier-1, post-promotion steady state == tier-1 direct); the polymorph
+# family enforces the E7 bar (single-variant per-caller cost >= 2x the
+# variant table's, generic fallthrough correct). checkjson re-checks the
+# E6/E7 bars from the JSON.
 echo "== brew-bench -json smoke (tiny grid)"
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
-go run ./cmd/brew-bench -only stencil,service,tiered -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./cmd/brew-bench -only stencil,service,tiered,polymorph -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
 
 if [ "${FUZZ:-1}" = 1 ]; then
