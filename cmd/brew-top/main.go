@@ -1,0 +1,175 @@
+// brew-top is the live-introspection client for the specialization
+// service: it fetches a Service.Inspect() snapshot from a running
+// introspection listener (brewsvc.ServeIntrospection) and renders the
+// dashboard — queue depths, cache occupancy, per-stage latency quantiles,
+// the per-entry variant tables and the flight-recorder tail.
+//
+//	brew-top -url http://127.0.0.1:9127            one-shot dashboard
+//	brew-top -url http://127.0.0.1:9127 -json      raw Inspection JSON
+//	brew-top -url http://127.0.0.1:9127 -watch 1s  refresh until interrupted
+//	brew-top -demo                                 self-contained demo scenario
+//
+// -demo needs no server: it runs a coalesced specialization burst plus a
+// tier promotion against an in-process service, serves the introspection
+// endpoints on an ephemeral port, and renders the resulting dashboard
+// through the same HTTP path a live deployment would use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/obs"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "introspection listener base URL (e.g. http://127.0.0.1:9127)")
+		asJSON  = flag.Bool("json", false, "print the raw /inspect JSON instead of the dashboard")
+		watch   = flag.Duration("watch", 0, "refresh interval; 0 = one shot")
+		n       = flag.Int("n", 0, "stop after this many refreshes in watch mode (0 = until interrupted)")
+		demo    = flag.Bool("demo", false, "run the self-contained demo scenario instead of connecting")
+		callers = flag.Int("callers", 64, "demo: concurrent callers in the coalesced burst")
+	)
+	flag.Parse()
+
+	if *demo {
+		if err := runDemo(*callers, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "brew-top: -url or -demo required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	path := "/"
+	if *asJSON {
+		path = "/inspect"
+	}
+	base := strings.TrimRight(*url, "/")
+	for i := 0; ; i++ {
+		body, err := fetch(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *watch > 0 {
+			// ANSI clear + home, like top(1); harmless when redirected.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("brew-top %s — %s\n\n", base, time.Now().Format(time.TimeOnly))
+		}
+		fmt.Println(strings.TrimRight(body, "\n"))
+		if *watch <= 0 || (*n > 0 && i+1 >= *n) {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+// runDemo exercises the full observability surface in-process: a
+// coalesced burst of identical specialization requests (one trace, many
+// joiners), hotness-driven promotion of the tier-0 result, and a
+// dashboard render fetched through the HTTP introspection listener.
+func runDemo(callers int, asJSON bool) error {
+	obs.Enable()
+	defer obs.Disable()
+
+	m := vm.MustNew()
+	w, err := stencil.New(m, 16, 12)
+	if err != nil {
+		return err
+	}
+	const after = 8
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 4, QueueCap: 128, PromoteAfter: after})
+	defer svc.Close()
+
+	tickets := make([]*brewsvc.Ticket, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, args := w.ApplyConfig()
+			cfg.Effort = brew.EffortQuick
+			tickets[i] = svc.Submit(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		}(i)
+	}
+	wg.Wait()
+	var out brewsvc.Outcome
+	for i, tk := range tickets {
+		out = tk.Outcome()
+		if out.Degraded {
+			return fmt.Errorf("caller %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+	}
+
+	// Drive the entry past the hotness threshold and promote it to the
+	// optimized tier, so the dashboard shows a full lifecycle.
+	cell := w.M1 + uint64((16+1)*8)
+	callArgs := []uint64{cell, 16, w.S5}
+	want, err := m.CallFloat(w.Apply, callArgs, nil)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < after; i++ {
+		got, err := out.Entry.CallFloat(callArgs, nil)
+		if err != nil {
+			return err
+		}
+		if math.Abs(got-want) > 1e-12 {
+			return fmt.Errorf("tier-0 call = %g, want %g", got, want)
+		}
+	}
+	for _, tk := range svc.PumpPromotions() {
+		if p := tk.Outcome(); p.Degraded {
+			return fmt.Errorf("promotion degraded: %s (%v)", p.Reason, p.Err)
+		}
+	}
+
+	addr, stop, err := svc.ServeIntrospection("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer stop()
+	path := "/"
+	if asJSON {
+		path = "/inspect"
+	}
+	body, err := fetch("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("brew-top demo — %d callers, served from http://%s\n\n", callers, addr)
+	fmt.Println(strings.TrimRight(body, "\n"))
+	return nil
+}

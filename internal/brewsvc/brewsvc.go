@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/brew"
+	"repro/internal/obs"
 	"repro/internal/specmgr"
 	"repro/internal/vm"
 )
@@ -137,6 +138,14 @@ type Ticket struct {
 	cacheHit  bool
 	done      chan struct{}
 	out       Outcome
+
+	// Lifecycle tracing (zero when untraced): a coalesced caller's span
+	// runs from its Submit to the shared completion and links to the
+	// flight's trace.
+	trace     obs.TraceID
+	spanStart int64
+	fn        uint64
+	link      obs.TraceID
 }
 
 // Addr returns the immediately callable address: cached specialized code,
@@ -170,6 +179,9 @@ func (t *Ticket) complete(o Outcome) {
 	o.CacheHit = t.cacheHit
 	t.out = o
 	close(t.done)
+	if t.link != 0 {
+		obs.EndSpan(t.trace, obs.StageCoalesce, obs.TierNone, t.spanStart, t.fn, t.link)
+	}
 }
 
 // doneTicket returns an already-completed ticket.
@@ -299,6 +311,22 @@ type flight struct {
 	variant   *specmgr.Variant // promo flights: the variant being re-tiered
 	prio      Priority
 	tickets   []*Ticket // guarded by Service.mu
+
+	// Lifecycle tracing (zero when untraced): trace is the creator's
+	// request trace (promo flights get their own, linked to the request
+	// that installed the tier-0 variant); enqNS anchors the queue-wait
+	// span.
+	trace obs.TraceID
+	link  obs.TraceID
+	enqNS int64
+}
+
+// tierOf maps a rewrite effort to its span tier label.
+func tierOf(eff brew.Effort) obs.Tier {
+	if eff == brew.EffortQuick {
+		return obs.TierQuick
+	}
+	return obs.TierFull
 }
 
 // New starts a service over machine m. The returned service owns its
@@ -370,6 +398,11 @@ func (s *Service) Submit(req *Request) *Ticket {
 		return s.shutdownTicket(req.Fn)
 	}
 
+	// Lifecycle tracing: one trace per admitted request, spans gated to
+	// no-ops (tid == 0) while observation is disabled.
+	tid := obs.StartTrace()
+	subStart := obs.Now()
+
 	// The fault-injection seam is per-request runtime behavior outside the
 	// fingerprint: such requests must not share traces or cache slots.
 	cacheable := req.Config.Inject == nil
@@ -378,10 +411,14 @@ func (s *Service) Submit(req *Request) *Ticket {
 	if cacheable {
 		k = keyOf(req)
 		ek = entryKeyOf(req)
-		if cv, ok := s.cache.get(k); ok {
+		lookStart := obs.Now()
+		cv, ok := s.cache.get(k)
+		obs.EndSpan(tid, obs.StageCacheLookup, obs.TierNone, lookStart, req.Fn, 0)
+		if ok {
 			if cv.v.Live() {
 				s.st.cacheHits.Add(1)
 				mCacheHits.Inc()
+				obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 				return doneTicket(Outcome{Entry: cv.e, Addr: cv.e.Addr(), Variant: cv.v, CacheHit: true})
 			}
 			// The slot's variant was demoted (guard-miss storm, assumption
@@ -395,15 +432,18 @@ func (s *Service) Submit(req *Request) *Ticket {
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()
+		obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 		return s.shutdownTicket(req.Fn)
 	}
 	if cacheable {
 		if f := s.inflight[k]; f != nil {
-			t := &Ticket{addr: f.entry.Addr(), coalesced: true, done: make(chan struct{})}
+			t := &Ticket{addr: f.entry.Addr(), coalesced: true, done: make(chan struct{}),
+				trace: tid, spanStart: subStart, fn: req.Fn, link: f.trace}
 			f.tickets = append(f.tickets, t)
 			s.st.coalesced.Add(1)
 			mCoalesceHits.Inc()
 			s.mu.Unlock()
+			obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 			return t
 		}
 		s.st.cacheMisses.Add(1)
@@ -413,6 +453,11 @@ func (s *Service) Submit(req *Request) *Ticket {
 		s.st.rejected.Add(1)
 		mRejected.Inc()
 		s.mu.Unlock()
+		if tid != 0 {
+			obs.Emit(obs.Event{Kind: obs.KindDegrade, Trace: tid, Fn: req.Fn,
+				Tier: obs.TierNone, Reason: ReasonQueueFull})
+			obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
+		}
 		return doneTicket(Outcome{
 			Addr: req.Fn, Degraded: true, Reason: ReasonQueueFull, Err: ErrQueueFull,
 		})
@@ -442,7 +487,8 @@ func (s *Service) Submit(req *Request) *Ticket {
 	} else {
 		entry = s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)
 	}
-	f := &flight{k: k, ek: ek, cacheable: cacheable, req: own, entry: entry, prio: req.Priority}
+	f := &flight{k: k, ek: ek, cacheable: cacheable, req: own, entry: entry, prio: req.Priority,
+		trace: tid, enqNS: obs.Now()}
 	t := &Ticket{addr: entry.Addr(), done: make(chan struct{})}
 	f.tickets = []*Ticket{t}
 	s.q.push(f)
@@ -452,6 +498,7 @@ func (s *Service) Submit(req *Request) *Ticket {
 	}
 	s.cond.Signal()
 	s.mu.Unlock()
+	obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 	return t
 }
 
@@ -514,11 +561,16 @@ func (s *Service) worker() {
 		mQueueDepth.Set(int64(s.q.len()))
 		s.mu.Unlock()
 
+		tier := tierOf(f.req.Config.Effort)
+		obs.EndSpan(f.trace, obs.StageQueue, tier, f.enqNS, f.req.Fn, f.link)
+
 		s.st.traces.Add(1)
 		mTraces.Inc()
+		rwStart := obs.Now()
 		start := time.Now()
 		out, rerr := brew.Do(s.m, f.req)
 		us := uint64(time.Since(start).Microseconds())
+		obs.EndSpan(f.trace, obs.StageRewrite, tier, rwStart, f.req.Fn, f.link)
 		mLatencyUS.Observe(us)
 		if f.req.Config.Effort == brew.EffortQuick {
 			mLatencyQuickUS.Observe(us)
@@ -554,7 +606,9 @@ func (s *Service) worker() {
 // completeCacheable installs a finished cacheable rewrite as a variant of
 // the shared entry and publishes it to the cache.
 func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+	instStart := obs.Now()
 	v, ok := s.mgr.InstallVariant(f.entry, f.req.Config, f.req.Guards, f.req.Args, f.req.FArgs, out, rerr)
+	obs.EndSpan(f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
 	res := Outcome{Entry: f.entry, Addr: f.entry.Addr(), Variant: v}
 	if !ok {
 		// Degraded: the variant was not installed and the key is NOT
@@ -622,7 +676,9 @@ func (s *Service) evictVictim(victim cacheVal, justInstalled *specmgr.Variant) {
 // completeUncacheable finishes a private-entry flight (Config.Inject set:
 // no coalescing, no cache, legacy whole-entry promotion).
 func (s *Service) completeUncacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+	instStart := obs.Now()
 	promoted := s.mgr.Promote(f.entry, out, rerr)
+	obs.EndSpan(f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
 	res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
 	if promoted {
 		s.st.promoted.Add(1)

@@ -131,6 +131,19 @@ func (c *cache) drain() []cacheVal {
 	return out
 }
 
+// shardLens reports each shard's slot count (introspection: occupancy
+// skew across shards is a hash-quality signal).
+func (c *cache) shardLens() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = len(s.ents)
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // len counts cached slots across shards (tests and metrics).
 func (c *cache) len() int {
 	n := 0

@@ -8,7 +8,39 @@ import (
 	"repro/internal/brew"
 	"repro/internal/brewsvc"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
+
+// chaosPoints are the injection points the chaos tests arm; the
+// fault→event correspondence check iterates them.
+var chaosPoints = []faultinject.Point{
+	faultinject.PointOpcode, faultinject.PointBudget, faultinject.PointPanic,
+	faultinject.PointJITAlloc, faultinject.PointDispatch,
+}
+
+// faultEventsSince counts the flight recorder's KindFault events recorded
+// at or after seq, keyed by injection point.
+func faultEventsSince(seq uint64) map[string]uint64 {
+	counts := make(map[string]uint64)
+	for _, e := range obs.Events() {
+		if e.Seq >= seq && e.Kind == obs.KindFault {
+			counts[e.Reason]++
+		}
+	}
+	return counts
+}
+
+// dumpRecorderOnFailure snapshots the flight-recorder tail into the test
+// log if the test fails, so a chaos failure ships its own lifecycle
+// evidence.
+func dumpRecorderOnFailure(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("flight recorder tail:\n%s", obs.FormatEvents(obs.TailEvents(64)))
+		}
+	})
+}
 
 // TestChaosServiceNeverWrongNeverLeaks drives seed-varied fault injection
 // through the concurrent service until at least 500 faults have fired
@@ -22,11 +54,17 @@ import (
 //     golden reference, specialized or degraded;
 //   - after Close the code-buffer accounting returns to the baseline, so
 //     chaos cannot leak JIT space through the cache, the orphan list, or
-//     the queue.
+//     the queue;
+//   - every injected fault leaves a matching KindFault event in the
+//     flight recorder (checked per round against the injectors' fired
+//     counts, per injection point), and a failing round dumps the
+//     recorder tail into the test log.
 //
 // Execution happens strictly after all of a round's outcomes are in — the
 // machine must not run emulated code while rewrites are in flight.
 func TestChaosServiceNeverWrongNeverLeaks(t *testing.T) {
+	withObs(t)
+	dumpRecorderOnFailure(t)
 	m, w := newStencil(t)
 	baseline := m.JITFreeBytes()
 
@@ -42,6 +80,7 @@ func TestChaosServiceNeverWrongNeverLeaks(t *testing.T) {
 	rounds, degradedReqs := 0, 0
 	for seed := int64(1); fired < target; seed++ {
 		rounds++
+		seqBefore := obs.Default.Recorder.Seq()
 
 		// Per-round requests: three fault-injected (each with its own
 		// injector — Inject-bearing requests are isolated by design) and
@@ -109,6 +148,20 @@ func TestChaosServiceNeverWrongNeverLeaks(t *testing.T) {
 			if want := w.Golden(iters); math.Abs(got-want) > 1e-9 {
 				t.Fatalf("seed %d: request %d wrong result %g, want %g (degraded=%v)",
 					seed, i, got, want, out.Degraded)
+			}
+		}
+
+		// Fault→event correspondence: every fault the round's injectors
+		// fired must have left a recorded KindFault event at this point.
+		recorded := faultEventsSince(seqBefore)
+		for _, p := range chaosPoints {
+			var want uint64
+			for _, inj := range injs {
+				want += inj.Fired(p)
+			}
+			if got := recorded[string(p)]; got != want {
+				t.Fatalf("seed %d: %d recorded %s fault events, injectors fired %d",
+					seed, got, p, want)
 			}
 		}
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/brew"
+	"repro/internal/obs"
 	"repro/internal/specmgr"
 	"repro/internal/vm"
 )
@@ -37,8 +38,9 @@ type hotTrack struct {
 	ek     entryKey
 	e      *specmgr.Entry
 	v      *specmgr.Variant
-	lo, hi uint64 // specialized-body range for profiler-sample attribution
-	queued bool   // promotion flight enqueued (one shot per variant)
+	lo, hi uint64      // specialized-body range for profiler-sample attribution
+	trace  obs.TraceID // the request trace that installed the tier-0 variant
+	queued bool        // promotion flight enqueued (one shot per variant)
 }
 
 // hotRange is one entry of the immutable sample-attribution index, sorted
@@ -87,6 +89,7 @@ func (s *Service) trackLocked(f *flight, v *specmgr.Variant, res *brew.Result) {
 	s.tracked[v] = &hotTrack{
 		req: f.req, k: f.k, ek: f.ek, e: f.entry, v: v,
 		lo: res.Addr, hi: res.Addr + uint64(res.CodeSize),
+		trace: f.trace,
 	}
 	s.rebuildHotIndexLocked()
 }
@@ -183,6 +186,9 @@ func (s *Service) PumpPromotions() []*Ticket {
 		}
 		cfg := tr.req.Config.Clone()
 		cfg.Effort = brew.EffortFull
+		// The promotion is its own trace, linked back to the request that
+		// installed the tier-0 variant so TraceEvents reassembles the full
+		// lifecycle across the asynchronous boundary.
 		f := &flight{
 			k: tr.k, ek: tr.ek, promo: true, prio: PriorityLow,
 			req: &brew.Request{
@@ -192,6 +198,9 @@ func (s *Service) PumpPromotions() []*Ticket {
 			},
 			entry:   tr.e,
 			variant: v,
+			trace:   obs.StartTrace(),
+			link:    tr.trace,
+			enqNS:   obs.Now(),
 		}
 		t := &Ticket{addr: tr.e.Addr(), done: make(chan struct{})}
 		f.tickets = []*Ticket{t}
@@ -221,6 +230,17 @@ func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
 		if out != nil {
 			res.Reason = out.Reason
 		}
+	}
+	// The promotion span covers the whole background lifecycle: queue
+	// wait, re-rewrite, and hot swap, linked to the originating request.
+	obs.EndSpan(f.trace, obs.StagePromotion, obs.TierFull, f.enqNS, f.req.Fn, f.link)
+	if f.trace != 0 {
+		kind := obs.KindPromoteOK
+		if !ok {
+			kind = obs.KindPromoteFail
+		}
+		obs.Emit(obs.Event{Kind: kind, Trace: f.trace, Link: f.link,
+			Fn: f.req.Fn, Addr: f.entry.Addr(), Tier: obs.TierFull, Reason: res.Reason})
 	}
 
 	s.mu.Lock()

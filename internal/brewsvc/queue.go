@@ -18,6 +18,15 @@ func (q *queue) empty() bool { return q.n == 0 }
 func (q *queue) full() bool  { return q.n >= q.capacity }
 func (q *queue) len() int    { return q.n }
 
+// depths reports the queued flights per priority level (introspection).
+func (q *queue) depths() [3]int {
+	var d [3]int
+	for p := range q.levels {
+		d[p] = len(q.levels[p])
+	}
+	return d
+}
+
 // push appends the flight to its priority level. The caller has already
 // checked full(); push panics on overflow to catch admission bugs.
 func (q *queue) push(f *flight) {

@@ -1,0 +1,368 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/obs"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// RunObservability is E8: the cost of the request-lifecycle tracer and
+// flight recorder, plus the trace-reconstruction acceptance scenario.
+//
+// Observation instruments only the host-side service control plane
+// (submit, queue, rewrite, install, promotion), never the emulated data
+// plane, so the family measures the cost at three distinct points:
+//
+//   - E8a/E8b: the E1c steady state in wall-clock nanoseconds — the
+//     specialized stencil sweep, minimum over several interleaved
+//     repetitions, with observation disabled (E8a) and fully enabled
+//     (E8b). No span fires inside the sweep, so this is the acceptance
+//     bar from the issue: enabled within 2% of disabled
+//     (scripts/checkjson allows an absolute noise floor on top). E8a
+//     additionally asserts the disabled-path primitives (StartTrace,
+//     Now, EndSpan, Emit) allocate nothing.
+//   - E8c/E8d: the same steady-state runs in deterministic emulated
+//     cycles, so the bar is exact equality: tracing must cost the data
+//     plane zero cycles, not merely under 2%.
+//   - E8f/E8g: the submit path itself — a calibrated batch of cache-hit
+//     submissions (config fingerprint + cache lookup + ticket), where
+//     every operation starts a trace and ends two spans. These rows are
+//     the honest per-request price of full tracing (the note carries the
+//     ns/submit overhead); the cache-hit fast path is ~1-2µs, so two
+//     recorded spans show up as a real double-digit percentage there.
+//   - E8e: the coalesced-burst lifecycle. 64 concurrent callers coalesce
+//     onto one flight; the tier-0 result is driven hot and promoted. The
+//     flight's trace must reconstruct the full lifecycle — its rewrite,
+//     install and queue spans, every coalesced caller's join span, and
+//     the promotion linked back across the asynchronous boundary. The
+//     cycles column is the reconstructed event count.
+func RunObservability(o Options) ([]Row, error) {
+	o = o.fill()
+	obs.Disable()
+	obs.Reset()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	// E8a's zero-allocation guarantee: with observation disabled, the
+	// instrumentation primitives on the submit path must not allocate.
+	if allocs := testing.AllocsPerRun(200, func() {
+		tid := obs.StartTrace()
+		start := obs.Now()
+		obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, start, 0x1234, 0)
+		obs.Emit(obs.Event{Kind: obs.KindDegrade, Reason: "e8"})
+	}); allocs != 0 {
+		return nil, fmt.Errorf("E8a: disabled-path primitives allocate %.1f objects/op, want 0", allocs)
+	}
+
+	w, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return nil, err
+	}
+	svc := brewsvc.New(w.M, brewsvc.Options{Workers: 2})
+	defer svc.Close()
+	cfg0, args0 := w.ApplyConfig()
+	out := svc.Do(&brewsvc.Request{Config: cfg0, Fn: w.Apply, Args: args0})
+	if out.Degraded {
+		return nil, fmt.Errorf("E8: seed submit degraded: %s (%v)", out.Reason, out.Err)
+	}
+
+	// One steady-state run: warm sweep, then o.Iters measured sweeps of
+	// the specialized code, returning both wall time and emulated cycles
+	// for the measured portion.
+	steady := func() (time.Duration, uint64, error) {
+		if err := w.ResetMatrices(); err != nil {
+			return 0, 0, err
+		}
+		if _, err := w.RunSweeps(out.Addr, false, 1); err != nil {
+			return 0, 0, err
+		}
+		c0 := w.M.Stats.Cycles
+		start := time.Now()
+		sum, err := w.RunSweeps(out.Addr, false, o.Iters)
+		d := time.Since(start)
+		if err != nil {
+			return 0, 0, err
+		}
+		if want := w.Golden(o.Iters); math.Abs(sum-want) > 1e-9 {
+			return 0, 0, fmt.Errorf("steady-state checksum %g, want %g", sum, want)
+		}
+		return d, w.M.Stats.Cycles - c0, nil
+	}
+	// The very first measured run is a few thousand cycles hotter while
+	// the dispatch path finishes settling (independent of observation);
+	// discard one run so every measured run compares settled state to
+	// settled state. Then interleave the two modes — each rep runs a
+	// disabled and an enabled steady state back to back, so host drift
+	// (GC, scheduler, frequency) hits both sides alike — and keep the
+	// minimum wall time per mode.
+	const reps = 7
+	obs.Disable()
+	if _, _, err := steady(); err != nil {
+		return nil, fmt.Errorf("E8a settle: %w", err)
+	}
+	wallDis := time.Duration(math.MaxInt64)
+	wallEn := time.Duration(math.MaxInt64)
+	var cycDis, cycEn uint64
+	for r := 0; r < reps; r++ {
+		obs.Disable()
+		d, c, err := steady()
+		if err != nil {
+			return nil, fmt.Errorf("E8a: %w", err)
+		}
+		if d < wallDis {
+			wallDis = d
+		}
+		if cycDis == 0 {
+			cycDis = c
+		} else if c != cycDis {
+			return nil, fmt.Errorf("E8c: disabled steady state not settled: %d cycles then %d", cycDis, c)
+		}
+		obs.Enable()
+		d, c, err = steady()
+		if err != nil {
+			return nil, fmt.Errorf("E8b: %w", err)
+		}
+		if d < wallEn {
+			wallEn = d
+		}
+		if cycEn == 0 {
+			cycEn = c
+		} else if c != cycEn {
+			return nil, fmt.Errorf("E8d: enabled steady state not settled: %d cycles then %d", cycEn, c)
+		}
+	}
+	if cycEn != cycDis {
+		return nil, fmt.Errorf("E8d: enabled steady state %d cycles != disabled %d — tracing leaked into the data plane",
+			cycEn, cycDis)
+	}
+
+	// E8f/E8g: the submit path. One operation builds the config
+	// (fingerprinting is part of the path callers pay), submits, and
+	// awaits the cache-hit outcome.
+	batch := func(n int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			cfg, args := w.ApplyConfig()
+			if o := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args}); o.Degraded {
+				return 0, fmt.Errorf("cache-hit submit degraded: %s (%v)", o.Reason, o.Err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Calibrate the batch so one repetition is comfortably above timer
+	// and scheduler noise.
+	obs.Disable()
+	n := 1 << 10
+	for n < 1<<18 {
+		d, err := batch(n)
+		if err != nil {
+			return nil, fmt.Errorf("E8f: %w", err)
+		}
+		if d >= 10*time.Millisecond {
+			break
+		}
+		n *= 2
+	}
+	// Warm the enabled path once (the tracer's sample buffers grow on
+	// first use), then measure the two modes interleaved, min per mode.
+	obs.Enable()
+	obs.Reset()
+	if _, err := batch(n); err != nil {
+		return nil, fmt.Errorf("E8g warmup: %w", err)
+	}
+	nsDis := time.Duration(math.MaxInt64)
+	nsEn := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		obs.Disable()
+		d, err := batch(n)
+		if err != nil {
+			return nil, fmt.Errorf("E8f: %w", err)
+		}
+		if d < nsDis {
+			nsDis = d
+		}
+		obs.Enable()
+		d, err = batch(n)
+		if err != nil {
+			return nil, fmt.Errorf("E8g: %w", err)
+		}
+		if d < nsEn {
+			nsEn = d
+		}
+	}
+	perSubmitNS := (nsEn.Nanoseconds() - nsDis.Nanoseconds()) / int64(n)
+
+	// E8e: the coalesced-burst lifecycle on a fresh service.
+	linked, joiners, err := traceReconstruction(o)
+	if err != nil {
+		return nil, fmt.Errorf("E8e: %w", err)
+	}
+
+	return []Row{
+		{
+			ID: "E8a", Name: "steady state wall, observation disabled",
+			Cycles: uint64(wallDis), Ratio: 1.0,
+			Note: fmt.Sprintf("wall ns for %d measured sweeps, min of %d reps; disabled primitives allocate 0", o.Iters, reps),
+		},
+		{
+			ID: "E8b", Name: "steady state wall, full tracing enabled",
+			Cycles: uint64(wallEn), Ratio: float64(wallEn) / float64(wallDis),
+			Note: "same sweeps with tracing live (bar: <= 1.02x E8a, noise floor aside — no span fires in the data plane)",
+		},
+		{
+			ID: "E8c", Name: "steady state cycles, observation disabled",
+			Cycles: cycDis, Ratio: 1.0,
+			Note: fmt.Sprintf("emulated cycles over the same %d measured sweeps", o.Iters),
+		},
+		{
+			ID: "E8d", Name: "steady state cycles, full tracing enabled",
+			Cycles: cycEn, Ratio: float64(cycEn) / float64(cycDis),
+			Note: "same protocol (bar: == E8c exactly — zero data-plane cost)",
+		},
+		{
+			ID: "E8e", Name: "coalesced-burst trace reconstruction",
+			Cycles: linked, Ratio: 1.0,
+			Note: fmt.Sprintf("lifecycle events linked into one flight trace (%d coalesced joiners, promotion linked)", joiners),
+		},
+		{
+			ID: "E8f", Name: "submit path wall, observation disabled",
+			Cycles: uint64(nsDis), Ratio: 1.0,
+			Note: fmt.Sprintf("wall ns for %d cache-hit submits, min of %d reps", n, reps),
+		},
+		{
+			ID: "E8g", Name: "submit path wall, full tracing enabled",
+			Cycles: uint64(nsEn), Ratio: float64(nsEn) / float64(nsDis),
+			Note: fmt.Sprintf("same batch; one trace + two recorded spans per submit costs ~%d ns on the ~µs cache-hit fast path (diagnostic)", perSubmitNS),
+		},
+	}, nil
+}
+
+// traceReconstruction runs the E8e scenario: a 64-caller coalesced burst
+// at tier-0 followed by a hotness-driven promotion, all under full
+// tracing. It returns the number of events the flight's trace links
+// together and the coalesced-joiner count, after asserting the lifecycle
+// is complete.
+func traceReconstruction(o Options) (uint64, uint64, error) {
+	obs.Enable()
+	obs.Reset()
+	w, err := stencil.New(vm.MustNew(), o.XS, o.YS)
+	if err != nil {
+		return 0, 0, err
+	}
+	const after = 8
+	svc := brewsvc.New(w.M, brewsvc.Options{Workers: 1, QueueCap: 128, PromoteAfter: after})
+	defer svc.Close()
+
+	// Deterministic coalescing, independent of scheduler timing: an
+	// uncacheable decoy (Inject hook → private flight) blocks inside its
+	// rewrite and parks the single worker. The burst creator's flight
+	// then waits in the queue — still in the inflight table — while the
+	// 63 joiners submit, so every one of them coalesces onto it. Only
+	// then is the decoy released.
+	const callers = 64
+	block := make(chan struct{})
+	dcfg, dargs := w.ApplyConfig()
+	dcfg.Inject = func(string) error { <-block; return nil }
+	decoy := svc.Submit(&brewsvc.Request{Config: dcfg, Fn: w.Apply, Args: dargs})
+
+	cfg0, args0 := w.ApplyConfig()
+	cfg0.Effort = brew.EffortQuick
+	tickets := make([]*brewsvc.Ticket, callers)
+	tickets[0] = svc.Submit(&brewsvc.Request{Config: cfg0, Fn: w.Apply, Args: args0})
+
+	var wg sync.WaitGroup
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, args := w.ApplyConfig()
+			cfg.Effort = brew.EffortQuick
+			tickets[i] = svc.Submit(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		}(i)
+	}
+	wg.Wait()
+	close(block)
+	if d := decoy.Outcome(); d.Degraded {
+		return 0, 0, fmt.Errorf("decoy degraded: %s (%v)", d.Reason, d.Err)
+	}
+	var out brewsvc.Outcome
+	for i, tk := range tickets {
+		out = tk.Outcome()
+		if out.Degraded {
+			return 0, 0, fmt.Errorf("caller %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+	}
+	st := svc.Stats()
+	if st.Traces != 2 {
+		return 0, 0, fmt.Errorf("traces = %d, want 2 (decoy + one coalesced burst)", st.Traces)
+	}
+	if st.CoalesceHits != callers-1 {
+		return 0, 0, fmt.Errorf("%d callers coalesced onto the burst flight, want %d", st.CoalesceHits, callers-1)
+	}
+
+	// Drive the tier-0 entry hot and promote it.
+	cell := w.M1 + uint64((o.XS+1)*8)
+	callArgs := []uint64{cell, uint64(o.XS), w.S5}
+	want, err := w.M.CallFloat(w.Apply, callArgs, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < after; i++ {
+		got, err := out.Entry.CallFloat(callArgs, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		if math.Abs(got-want) > 1e-12 {
+			return 0, 0, fmt.Errorf("tier-0 call = %g, want %g", got, want)
+		}
+	}
+	tks := svc.PumpPromotions()
+	if len(tks) != 1 {
+		return 0, 0, fmt.Errorf("%d promotions pumped, want 1", len(tks))
+	}
+	if p := tks[0].Outcome(); p.Degraded {
+		return 0, 0, fmt.Errorf("promotion degraded: %s (%v)", p.Reason, p.Err)
+	}
+
+	var flight obs.TraceID
+	for _, e := range obs.Events() {
+		if e.Kind == obs.KindSpan && e.Stage == obs.StageRewrite && e.Tier == obs.TierQuick {
+			flight = e.Trace
+		}
+	}
+	if flight == 0 {
+		return 0, 0, fmt.Errorf("no tier-0 rewrite span recorded")
+	}
+	evs := obs.TraceEvents(flight)
+	count := func(k obs.Kind, s obs.Stage) int {
+		c := 0
+		for _, e := range evs {
+			if e.Kind == k && (k != obs.KindSpan || e.Stage == s) {
+				c++
+			}
+		}
+		return c
+	}
+	if got := count(obs.KindSpan, obs.StageCoalesce); got != int(st.CoalesceHits) {
+		return 0, 0, fmt.Errorf("trace links %d coalesce spans, want %d", got, st.CoalesceHits)
+	}
+	for _, wantSpan := range []obs.Stage{obs.StageQueue, obs.StageRewrite, obs.StageInstall} {
+		if got := count(obs.KindSpan, wantSpan); got < 1 {
+			return 0, 0, fmt.Errorf("trace has no %s span", wantSpan)
+		}
+	}
+	if count(obs.KindSpan, obs.StagePromotion) != 1 || count(obs.KindPromoteOK, 0) != 1 {
+		return 0, 0, fmt.Errorf("promotion is not linked into the flight trace")
+	}
+	return uint64(len(evs)), st.CoalesceHits, nil
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/brew"
+	"repro/internal/obs"
 )
 
 // Point identifies one class of injectable fault.
@@ -94,6 +95,12 @@ func (in *Injector) Should(p Point) bool {
 		return false
 	}
 	in.fired[p]++
+	// Flight-recorder correspondence: every fired fault leaves a recorded
+	// event (emitted before the fault propagates, so even an injected
+	// panic is preceded by its record).
+	if obs.Enabled() {
+		obs.Emit(obs.Event{Kind: obs.KindFault, Tier: obs.TierNone, Reason: string(p)})
+	}
 	return true
 }
 

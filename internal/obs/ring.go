@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Recorder is a lock-free ring-buffer flight recorder with bounded
+// memory. Writers claim a globally ordered sequence number with one
+// atomic add and publish an immutable *Event into the slot
+// seq % capacity with one atomic pointer store; past capacity the
+// newest event overwrites the oldest. There are no locks and no
+// blocking on the write path, so it is safe from watchpoint handlers,
+// service workers, and fault-injection sites alike.
+//
+// Reads (Dump/Tail) are best-effort snapshots: they collect the current
+// slot pointers and sort by sequence number. Because events are never
+// mutated after publication, a reader racing a wrapping writer sees
+// either the old or the new event in a slot — both complete, neither
+// torn.
+type Recorder struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Event]
+	mask  uint64
+}
+
+// NewRecorder returns a recorder holding the most recent `capacity`
+// events. Capacity is rounded up to a power of two (minimum 16) so slot
+// selection is a mask, not a modulo.
+func NewRecorder(capacity int) *Recorder {
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Event], c), mask: uint64(c - 1)}
+}
+
+// Capacity returns the rounded ring capacity.
+func (r *Recorder) Capacity() int { return len(r.slots) }
+
+// Seq returns the total number of events ever recorded (the next
+// sequence number to be assigned). Chaos tests snapshot it around a
+// fault window to bound which events belong to the window.
+func (r *Recorder) Seq() uint64 { return r.seq.Load() }
+
+// Record assigns e the next sequence number and publishes it. e must
+// not be mutated afterwards.
+func (r *Recorder) Record(e *Event) {
+	s := r.seq.Add(1) - 1
+	e.Seq = s
+	r.slots[s&r.mask].Store(e)
+}
+
+// Dump returns a snapshot of the recorder's contents sorted by
+// sequence number, oldest first. Below capacity no event has been
+// overwritten, so the dump is complete and gap-free; past capacity it
+// holds the newest Capacity() events (modulo writers racing the
+// snapshot, which can displace the very oldest entries).
+func (r *Recorder) Dump() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Tail returns the newest n events, oldest first (all of them if fewer
+// than n are held).
+func (r *Recorder) Tail(n int) []Event {
+	all := r.Dump()
+	if n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Reset drops all recorded events and restarts sequence numbering.
+// Not safe against concurrent writers; for tests and benchmarks.
+func (r *Recorder) Reset() {
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	r.seq.Store(0)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Below capacity nothing is overwritten: every recorded event comes back
+// from Dump, in order, gap-free.
+func TestRingNoLossBelowCapacity(t *testing.T) {
+	r := NewRecorder(64)
+	if r.Capacity() != 64 {
+		t.Fatalf("capacity = %d, want 64", r.Capacity())
+	}
+	const n = 63
+	for i := 0; i < n; i++ {
+		r.Record(&Event{Kind: KindFault, Fn: uint64(i)})
+	}
+	got := r.Dump()
+	if len(got) != n {
+		t.Fatalf("dump holds %d events below capacity, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d: dump not gap-free/ordered", i, e.Seq)
+		}
+		if e.Fn != uint64(i) {
+			t.Fatalf("event %d carries fn %d, want %d", i, e.Fn, i)
+		}
+	}
+}
+
+// Past capacity the ring wraps: memory stays bounded, the newest
+// Capacity() events survive, and Dump is still sorted by sequence.
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := NewRecorder(16)
+	const n = 100
+	for i := 0; i < n; i++ {
+		r.Record(&Event{Kind: KindFault, Fn: uint64(i)})
+	}
+	got := r.Dump()
+	if len(got) != 16 {
+		t.Fatalf("dump holds %d events past capacity, want exactly 16", len(got))
+	}
+	for i, e := range got {
+		want := uint64(n - 16 + i)
+		if e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (newest 16 of %d)", i, e.Seq, want, n)
+		}
+	}
+	if r.Seq() != n {
+		t.Fatalf("total seq = %d, want %d", r.Seq(), n)
+	}
+}
+
+// Capacity rounds up to a power of two with a floor of 16.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {100, 128}, {4096, 4096},
+	} {
+		if got := NewRecorder(tc.ask).Capacity(); got != tc.want {
+			t.Fatalf("NewRecorder(%d).Capacity() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// Tail returns the newest n, oldest first.
+func TestRingTail(t *testing.T) {
+	r := NewRecorder(32)
+	for i := 0; i < 10; i++ {
+		r.Record(&Event{Kind: KindDegrade, Fn: uint64(i)})
+	}
+	tail := r.Tail(3)
+	if len(tail) != 3 {
+		t.Fatalf("tail holds %d events, want 3", len(tail))
+	}
+	for i, e := range tail {
+		if e.Seq != uint64(7+i) {
+			t.Fatalf("tail event %d has seq %d, want %d", i, e.Seq, 7+i)
+		}
+	}
+	if got := r.Tail(100); len(got) != 10 {
+		t.Fatalf("oversized tail holds %d events, want all 10", len(got))
+	}
+}
+
+// Concurrent writers wrapping the ring many times over, with concurrent
+// dumpers: run under -race (verify.sh). Every dump must be strictly
+// ordered by sequence number and every surviving event intact
+// (seq-consistent payload).
+func TestRingConcurrentWrapRace(t *testing.T) {
+	r := NewRecorder(64)
+	const writers = 8
+	perWriter := 4000
+	if testing.Short() {
+		perWriter = 1000
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Dumpers race the writers throughout.
+	for d := 0; d < 2; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := r.Dump()
+				for i := 1; i < len(got); i++ {
+					if got[i-1].Seq >= got[i].Seq {
+						t.Errorf("dump not strictly seq-ordered: %d then %d", got[i-1].Seq, got[i].Seq)
+						return
+					}
+				}
+				for _, e := range got {
+					// Writers stamp Fn = writer id and Addr = iteration; the
+					// event must be internally consistent (never torn).
+					if e.Addr >= uint64(perWriter) || e.Fn >= writers {
+						t.Errorf("torn event: fn=%d addr=%d", e.Fn, e.Addr)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(&Event{Kind: KindSpan, Fn: uint64(w), Addr: uint64(i)})
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Seq() != uint64(writers*perWriter) {
+		t.Fatalf("total seq = %d, want %d: writes lost", r.Seq(), writers*perWriter)
+	}
+	if got := len(r.Dump()); got != 64 {
+		t.Fatalf("post-wrap dump holds %d events, want full capacity 64", got)
+	}
+}

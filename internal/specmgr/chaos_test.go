@@ -6,8 +6,28 @@ import (
 
 	"repro/internal/brew"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/specmgr"
 )
+
+// chaosPoints are the armed injection points, iterated by the
+// fault→event correspondence check each seed.
+var chaosPoints = []faultinject.Point{
+	faultinject.PointOpcode, faultinject.PointBudget, faultinject.PointPanic,
+	faultinject.PointJITAlloc, faultinject.PointDispatch,
+}
+
+// faultEventsSince counts the flight recorder's KindFault events recorded
+// at or after seq, keyed by injection point.
+func faultEventsSince(seq uint64) map[string]uint64 {
+	counts := make(map[string]uint64)
+	for _, e := range obs.Events() {
+		if e.Seq >= seq && e.Kind == obs.KindFault {
+			counts[e.Reason]++
+		}
+	}
+	return counts
+}
 
 // TestChaosNeverWrongNeverCrashed drives stencil workloads through
 // seed-varied fault injection until at least 1000 faults have fired
@@ -21,6 +41,15 @@ import (
 // mutated descriptor, and the final code-buffer accounting is checked so
 // chaos cannot leak JIT space either.
 func TestChaosNeverWrongNeverCrashed(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("flight recorder tail:\n%s", obs.FormatEvents(obs.TailEvents(64)))
+		}
+		obs.Disable()
+		obs.Reset()
+	})
 	m, w := newStencil(t)
 	poke := loadPoke(t, m)
 	baseline := m.JITAlloc.FreeBytes()
@@ -36,6 +65,7 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 	runs, degradedRuns, deoptRuns, variantDeopts := 0, 0, 0, 0
 	for seed := int64(1); fired < target; seed++ {
 		runs++
+		seqBefore := obs.Default.Recorder.Seq()
 
 		inj := faultinject.New(seed)
 		// Rates vary by seed so every point gets rounds where it
@@ -170,6 +200,34 @@ func TestChaosNeverWrongNeverCrashed(t *testing.T) {
 		}
 
 		mgr.Release(e)
+
+		// Fault→event correspondence: every fault this seed's injector
+		// fired must have left a recorded KindFault event, per point.
+		recorded := faultEventsSince(seqBefore)
+		for _, p := range chaosPoints {
+			if got, want := recorded[string(p)], inj.Fired(p); got != want {
+				t.Fatalf("seed %d: %d recorded %s fault events, injector fired %d",
+					seed, got, p, want)
+			}
+		}
+		// Lifecycle correspondence: an entry-level deopt this seed must
+		// have left a deopt or demotion event.
+		if d, _ := e.Deopted(); d {
+			lifecycle := 0
+			for _, ev := range obs.Events() {
+				if ev.Seq < seqBefore {
+					continue
+				}
+				switch ev.Kind {
+				case obs.KindEntryDeopt, obs.KindVariantDemote, obs.KindWatchHit:
+					lifecycle++
+				}
+			}
+			if lifecycle == 0 {
+				t.Fatalf("seed %d: entry deopted with no recorded lifecycle event", seed)
+			}
+		}
+
 		fired += inj.TotalFired()
 	}
 

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/brew"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -259,7 +260,7 @@ func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 		} else if rerr != nil {
 			e.reason = brew.DegradeReason(rerr)
 		}
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 		return false
 	}
 	if e.stub == 0 {
@@ -268,12 +269,12 @@ func (g *Manager) Promote(e *Entry, out *brew.Outcome, rerr error) bool {
 		freeOutcome(g.m, out)
 		e.degraded = true
 		e.reason = brew.ReasonCodeBuffer
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 		return false
 	}
 	v := g.installOutcomeLocked(e, e.cfg, e.guards, e.args, e.fargs, out)
 	if v == nil {
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 		return false
 	}
 	e.primary = v
@@ -332,12 +333,12 @@ func (g *Manager) registerNew(e *Entry, out *brew.Outcome, rerr error) {
 				e.reason = brew.DegradeReason(rerr)
 			}
 		}
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 	case serr != nil:
 		freeOutcome(g.m, out)
 		e.degraded = true
 		e.reason = brew.ReasonCodeBuffer
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 	default:
 		if v := g.installOutcomeLocked(e, e.cfg, e.guards, e.args, e.fargs, out); v != nil {
 			e.primary = v
@@ -345,7 +346,7 @@ func (g *Manager) registerNew(e *Entry, out *brew.Outcome, rerr error) {
 		} else {
 			// installOutcomeLocked degraded the entry (chain allocation
 			// failed); count it with the other degradations.
-			mDegraded.Inc()
+			publishDegrade(e, e.reason)
 		}
 	}
 	if old := g.entries[e.fn]; old != nil {
@@ -599,6 +600,7 @@ func (g *Manager) checkStorm(e *Entry) {
 	g.mu.Lock()
 	for _, v := range append([]*Variant(nil), e.variants...) {
 		if v.live && len(v.key) > 0 && v.gr.MissStreak() >= g.pol.GuardMissLimit {
+			emitVariant(obs.KindGuardStorm, e, v, DeoptGuardStorm)
 			g.demoteVariantLocked(e, v, DeoptGuardStorm)
 		}
 	}
@@ -731,5 +733,6 @@ func (g *Manager) evictOverLimitLocked(keep *Entry) {
 		delete(g.entries, victim.fn)
 		g.releaseLocked(victim)
 		mEvictions.Inc()
+		emitVariant(obs.KindVariantEvict, victim, nil, "entry-lru")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/brew"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -156,29 +157,33 @@ func (g *Manager) InstallVariant(e *Entry, cfg *brew.Config, guards []brew.Param
 	e.pending = false
 	if out == nil || out.Degraded || rerr != nil {
 		freeOutcome(g.m, out)
-		mDegraded.Inc()
+		reason := ""
+		if out != nil && out.Reason != "" {
+			reason = out.Reason
+		} else if rerr != nil {
+			reason = brew.DegradeReason(rerr)
+		}
 		if !e.hasLiveLocked() {
 			e.degraded = true
-			if out != nil && out.Reason != "" {
-				e.reason = out.Reason
-			} else if rerr != nil {
-				e.reason = brew.DegradeReason(rerr)
+			if reason != "" {
+				e.reason = reason
 			}
 		}
+		publishDegrade(e, reason)
 		return nil, false
 	}
 	if e.stub == 0 {
 		freeOutcome(g.m, out)
-		mDegraded.Inc()
 		if !e.hasLiveLocked() {
 			e.degraded = true
 			e.reason = brew.ReasonCodeBuffer
 		}
+		publishDegrade(e, brew.ReasonCodeBuffer)
 		return nil, false
 	}
 	v := g.installOutcomeLocked(e, cfg, guards, args, fargs, out)
 	if v == nil {
-		mDegraded.Inc()
+		publishDegrade(e, e.reason)
 		return nil, false
 	}
 	if wasPending || e.primary == nil || !e.primary.live {
@@ -254,6 +259,7 @@ func (g *Manager) RemoveVariant(e *Entry, v *Variant) {
 	}
 	g.demoteVariantLocked(e, v, DeoptEvicted)
 	mVariantEvictions.Inc()
+	emitVariant(obs.KindVariantEvict, e, v, DeoptEvicted)
 	g.compactLocked(e)
 }
 
@@ -326,6 +332,7 @@ func (g *Manager) installOutcomeLocked(e *Entry, cfg *brew.Config, guards []brew
 	}
 	g.armVariantWatches(v)
 	g.compactLocked(e)
+	emitVariant(obs.KindVariantInstall, e, v, "")
 	return v
 }
 
@@ -476,6 +483,7 @@ func (g *Manager) demoteVariantLocked(e *Entry, v *Variant, reason string) {
 	}
 	v.jmpAddr, v.nextAddr = 0, 0
 	mVariantDemotions.Inc()
+	emitVariant(obs.KindVariantDemote, e, v, reason)
 	if !e.hasLiveLocked() && !e.pending && !e.degraded && !e.deopted {
 		if e.stub != 0 {
 			g.patchStub(e.stub, e.fn)
@@ -484,6 +492,7 @@ func (g *Manager) demoteVariantLocked(e *Entry, v *Variant, reason string) {
 		e.respecDone = false
 		e.reason = reason
 		publishDeopt(reason)
+		emitVariant(obs.KindEntryDeopt, e, nil, reason)
 	}
 }
 
@@ -554,6 +563,7 @@ func (g *Manager) evictVariantsOverLimitLocked(e *Entry, keep *Variant) {
 		}
 		g.retireVariantLocked(victim)
 		mVariantEvictions.Inc()
+		emitVariant(obs.KindVariantEvict, e, victim, "table-lru")
 	}
 }
 
@@ -569,6 +579,7 @@ func (g *Manager) armVariantWatches(v *Variant) {
 				// cannot deadlock).
 				mWatchHits.Inc()
 				g.mu.Lock()
+				emitVariant(obs.KindWatchHit, e, v, DeoptAssumption)
 				g.demoteVariantLocked(e, v, DeoptAssumption)
 				g.mu.Unlock()
 			}))

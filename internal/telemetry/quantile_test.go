@@ -1,0 +1,103 @@
+package telemetry
+
+import "testing"
+
+// Histogram.Quantile: rank-exact over bucket counts, allocation-free in
+// both enabled and disabled states (the "after" half of the
+// before/after allocation contract — the "before" is that Observe
+// itself stays allocation-free, covered by TestDisabledPathAllocationFree).
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.test", ExponentialBounds(1, 2, 10)) // 1,2,4,...,512
+	Enable()
+	defer Disable()
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i)) // 0..99
+	}
+	// Rank 50 of 100 = value 49 -> bucket le=64; rank 99 = value 98 -> le=128.
+	if got := h.Quantile(0.50); got != 64 {
+		t.Fatalf("p50 = %d, want 64 (rank-50 sample 49 is in the le=64 bucket)", got)
+	}
+	if got := h.Quantile(0.99); got != 128 {
+		t.Fatalf("p99 = %d, want 128", got)
+	}
+	if got := h.Quantile(1.0); got != 128 {
+		t.Fatalf("p100 = %d, want 128", got)
+	}
+
+	// Allocation-free with collection enabled...
+	if allocs := testing.AllocsPerRun(1000, func() { _ = h.Quantile(0.99) }); allocs != 0 {
+		t.Fatalf("enabled Quantile allocates %.1f per op, want 0", allocs)
+	}
+	// ...and disabled (quantile reads must not regress the disabled path).
+	Disable()
+	if allocs := testing.AllocsPerRun(1000, func() { _ = h.Quantile(0.99) }); allocs != 0 {
+		t.Fatalf("disabled Quantile allocates %.1f per op, want 0", allocs)
+	}
+	if got := h.Quantile(0.50); got != 64 {
+		t.Fatalf("disabled quantile read lost data: p50 = %d, want 64", got)
+	}
+
+	// Snapshot carries the same quantiles.
+	for _, m := range reg.Snapshot() {
+		if m.Name == "q.test" {
+			if m.P50 != 64 || m.P99 != 128 || m.P999 != 128 {
+				t.Fatalf("snapshot p50=%d p99=%d p999=%d, want 64/128/128", m.P50, m.P99, m.P999)
+			}
+		}
+	}
+
+	// Empty histogram: all quantiles 0, nil histogram too.
+	h2 := reg.Histogram("q.empty", []uint64{10})
+	if got := h2.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	var hn *Histogram
+	if got := hn.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram p50 = %d, want 0", got)
+	}
+}
+
+// Single-sample and overflow-bucket edges.
+func TestHistogramQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.edge", []uint64{10, 100})
+	Enable()
+	defer Disable()
+
+	h.Observe(5)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("one-sample p50 = %d, want 10", got)
+	}
+	// An overflow observation: quantiles that land there report the last
+	// finite bound (the histogram cannot see past it).
+	h.Observe(1000)
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("overflow p100 = %d, want last finite bound 100", got)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(100, 2, 5)
+	want := []uint64{100, 200, 400, 800, 1600}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	// Fractional factors still strictly increase (rounding can stall; the
+	// +1 floor must kick in).
+	frac := ExponentialBounds(1, 1.1, 20)
+	for i := 1; i < len(frac); i++ {
+		if frac[i] <= frac[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", frac)
+		}
+	}
+	// Zero start is promoted to 1 so bounds stay usable.
+	if z := ExponentialBounds(0, 2, 3); z[0] != 1 {
+		t.Fatalf("zero-start bounds = %v, want first bound 1", z)
+	}
+}

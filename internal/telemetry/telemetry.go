@@ -109,6 +109,72 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Quantile returns the q-th quantile (0 < q <= 1) of the recorded
+// samples by exact rank arithmetic over the bucket counts: the rank
+// ceil(q*count) sample's bucket is located exactly, and its inclusive
+// upper bound is returned (the bucket's resolution is the only
+// approximation). The overflow bucket reports the last finite bound.
+// Returns 0 with no samples. Allocation-free whether collection is
+// enabled or disabled: it reads the live bucket atomics directly and
+// never snapshots.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if float64(rank) < q*float64(n) || rank == 0 {
+		rank++ // ceil, and quantiles are 1-based ranks
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	// Overflow bucket (or racing writers): report the largest finite bound.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// ExponentialBounds returns count bucket upper bounds for Histogram
+// creation: the first is start, each subsequent bound is the previous
+// multiplied by factor (rounded, and always strictly increasing).
+// ExponentialBounds(100, 2, 8) = 100, 200, 400, ... 12800.
+func ExponentialBounds(start uint64, factor float64, count int) []uint64 {
+	if start == 0 {
+		start = 1
+	}
+	out := make([]uint64, 0, count)
+	cur := start
+	for i := 0; i < count; i++ {
+		out = append(out, cur)
+		next := uint64(float64(cur)*factor + 0.5)
+		if next <= cur {
+			next = cur + 1
+		}
+		cur = next
+	}
+	return out
+}
+
 // Sum returns the sum of recorded samples.
 func (h *Histogram) Sum() uint64 {
 	if h == nil {
@@ -214,7 +280,45 @@ type Metric struct {
 	Gauge   int64    `json:"gauge,omitempty"`
 	Count   uint64   `json:"count,omitempty"`
 	Sum     uint64   `json:"sum,omitempty"`
+	P50     uint64   `json:"p50,omitempty"`
+	P99     uint64   `json:"p99,omitempty"`
+	P999    uint64   `json:"p999,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the q-th quantile of a histogram metric by the same
+// exact rank arithmetic as Histogram.Quantile, over the snapshot's
+// bucket counts (0 for non-histograms or empty histograms).
+func (m Metric) Quantile(q float64) uint64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(m.Count))
+	if float64(rank) < q*float64(m.Count) || rank == 0 {
+		rank++
+	}
+	if rank > m.Count {
+		rank = m.Count
+	}
+	var seen, lastFinite uint64
+	for _, b := range m.Buckets {
+		if !b.Overflow {
+			lastFinite = b.UpperBound
+		}
+		seen += b.Count
+		if seen >= rank {
+			if b.Overflow {
+				break
+			}
+			return b.UpperBound
+		}
+	}
+	return lastFinite
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by metric name
@@ -244,6 +348,7 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			m.Buckets = append(m.Buckets, b)
 		}
+		m.P50, m.P99, m.P999 = m.Quantile(0.50), m.Quantile(0.99), m.Quantile(0.999)
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -261,6 +366,9 @@ func (s Snapshot) Text() string {
 			fmt.Fprintf(&b, "%-44s gauge     %d\n", m.Name, m.Gauge)
 		case "histogram":
 			fmt.Fprintf(&b, "%-44s histogram count=%d sum=%d", m.Name, m.Count, m.Sum)
+			if m.Count > 0 {
+				fmt.Fprintf(&b, " p50=%d p99=%d p999=%d", m.P50, m.P99, m.P999)
+			}
 			for _, bk := range m.Buckets {
 				if bk.Overflow {
 					fmt.Fprintf(&b, " le(+inf)=%d", bk.Count)

@@ -6,7 +6,14 @@
 // direct result (E6e == E6d). If the polymorph family (E7) is present,
 // the multi-version specialization bar is enforced: the single-variant
 // baseline's per-caller cost must be at least 2x the variant table's
-// (E7a >= 2*E7b), and the generic-fallthrough row E7c must exist.
+// (E7a >= 2*E7b), and the generic-fallthrough row E7c must exist. If the
+// obs family (E8) is present, the observability bars are enforced:
+// enabled tracing within 2% of disabled on the steady-state wall clock
+// (E8b <= 1.02*E8a, with an absolute noise floor for sub-millisecond
+// jitter), identical steady-state emulated cycles (E8d == E8c), a
+// nonempty reconstructed lifecycle trace (E8e > 0), and a sanity cap on
+// the traced submit path (E8g <= 3*E8f + noise — the per-request span
+// cost is real but must not balloon).
 // Used by scripts/verify.sh.
 package main
 
@@ -105,6 +112,53 @@ func main() {
 				fmt.Fprintf(os.Stderr,
 					"checkjson: polymorph: single-variant cost %d is not >= 2x variant-table cost %d\n",
 					byID["E7a"], byID["E7b"])
+				os.Exit(1)
+			}
+		}
+		if f.Key == "obs" {
+			byID := map[string]uint64{}
+			for _, r := range f.Rows {
+				byID[r.ID] = r.Cycles
+			}
+			for _, id := range []string{"E8a", "E8b", "E8c", "E8d", "E8e", "E8f", "E8g"} {
+				if _, ok := byID[id]; !ok {
+					fmt.Fprintf(os.Stderr, "checkjson: obs family is missing row %s\n", id)
+					os.Exit(1)
+				}
+			}
+			// E8a/E8b are wall-clock nanoseconds over the same steady-state
+			// sweeps (min of interleaved reps). No span fires inside the
+			// data plane, so the tracing-overhead bar is 2%; a 5ms absolute
+			// floor absorbs scheduler jitter on hosts where the measured
+			// region ran short (tiny verify grids).
+			const noiseNS = 5_000_000
+			if limit := byID["E8a"] + byID["E8a"]/50 + noiseNS; byID["E8b"] > limit {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: obs: enabled steady state %d ns exceeds disabled %d ns by more than 2%%+noise\n",
+					byID["E8b"], byID["E8a"])
+				os.Exit(1)
+			}
+			// E8f/E8g are the traced submit path: one trace and two
+			// recorded spans per ~µs cache-hit submit is a real double-digit
+			// percentage, reported honestly in the rows. The bar here is a
+			// regression cap only: tracing must never triple the path.
+			if limit := 3*byID["E8f"] + noiseNS; byID["E8g"] > limit {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: obs: traced submit path %d ns exceeds 3x untraced %d ns + noise\n",
+					byID["E8g"], byID["E8f"])
+				os.Exit(1)
+			}
+			// Steady-state cycles are deterministic: tracing must cost the
+			// emulated data plane exactly nothing.
+			if byID["E8d"] != byID["E8c"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: obs: enabled steady state %d cycles != disabled %d\n",
+					byID["E8d"], byID["E8c"])
+				os.Exit(1)
+			}
+			// The reconstructed coalesced-burst lifecycle must link events.
+			if byID["E8e"] == 0 {
+				fmt.Fprintf(os.Stderr, "checkjson: obs: reconstructed trace is empty\n")
 				os.Exit(1)
 			}
 		}

@@ -37,6 +37,12 @@ if [ "${RACE:-1}" = 1 ]; then
     # per-effort coalescing keys, quick-vs-full cache isolation).
     echo "== go test -race (short budget: brewsvc)"
     go test -race -short ./internal/brewsvc/
+    # The observability layer is lock-free by construction (ring-buffer
+    # flight recorder, atomic span gating): full suite under -race,
+    # including the concurrent ring-wrap writers and the disabled-path
+    # zero-allocation tests.
+    echo "== go test -race (obs)"
+    go test -race ./internal/obs/
 fi
 
 # API-migration lint: commands and examples must use the unified brew.Do /
@@ -52,17 +58,29 @@ fi
 echo "== brew-verify -faults smoke"
 go run ./cmd/brew-verify -seeds 0 -stencil=false -faults 60 -q
 
+# brew-top smoke: the self-contained demo runs a coalesced burst plus a
+# tier promotion and renders the dashboard through the HTTP introspection
+# listener; the output must carry the stage-quantile table.
+echo "== brew-top -demo smoke"
+go run ./cmd/brew-top -demo | grep -q 'rewrite' || {
+    echo "verify: FAIL — brew-top demo dashboard missing the stage table" >&2
+    exit 1
+}
+
 # brew-bench smoke: tiny grid, JSON output must parse. The service family
 # also enforces the E5 acceptance bar (64-caller burst = exactly 1 trace);
 # the tiered family enforces the E6 bars (tier-0 rewrite cost >= 3x below
 # tier-1, post-promotion steady state == tier-1 direct); the polymorph
 # family enforces the E7 bar (single-variant per-caller cost >= 2x the
-# variant table's, generic fallthrough correct). checkjson re-checks the
-# E6/E7 bars from the JSON.
+# variant table's, generic fallthrough correct); the obs family enforces
+# the E8 bars (enabled tracing within 2% wall overhead on the E1c steady
+# state, identical steady-state cycles, nonempty reconstructed lifecycle
+# trace, traced submit path capped at 3x). checkjson re-checks the
+# E6/E7/E8 bars from the JSON.
 echo "== brew-bench -json smoke (tiny grid)"
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
-go run ./cmd/brew-bench -only stencil,service,tiered,polymorph -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./cmd/brew-bench -only stencil,service,tiered,polymorph,obs -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
 
 if [ "${FUZZ:-1}" = 1 ]; then
