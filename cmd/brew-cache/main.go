@@ -1,0 +1,143 @@
+// brew-cache is the operator tool for the persistent rewrite store
+// (internal/spstore): list the records a store directory holds, verify
+// their framing/checksums (optionally quarantining what fails), and
+// garbage-collect the quarantine plus the oldest live records down to a
+// byte budget.
+//
+//	brew-cache -store DIR ls            # live + quarantined records
+//	brew-cache -store DIR fsck          # verify; exit 1 if anything is corrupt
+//	brew-cache -store DIR fsck -repair  # verify and quarantine what fails
+//	brew-cache -store DIR gc -max 64M   # drop quarantine, evict LRU over budget
+//	brew-cache -store DIR ls -json      # machine-readable listings
+//
+// fsck exits 1 when corruption is found (repaired or not), so it slots
+// into health checks; ls and gc exit 1 only on operational errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/spstore"
+)
+
+func main() {
+	var (
+		dir    = flag.String("store", "", "store directory (required)")
+		asJSON = flag.Bool("json", false, "machine-readable output")
+		repair = flag.Bool("repair", false, "fsck: quarantine records that fail verification")
+		max    = flag.String("max", "", "gc: live-tier byte budget (supports K/M/G suffixes; empty = quarantine sweep only)")
+	)
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd != "" {
+		// Allow flags after the subcommand too (brew-cache -store DIR gc -max 64M).
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	if *dir == "" || cmd == "" {
+		fmt.Fprintln(os.Stderr, "usage: brew-cache -store DIR [-json] ls|fsck|gc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := spstore.Open(spstore.Options{Dir: *dir})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	switch cmd {
+	case "ls":
+		infos, err := st.List()
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			printJSON(infos)
+			return
+		}
+		for _, in := range infos {
+			state := "live"
+			if in.Quarantined {
+				state = "quar"
+			}
+			fmt.Printf("%-4s %s  %7dB  fn=%#x effort=%s code=%dB guards=%d gen=%d\n",
+				state, in.Key, in.Size, in.Fn, in.Effort, in.CodeSize, in.Guards, in.Generation)
+		}
+		fmt.Printf("%d records, generation %d\n", len(infos), st.Generation())
+	case "fsck":
+		rep, err := st.Fsck(*repair)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			printJSON(rep)
+		} else {
+			for _, bad := range rep.Bad {
+				fmt.Printf("corrupt %s: %s\n", bad.Key, bad.Err)
+			}
+			fmt.Printf("checked %d, corrupt %d, quarantined now %d, in quarantine %d\n",
+				rep.Checked, rep.Corrupt, rep.Quarantined, rep.InQuarantine)
+		}
+		if rep.Corrupt > 0 {
+			os.Exit(1)
+		}
+	case "gc":
+		budget, err := parseBytes(*max)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := st.GC(budget)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			printJSON(rep)
+		} else {
+			fmt.Printf("dropped %d quarantined + %d live (LRU), freed %dB, %dB live\n",
+				rep.QuarantineDropped, rep.LRUDropped, rep.BytesFreed, rep.BytesLive)
+		}
+	default:
+		fatal(fmt.Errorf("unknown command %q (want ls, fsck or gc)", cmd))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brew-cache:", err)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
+}
+
+// parseBytes parses "67108864", "64M", "1G", "512K" (binary multiples).
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -max %q", s)
+	}
+	return n * mult, nil
+}

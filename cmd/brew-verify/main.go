@@ -13,10 +13,20 @@
 // drop-in as well. Divergences under injection are specialization-manager
 // or rewriter bugs exactly like ordinary ones.
 //
+// With -persist, every case additionally runs through the persist/reload
+// oracle (oracle.RunPersist): the fresh rewrite is captured into a
+// persistent store (internal/spstore), a third identically built machine
+// — the simulated restart — adopts it back through full revalidation, and
+// the adopted body must be byte-for-byte identical to the fresh rewrite
+// AND behaviorally identical to the original. -store keeps the store
+// directory for later inspection (brew-cache); the default is a
+// throwaway temp dir.
+//
 //	brew-verify -seeds 200            # 200 random generated programs + stencil kernels
 //	brew-verify -seeds 50 -stencil=false -trials 10
 //	brew-verify -start 1000 -seeds 64 # a different slice of the program space
 //	brew-verify -seeds 0 -stencil=false -faults 60   # fallback-path smoke
+//	brew-verify -seeds 200 -persist   # + persist/reload equivalence per case
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/brew"
 	"repro/internal/faultinject"
 	"repro/internal/oracle"
+	"repro/internal/spstore"
 )
 
 // armed builds a seeded injector with rates that exercise every point
@@ -49,6 +60,8 @@ func main() {
 		xs      = flag.Int("xs", 16, "stencil grid width")
 		ys      = flag.Int("ys", 12, "stencil grid height")
 		faults  = flag.Int("faults", 0, "fault-injected degrade-mode cases (0 disables)")
+		persist = flag.Bool("persist", false, "also run every case through the persist/reload oracle")
+		store   = flag.String("store", "", "persist-mode store directory (default: throwaway temp dir)")
 		quiet   = flag.Bool("q", false, "only print the summary line")
 	)
 	flag.Parse()
@@ -57,6 +70,44 @@ func main() {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 		os.Exit(1)
+	}
+
+	var st *spstore.Store
+	if *persist {
+		dir := *store
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "brew-verify-store-*")
+			if err != nil {
+				fail("persist: %v", err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var err error
+		if st, err = spstore.Open(spstore.Options{Dir: dir}); err != nil {
+			fail("persist: %v", err)
+		}
+		defer st.Close()
+	}
+
+	// runPersist mirrors a case through the persist/reload oracle when
+	// -persist is set; mustRewrite marks cases whose refusal is a
+	// regression rather than a skip.
+	runPersist := func(c oracle.Case, seed int64, mustRewrite bool) {
+		if st == nil {
+			return
+		}
+		res, err := oracle.RunPersist(c, seed, st)
+		if err != nil {
+			fail("%s: persist harness error: %v", c.Name, err)
+		}
+		if mustRewrite && res.RewriteErr != nil {
+			fail("%s: rewrite refused: %v", c.Name, res.RewriteErr)
+		}
+		rep.Add(res)
+		if res.Divergence != nil && !*quiet {
+			fmt.Print(res.Divergence.Format())
+		}
 	}
 
 	// Every generated and stencil case runs at both rewrite tiers: the
@@ -84,6 +135,7 @@ func main() {
 			if res.Divergence != nil && !*quiet {
 				fmt.Print(res.Divergence.Format())
 			}
+			runPersist(c, seed, false)
 		}
 	}
 
@@ -110,6 +162,7 @@ func main() {
 				if res.Divergence != nil && !*quiet {
 					fmt.Print(res.Divergence.Format())
 				}
+				runPersist(c, int64(i)+1, true)
 			}
 		}
 	}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/brew"
 	"repro/internal/obs"
 	"repro/internal/specmgr"
+	"repro/internal/spstore"
 	"repro/internal/vm"
 )
 
@@ -221,6 +222,15 @@ type Options struct {
 	// host must await before resuming emulated execution (see
 	// promote.go). Zero or negative disables promotion.
 	PromoteAfter int
+	// Store, when non-nil, is the persistent rewrite store (warm start):
+	// workers consult it before tracing a cacheable request — a record
+	// passing full revalidation (persist.go) is adopted instead of
+	// re-traced — and persist every successful install write-behind.
+	Store *spstore.Store
+	// PersistDrainTimeout bounds Close's wait for the store's remote
+	// write-behind queue (default 2s; only used when Store is set). Close
+	// never hangs on a remote put stuck in backoff.
+	PersistDrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -248,6 +258,7 @@ type Stats struct {
 	CacheMisses  uint64 // cacheable requests that started a new flight
 	Rejected     uint64 // backpressure rejections (queue full)
 	Traces       uint64 // rewrites actually run by workers
+	WarmHits     uint64 // flights served by persistent-store adoption (no trace)
 	Promoted     uint64 // successful hot-installs
 	Degraded     uint64 // worker rewrites that degraded to the original
 	Evictions    uint64 // cache LRU evictions
@@ -261,6 +272,7 @@ type stats struct {
 	submitted, coalesced, cacheHits, cacheMisses atomic.Uint64
 	rejected, traces, promoted, degraded         atomic.Uint64
 	evictions, tierPromoted, tierDemoted         atomic.Uint64
+	warmHits                                     atomic.Uint64
 }
 
 // Service is the concurrent specialization service. Create with New, stop
@@ -366,6 +378,7 @@ func (s *Service) Stats() Stats {
 		CacheMisses:  s.st.cacheMisses.Load(),
 		Rejected:     s.st.rejected.Load(),
 		Traces:       s.st.traces.Load(),
+		WarmHits:     s.st.warmHits.Load(),
 		Promoted:     s.st.promoted.Load(),
 		Degraded:     s.st.degraded.Load(),
 		Evictions:    s.st.evictions.Load(),
@@ -564,18 +577,36 @@ func (s *Service) worker() {
 		tier := tierOf(f.req.Config.Effort)
 		obs.EndSpan(f.trace, obs.StageQueue, tier, f.enqNS, f.req.Fn, f.link)
 
-		s.st.traces.Add(1)
-		mTraces.Inc()
-		rwStart := obs.Now()
-		start := time.Now()
-		out, rerr := brew.Do(s.m, f.req)
-		us := uint64(time.Since(start).Microseconds())
-		obs.EndSpan(f.trace, obs.StageRewrite, tier, rwStart, f.req.Fn, f.link)
-		mLatencyUS.Observe(us)
-		if f.req.Config.Effort == brew.EffortQuick {
-			mLatencyQuickUS.Observe(us)
+		// Warm start: before paying a trace, a cacheable flight consults
+		// the persistent store. Adoption never happens blindly — the
+		// record is fully revalidated against the live machine (checksum,
+		// original code, frozen-region digests, guard set, placement; see
+		// spstore.Adopt) and any failure quarantines it and falls through
+		// to a fresh trace.
+		var out *brew.Outcome
+		var rerr error
+		warm := false
+		if s.opt.Store != nil && f.cacheable && !f.promo {
+			out = s.warmAdopt(f)
+			warm = out != nil
+		}
+		if warm {
+			s.st.warmHits.Add(1)
+			mWarmHits.Inc()
 		} else {
-			mLatencyFullUS.Observe(us)
+			s.st.traces.Add(1)
+			mTraces.Inc()
+			rwStart := obs.Now()
+			start := time.Now()
+			out, rerr = brew.Do(s.m, f.req)
+			us := uint64(time.Since(start).Microseconds())
+			obs.EndSpan(f.trace, obs.StageRewrite, tier, rwStart, f.req.Fn, f.link)
+			mLatencyUS.Observe(us)
+			if f.req.Config.Effort == brew.EffortQuick {
+				mLatencyQuickUS.Observe(us)
+			} else {
+				mLatencyFullUS.Observe(us)
+			}
 		}
 
 		if f.promo {
@@ -585,7 +616,7 @@ func (s *Service) worker() {
 
 		var res Outcome
 		if f.cacheable {
-			res = s.completeCacheable(f, out, rerr)
+			res = s.completeCacheable(f, out, rerr, warm)
 		} else {
 			res = s.completeUncacheable(f, out, rerr)
 		}
@@ -605,7 +636,7 @@ func (s *Service) worker() {
 
 // completeCacheable installs a finished cacheable rewrite as a variant of
 // the shared entry and publishes it to the cache.
-func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error, warm bool) Outcome {
 	instStart := obs.Now()
 	v, ok := s.mgr.InstallVariant(f.entry, f.req.Config, f.req.Guards, f.req.Args, f.req.FArgs, out, rerr)
 	obs.EndSpan(f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
@@ -649,6 +680,12 @@ func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error) Ou
 	// the trace. The flight's entry reference transfers to the slot.
 	for _, victim := range s.cache.put(f.k, cacheVal{e: f.entry, v: v, ek: f.ek}) {
 		s.evictVictim(victim, v)
+	}
+	// Persist freshly traced installs (a warm adoption would re-write the
+	// identical record). The local write is synchronous on this worker —
+	// off the serve path — and the remote copy is write-behind.
+	if s.opt.Store != nil && !warm {
+		s.persist(f, out)
 	}
 	return res
 }
@@ -766,5 +803,15 @@ func (s *Service) Close() {
 	// are harmless repeats.
 	for _, cv := range s.cache.drain() {
 		s.mgr.Release(cv.e)
+	}
+	// Bounded persist-queue drain: give the store's remote write-behind a
+	// chance to flush, but never hang on a put stuck in retry backoff
+	// (the local tier already has every record).
+	if s.opt.Store != nil {
+		d := s.opt.PersistDrainTimeout
+		if d <= 0 {
+			d = 2 * time.Second
+		}
+		s.opt.Store.Drain(d)
 	}
 }

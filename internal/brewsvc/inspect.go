@@ -8,6 +8,7 @@ import (
 	"repro/internal/brew"
 	"repro/internal/obs"
 	"repro/internal/specmgr"
+	"repro/internal/spstore"
 )
 
 // VariantInspect is one table variant's state in an inspection snapshot.
@@ -74,6 +75,9 @@ type Inspection struct {
 	TrackedPromotions int `json:"tracked_promotions"`
 	// Entries are the shared variant-table entries, sorted by Fn.
 	Entries []EntryInspect `json:"entries"`
+	// Persist is the persistent rewrite store's counter snapshot (nil
+	// when the service runs without a store).
+	Persist *spstore.Stats `json:"persist,omitempty"`
 	// Stages is the tracer's per-stage/per-tier quantile snapshot (empty
 	// while observation is disabled).
 	Stages []obs.StageQuantiles `json:"stages,omitempty"`
@@ -112,6 +116,10 @@ func (s *Service) Inspect() Inspection {
 	s.mu.Unlock()
 
 	ins.Stats = s.Stats()
+	if s.opt.Store != nil {
+		st := s.opt.Store.Stats()
+		ins.Persist = &st
+	}
 	ins.CacheShards = s.cache.shardLens()
 	for _, n := range ins.CacheShards {
 		ins.CacheLen += n
@@ -183,6 +191,11 @@ func (i Inspection) Render() string {
 		st.Submitted, st.CoalesceHits, st.CacheHits, st.CacheMisses, st.Rejected)
 	fmt.Fprintf(&b, "rewrites  traces=%d installed=%d degraded=%d evictions=%d\n",
 		st.Traces, st.Promoted, st.Degraded, st.Evictions)
+	if p := i.Persist; p != nil {
+		fmt.Fprintf(&b, "persist   warm_hits=%d reval_fails=%d quarantined=%d puts=%d gen=%d remote[hits=%d puts=%d timeouts=%d errs=%d queue=%d] breaker_open=%v\n",
+			p.WarmHits, p.RevalFails, p.Quarantined, p.Puts, p.Generation,
+			p.RemoteHits, p.RemotePuts, p.RemoteTOs, p.RemoteErrs, p.RemoteQueue, p.BreakerOpen)
+	}
 	fmt.Fprintf(&b, "tiering   tracked=%d promoted=%d failed=%d\n",
 		i.TrackedPromotions, st.TierPromotions, st.TierDemotions)
 

@@ -12,6 +12,7 @@ var (
 	mCacheEvictions = telemetry.Default.Counter("brewsvc.cache_evictions")
 	mRejected       = telemetry.Default.Counter("brewsvc.rejected")
 	mTraces         = telemetry.Default.Counter("brewsvc.traces")
+	mWarmHits       = telemetry.Default.Counter("brewsvc.warm_hits")
 	mPromotions     = telemetry.Default.Counter("brewsvc.promotions")
 	mDegraded       = telemetry.Default.Counter("brewsvc.degraded")
 

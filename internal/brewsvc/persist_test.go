@@ -1,0 +1,154 @@
+package brewsvc_test
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/brewsvc"
+	"repro/internal/spstore"
+)
+
+func openStoreDir(t *testing.T, dir string, opts spstore.Options) *spstore.Store {
+	t.Helper()
+	opts.Dir = dir
+	st, err := spstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestWarmStartAcrossRestart is the warm-start acceptance test at the
+// service level: a first "boot" traces and persists; an identically
+// built second boot sharing the store directory serves the same request
+// without tracing at all — same address, correct checksum, WarmHits
+// counted instead of Traces — and the persist stats surface in Inspect.
+func TestWarmStartAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const iters = 3
+
+	boot := func(warmExpected bool) (addr uint64, sum float64) {
+		m, w := newStencil(t)
+		st := openStoreDir(t, dir, spstore.Options{})
+		svc := brewsvc.New(m, brewsvc.Options{Workers: 1, Store: st})
+		defer svc.Close()
+		cfg, args := w.ApplyConfig()
+		out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		if out.Degraded {
+			t.Fatalf("degraded: %s (%v)", out.Reason, out.Err)
+		}
+		stats := svc.Stats()
+		if warmExpected {
+			if stats.Traces != 0 || stats.WarmHits != 1 {
+				t.Fatalf("warm boot stats = %+v, want 0 traces / 1 warm hit", stats)
+			}
+			insp := svc.Inspect()
+			if insp.Persist == nil || insp.Persist.WarmHits != 1 {
+				t.Fatalf("Inspect().Persist = %+v, want 1 warm hit", insp.Persist)
+			}
+		} else if stats.Traces != 1 || stats.WarmHits != 0 {
+			t.Fatalf("cold boot stats = %+v, want 1 trace / 0 warm hits", stats)
+		}
+		if err := w.ResetMatrices(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := w.RunSweeps(out.Addr, false, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := w.Golden(iters); math.Abs(v-want) > 1e-9 {
+			t.Fatalf("checksum %g, want %g", v, want)
+		}
+		return out.Addr, v
+	}
+
+	coldAddr, coldSum := boot(false)
+	warmAddr, warmSum := boot(true)
+	if warmAddr != coldAddr || warmSum != coldSum {
+		t.Fatalf("warm boot served %#x/%g, cold boot %#x/%g", warmAddr, warmSum, coldAddr, coldSum)
+	}
+}
+
+// TestWarmHitNotCached: a warm adoption still populates the in-memory
+// cache, so subsequent same-process requests are cache hits, not repeat
+// store lookups.
+func TestWarmAdoptionPopulatesCache(t *testing.T) {
+	dir := t.TempDir()
+	{
+		m, w := newStencil(t)
+		st := openStoreDir(t, dir, spstore.Options{})
+		svc := brewsvc.New(m, brewsvc.Options{Workers: 1, Store: st})
+		cfg, args := w.ApplyConfig()
+		svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		svc.Close()
+	}
+	m, w := newStencil(t)
+	st := openStoreDir(t, dir, spstore.Options{})
+	svc := brewsvc.New(m, brewsvc.Options{Workers: 1, Store: st})
+	defer svc.Close()
+	for i := 0; i < 3; i++ {
+		cfg, args := w.ApplyConfig()
+		if out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args}); out.Degraded {
+			t.Fatalf("request %d degraded", i)
+		}
+	}
+	stats := svc.Stats()
+	if stats.WarmHits != 1 || stats.CacheHits != 2 || stats.Traces != 0 {
+		t.Fatalf("stats = %+v, want 1 warm hit + 2 cache hits + 0 traces", stats)
+	}
+	if sst := st.Stats(); sst.LocalHits != 1 {
+		t.Fatalf("store stats = %+v, want exactly 1 local hit", sst)
+	}
+}
+
+// TestCloseRacingRemoteBackoff is the regression test for the Close /
+// write-behind race: with the remote tier wedged (every put erroring
+// into a long retry schedule), Service.Close must drain within its
+// bounded deadline and return promptly — and shutting the store down
+// afterwards must leave no goroutine behind.
+func TestCloseRacingRemoteBackoff(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := spstore.NewMemRemote()
+	remoteDown := errors.New("remote down")
+	r.FailPut = func(string) error { return remoteDown }
+	m, w := newStencil(t)
+	st := openStoreDir(t, t.TempDir(), spstore.Options{
+		Remote:           r,
+		RemoteRetries:    1000,
+		RemoteTimeout:    10 * time.Millisecond,
+		BreakerThreshold: 1 << 30,
+	})
+	svc := brewsvc.New(m, brewsvc.Options{
+		Workers:             1,
+		Store:               st,
+		PersistDrainTimeout: 50 * time.Millisecond,
+	})
+	cfg, args := w.ApplyConfig()
+	if out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args}); out.Degraded {
+		t.Fatalf("degraded: %s", out.Reason)
+	}
+
+	done := make(chan struct{})
+	go func() { svc.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Service.Close hung on a remote put stuck in backoff")
+	}
+	st.Close()
+
+	// The write-behind worker and any timed-out call goroutines must wind
+	// down; poll briefly rather than demanding an instant exact count.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked across Close: %d before, %d after", before, n)
+	}
+}

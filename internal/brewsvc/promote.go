@@ -222,6 +222,11 @@ func (s *Service) completePromotion(f *flight, out *brew.Outcome, rerr error) {
 	if ok {
 		s.st.tierPromoted.Add(1)
 		mTierPromotions.Inc()
+		// Persist the optimized body under its (EffortFull) content
+		// address: a warm start then adopts straight at tier-1.
+		if s.opt.Store != nil {
+			s.persist(f, out)
+		}
 	} else {
 		s.st.tierDemoted.Add(1)
 		mTierDemotions.Inc()

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/oracle"
+	"repro/internal/spstore"
+	"repro/internal/stencil"
+	"repro/internal/vm"
+)
+
+// RunPersist is E9: the persistent rewrite store and warm start. A cold
+// "boot" specializes the three stencil kernels at both effort tiers
+// through the service (six traces) with a store attached; an identically
+// built second boot sharing the store directory must serve every request
+// by warm adoption — revalidated, never re-traced. Rows:
+//
+//	E9a  cold-boot traces (baseline; the re-trace work a restart costs
+//	     without the store)
+//	E9b  warm-boot traces (want 0: every request adopted from the store)
+//	E9c  warm-boot revalidation cost, ns (digest + checksum + re-install
+//	     verification — the integrity tax on adoption)
+//	E9d  warm-boot wall ns (all six requests served plus one steady-state
+//	     sweep per kernel, checksum-verified against the golden)
+//	E9e  persist-oracle divergences (oracle.RunPersist over the stencil
+//	     cases at both tiers: cached must equal fresh byte-for-byte and
+//	     behave identically; want 0)
+//
+// Wall-clock rows vary run to run; the structural rows (E9a, E9b, E9e)
+// are deterministic and checkjson enforces them.
+func RunPersist(o Options) ([]Row, error) {
+	o = o.fill()
+	dir, err := os.MkdirTemp("", "brew-e9-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// boot builds a fresh machine + service over the shared store
+	// directory, submits the six specialization requests sequentially,
+	// verifies one steady-state sweep per kernel against the golden
+	// reference, and reports the service/store stats plus the wall time.
+	boot := func() (traces, warm uint64, revalNS int64, wall time.Duration, err error) {
+		m := vm.MustNew()
+		w, werr := stencil.New(m, o.XS, o.YS)
+		if werr != nil {
+			return 0, 0, 0, 0, werr
+		}
+		st, serr := spstore.Open(spstore.Options{Dir: dir})
+		if serr != nil {
+			return 0, 0, 0, 0, serr
+		}
+		defer st.Close()
+		svc := brewsvc.New(m, brewsvc.Options{Workers: 1, Store: st})
+		defer svc.Close()
+
+		type kernel struct {
+			cfg  *brew.Config
+			fn   uint64
+			args []uint64
+			run  func(addr uint64) (float64, error)
+		}
+		mk := func() []kernel {
+			aCfg, aArgs := w.ApplyConfig()
+			gCfg, gArgs := w.GroupedConfig()
+			sCfg, sArgs := w.SweepConfig()
+			return []kernel{
+				{aCfg, w.Apply, aArgs, func(a uint64) (float64, error) { return w.RunSweeps(a, false, o.Iters) }},
+				{gCfg, w.ApplyGrouped, gArgs, func(a uint64) (float64, error) { return w.RunSweeps(a, true, o.Iters) }},
+				{sCfg, w.Sweep, sArgs, func(a uint64) (float64, error) { return w.RunRewrittenSweeps(a, o.Iters) }},
+			}
+		}
+
+		t0 := time.Now()
+		for _, effort := range []brew.Effort{brew.EffortFull, brew.EffortQuick} {
+			for i, k := range mk() {
+				k.cfg.Effort = effort
+				out := svc.Do(&brewsvc.Request{Config: k.cfg, Fn: k.fn, Args: k.args})
+				if out.Degraded {
+					return 0, 0, 0, 0, fmt.Errorf("E9 kernel %d (%s) degraded: %s (%v)", i, effort, out.Reason, out.Err)
+				}
+				if effort != brew.EffortFull {
+					continue
+				}
+				if rerr := w.ResetMatrices(); rerr != nil {
+					return 0, 0, 0, 0, rerr
+				}
+				got, rerr := k.run(out.Addr)
+				if rerr != nil {
+					return 0, 0, 0, 0, rerr
+				}
+				if want := w.Golden(o.Iters); math.Abs(got-want) > 1e-9 {
+					return 0, 0, 0, 0, fmt.Errorf("E9 kernel %d checksum %g, want %g", i, got, want)
+				}
+			}
+		}
+		wall = time.Since(t0)
+		sst := svc.Stats()
+		return sst.Traces, sst.WarmHits, st.Stats().RevalNS, wall, nil
+	}
+
+	coldTraces, coldWarm, _, _, err := boot()
+	if err != nil {
+		return nil, fmt.Errorf("cold boot: %w", err)
+	}
+	if coldWarm != 0 {
+		return nil, fmt.Errorf("cold boot served %d warm hits from an empty store", coldWarm)
+	}
+	warmTraces, warmHits, revalNS, warmWall, err := boot()
+	if err != nil {
+		return nil, fmt.Errorf("warm boot: %w", err)
+	}
+	if warmHits+warmTraces < coldTraces {
+		return nil, fmt.Errorf("warm boot lost requests: %d warm + %d traces < %d", warmHits, warmTraces, coldTraces)
+	}
+
+	// E9e: the persist/reload oracle over the same kernels at both tiers,
+	// against its own store (so the differential machines' addresses are
+	// not entangled with the service boots above).
+	divergences := uint64(0)
+	odir, err := os.MkdirTemp("", "brew-e9-oracle-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(odir)
+	ost, err := spstore.Open(spstore.Options{Dir: odir})
+	if err != nil {
+		return nil, err
+	}
+	defer ost.Close()
+	for _, effort := range []brew.Effort{brew.EffortFull, brew.EffortQuick} {
+		cases, cerr := oracle.StencilCases(o.XS, o.YS)
+		if cerr != nil {
+			return nil, cerr
+		}
+		for i, c := range cases {
+			c.Effort = effort
+			res, rerr := oracle.RunPersist(c, int64(i)+1, ost)
+			if rerr != nil {
+				return nil, fmt.Errorf("E9e %s: %w", c.Name, rerr)
+			}
+			if res.RewriteErr != nil {
+				return nil, fmt.Errorf("E9e %s: rewrite refused: %w", c.Name, res.RewriteErr)
+			}
+			if res.Divergence != nil {
+				divergences++
+			}
+		}
+	}
+
+	ratio := func(n uint64) float64 {
+		if coldTraces == 0 {
+			return 0
+		}
+		return float64(n) / float64(coldTraces)
+	}
+	return []Row{
+		{ID: "E9a", Name: "cold boot: traces paid", Cycles: coldTraces, Ratio: 1.0,
+			Note: "3 kernels x 2 effort tiers, no store state"},
+		{ID: "E9b", Name: "warm boot: traces paid", Cycles: warmTraces, Ratio: ratio(warmTraces),
+			Note: fmt.Sprintf("%d requests served by store adoption", warmHits)},
+		{ID: "E9c", Name: "warm boot: revalidation ns", Cycles: uint64(revalNS),
+			Note: "digests + checksum + install verification"},
+		{ID: "E9d", Name: "warm boot: wall ns", Cycles: uint64(warmWall),
+			Note: "6 requests + checksum-verified steady sweeps"},
+		{ID: "E9e", Name: "persist-oracle divergences", Cycles: divergences,
+			Note: "cached vs fresh: byte + behavior equality"},
+	}, nil
+}

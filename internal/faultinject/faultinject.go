@@ -36,8 +36,39 @@ const (
 	PointDispatch Point = "dispatch"
 )
 
-// Points lists every injection point.
+// Persistent-store injection points (internal/spstore). The names match
+// the spstore.Inject* fault-point strings: the store consults them
+// through StoreHook and simulates the corruption itself, so the read
+// path faces genuine torn/truncated/flipped bytes.
+const (
+	// PointStoreTornWrite leaves a half-written record under a live key
+	// (crash mid-write without atomic rename).
+	PointStoreTornWrite Point = "store-torn-write"
+	// PointStoreTruncate cuts the record's tail (checksum and trailing
+	// body bytes missing).
+	PointStoreTruncate Point = "store-truncate"
+	// PointStoreBitFlip flips one bit after the checksum was computed
+	// (silent media corruption, typically in the code bytes).
+	PointStoreBitFlip Point = "store-bit-flip"
+	// PointStoreStaleAssume persists a record whose assumption digests
+	// lie — checksum-valid, only revalidation can reject it.
+	PointStoreStaleAssume Point = "store-stale-assume"
+	// PointStoreRemoteTimeout holds a remote op past its deadline.
+	PointStoreRemoteTimeout Point = "store-remote-timeout"
+	// PointStoreRemoteErr fails a remote op (5xx-equivalent).
+	PointStoreRemoteErr Point = "store-remote-err"
+)
+
+// Points lists every rewrite-pipeline injection point (the set ArmAll
+// arms; store points are separate so existing chaos suites keep their
+// decision streams).
 var Points = []Point{PointJITAlloc, PointOpcode, PointBudget, PointPanic, PointDispatch}
+
+// StorePoints lists every persistent-store injection point.
+var StorePoints = []Point{
+	PointStoreTornWrite, PointStoreTruncate, PointStoreBitFlip,
+	PointStoreStaleAssume, PointStoreRemoteTimeout, PointStoreRemoteErr,
+}
 
 // Injector makes seeded pass/fail decisions at armed points. It is safe
 // for concurrent use; determinism holds for a fixed sequence of Should
@@ -72,9 +103,18 @@ func (in *Injector) Arm(p Point, rate float64) *Injector {
 	return in
 }
 
-// ArmAll arms every point at the same rate.
+// ArmAll arms every rewrite-pipeline point at the same rate (store
+// points are armed individually or via ArmStore).
 func (in *Injector) ArmAll(rate float64) *Injector {
 	for _, p := range Points {
+		in.Arm(p, rate)
+	}
+	return in
+}
+
+// ArmStore arms every persistent-store point at the same rate.
+func (in *Injector) ArmStore(rate float64) *Injector {
+	for _, p := range StorePoints {
 		in.Arm(p, rate)
 	}
 	return in
@@ -173,5 +213,24 @@ func (in *Injector) Hook() func(site string) error {
 			}
 		}
 		return nil
+	}
+}
+
+// StoreHook adapts the Injector to the spstore.Options.Inject seam: the
+// store passes its fault-point name, the hook maps it onto the matching
+// store Point and makes the seeded decision (with the same recorded-
+// event and Fired accounting as every other point). Unknown names never
+// fire.
+func (in *Injector) StoreHook() func(point string) bool {
+	known := map[string]Point{}
+	for _, p := range StorePoints {
+		known[string(p)] = p
+	}
+	return func(point string) bool {
+		p, ok := known[point]
+		if !ok {
+			return false
+		}
+		return in.Should(p)
 	}
 }

@@ -166,6 +166,10 @@ const (
 	KindDegrade
 	// KindFault: an injected fault fired (Reason is the injection point).
 	KindFault
+	// KindPersist: a persistent-store lifecycle event — warm adoption,
+	// revalidation failure, quarantine, remote-tier degradation (Reason
+	// says which; see internal/spstore).
+	KindPersist
 
 	numKinds
 )
@@ -173,7 +177,7 @@ const (
 var kindNames = [numKinds]string{
 	"span", "variant_install", "variant_evict", "variant_demote",
 	"entry_deopt", "watch_hit", "guard_storm",
-	"promote_ok", "promote_fail", "degrade", "fault",
+	"promote_ok", "promote_fail", "degrade", "fault", "persist",
 }
 
 // String returns the kind's snake_case name.

@@ -1,0 +1,253 @@
+package spstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// Capture snapshots a successful rewrite outcome as a Record: the code
+// bytes are read back from the machine's JIT segment and the full
+// assumption set (original-code digest, frozen-region digests, known
+// argument values, guard set, effort tier) is digested against the live
+// machine — the same derivation Adopt revalidates against later.
+func Capture(m *vm.Machine, cfg *brew.Config, fn uint64, args []uint64, fargs []float64, guards []brew.ParamGuard, out *brew.Outcome) (*Record, error) {
+	if out == nil || out.Degraded || out.Result == nil || out.Result.Degraded {
+		return nil, fmt.Errorf("spstore: refusing to capture a degraded outcome")
+	}
+	res := out.Result
+	if res.CodeSize <= 0 {
+		return nil, fmt.Errorf("spstore: outcome has no code (size %d)", res.CodeSize)
+	}
+	code, err := m.Mem.ReadBytes(res.Addr, res.CodeSize)
+	if err != nil {
+		return nil, fmt.Errorf("spstore: read body at %#x: %w", res.Addr, err)
+	}
+	a, err := digestAssumptions(m, cfg, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	k := keyFrom(a, cfg, fn, args, fargs, guards)
+	rec := &Record{
+		Key:          k.String(),
+		Fn:           fn,
+		OrigLen:      a.origLen,
+		OrigHash:     a.origHash,
+		Fingerprint:  cfg.Fingerprint(),
+		Effort:       cfg.Effort.String(),
+		Guards:       normalizeGuards(guards),
+		Args:         append([]uint64(nil), args...),
+		FArgs:        append([]float64(nil), fargs...),
+		Frozen:       a.frozen,
+		CodeAddr:     res.Addr,
+		CodeSize:     res.CodeSize,
+		Code:         append([]byte(nil), code...),
+		Blocks:       res.Blocks,
+		TracedInstrs: res.TracedInstrs,
+	}
+	if res.Report != nil {
+		if b, jerr := res.Report.JSON(); jerr == nil {
+			rec.Report = json.RawMessage(b)
+		}
+	}
+	return rec, nil
+}
+
+// CapturePut is Capture followed by Put; the common write-behind call
+// the service makes after a successful install.
+func (s *Store) CapturePut(m *vm.Machine, cfg *brew.Config, fn uint64, args []uint64, fargs []float64, guards []brew.ParamGuard, out *brew.Outcome) (*Record, error) {
+	rec, err := Capture(m, cfg, fn, args, fargs, guards, out)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Put(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// normalizeGuards returns a sorted copy (order-independent guard keys,
+// mirroring specmgr's variant keying).
+func normalizeGuards(gs []brew.ParamGuard) []brew.ParamGuard {
+	if len(gs) == 0 {
+		return nil
+	}
+	out := append([]brew.ParamGuard(nil), gs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Param != out[j].Param {
+			return out[i].Param < out[j].Param
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// revalErr is a revalidation failure: the record is internally
+// consistent (checksum passed) but its assumptions do not hold on the
+// live machine, or its body cannot be re-installed faithfully.
+type revalErr struct {
+	step string // short reason for counters/events
+	err  error
+}
+
+func (e *revalErr) Error() string {
+	return "spstore: revalidation failed (" + e.step + "): " + e.err.Error()
+}
+func (e *revalErr) Unwrap() error { return e.err }
+
+// Adopt is the warm-start path: look the request's content address up
+// and — never blindly — revalidate the hit against the live machine
+// before installing it. The checks, in order:
+//
+//  1. record identity: fn, Config fingerprint and effort tier match;
+//  2. original code: the window at fn re-hashes to the recorded digest;
+//  3. frozen regions: every assumed-constant range re-digests to the
+//     recorded value (the live contents still satisfy the assumptions);
+//  4. guard set: the request's guards equal the recorded set;
+//  5. body integrity: the code bytes decode-walk as valid VX64;
+//  6. placement: the JIT allocator reproduces the recorded install
+//     address exactly (the body is position-dependent).
+//
+// A clean miss returns (nil, nil, nil). A record failing any check is
+// quarantined — with a flight-recorder event and counter — and an error
+// describing the failed step is returned; the caller re-traces fresh.
+// On success the returned Outcome is indistinguishable from a fresh
+// brew.Do result: installing it through specmgr re-arms the assumption
+// watchpoints exactly like a fresh rewrite.
+func (s *Store) Adopt(m *vm.Machine, cfg *brew.Config, fn uint64, args []uint64, fargs []float64, guards []brew.ParamGuard) (*brew.Outcome, *Record, error) {
+	if cfg == nil {
+		return nil, nil, fmt.Errorf("spstore: nil config")
+	}
+	t0 := time.Now()
+	a, err := digestAssumptions(m, cfg, fn, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := keyFrom(a, cfg, fn, args, fargs, guards)
+	rec, ok := s.Get(k)
+	if !ok {
+		s.st.revalNS.Add(int64(time.Since(t0)))
+		return nil, nil, nil
+	}
+	out, rerr := s.adoptRecord(m, cfg, fn, args, a, guards, rec)
+	s.st.revalNS.Add(int64(time.Since(t0)))
+	if rerr != nil {
+		step := "revalidate"
+		var re *revalErr
+		if errors.As(rerr, &re) {
+			step = re.step
+		}
+		s.st.revalFails.Add(1)
+		mRevalFails.Inc()
+		s.Quarantine(k, step)
+		emitPersist(obs.Event{Kind: obs.KindPersist, Fn: fn, Reason: "reval-fail: " + step})
+		return nil, rec, rerr
+	}
+	s.st.warmHits.Add(1)
+	mWarmHits.Inc()
+	emitPersist(obs.Event{Kind: obs.KindPersist, Fn: fn, Addr: out.Addr, Reason: "warm-adopt"})
+	return out, rec, nil
+}
+
+func (s *Store) adoptRecord(m *vm.Machine, cfg *brew.Config, fn uint64, args []uint64, a *assumptions, guards []brew.ParamGuard, rec *Record) (*brew.Outcome, error) {
+	// 1. Identity.
+	if rec.Fn != fn {
+		return nil, &revalErr{"fn-mismatch", fmt.Errorf("record fn %#x, request fn %#x", rec.Fn, fn)}
+	}
+	if fp := cfg.Fingerprint(); rec.Fingerprint != fp {
+		return nil, &revalErr{"fingerprint-mismatch", fmt.Errorf("record %016x, request %016x", rec.Fingerprint, fp)}
+	}
+	if rec.Effort != cfg.Effort.String() {
+		return nil, &revalErr{"effort-mismatch", fmt.Errorf("record %q, request %q", rec.Effort, cfg.Effort)}
+	}
+	// 2. Original code window.
+	if rec.OrigLen != a.origLen || rec.OrigHash != a.origHash {
+		return nil, &revalErr{"orig-code-changed",
+			fmt.Errorf("recorded %d bytes %016x, live %d bytes %016x", rec.OrigLen, rec.OrigHash, a.origLen, a.origHash)}
+	}
+	// 3. Frozen regions against the live machine.
+	if len(rec.Frozen) != len(a.frozen) {
+		return nil, &revalErr{"frozen-set-changed",
+			fmt.Errorf("recorded %d ranges, live config declares %d", len(rec.Frozen), len(a.frozen))}
+	}
+	for i, fr := range rec.Frozen {
+		if fr != a.frozen[i] {
+			return nil, &revalErr{"frozen-digest-mismatch",
+				fmt.Errorf("range [%#x,%#x): recorded %016x, live %016x (live range [%#x,%#x))",
+					fr.Start, fr.End, fr.Hash, a.frozen[i].Hash, a.frozen[i].Start, a.frozen[i].End)}
+		}
+	}
+	// 4. Guard set.
+	want := normalizeGuards(guards)
+	if len(want) != len(rec.Guards) {
+		return nil, &revalErr{"guard-set-changed", fmt.Errorf("recorded %d guards, request has %d", len(rec.Guards), len(want))}
+	}
+	for i := range want {
+		if want[i] != rec.Guards[i] {
+			return nil, &revalErr{"guard-set-changed",
+				fmt.Errorf("guard %d: recorded %+v, request %+v", i, rec.Guards[i], want[i])}
+		}
+	}
+	// 5. Body integrity: the bytes must decode as VX64 end to end.
+	if rec.CodeSize <= 0 || len(rec.Code) != rec.CodeSize {
+		return nil, &revalErr{"body-size", fmt.Errorf("code size %d, %d bytes", rec.CodeSize, len(rec.Code))}
+	}
+	if _, derr := isa.DecodeAll(rec.Code, rec.CodeAddr); derr != nil {
+		return nil, &revalErr{"body-undecodable", derr}
+	}
+	// 6. Placement: the body is position-dependent (intra-body branch
+	// targets are absolute), so the allocator must reproduce the recorded
+	// address; InstallJIT rolls its reservation back when gen errors.
+	addr, ierr := m.InstallJIT(rec.CodeSize, func(at uint64) ([]byte, error) {
+		if at != rec.CodeAddr {
+			return nil, fmt.Errorf("recorded at %#x, allocator offers %#x", rec.CodeAddr, at)
+		}
+		return rec.Code, nil
+	})
+	if ierr != nil {
+		return nil, &revalErr{"relocation", ierr}
+	}
+	if addr != rec.CodeAddr || !s.verifyInstalled(m, rec) {
+		_ = m.FreeJIT(addr)
+		return nil, &revalErr{"install-verify", fmt.Errorf("installed body does not match record at %#x", addr)}
+	}
+	res := &brew.Result{
+		Addr:         addr,
+		CodeSize:     rec.CodeSize,
+		Blocks:       rec.Blocks,
+		TracedInstrs: rec.TracedInstrs,
+	}
+	if len(rec.Report) > 0 {
+		var rep brew.RewriteReport
+		if json.Unmarshal(rec.Report, &rep) == nil {
+			res.Report = &rep
+		}
+	}
+	out := &brew.Outcome{Addr: addr, Result: res}
+	if len(rec.Guards) > 0 {
+		// Mirror brew.Do's guarded shape. The dispatcher brew would have
+		// built is not persisted (specmgr frees it at install and rebuilds
+		// its own inline-cache chain); Addr 0 marks "no dispatcher code".
+		out.Guarded = &brew.GuardedResult{
+			Specialized: addr,
+			Rewrite:     res,
+			Guards:      append([]brew.ParamGuard(nil), rec.Guards...),
+		}
+	}
+	return out, nil
+}
+
+// verifyInstalled reads the just-installed body back and compares it to
+// the record — a final paranoia check that the write really landed.
+func (s *Store) verifyInstalled(m *vm.Machine, rec *Record) bool {
+	got, err := m.Mem.ReadBytes(rec.CodeAddr, rec.CodeSize)
+	return err == nil && bytes.Equal(got, rec.Code)
+}

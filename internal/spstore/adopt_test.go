@@ -1,0 +1,204 @@
+package spstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/brew"
+)
+
+const sweepIters = 6
+
+// TestCaptureAdoptRoundtrip is the core warm-start equivalence: a record
+// captured on one machine is adopted by an identically built "restarted"
+// machine at the same address with byte-identical code, and the adopted
+// kernel computes the same checksums as the golden reference.
+func TestCaptureAdoptRoundtrip(t *testing.T) {
+	s := openStore(t, Options{})
+
+	// First boot: trace fresh, persist.
+	m1, w1 := newStencil(t)
+	cfg1, args1 := w1.ApplyConfig()
+	out, err := brew.Do(m1, &brew.Request{Config: cfg1, Fn: w1.Apply, Args: args1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.CapturePut(m1, cfg1, w1.Apply, args1, nil, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: identical machine, no tracing — adopt from the store.
+	m2, w2 := newStencil(t)
+	cfg2, args2 := w2.ApplyConfig()
+	aout, arec, aerr := s.Adopt(m2, cfg2, w2.Apply, args2, nil, nil)
+	if aerr != nil {
+		t.Fatalf("adopt: %v", aerr)
+	}
+	if aout == nil {
+		t.Fatal("adopt missed the just-persisted record")
+	}
+	if arec.Key != rec.Key {
+		t.Fatalf("adopted %s, persisted %s", arec.Key, rec.Key)
+	}
+	if aout.Result.Addr != out.Result.Addr {
+		t.Fatalf("adopted at %#x, fresh rewrite at %#x", aout.Result.Addr, out.Result.Addr)
+	}
+	fresh, err := m1.Mem.ReadBytes(out.Result.Addr, out.Result.CodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m2.Mem.ReadBytes(aout.Result.Addr, aout.Result.CodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, warm) {
+		t.Fatal("adopted body differs from the fresh rewrite")
+	}
+
+	// Behavior: the adopted kernel reproduces the golden checksum.
+	if err := w2.ResetMatrices(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w2.RunSweeps(aout.Result.Addr, false, sweepIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w2.Golden(sweepIters)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("adopted kernel checksum %g, golden %g", got, want)
+	}
+
+	st := s.Stats()
+	if st.WarmHits != 1 || st.RevalFails != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 warm hit", st)
+	}
+}
+
+// TestAdoptChangedWorldIsCleanMiss: when an assumed-frozen region holds
+// different bytes, the content address itself changes — the stale record
+// is simply never found (no revalidation failure, no quarantine).
+func TestAdoptChangedWorldIsCleanMiss(t *testing.T) {
+	s := openStore(t, Options{})
+	m1, w1 := newStencil(t)
+	cfg1, args1 := w1.ApplyConfig()
+	out, err := brew.Do(m1, &brew.Request{Config: cfg1, Fn: w1.Apply, Args: args1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CapturePut(m1, cfg1, w1.Apply, args1, nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, w2 := newStencil(t)
+	// The restarted world runs a different stencil: one descriptor weight
+	// differs, so the frozen digest — and the key — differ.
+	b, err := m2.Mem.ReadBytes(w2.S5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Mem.WriteBytes(w2.S5, []byte{b[0] ^ 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, args2 := w2.ApplyConfig()
+	aout, arec, aerr := s.Adopt(m2, cfg2, w2.Apply, args2, nil, nil)
+	if aerr != nil || aout != nil || arec != nil {
+		t.Fatalf("changed world: got (%v, %v, %v), want clean miss", aout, arec, aerr)
+	}
+	st := s.Stats()
+	if st.RevalFails != 0 || st.Quarantined != 0 || st.LocalMisses != 1 {
+		t.Fatalf("stats = %+v, want one clean miss", st)
+	}
+}
+
+// TestAdoptStaleAssumptionQuarantined: a checksum-valid record whose
+// recorded digests lie (the stale-assume fault: content address and
+// framing both check out) is caught by revalidation, quarantined, and
+// never installed — zero JIT bytes leak.
+func TestAdoptStaleAssumptionQuarantined(t *testing.T) {
+	armed := true
+	s := openStore(t, Options{Inject: func(p string) bool {
+		return armed && p == InjectStaleAssume
+	}})
+	m1, w1 := newStencil(t)
+	cfg1, args1 := w1.ApplyConfig()
+	out, err := brew.Do(m1, &brew.Request{Config: cfg1, Fn: w1.Apply, Args: args1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CapturePut(m1, cfg1, w1.Apply, args1, nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	armed = false
+
+	m2, w2 := newStencil(t)
+	baseline := m2.JITFreeBytes()
+	cfg2, args2 := w2.ApplyConfig()
+	aout, arec, aerr := s.Adopt(m2, cfg2, w2.Apply, args2, nil, nil)
+	if aerr == nil || aout != nil {
+		t.Fatalf("lying record adopted: (%v, %v, %v)", aout, arec, aerr)
+	}
+	if arec == nil {
+		t.Fatal("revalidation failure should surface the rejected record")
+	}
+	if m2.JITFreeBytes() != baseline {
+		t.Fatalf("rejected adoption leaked JIT bytes: %d -> %d", baseline, m2.JITFreeBytes())
+	}
+	st := s.Stats()
+	if st.RevalFails != 1 || st.Quarantined != 1 || st.WarmHits != 0 {
+		t.Fatalf("stats = %+v, want 1 reval failure + 1 quarantine", st)
+	}
+	// The record is gone: the next lookup is a clean miss, so the caller
+	// re-traces fresh rather than fighting the same corpse forever.
+	if aout, _, aerr := s.Adopt(m2, cfg2, w2.Apply, args2, nil, nil); aout != nil || aerr != nil {
+		t.Fatalf("quarantined record resurrected: (%v, %v)", aout, aerr)
+	}
+}
+
+// TestAdoptPlacementMismatchRefused: the rewritten body is position-
+// dependent; when the restarted machine's allocator cannot reproduce the
+// recorded address (here: something else grabbed JIT space first), the
+// store refuses conservatively and rolls the reservation back.
+func TestAdoptPlacementMismatchRefused(t *testing.T) {
+	s := openStore(t, Options{})
+	m1, w1 := newStencil(t)
+	cfg1, args1 := w1.ApplyConfig()
+	out, err := brew.Do(m1, &brew.Request{Config: cfg1, Fn: w1.Apply, Args: args1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CapturePut(m1, cfg1, w1.Apply, args1, nil, nil, out); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, w2 := newStencil(t)
+	// Perturb the allocator: park a small allocation where the record's
+	// body would go.
+	if _, err := m2.InstallJIT(32, func(at uint64) ([]byte, error) {
+		return make([]byte, 32), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := m2.JITFreeBytes()
+	cfg2, args2 := w2.ApplyConfig()
+	aout, _, aerr := s.Adopt(m2, cfg2, w2.Apply, args2, nil, nil)
+	if aerr == nil || aout != nil {
+		t.Fatalf("misplaced adoption served: (%v, %v)", aout, aerr)
+	}
+	if m2.JITFreeBytes() != baseline {
+		t.Fatalf("refused adoption leaked JIT bytes: %d -> %d", baseline, m2.JITFreeBytes())
+	}
+}
+
+// TestCaptureRefusesDegraded: degraded outcomes never enter the store.
+func TestCaptureRefusesDegraded(t *testing.T) {
+	m, w := newStencil(t)
+	cfg, args := w.ApplyConfig()
+	if _, err := Capture(m, cfg, w.Apply, args, nil, nil, &brew.Outcome{
+		Addr: w.Apply, Degraded: true, Reason: "test",
+		Result: &brew.Result{Addr: w.Apply, Degraded: true},
+	}); err == nil {
+		t.Fatal("degraded outcome captured")
+	}
+}

@@ -1,0 +1,611 @@
+package spstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures a Store. Only Dir is required; a nil Remote runs
+// the store local-only.
+type Options struct {
+	// Dir is the store directory (created if missing; quarantined records
+	// live in Dir/quarantine).
+	Dir string
+	// Remote is the optional second tier. Gets are best-effort behind the
+	// local miss path (bounded by RemoteTimeout); puts are write-behind
+	// on a background goroutine — the serve path never blocks on it.
+	Remote Remote
+	// RemoteTimeout bounds every remote operation (default 250ms).
+	RemoteTimeout time.Duration
+	// RemoteRetries caps the attempts per write-behind put (default 4),
+	// spaced by capped exponential backoff with jitter.
+	RemoteRetries int
+	// BreakerThreshold consecutive remote failures open the circuit
+	// breaker: the store degrades to local-only until BreakerCooldown
+	// elapses, then probes half-open (defaults 5 and 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Inject is the fault-injection seam (internal/faultinject's
+	// StoreHook): called with a store fault-point name, a true return
+	// makes the store simulate that fault (torn write, truncated record,
+	// bit-flip, stale assumption digest, remote timeout/error). Nil in
+	// production.
+	Inject func(point string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RemoteTimeout <= 0 {
+		o.RemoteTimeout = 250 * time.Millisecond
+	}
+	if o.RemoteRetries <= 0 {
+		o.RemoteRetries = 4
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	return o
+}
+
+// Store fault-point names (mirrored by internal/faultinject's store
+// points; spstore takes them as strings to stay decoupled).
+const (
+	InjectTornWrite     = "store-torn-write"
+	InjectTruncate      = "store-truncate"
+	InjectBitFlip       = "store-bit-flip"
+	InjectStaleAssume   = "store-stale-assume"
+	InjectRemoteTimeout = "store-remote-timeout"
+	InjectRemoteErr     = "store-remote-err"
+)
+
+// Stats is a point-in-time snapshot of the store counters (all lifetime
+// totals for this Store instance except the two gauges).
+type Stats struct {
+	Puts         uint64 `json:"puts"`
+	LocalHits    uint64 `json:"local_hits"`
+	LocalMisses  uint64 `json:"local_misses"`
+	WarmHits     uint64 `json:"warm_hits"`
+	RevalFails   uint64 `json:"warm_revalidation_failures"`
+	Quarantined  uint64 `json:"quarantined"`
+	RemoteHits   uint64 `json:"remote_hits"`
+	RemotePuts   uint64 `json:"remote_puts"`
+	RemoteTOs    uint64 `json:"remote_timeouts"`
+	RemoteErrs   uint64 `json:"remote_errors"`
+	RemoteDrops  uint64 `json:"remote_drops"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+	BreakerOpen  bool   `json:"breaker_open"` // gauge: open right now
+	RemoteQueue  int    `json:"remote_queue"` // gauge: write-behind backlog
+	RevalNS      int64  `json:"revalidation_ns"`
+	Generation   uint64 `json:"generation"`
+}
+
+// Store is a crash-safe persistent rewrite store over one directory.
+// All methods are safe for concurrent use; the write path is atomic
+// (unique temp + fsync + rename) so concurrent writers — or a writer
+// dying mid-put — can never leave a half-record under a live key.
+type Store struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex // manifest writes + put sequencing
+	putSeq uint64
+	gen    atomic.Uint64
+
+	st     counters
+	remote *remoteTier // nil when Options.Remote is nil
+	closed atomic.Bool
+}
+
+type counters struct {
+	puts, localHits, localMisses      atomic.Uint64
+	warmHits, revalFails, quarantined atomic.Uint64
+	remoteHits, remotePuts, remoteTOs atomic.Uint64
+	remoteErrs, remoteDrops, brkOpens atomic.Uint64
+	revalNS                           atomic.Int64
+}
+
+const (
+	recordExt     = ".rec"
+	tmpSuffix     = ".tmp"
+	manifestName  = "manifest.json"
+	quarantineDir = "quarantine"
+)
+
+// manifest is the store's advisory generation counter. It is written
+// atomically after every put; when it is missing or torn (a crash
+// between record rename and manifest rename), Open rebuilds it from a
+// directory scan — the records themselves are the source of truth.
+type manifest struct {
+	Generation uint64 `json:"generation"`
+}
+
+// Open opens (creating if needed) the store at opts.Dir: ensures the
+// directory layout, sweeps stray temp files from crashed writers,
+// loads or rebuilds the manifest, and starts the remote write-behind
+// worker when a Remote is configured.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("spstore: Options.Dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("spstore: %w", err)
+	}
+	s := &Store{dir: opts.Dir, opt: opts}
+
+	// A crashed writer leaves only uniquely-named temp files; they were
+	// never renamed into place, so removing them is always safe.
+	ents, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("spstore: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), tmpSuffix) {
+			_ = os.Remove(filepath.Join(opts.Dir, e.Name()))
+		}
+	}
+
+	if b, err := os.ReadFile(filepath.Join(opts.Dir, manifestName)); err == nil {
+		var m manifest
+		if json.Unmarshal(b, &m) == nil {
+			s.gen.Store(m.Generation)
+		} else {
+			// Torn manifest rename: rebuild from the record count. The
+			// generation is advisory (a writer-epoch diagnostic), so any
+			// value at least as large as the record population is sound.
+			s.gen.Store(uint64(s.countRecords()))
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("spstore: %w", err)
+	} else {
+		s.gen.Store(uint64(s.countRecords()))
+	}
+
+	if opts.Remote != nil {
+		s.remote = newRemoteTier(s, opts)
+	}
+	return s, nil
+}
+
+func (s *Store) countRecords() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), recordExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Generation returns the current manifest generation.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+func (s *Store) pathFor(k Key) string {
+	return filepath.Join(s.dir, k.String()+recordExt)
+}
+
+func (s *Store) inject(point string) bool {
+	return s.opt.Inject != nil && s.opt.Inject(point)
+}
+
+// Put writes rec under its key: atomic local write (temp + fsync +
+// rename) plus a manifest generation bump, then hands the encoded bytes
+// to the remote tier write-behind (never blocking). The injected
+// corruption modes deliberately write a *bad* final file through the
+// same rename path — simulating a crash mid-write on a filesystem
+// without atomic rename, a torn sector, or silent media corruption —
+// precisely so the read path has real faults to catch.
+func (s *Store) Put(rec *Record) error {
+	if s.closed.Load() {
+		return errors.New("spstore: store is closed")
+	}
+	var k Key
+	if _, err := fmt.Sscanf(rec.Key, "%16x%16x", &k.Hi, &k.Lo); err != nil {
+		return fmt.Errorf("spstore: record key %q: %w", rec.Key, err)
+	}
+
+	s.mu.Lock()
+	s.putSeq++
+	seq := s.putSeq
+	rec.Generation = s.gen.Load() + 1
+	s.mu.Unlock()
+
+	if s.inject(InjectStaleAssume) {
+		// Persist a record whose assumption digests lie: flip one frozen
+		// digest (or the original-code digest) before encoding. Checksum
+		// and decode stay valid — only revalidation can reject this one.
+		r := *rec
+		if len(r.Frozen) > 0 {
+			fr := append([]FrozenDigest(nil), r.Frozen...)
+			fr[int(seq)%len(fr)].Hash ^= 1 << (seq % 64)
+			r.Frozen = fr
+		} else {
+			r.OrigHash ^= 1 << (seq % 64)
+		}
+		rec = &r
+	}
+
+	enc, err := rec.encode()
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case s.inject(InjectTornWrite):
+		// Torn write: roughly half the encoding lands under the live
+		// name. Framing/checksum verification rejects it on read.
+		enc = enc[:len(recordMagic)+8+(len(enc)-len(recordMagic)-16)/2]
+	case s.inject(InjectTruncate):
+		// Truncated record: the trailing checksum (and possibly body
+		// bytes) are missing.
+		cut := int(seq%16) + 1
+		if cut > len(enc) {
+			cut = len(enc)
+		}
+		enc = enc[:len(enc)-cut]
+	case s.inject(InjectBitFlip):
+		// Silent media corruption: one bit flips after the checksum was
+		// computed. Target the back half so the flip tends to land in
+		// the code bytes.
+		enc = append([]byte(nil), enc...)
+		bit := seq % uint64(len(enc)*4)
+		idx := len(enc)/2 + int(bit/8)%(len(enc)-len(enc)/2)
+		enc[idx] ^= 1 << (bit % 8)
+	}
+
+	if err := s.writeAtomic(s.pathFor(k), enc); err != nil {
+		return err
+	}
+	s.bumpGeneration()
+	s.st.puts.Add(1)
+	mPuts.Inc()
+	if s.remote != nil {
+		s.remote.enqueuePut(rec.Key, enc)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a uniquely-named temp file in the
+// same directory, fsyncs it, and renames it into place.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("spstore: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("spstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("spstore: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("spstore: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) bumpGeneration() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gen.Add(1)
+	b, _ := json.Marshal(manifest{Generation: g})
+	_ = s.writeAtomic(filepath.Join(s.dir, manifestName), b)
+}
+
+// Get looks the key up: local tier first, then (on a local miss, when
+// the breaker allows) a timeout-bounded remote fetch with write-through
+// to local. A local file that fails framing, checksum or decode is
+// quarantined and reported as a miss — corrupt bytes are never returned.
+func (s *Store) Get(k Key) (*Record, bool) {
+	path := s.pathFor(k)
+	if b, err := os.ReadFile(path); err == nil {
+		rec, derr := decodeRecord(b)
+		if derr == nil && rec.Key == k.String() {
+			s.st.localHits.Add(1)
+			mLocalHits.Inc()
+			return rec, true
+		}
+		reason := "key mismatch"
+		if derr != nil {
+			reason = derr.Error()
+		}
+		s.Quarantine(k, reason)
+	}
+	s.st.localMisses.Add(1)
+	mLocalMisses.Inc()
+	if s.remote == nil {
+		return nil, false
+	}
+	b, ok := s.remote.get(k.String())
+	if !ok {
+		return nil, false
+	}
+	rec, derr := decodeRecord(b)
+	if derr != nil || rec.Key != k.String() {
+		// A corrupt remote copy is dropped, not quarantined (there is no
+		// local file to move); the counter still records the event.
+		s.st.quarantined.Add(1)
+		mQuarantined.Inc()
+		emitPersist(obs.Event{Kind: obs.KindPersist, Reason: "remote-corrupt"})
+		return nil, false
+	}
+	s.st.remoteHits.Add(1)
+	mRemoteHits.Inc()
+	if err := s.writeAtomic(path, b); err == nil {
+		s.bumpGeneration()
+	}
+	return rec, true
+}
+
+// Quarantine moves the key's record file into the quarantine directory
+// (suffixed with the current generation so repeat offenders under the
+// same key never collide) and emits the flight-recorder event. Missing
+// files are a no-op.
+func (s *Store) Quarantine(k Key, reason string) {
+	src := s.pathFor(k)
+	dst := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s.g%d%s", k.String(), s.gen.Load(), recordExt))
+	if err := os.Rename(src, dst); err != nil {
+		return
+	}
+	s.st.quarantined.Add(1)
+	mQuarantined.Inc()
+	emitPersist(obs.Event{Kind: obs.KindPersist, Reason: "quarantine: " + reason})
+}
+
+// Info summarizes one stored record for ls/fsck listings.
+type Info struct {
+	Key         string    `json:"key"`
+	File        string    `json:"file"`
+	Size        int64     `json:"size"`
+	ModTime     time.Time `json:"mod_time"`
+	Fn          uint64    `json:"fn,omitempty"`
+	Effort      string    `json:"effort,omitempty"`
+	CodeSize    int       `json:"code_size,omitempty"`
+	Guards      int       `json:"guards,omitempty"`
+	Generation  uint64    `json:"generation,omitempty"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	// Err is set by Fsck when the record fails verification.
+	Err string `json:"err,omitempty"`
+}
+
+// List returns every record in the store (live tier and quarantine),
+// sorted by file name, with a best-effort decoded summary for live
+// records.
+func (s *Store) List() ([]Info, error) {
+	var out []Info
+	for _, sub := range []struct {
+		dir        string
+		quarantine bool
+	}{{s.dir, false}, {filepath.Join(s.dir, quarantineDir), true}} {
+		ents, err := os.ReadDir(sub.dir)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, fmt.Errorf("spstore: %w", err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), recordExt) {
+				continue
+			}
+			fi, err := e.Info()
+			if err != nil {
+				continue
+			}
+			in := Info{
+				Key:         strings.TrimSuffix(e.Name(), recordExt),
+				File:        filepath.Join(sub.dir, e.Name()),
+				Size:        fi.Size(),
+				ModTime:     fi.ModTime(),
+				Quarantined: sub.quarantine,
+			}
+			if !sub.quarantine {
+				if b, err := os.ReadFile(in.File); err == nil {
+					if rec, derr := decodeRecord(b); derr == nil {
+						in.Fn, in.Effort = rec.Fn, rec.Effort
+						in.CodeSize, in.Guards = rec.CodeSize, len(rec.Guards)
+						in.Generation = rec.Generation
+					}
+				}
+			}
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out, nil
+}
+
+// FsckReport summarizes a store verification pass.
+type FsckReport struct {
+	Checked      int    `json:"checked"`
+	Corrupt      int    `json:"corrupt"`
+	Quarantined  int    `json:"quarantined_now"`
+	InQuarantine int    `json:"in_quarantine"`
+	Bad          []Info `json:"bad,omitempty"`
+}
+
+// Fsck verifies the framing, checksum and decode of every live record.
+// With quarantine=true, corrupt records are moved to the quarantine
+// directory; otherwise they are only reported.
+func (s *Store) Fsck(quarantine bool) (*FsckReport, error) {
+	rep := &FsckReport{}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("spstore: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), recordExt) {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		name := strings.TrimSuffix(e.Name(), recordExt)
+		rep.Checked++
+		b, err := os.ReadFile(path)
+		var derr error
+		if err != nil {
+			derr = err
+		} else {
+			var rec *Record
+			if rec, derr = decodeRecord(b); derr == nil && rec.Key != name {
+				derr = fmt.Errorf("key mismatch: record says %s, file says %s", rec.Key, name)
+			}
+		}
+		if derr == nil {
+			continue
+		}
+		rep.Corrupt++
+		rep.Bad = append(rep.Bad, Info{Key: name, File: path, Err: derr.Error()})
+		if quarantine {
+			var k Key
+			if _, serr := fmt.Sscanf(name, "%16x%16x", &k.Hi, &k.Lo); serr == nil {
+				s.Quarantine(k, "fsck: "+derr.Error())
+			} else {
+				// Not even a valid key name: move it verbatim.
+				_ = os.Rename(path, filepath.Join(s.dir, quarantineDir, e.Name()))
+				s.st.quarantined.Add(1)
+				mQuarantined.Inc()
+			}
+			rep.Quarantined++
+		}
+	}
+	if qents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir)); err == nil {
+		for _, e := range qents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), recordExt) {
+				rep.InQuarantine++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// GCReport summarizes a garbage-collection pass.
+type GCReport struct {
+	QuarantineDropped int   `json:"quarantine_dropped"`
+	LRUDropped        int   `json:"lru_dropped"`
+	BytesFreed        int64 `json:"bytes_freed"`
+	BytesLive         int64 `json:"bytes_live"`
+}
+
+// GC drops every quarantined record, then — when maxBytes > 0 — evicts
+// live records oldest-first until the live tier fits the budget.
+func (s *Store) GC(maxBytes int64) (*GCReport, error) {
+	rep := &GCReport{}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if ents, err := os.ReadDir(qdir); err == nil {
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			if fi, err := e.Info(); err == nil {
+				rep.BytesFreed += fi.Size()
+			}
+			if os.Remove(filepath.Join(qdir, e.Name())) == nil {
+				rep.QuarantineDropped++
+			}
+		}
+	}
+	infos, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var live []Info
+	for _, in := range infos {
+		if !in.Quarantined {
+			live = append(live, in)
+			rep.BytesLive += in.Size
+		}
+	}
+	if maxBytes > 0 && rep.BytesLive > maxBytes {
+		sort.Slice(live, func(i, j int) bool { return live[i].ModTime.Before(live[j].ModTime) })
+		for _, in := range live {
+			if rep.BytesLive <= maxBytes {
+				break
+			}
+			if os.Remove(in.File) == nil {
+				rep.LRUDropped++
+				rep.BytesFreed += in.Size
+				rep.BytesLive -= in.Size
+			}
+		}
+	}
+	if rep.QuarantineDropped+rep.LRUDropped > 0 {
+		s.bumpGeneration()
+	}
+	return rep, nil
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Puts:         s.st.puts.Load(),
+		LocalHits:    s.st.localHits.Load(),
+		LocalMisses:  s.st.localMisses.Load(),
+		WarmHits:     s.st.warmHits.Load(),
+		RevalFails:   s.st.revalFails.Load(),
+		Quarantined:  s.st.quarantined.Load(),
+		RemoteHits:   s.st.remoteHits.Load(),
+		RemotePuts:   s.st.remotePuts.Load(),
+		RemoteTOs:    s.st.remoteTOs.Load(),
+		RemoteErrs:   s.st.remoteErrs.Load(),
+		RemoteDrops:  s.st.remoteDrops.Load(),
+		BreakerOpens: s.st.brkOpens.Load(),
+		RevalNS:      s.st.revalNS.Load(),
+		Generation:   s.gen.Load(),
+	}
+	if s.remote != nil {
+		st.BreakerOpen = s.remote.breakerOpen()
+		st.RemoteQueue = int(s.remote.pending.Load())
+	}
+	return st
+}
+
+// Drain waits up to timeout for the remote write-behind queue to empty.
+// It returns true when the queue drained, false on timeout — it never
+// waits longer than the deadline, even with a put stuck in backoff.
+func (s *Store) Drain(timeout time.Duration) bool {
+	if s.remote == nil {
+		return true
+	}
+	return s.remote.drain(timeout)
+}
+
+// Close stops the remote write-behind worker (aborting any in-flight
+// backoff sleep) and marks the store closed. Waiting for the queue to
+// flush first is the caller's choice via Drain.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.remote != nil {
+		s.remote.close()
+	}
+	return nil
+}

@@ -13,7 +13,12 @@
 // jitter), identical steady-state emulated cycles (E8d == E8c), a
 // nonempty reconstructed lifecycle trace (E8e > 0), and a sanity cap on
 // the traced submit path (E8g <= 3*E8f + noise — the per-request span
-// cost is real but must not balloon).
+// cost is real but must not balloon). If the persist family (E9) is
+// present, the warm-start bars are enforced: a cold boot must trace
+// (E9a > 0), a warm boot re-traces at least 5x less (5*E9b <= E9a),
+// revalidation stays within 5% of the warm-boot wall plus an absolute
+// floor for its fixed per-record cost (E9c <= E9d/20 + noise), and the
+// persist/reload oracle reports zero divergences (E9e == 0).
 // Used by scripts/verify.sh.
 package main
 
@@ -159,6 +164,50 @@ func main() {
 			// The reconstructed coalesced-burst lifecycle must link events.
 			if byID["E8e"] == 0 {
 				fmt.Fprintf(os.Stderr, "checkjson: obs: reconstructed trace is empty\n")
+				os.Exit(1)
+			}
+		}
+		if f.Key == "persist" {
+			byID := map[string]uint64{}
+			for _, r := range f.Rows {
+				byID[r.ID] = r.Cycles
+			}
+			for _, id := range []string{"E9a", "E9b", "E9c", "E9d", "E9e"} {
+				if _, ok := byID[id]; !ok {
+					fmt.Fprintf(os.Stderr, "checkjson: persist family is missing row %s\n", id)
+					os.Exit(1)
+				}
+			}
+			// E9a/E9b are trace counts: a cold boot must trace, and the
+			// warm-start bar is at least 5x fewer traces after restart
+			// (the reference run serves every request from the store: 0).
+			if byID["E9a"] == 0 {
+				fmt.Fprintf(os.Stderr, "checkjson: persist: cold boot traced nothing\n")
+				os.Exit(1)
+			}
+			if 5*byID["E9b"] > byID["E9a"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: persist: warm boot traces %d not >= 5x below cold boot %d\n",
+					byID["E9b"], byID["E9a"])
+				os.Exit(1)
+			}
+			// E9c/E9d are wall-clock nanoseconds: revalidation (digests,
+			// checksums, install verification) must stay within 5% of the
+			// whole warm boot, so adoption integrity is effectively free.
+			// Revalidation has a fixed per-record cost independent of grid
+			// size (decode walk + install verify), so a 5ms absolute floor
+			// absorbs it on tiny verify grids where the boot itself runs
+			// short; at the default grid the 5% term dominates.
+			const revalNoiseNS = 5_000_000
+			if limit := byID["E9d"]/20 + revalNoiseNS; byID["E9c"] > limit {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: persist: revalidation %d ns exceeds 5%%+noise of warm boot %d ns\n",
+					byID["E9c"], byID["E9d"])
+				os.Exit(1)
+			}
+			// The persist/reload oracle must find cached == fresh, always.
+			if byID["E9e"] != 0 {
+				fmt.Fprintf(os.Stderr, "checkjson: persist: %d persist-oracle divergences\n", byID["E9e"])
 				os.Exit(1)
 			}
 		}

@@ -43,6 +43,13 @@ if [ "${RACE:-1}" = 1 ]; then
     # zero-allocation tests.
     echo "== go test -race (obs)"
     go test -race ./internal/obs/
+    # The persistent rewrite store runs a write-behind remote goroutine
+    # with retry/backoff racing Close/Drain: full suite under -race,
+    # including the truncate-at-every-offset and bit-flip-every-byte
+    # crash-safety tables and the injected-write-fault quarantine tests
+    # (-short caps the brewsvc persist chaos at 120 injected faults).
+    echo "== go test -race (spstore)"
+    go test -race ./internal/spstore/
 fi
 
 # API-migration lint: commands and examples must use the unified brew.Do /
@@ -75,13 +82,29 @@ go run ./cmd/brew-top -demo | grep -q 'rewrite' || {
 # variant table's, generic fallthrough correct); the obs family enforces
 # the E8 bars (enabled tracing within 2% wall overhead on the E1c steady
 # state, identical steady-state cycles, nonempty reconstructed lifecycle
-# trace, traced submit path capped at 3x). checkjson re-checks the
-# E6/E7/E8 bars from the JSON.
+# trace, traced submit path capped at 3x); the persist family enforces
+# the E9 bars (warm boot traces >= 5x below cold, revalidation <= 5% of
+# the warm wall, zero persist-oracle divergences). checkjson re-checks
+# the E6/E7/E8/E9 bars from the JSON.
 echo "== brew-bench -json smoke (tiny grid)"
 BENCH_JSON="$(mktemp)"
 trap 'rm -f "$BENCH_JSON"' EXIT
-go run ./cmd/brew-bench -only stencil,service,tiered,polymorph,obs -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
+go run ./cmd/brew-bench -only stencil,service,tiered,polymorph,obs,persist -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
+
+# Persist/reload oracle smoke + brew-cache over the store it leaves
+# behind: every adopted record must be byte-identical to the fresh
+# rewrite, the store must list records, and fsck must find nothing
+# corrupt (exit 0).
+echo "== brew-verify -persist + brew-cache smoke"
+PERSIST_DIR="$(mktemp -d)"
+trap 'rm -f "$BENCH_JSON"; rm -rf "$PERSIST_DIR"' EXIT
+go run ./cmd/brew-verify -seeds 3 -persist -store "$PERSIST_DIR" -q
+go run ./cmd/brew-cache -store "$PERSIST_DIR" ls | grep -q 'records, generation' || {
+    echo "verify: FAIL — brew-cache ls shows no records from the persist smoke" >&2
+    exit 1
+}
+go run ./cmd/brew-cache -store "$PERSIST_DIR" fsck > /dev/null
 
 if [ "${FUZZ:-1}" = 1 ]; then
     # Differential-execution oracle smoke: rewritten code must be observably
