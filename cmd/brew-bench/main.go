@@ -21,7 +21,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "stencil sweep iterations (0 = default)")
 		nodes    = flag.Int("pgas-nodes", 0, "PGAS node count (0 = default)")
 		bs       = flag.Int("pgas-bs", 0, "PGAS block size in elements (0 = default)")
-		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade,service,tiered,polymorph,obs,persist")
+		only     = flag.String("only", "", "comma-separated experiment families: stencil,unroll,inline,variants,guarded,vectorize,cache,pgas,degrade,service,tiered,polymorph,obs,persist,load")
 		jsonPath = flag.String("json", "", "also write the result rows as JSON to this path")
 	)
 	flag.Parse()
@@ -54,6 +54,7 @@ func main() {
 		{"polymorph", "E7: multi-version specialization under a polymorphic caller mix (cycles = per-caller cost in work units)", exp.RunPolymorph},
 		{"obs", "E8: observability cost (E8a/E8b steady-state wall ns, E8c/E8d deterministic cycles, E8f/E8g submit-path ns) and trace reconstruction", exp.RunObservability},
 		{"persist", "E9: persistent rewrite store & warm start (E9a/E9b traces, E9c/E9d wall ns, E9e persist-oracle divergences)", exp.RunPersist},
+		{"load", "E10: sharded service load harness (E10a/E10b modeled makespan work units, E10c-E10e warm latency ns, E10f lock acquisitions, E10h req/s; cmd/brew-load drives the full run)", exp.RunLoad},
 	}
 	type jsonFamily struct {
 		Key   string    `json:"key"`

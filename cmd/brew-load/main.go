@@ -1,0 +1,80 @@
+// Command brew-load drives the sharded rewrite service (internal/brewsvc)
+// through a mixed-scenario load run — cold specialization, coalesced
+// bursts, fault-injected degradations, a measured warm serve phase, and a
+// deterministic admission-control overload phase — and reports the E10
+// family: tail latency (p50/p99/p999), throughput, modeled shard speedup,
+// warm-path lock acquisitions, and shed accounting.
+//
+// The harness self-asserts its correctness invariants and exits non-zero
+// on any violation. Build with -tags brewsvc_lockstat to arm the counted
+// service mutex; the E10f row then proves the warm serve path takes zero
+// service locks.
+//
+// The full acceptance run (writes BENCH_PR9.json):
+//
+//	go run -tags brewsvc_lockstat ./cmd/brew-load -requests 1000000 -shards 8 -json BENCH_PR9.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	requests := flag.Int("requests", 1_000_000, "total mixed-scenario request count across all phases")
+	shards := flag.Int("shards", 8, "service shards")
+	workers := flag.Int("workers", 2, "rewrite workers per shard")
+	callers := flag.Int("callers", 8, "concurrent submitter goroutines")
+	keys := flag.Int("keys", 96, "distinct specialization keys (functions x guard values)")
+	seed := flag.Int64("seed", 1, "warm-phase key-order seed")
+	jsonPath := flag.String("json", "", "write results as a brew-bench-compatible JSON file")
+	quiet := flag.Bool("quiet", false, "suppress the result table")
+	flag.Parse()
+
+	rows, err := exp.RunLoadConfig(exp.Options{}, exp.LoadConfig{
+		Requests: *requests,
+		Shards:   *shards,
+		Workers:  *workers,
+		Callers:  *callers,
+		Keys:     *keys,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brew-load:", err)
+		os.Exit(1)
+	}
+
+	title := fmt.Sprintf("E10: sharded service load harness (%d requests, %d shards x %d workers, %d callers, %d keys)",
+		*requests, *shards, *workers, *callers, *keys)
+	if !*quiet {
+		fmt.Print(exp.FormatTable(title, rows))
+	}
+
+	if *jsonPath != "" {
+		type family struct {
+			Key   string    `json:"key"`
+			Title string    `json:"title"`
+			Rows  []exp.Row `json:"rows"`
+		}
+		doc := struct {
+			Families []family `json:"families"`
+		}{[]family{{Key: "load", Title: title, Rows: rows}}}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brew-load:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "brew-load:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -110,7 +111,10 @@ func runDemo(callers int, asJSON bool) error {
 		return err
 	}
 	const after = 8
-	svc := brewsvc.New(m, brewsvc.Options{Workers: 4, QueueCap: 128, PromoteAfter: after})
+	svc := brewsvc.Open(m,
+		brewsvc.WithWorkers(4),
+		brewsvc.WithQueueCap(128),
+		brewsvc.WithPromotion(after))
 	defer svc.Close()
 
 	tickets := make([]*brewsvc.Ticket, callers)
@@ -150,8 +154,12 @@ func runDemo(callers int, asJSON bool) error {
 			return fmt.Errorf("tier-0 call = %g, want %g", got, want)
 		}
 	}
-	for _, tk := range svc.PumpPromotions() {
-		if p := tk.Outcome(); p.Degraded {
+	pouts, err := svc.PumpPromotions().AwaitAll(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, p := range pouts {
+		if p.Degraded {
 			return fmt.Errorf("promotion degraded: %s (%v)", p.Reason, p.Err)
 		}
 	}

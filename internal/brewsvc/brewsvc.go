@@ -2,15 +2,23 @@
 // layer above brew.Do that lets many goroutines request specializations
 // without each paying the multi-millisecond trace cost. It owns
 //
-//   - a worker pool of rewriter goroutines draining
-//   - a bounded three-level priority queue with backpressure (a full queue
-//     rejects the request, degrading it to the original function — never
-//     blocking or deadlocking the submitter), and
+//   - service shards partitioned by entry key (function, Config
+//     fingerprint, known values, guard param set — see WithShards), each
+//     with its own admission lock, worker pool of rewriter goroutines,
+//     bounded three-level priority queue, and promotion pump state, so
+//     unrelated fingerprints never contend on one mutex;
+//   - backpressure per shard: a full queue rejects the request, degrading
+//     it to the original function — never blocking or deadlocking the
+//     submitter — and WithAdmission upgrades this to per-priority SLOs
+//     with deadline-aware shedding (admission.go);
 //   - singleflight coalescing: N concurrent callers asking for the same
 //     (fn, Config fingerprint, known argument/guard values) trigger exactly
 //     one trace and share the resulting JIT code, landing in
 //   - a sharded specialized-code cache (config-fingerprint keyed, LRU per
-//     shard, reclaimed through the specialization manager on eviction).
+//     shard, reclaimed through the specialization manager on eviction)
+//     whose hit path is lock-free: readers walk an immutable map snapshot
+//     behind an atomic pointer, so a warm hit takes zero service locks
+//     end to end (verified by the brewsvc_lockstat build, lockstat.go).
 //
 // Multi-version specialization: guarded requests that differ only in
 // their guard values share one specmgr entry (keyed by entryKey — the
@@ -19,7 +27,8 @@
 // remembers the specific variant its guard values route to; a hit on a
 // slot whose variant was demoted (guard-miss storm, assumption
 // violation) or evicted drops the slot and re-traces, so the cache never
-// serves a dead variant.
+// serves a dead variant. Shard selection uses the entry key, so sibling
+// variants always share a shard and a variant table.
 //
 // Completed rewrites are hot-installed through specmgr jump stubs
 // ("rewrite-behind"): Submit returns a Ticket whose Addr is callable
@@ -35,18 +44,22 @@
 //
 // Tiered rewriting: requests carrying brew.EffortQuick install cheap
 // tier-0 code (trace + constant folding, no optimization passes) and,
-// when Options.PromoteAfter is set, accumulate hotness until an explicit
-// PumpPromotions call hands them to a background worker that re-rewrites
-// at brew.EffortFull and hot-swaps the optimized body (promote.go).
-// Promotion rewrites start ONLY from PumpPromotions — call it while the
-// machine is idle and await the returned tickets before resuming
-// emulated execution. The effort tier is part of the Config fingerprint,
-// so tier-0 and tier-1 requests never coalesce onto one flight or share
-// a cache slot — an explicit EffortFull request can never be served
-// tier-0 code.
+// when promotion is enabled (WithPromotion), accumulate hotness until an
+// explicit PumpPromotions call hands them to a background worker that
+// re-rewrites at brew.EffortFull and hot-swaps the optimized body
+// (promote.go). Promotion rewrites start ONLY from PumpPromotions — call
+// it while the machine is idle and await the returned batch before
+// resuming emulated execution. The effort tier is part of the Config
+// fingerprint, so tier-0 and tier-1 requests never coalesce onto one
+// flight or share a cache slot — an explicit EffortFull request can never
+// be served tier-0 code.
+//
+// Lock order: shard.mu -> Manager.mu. Shard locks are never held while
+// acquiring another shard's lock; the cache writer locks are leaves.
 package brewsvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,11 +69,12 @@ import (
 	"repro/internal/brew"
 	"repro/internal/obs"
 	"repro/internal/specmgr"
-	"repro/internal/spstore"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
-// Service-level degradation reasons, extending the brew.Reason* vocabulary.
+// Service-level degradation reasons, extending the brew.Reason* vocabulary
+// (admission.go adds ReasonOverload and ReasonDeadline).
 const (
 	// ReasonQueueFull: the bounded queue rejected the request.
 	ReasonQueueFull = "queue-full"
@@ -68,7 +82,7 @@ const (
 	ReasonShutdown = "shutdown"
 )
 
-// Service-level errors.
+// Service-level errors (admission.go adds ErrOverload).
 var (
 	// ErrQueueFull reports backpressure: the request was degraded to the
 	// original function without being enqueued.
@@ -132,7 +146,7 @@ type Outcome struct {
 }
 
 // Ticket is the handle Submit returns. Addr is callable immediately
-// (rewrite-behind); Outcome blocks until the request completes.
+// (rewrite-behind); Outcome or Wait block until the request completes.
 type Ticket struct {
 	addr      uint64
 	coalesced bool
@@ -163,6 +177,19 @@ func (t *Ticket) Outcome() Outcome {
 	return t.out
 }
 
+// Wait blocks until the request completes or ctx is done, returning the
+// outcome or the context error. The request itself is not cancelled — a
+// coalesced trace may be serving other callers; abandon the ticket and
+// the flight completes without you.
+func (t *Ticket) Wait(ctx context.Context) (Outcome, error) {
+	select {
+	case <-t.done:
+		return t.out, nil
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+}
+
 // TryOutcome returns the outcome if the request already completed.
 func (t *Ticket) TryOutcome() (Outcome, bool) {
 	select {
@@ -185,78 +212,29 @@ func (t *Ticket) complete(o Outcome) {
 	}
 }
 
-// doneTicket returns an already-completed ticket.
+// closedCh is the shared pre-closed channel behind every already-complete
+// ticket: the warm hit path allocates one Ticket and nothing else — no
+// channel, no close, no locks.
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// doneTicket returns an already-completed ticket carrying o verbatim.
 func doneTicket(o Outcome) *Ticket {
-	t := &Ticket{addr: o.Addr, done: make(chan struct{}), cacheHit: o.CacheHit}
-	o.CacheHit = false // complete re-merges the flag
-	t.complete(o)
-	return t
-}
-
-// Options configures a Service. Zero fields take the documented defaults.
-type Options struct {
-	// Workers is the rewriter goroutine count (default 4).
-	Workers int
-	// QueueCap bounds the total queued (not yet running) requests across
-	// all priority levels; a full queue rejects with ErrQueueFull
-	// (default 64).
-	QueueCap int
-	// Shards is the specialized-code cache shard count (default 8);
-	// PerShard the LRU capacity of each shard (default 32). Size the cache
-	// generously: eviction releases the entry's code, so an evicted
-	// entry's Addr must no longer be used (the specmgr.Release contract).
-	Shards   int
-	PerShard int
-	// Manager, when non-nil, is the externally owned specialization
-	// manager to install through; otherwise the service creates one with
-	// Policy.
-	Manager *specmgr.Manager
-	// Policy configures the internally created manager (ignored when
-	// Manager is set). Detached service entries are exempt from MaxLive.
-	Policy specmgr.Policy
-	// PromoteAfter is the tiered-rewriting hotness threshold: a cached
-	// tier-0 (brew.EffortQuick) entry whose hotness — managed calls plus
-	// profiler samples attributed by NoteSample — reaches this value
-	// becomes due for promotion. The EffortFull re-rewrite and hot-swap
-	// start only from an explicit PumpPromotions call, whose tickets the
-	// host must await before resuming emulated execution (see
-	// promote.go). Zero or negative disables promotion.
-	PromoteAfter int
-	// Store, when non-nil, is the persistent rewrite store (warm start):
-	// workers consult it before tracing a cacheable request — a record
-	// passing full revalidation (persist.go) is adopted instead of
-	// re-traced — and persist every successful install write-behind.
-	Store *spstore.Store
-	// PersistDrainTimeout bounds Close's wait for the store's remote
-	// write-behind queue (default 2s; only used when Store is set). Close
-	// never hangs on a remote put stuck in backoff.
-	PersistDrainTimeout time.Duration
-}
-
-func (o Options) withDefaults() Options {
-	if o.Workers <= 0 {
-		o.Workers = 4
-	}
-	if o.QueueCap <= 0 {
-		o.QueueCap = 64
-	}
-	if o.Shards <= 0 {
-		o.Shards = 8
-	}
-	if o.PerShard <= 0 {
-		o.PerShard = 32
-	}
-	return o
+	return &Ticket{addr: o.Addr, coalesced: o.Coalesced, cacheHit: o.CacheHit, done: closedCh, out: o}
 }
 
 // Stats is a point-in-time snapshot of the service counters (collected
 // unconditionally; the telemetry mirrors are gated on telemetry.Enable).
+// Service.Stats sums across shards; ShardStats exposes each shard.
 type Stats struct {
 	Submitted    uint64 // Submit calls
 	CoalesceHits uint64 // callers that joined an in-flight trace
 	CacheHits    uint64 // callers served from the specialized-code cache
 	CacheMisses  uint64 // cacheable requests that started a new flight
-	Rejected     uint64 // backpressure rejections (queue full)
+	Rejected     uint64 // backpressure rejections (queue full, no SLO)
 	Traces       uint64 // rewrites actually run by workers
 	WarmHits     uint64 // flights served by persistent-store adoption (no trace)
 	Promoted     uint64 // successful hot-installs
@@ -266,27 +244,102 @@ type Stats struct {
 	// Tiered rewriting (promote.go).
 	TierPromotions uint64 // hot tier-0 entries hot-swapped to EffortFull code
 	TierDemotions  uint64 // promotion attempts that failed (entry stays tier-0)
+
+	// Admission control (admission.go).
+	Sheds         [3]uint64 // overload sheds by priority class (arrivals, eviction victims, deadline)
+	DeadlineSheds uint64    // flights shed at dequeue after waiting past their class SLO
+
+	// TraceWork accumulates brew.Result.TracedInstrs over this scope's
+	// fresh traces: the deterministic rewrite-work unit behind the E10
+	// modeled-makespan rows (total work vs the hottest shard's share).
+	TraceWork uint64
 }
 
+// stats is the per-shard atomic counter block. Every mutation is a single
+// atomic add on the owning shard — Stats readers aggregate without
+// touching any lock a worker could hold.
 type stats struct {
 	submitted, coalesced, cacheHits, cacheMisses atomic.Uint64
 	rejected, traces, promoted, degraded         atomic.Uint64
 	evictions, tierPromoted, tierDemoted         atomic.Uint64
 	warmHits                                     atomic.Uint64
+	sheds                                        [3]atomic.Uint64
+	deadlineSheds                                atomic.Uint64
+	traceWork                                    atomic.Uint64
 }
 
-// Service is the concurrent specialization service. Create with New, stop
-// with Close. All methods are safe for concurrent use; the machine must
-// not execute emulated code while rewrites are in flight (the RewriteBatch
-// contract, inherited from the tracer reading machine memory).
+// snapshot reads the counter block into the exported form.
+func (st *stats) snapshot() Stats {
+	return Stats{
+		Submitted:    st.submitted.Load(),
+		CoalesceHits: st.coalesced.Load(),
+		CacheHits:    st.cacheHits.Load(),
+		CacheMisses:  st.cacheMisses.Load(),
+		Rejected:     st.rejected.Load(),
+		Traces:       st.traces.Load(),
+		WarmHits:     st.warmHits.Load(),
+		Promoted:     st.promoted.Load(),
+		Degraded:     st.degraded.Load(),
+		Evictions:    st.evictions.Load(),
+
+		TierPromotions: st.tierPromoted.Load(),
+		TierDemotions:  st.tierDemoted.Load(),
+
+		Sheds: [3]uint64{
+			st.sheds[0].Load(), st.sheds[1].Load(), st.sheds[2].Load(),
+		},
+		DeadlineSheds: st.deadlineSheds.Load(),
+		TraceWork:     st.traceWork.Load(),
+	}
+}
+
+// add folds o into s (Stats aggregation across shards).
+func (s *Stats) add(o Stats) {
+	s.Submitted += o.Submitted
+	s.CoalesceHits += o.CoalesceHits
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Rejected += o.Rejected
+	s.Traces += o.Traces
+	s.WarmHits += o.WarmHits
+	s.Promoted += o.Promoted
+	s.Degraded += o.Degraded
+	s.Evictions += o.Evictions
+	s.TierPromotions += o.TierPromotions
+	s.TierDemotions += o.TierDemotions
+	for i := range s.Sheds {
+		s.Sheds[i] += o.Sheds[i]
+	}
+	s.DeadlineSheds += o.DeadlineSheds
+	s.TraceWork += o.TraceWork
+}
+
+// Service is the concurrent specialization service. Create with Open (or
+// the deprecated New), stop with Close. All methods are safe for
+// concurrent use; the machine must not execute emulated code while
+// rewrites are in flight (the RewriteBatch contract, inherited from the
+// tracer reading machine memory).
 type Service struct {
 	m   *vm.Machine
 	mgr *specmgr.Manager
-	opt Options
+	cfg svcConfig
 
 	closed atomic.Bool
 
-	mu       sync.Mutex
+	shards []*shard
+	cache  *cache // global: cache keys and service shards partition independently
+	wg     sync.WaitGroup
+}
+
+// shard is one independent slice of the service: its own admission lock,
+// bounded priority queue, worker pool, singleflight table, entry
+// ownership map and promotion pump state. Everything below mu is guarded
+// by it; st and ewmaNS are atomics readable without it.
+type shard struct {
+	s  *Service
+	id int
+
+	mu       svcMutex
 	cond     *sync.Cond
 	q        *queue
 	inflight map[cacheKey]*flight
@@ -295,15 +348,18 @@ type Service struct {
 	tracked  map[*specmgr.Variant]*hotTrack // tier-0 variants eligible for promotion
 	hotIndex atomic.Pointer[[]hotRange]     // immutable sorted snapshot of tracked code ranges (NoteSample)
 
-	cache *cache
-	wg    sync.WaitGroup
+	// ewmaNS is the shard's exponentially weighted rewrite latency in
+	// nanoseconds, feeding the admission-control wait estimate.
+	ewmaNS atomic.Uint64
+
+	depth *telemetry.Gauge // queued flights (brewsvc.queue_depth.s<id>)
 	st    stats
 }
 
 // sharedEnt is the service-side ownership record of one variant-table
 // entry: refs counts the flights and cache slots pointing at it; at zero
 // the entry leaves the table and is released (or orphaned, when its
-// address was handed out degraded). Guarded by Service.mu.
+// address was handed out degraded). Guarded by the owning shard's mu.
 type sharedEnt struct {
 	e    *specmgr.Entry
 	refs int
@@ -322,7 +378,13 @@ type flight struct {
 	entry     *specmgr.Entry
 	variant   *specmgr.Variant // promo flights: the variant being re-tiered
 	prio      Priority
-	tickets   []*Ticket // guarded by Service.mu
+	tickets   []*Ticket // guarded by the owning shard's mu
+
+	// Admission control: slo is the class SLO this flight was admitted
+	// under (0 = exempt: no SLO class, or a promotion flight) and enqWall
+	// the admission wall clock for the dequeue deadline check.
+	slo     time.Duration
+	enqWall time.Time
 
 	// Lifecycle tracing (zero when untraced): trace is the creator's
 	// request trace (promo flights get their own, linked to the request
@@ -341,27 +403,37 @@ func tierOf(eff brew.Effort) obs.Tier {
 	return obs.TierFull
 }
 
-// New starts a service over machine m. The returned service owns its
-// worker goroutines until Close.
-func New(m *vm.Machine, opt Options) *Service {
-	opt = opt.withDefaults()
-	mgr := opt.Manager
+// open builds and starts the service from a resolved configuration
+// (constructors live in options.go).
+func open(m *vm.Machine, cfg svcConfig) *Service {
+	mgr := cfg.manager
 	if mgr == nil {
-		mgr = specmgr.New(m, opt.Policy)
+		mgr = specmgr.New(m, cfg.policy)
 	}
 	s := &Service{
-		m:        m,
-		mgr:      mgr,
-		opt:      opt,
-		q:        newQueue(opt.QueueCap),
-		inflight: make(map[cacheKey]*flight),
-		byFn:     make(map[entryKey]*sharedEnt),
-		cache:    newCache(opt.Shards, opt.PerShard),
+		m:      m,
+		mgr:    mgr,
+		cfg:    cfg,
+		cache:  newCache(cfg.cacheShards, cfg.cachePerShard),
+		shards: make([]*shard, cfg.shards),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.wg.Add(opt.Workers)
-	for i := 0; i < opt.Workers; i++ {
-		go s.worker()
+	for i := range s.shards {
+		sh := &shard{
+			s:        s,
+			id:       i,
+			q:        newQueue(cfg.queueCap),
+			inflight: make(map[cacheKey]*flight),
+			byFn:     make(map[entryKey]*sharedEnt),
+			depth:    telemetry.Default.Gauge(fmt.Sprintf("brewsvc.queue_depth.s%d", i)),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards[i] = sh
+	}
+	s.wg.Add(cfg.shards * cfg.workers)
+	for _, sh := range s.shards {
+		for i := 0; i < cfg.workers; i++ {
+			go sh.worker()
+		}
 	}
 	return s
 }
@@ -369,46 +441,66 @@ func New(m *vm.Machine, opt Options) *Service {
 // Manager returns the specialization manager the service installs through.
 func (s *Service) Manager() *specmgr.Manager { return s.mgr }
 
-// Stats returns a snapshot of the service counters.
-func (s *Service) Stats() Stats {
-	return Stats{
-		Submitted:    s.st.submitted.Load(),
-		CoalesceHits: s.st.coalesced.Load(),
-		CacheHits:    s.st.cacheHits.Load(),
-		CacheMisses:  s.st.cacheMisses.Load(),
-		Rejected:     s.st.rejected.Load(),
-		Traces:       s.st.traces.Load(),
-		WarmHits:     s.st.warmHits.Load(),
-		Promoted:     s.st.promoted.Load(),
-		Degraded:     s.st.degraded.Load(),
-		Evictions:    s.st.evictions.Load(),
+// ShardCount returns the number of service shards.
+func (s *Service) ShardCount() int { return len(s.shards) }
 
-		TierPromotions: s.st.tierPromoted.Load(),
-		TierDemotions:  s.st.tierDemoted.Load(),
+// shardOf maps an entry key to its owning shard.
+func (s *Service) shardOf(ek entryKey) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
 	}
+	return s.shards[ek.hash()%uint64(len(s.shards))]
+}
+
+// Stats returns a snapshot of the service counters summed across shards.
+// The read is lock-free: per-shard atomics aggregated here, so frequent
+// pollers (brew-top -watch) can never stall a worker.
+func (s *Service) Stats() Stats {
+	var agg Stats
+	for _, sh := range s.shards {
+		agg.add(sh.st.snapshot())
+	}
+	return agg
+}
+
+// ShardStats returns each shard's counter snapshot, indexed by shard ID.
+// Lock-free, like Stats.
+func (s *Service) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.st.snapshot()
+	}
+	return out
 }
 
 // Submit admits one request and returns its ticket without ever blocking
 // on a trace: the ticket's Addr is callable immediately. Admission order:
-// cache hit (shared specialized code), coalesce (join the in-flight trace
-// for the same key), enqueue (backpressure-checked), reject.
+// cache hit (shared specialized code, lock-free), coalesce (join the
+// in-flight trace for the same key), enqueue (admission-controlled), shed.
 func (s *Service) Submit(req *Request) *Ticket {
-	s.st.submitted.Add(1)
 	mSubmitted.Inc()
 	if req == nil {
+		s.shards[0].st.submitted.Add(1)
 		return doneTicket(Outcome{
 			Degraded: true, Reason: brew.ReasonBadConfig,
 			Err: fmt.Errorf("%w: nil request", brew.ErrBadConfig),
 		})
 	}
 	if req.Config == nil {
+		s.shards[0].st.submitted.Add(1)
 		return doneTicket(Outcome{
 			Addr: req.Fn, Degraded: true, Reason: brew.ReasonBadConfig,
 			Err: fmt.Errorf("%w: nil configuration", brew.ErrBadConfig),
 		})
 	}
+	// Shard by entry key so sibling guard-value variants (which share a
+	// variant-table entry) land on one shard; uncacheable requests are
+	// partitioned the same way — entryKeyOf never reads Inject.
+	ek := entryKeyOf(req)
+	sh := s.shardOf(ek)
+	sh.st.submitted.Add(1)
 	if s.closed.Load() {
-		return s.shutdownTicket(req.Fn)
+		return shutdownTicket(req.Fn)
 	}
 
 	// Lifecycle tracing: one trace per admitted request, spans gated to
@@ -420,18 +512,19 @@ func (s *Service) Submit(req *Request) *Ticket {
 	// fingerprint: such requests must not share traces or cache slots.
 	cacheable := req.Config.Inject == nil
 	var k cacheKey
-	var ek entryKey
 	if cacheable {
 		k = keyOf(req)
-		ek = entryKeyOf(req)
 		lookStart := obs.Now()
 		cv, ok := s.cache.get(k)
-		obs.EndSpan(tid, obs.StageCacheLookup, obs.TierNone, lookStart, req.Fn, 0)
+		obs.EndSpanOn(sh.id, tid, obs.StageCacheLookup, obs.TierNone, lookStart, req.Fn, 0)
 		if ok {
 			if cv.v.Live() {
-				s.st.cacheHits.Add(1)
+				// The warm path: snapshot read, atomic counters, one Ticket
+				// allocation over the shared pre-closed channel. No service
+				// lock is acquired anywhere on this path (E10f).
+				sh.st.cacheHits.Add(1)
 				mCacheHits.Inc()
-				obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
+				obs.EndSpanOn(sh.id, tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 				return doneTicket(Outcome{Entry: cv.e, Addr: cv.e.Addr(), Variant: cv.v, CacheHit: true})
 			}
 			// The slot's variant was demoted (guard-miss storm, assumption
@@ -442,34 +535,75 @@ func (s *Service) Submit(req *Request) *Ticket {
 		}
 	}
 
-	s.mu.Lock()
+	sh.mu.Lock()
+	t := sh.admitLocked(req, k, ek, cacheable, tid, subStart)
+	sh.mu.Unlock()
+	obs.EndSpanOn(sh.id, tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
+	return t
+}
+
+// admitLocked runs the locked half of admission on this shard: closed
+// recheck, singleflight coalesce, admission control, enqueue. Shard mu
+// held. Ticket completions for shed flows happen inline (complete never
+// blocks).
+func (sh *shard) admitLocked(req *Request, k cacheKey, ek entryKey, cacheable bool, tid obs.TraceID, subStart int64) *Ticket {
+	s := sh.s
 	if s.closed.Load() {
-		s.mu.Unlock()
-		obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
-		return s.shutdownTicket(req.Fn)
+		return shutdownTicket(req.Fn)
 	}
 	if cacheable {
-		if f := s.inflight[k]; f != nil {
+		if f := sh.inflight[k]; f != nil {
 			t := &Ticket{addr: f.entry.Addr(), coalesced: true, done: make(chan struct{}),
 				trace: tid, spanStart: subStart, fn: req.Fn, link: f.trace}
 			f.tickets = append(f.tickets, t)
-			s.st.coalesced.Add(1)
+			sh.st.coalesced.Add(1)
 			mCoalesceHits.Inc()
-			s.mu.Unlock()
-			obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
 			return t
 		}
-		s.st.cacheMisses.Add(1)
+		sh.st.cacheMisses.Add(1)
 		mCacheMisses.Inc()
 	}
-	if s.q.full() {
-		s.st.rejected.Add(1)
+
+	prio := req.Priority
+	if prio > PriorityHigh {
+		prio = PriorityHigh
+	}
+	var slo time.Duration
+	if a := s.cfg.admission; a != nil {
+		slo = a.SLO[prio]
+	}
+	if slo > 0 {
+		a := s.cfg.admission
+		// Estimated-wait shed: a request whose class SLO the queue ahead
+		// of it already exceeds is doomed — shed it at the door. The
+		// Inject seam force-trips the same decision deterministically.
+		over := a.Inject != nil && a.Inject()
+		if !over && sh.estimatedWaitLocked(prio) > slo {
+			over = true
+		}
+		if over {
+			return sh.shedArrivalLocked(req.Fn, prio, tid)
+		}
+		if sh.q.full() {
+			if a.OnOverload[prio] == ShedEvictLower {
+				victim := sh.q.evictLowestBelow(prio)
+				if victim == nil {
+					return sh.shedArrivalLocked(req.Fn, prio, tid)
+				}
+				sh.depth.Set(int64(sh.q.len()))
+				sh.shedFlightLocked(victim, ReasonOverload, ErrOverload)
+				// Room made; fall through to admit the arrival.
+			} else {
+				return sh.shedArrivalLocked(req.Fn, prio, tid)
+			}
+		}
+	} else if sh.q.full() {
+		// Legacy backpressure for classes outside admission control.
+		sh.st.rejected.Add(1)
 		mRejected.Inc()
-		s.mu.Unlock()
 		if tid != 0 {
 			obs.Emit(obs.Event{Kind: obs.KindDegrade, Trace: tid, Fn: req.Fn,
-				Tier: obs.TierNone, Reason: ReasonQueueFull})
-			obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
+				Tier: obs.TierNone, Reason: ReasonQueueFull, Shard: int32(sh.id) + 1})
 		}
 		return doneTicket(Outcome{
 			Addr: req.Fn, Degraded: true, Reason: ReasonQueueFull, Err: ErrQueueFull,
@@ -490,29 +624,71 @@ func (s *Service) Submit(req *Request) *Ticket {
 	}
 	var entry *specmgr.Entry
 	if cacheable {
-		se := s.byFn[ek]
+		se := sh.byFn[ek]
 		if se == nil {
 			se = &sharedEnt{e: s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)}
-			s.byFn[ek] = se
+			sh.byFn[ek] = se
 		}
 		se.refs++ // the flight's reference; transfers to the cache slot on success
 		entry = se.e
 	} else {
 		entry = s.mgr.AdoptPending(own.Config, own.Fn, own.Args, own.FArgs, own.Guards)
 	}
-	f := &flight{k: k, ek: ek, cacheable: cacheable, req: own, entry: entry, prio: req.Priority,
-		trace: tid, enqNS: obs.Now()}
+	f := &flight{k: k, ek: ek, cacheable: cacheable, req: own, entry: entry, prio: prio,
+		slo: slo, trace: tid, enqNS: obs.Now()}
+	if slo > 0 {
+		f.enqWall = time.Now()
+	}
 	t := &Ticket{addr: entry.Addr(), done: make(chan struct{})}
 	f.tickets = []*Ticket{t}
-	s.q.push(f)
-	mQueueDepth.Set(int64(s.q.len()))
+	sh.q.push(f)
+	sh.depth.Set(int64(sh.q.len()))
 	if cacheable {
-		s.inflight[k] = f
+		sh.inflight[k] = f
 	}
-	s.cond.Signal()
-	s.mu.Unlock()
-	obs.EndSpan(tid, obs.StageSubmit, obs.TierNone, subStart, req.Fn, 0)
+	sh.cond.Signal()
 	return t
+}
+
+// shedArrivalLocked sheds an arriving admission-controlled request:
+// completed degraded with ReasonOverload, never enqueued. Shard mu held.
+func (sh *shard) shedArrivalLocked(fn uint64, prio Priority, tid obs.TraceID) *Ticket {
+	sh.st.sheds[prio].Add(1)
+	mSheds.Inc()
+	if tid != 0 {
+		obs.Emit(obs.Event{Kind: obs.KindDegrade, Trace: tid, Fn: fn,
+			Tier: obs.TierNone, Reason: ReasonOverload, Shard: int32(sh.id) + 1})
+	}
+	return doneTicket(Outcome{Addr: fn, Degraded: true, Reason: ReasonOverload, Err: ErrOverload})
+}
+
+// shedFlightLocked completes an already-queued flight degraded (overload
+// eviction victim, or deadline shed at dequeue) and drops its ownership:
+// the singleflight slot is vacated and the entry reference moves to the
+// orphan list rather than being released — the flight's tickets already
+// handed out the entry's stub address, which must stay callable until
+// Close. Shard mu held.
+func (sh *shard) shedFlightLocked(f *flight, reason string, err error) {
+	sh.st.sheds[f.prio].Add(1)
+	mSheds.Inc()
+	if f.cacheable {
+		delete(sh.inflight, f.k)
+		if sh.derefEntryLocked(f.ek, f.entry) {
+			sh.orphans = append(sh.orphans, f.entry)
+		}
+	} else {
+		sh.orphans = append(sh.orphans, f.entry)
+	}
+	if f.trace != 0 {
+		obs.Emit(obs.Event{Kind: obs.KindDegrade, Trace: f.trace, Fn: f.req.Fn,
+			Tier: obs.TierNone, Reason: reason, Shard: int32(sh.id) + 1})
+	}
+	res := Outcome{Addr: f.req.Fn, Degraded: true, Reason: reason, Err: err}
+	tickets := f.tickets
+	f.tickets = nil
+	for _, t := range tickets {
+		t.complete(res)
+	}
 }
 
 // dropDeadSlot removes a cache slot whose variant died and drops the
@@ -522,22 +698,23 @@ func (s *Service) dropDeadSlot(k cacheKey, cv cacheVal) {
 	if !s.cache.remove(k, cv.v) {
 		return
 	}
-	s.st.evictions.Add(1)
+	owner := s.shardOf(cv.ek)
+	owner.st.evictions.Add(1)
 	mCacheEvictions.Inc()
-	s.untrack(cv.v)
-	s.mu.Lock()
-	release := s.derefEntryLocked(cv.ek, cv.e)
-	s.mu.Unlock()
+	owner.untrack(cv.v)
+	owner.mu.Lock()
+	release := owner.derefEntryLocked(cv.ek, cv.e)
+	owner.mu.Unlock()
 	if release {
 		s.mgr.Release(cv.e)
 	}
 }
 
 // derefEntryLocked drops one reference on ek's shared entry and reports
-// whether the caller must release it (last reference gone). Service.mu
+// whether the caller must release it (last reference gone). Shard mu
 // held.
-func (s *Service) derefEntryLocked(ek entryKey, e *specmgr.Entry) bool {
-	se := s.byFn[ek]
+func (sh *shard) derefEntryLocked(ek entryKey, e *specmgr.Entry) bool {
+	se := sh.byFn[ek]
 	if se == nil || se.e != e {
 		return false
 	}
@@ -545,7 +722,7 @@ func (s *Service) derefEntryLocked(ek entryKey, e *specmgr.Entry) bool {
 	if se.refs > 0 {
 		return false
 	}
-	delete(s.byFn, ek)
+	delete(sh.byFn, ek)
 	return true
 }
 
@@ -554,28 +731,41 @@ func (s *Service) Do(req *Request) Outcome {
 	return s.Submit(req).Outcome()
 }
 
-func (s *Service) shutdownTicket(fn uint64) *Ticket {
+func shutdownTicket(fn uint64) *Ticket {
 	return doneTicket(Outcome{Addr: fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
 }
 
-// worker drains the queue: trace, promote, cache, complete.
-func (s *Service) worker() {
+// worker drains this shard's queue: trace, promote, cache, complete.
+func (sh *shard) worker() {
+	s := sh.s
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		for s.q.empty() && !s.closed.Load() {
-			s.cond.Wait()
+		sh.mu.Lock()
+		var f *flight
+		for {
+			for sh.q.empty() && !s.closed.Load() {
+				sh.cond.Wait()
+			}
+			f = sh.q.pop()
+			if f == nil { // closed, queue drained
+				sh.mu.Unlock()
+				return
+			}
+			sh.depth.Set(int64(sh.q.len()))
+			// Deadline shed: a flight that already waited past its class
+			// SLO is completed degraded instead of traced — the worker's
+			// time goes to requests that can still meet their deadline.
+			if f.slo > 0 && time.Since(f.enqWall) > f.slo {
+				sh.st.deadlineSheds.Add(1)
+				sh.shedFlightLocked(f, ReasonDeadline, ErrOverload)
+				continue
+			}
+			break
 		}
-		f := s.q.pop()
-		if f == nil { // closed, queue drained
-			s.mu.Unlock()
-			return
-		}
-		mQueueDepth.Set(int64(s.q.len()))
-		s.mu.Unlock()
+		sh.mu.Unlock()
 
 		tier := tierOf(f.req.Config.Effort)
-		obs.EndSpan(f.trace, obs.StageQueue, tier, f.enqNS, f.req.Fn, f.link)
+		obs.EndSpanOn(sh.id, f.trace, obs.StageQueue, tier, f.enqNS, f.req.Fn, f.link)
 
 		// Warm start: before paying a trace, a cacheable flight consults
 		// the persistent store. Adoption never happens blindly — the
@@ -586,21 +776,26 @@ func (s *Service) worker() {
 		var out *brew.Outcome
 		var rerr error
 		warm := false
-		if s.opt.Store != nil && f.cacheable && !f.promo {
+		if s.cfg.store != nil && f.cacheable && !f.promo {
 			out = s.warmAdopt(f)
 			warm = out != nil
 		}
 		if warm {
-			s.st.warmHits.Add(1)
+			sh.st.warmHits.Add(1)
 			mWarmHits.Inc()
 		} else {
-			s.st.traces.Add(1)
+			sh.st.traces.Add(1)
 			mTraces.Inc()
 			rwStart := obs.Now()
 			start := time.Now()
 			out, rerr = brew.Do(s.m, f.req)
-			us := uint64(time.Since(start).Microseconds())
-			obs.EndSpan(f.trace, obs.StageRewrite, tier, rwStart, f.req.Fn, f.link)
+			elapsed := time.Since(start)
+			obs.EndSpanOn(sh.id, f.trace, obs.StageRewrite, tier, rwStart, f.req.Fn, f.link)
+			sh.observeRewriteNS(uint64(elapsed.Nanoseconds()))
+			if out != nil && out.Result != nil {
+				sh.st.traceWork.Add(uint64(out.Result.TracedInstrs))
+			}
+			us := uint64(elapsed.Microseconds())
 			mLatencyUS.Observe(us)
 			if f.req.Config.Effort == brew.EffortQuick {
 				mLatencyQuickUS.Observe(us)
@@ -610,36 +805,37 @@ func (s *Service) worker() {
 		}
 
 		if f.promo {
-			s.completePromotion(f, out, rerr)
+			sh.completePromotion(f, out, rerr)
 			continue
 		}
 
 		var res Outcome
 		if f.cacheable {
-			res = s.completeCacheable(f, out, rerr, warm)
+			res = sh.completeCacheable(f, out, rerr, warm)
 		} else {
-			res = s.completeUncacheable(f, out, rerr)
+			res = sh.completeUncacheable(f, out, rerr)
 		}
 
-		s.mu.Lock()
+		sh.mu.Lock()
 		if f.cacheable {
-			delete(s.inflight, f.k)
+			delete(sh.inflight, f.k)
 		}
 		tickets := f.tickets
 		f.tickets = nil
 		for _, t := range tickets {
 			t.complete(res)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	}
 }
 
 // completeCacheable installs a finished cacheable rewrite as a variant of
 // the shared entry and publishes it to the cache.
-func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error, warm bool) Outcome {
+func (sh *shard) completeCacheable(f *flight, out *brew.Outcome, rerr error, warm bool) Outcome {
+	s := sh.s
 	instStart := obs.Now()
 	v, ok := s.mgr.InstallVariant(f.entry, f.req.Config, f.req.Guards, f.req.Args, f.req.FArgs, out, rerr)
-	obs.EndSpan(f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
+	obs.EndSpanOn(sh.id, f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
 	res := Outcome{Entry: f.entry, Addr: f.entry.Addr(), Variant: v}
 	if !ok {
 		// Degraded: the variant was not installed and the key is NOT
@@ -647,33 +843,33 @@ func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error, wa
 		// specialization from scratch. The entry itself survives as long
 		// as siblings or slots reference it; the last reference orphans it
 		// (its handed-out Addr stays callable until Close).
-		s.st.degraded.Add(1)
+		sh.st.degraded.Add(1)
 		mDegraded.Inc()
 		res.Degraded = true
 		res.Err = rerr
 		if out != nil {
 			res.Reason = out.Reason
 		}
-		s.mu.Lock()
-		removed := s.derefEntryLocked(f.ek, f.entry)
-		s.mu.Unlock()
+		sh.mu.Lock()
+		removed := sh.derefEntryLocked(f.ek, f.entry)
 		if removed {
-			s.trackOrphan(f.entry)
+			sh.orphans = append(sh.orphans, f.entry)
 		}
+		sh.mu.Unlock()
 		return res
 	}
-	s.st.promoted.Add(1)
+	sh.st.promoted.Add(1)
 	mPromotions.Inc()
 	// Track BEFORE publishing to the cache: the moment the variant is
 	// visible there, a racing put can evict and remove it, and that
 	// eviction's untrack must find the registration — a track added after
 	// the removal would pin a stale code range in the sample index and
-	// leak the dead record in s.tracked.
-	if s.opt.PromoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
+	// leak the dead record in sh.tracked.
+	if s.cfg.promoteAfter > 0 && f.req.Config.Effort == brew.EffortQuick &&
 		out != nil && out.Result != nil && !out.Result.Degraded {
-		s.mu.Lock()
-		s.trackLocked(f, v, out.Result)
-		s.mu.Unlock()
+		sh.mu.Lock()
+		sh.trackLocked(f, v, out.Result)
+		sh.mu.Unlock()
 	}
 	// Insert before dropping the inflight slot so a racing Submit sees
 	// either the flight or the cache, never a gap that would duplicate
@@ -684,7 +880,7 @@ func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error, wa
 	// Persist freshly traced installs (a warm adoption would re-write the
 	// identical record). The local write is synchronous on this worker —
 	// off the serve path — and the remote copy is write-behind.
-	if s.opt.Store != nil && !warm {
+	if s.cfg.store != nil && !warm {
 		s.persist(f, out)
 	}
 	return res
@@ -694,17 +890,20 @@ func (s *Service) completeCacheable(f *flight, out *brew.Outcome, rerr error, wa
 // removed from its table (unless it IS the just-installed variant — a
 // same-key collision replaced the slot, and the new slot carries the
 // reference for the same code) and the slot's entry reference is dropped,
-// releasing the entry when it was the last.
+// releasing the entry when it was the last. The victim may belong to any
+// service shard (the cache partitions independently), so the bookkeeping
+// routes to the owner via its entry key.
 func (s *Service) evictVictim(victim cacheVal, justInstalled *specmgr.Variant) {
-	s.st.evictions.Add(1)
+	owner := s.shardOf(victim.ek)
+	owner.st.evictions.Add(1)
 	mCacheEvictions.Inc()
 	if victim.v != justInstalled {
-		s.untrack(victim.v)
+		owner.untrack(victim.v)
 		s.mgr.RemoveVariant(victim.e, victim.v)
 	}
-	s.mu.Lock()
-	release := s.derefEntryLocked(victim.ek, victim.e)
-	s.mu.Unlock()
+	owner.mu.Lock()
+	release := owner.derefEntryLocked(victim.ek, victim.e)
+	owner.mu.Unlock()
 	if release {
 		s.mgr.Release(victim.e)
 	}
@@ -712,16 +911,17 @@ func (s *Service) evictVictim(victim cacheVal, justInstalled *specmgr.Variant) {
 
 // completeUncacheable finishes a private-entry flight (Config.Inject set:
 // no coalescing, no cache, legacy whole-entry promotion).
-func (s *Service) completeUncacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+func (sh *shard) completeUncacheable(f *flight, out *brew.Outcome, rerr error) Outcome {
+	s := sh.s
 	instStart := obs.Now()
 	promoted := s.mgr.Promote(f.entry, out, rerr)
-	obs.EndSpan(f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
+	obs.EndSpanOn(sh.id, f.trace, obs.StageInstall, tierOf(f.req.Config.Effort), instStart, f.req.Fn, 0)
 	res := Outcome{Entry: f.entry, Addr: f.entry.Addr()}
 	if promoted {
-		s.st.promoted.Add(1)
+		sh.st.promoted.Add(1)
 		mPromotions.Inc()
 	} else {
-		s.st.degraded.Add(1)
+		sh.st.degraded.Add(1)
 		mDegraded.Inc()
 		res.Degraded = true
 		res.Err = rerr
@@ -729,14 +929,10 @@ func (s *Service) completeUncacheable(f *flight, out *brew.Outcome, rerr error) 
 			res.Reason = out.Reason
 		}
 	}
-	s.trackOrphan(f.entry)
+	sh.mu.Lock()
+	sh.orphans = append(sh.orphans, f.entry)
+	sh.mu.Unlock()
 	return res
-}
-
-func (s *Service) trackOrphan(e *specmgr.Entry) {
-	s.mu.Lock()
-	s.orphans = append(s.orphans, e)
-	s.mu.Unlock()
 }
 
 // Close stops the service: queued (not yet running) requests complete
@@ -749,55 +945,60 @@ func (s *Service) Close() {
 		s.wg.Wait()
 		return
 	}
-	s.mu.Lock()
-	var drained []*flight
-	for f := s.q.pop(); f != nil; f = s.q.pop() {
-		drained = append(drained, f)
-	}
-	mQueueDepth.Set(0)
-	var unref []*specmgr.Entry
-	for _, f := range drained {
-		if f.cacheable {
-			delete(s.inflight, f.k)
-			if s.derefEntryLocked(f.ek, f.entry) {
-				// Last reference: the entry just left byFn, so the sweep
-				// below cannot reach it anymore.
-				unref = append(unref, f.entry)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var drained []*flight
+		for f := sh.q.pop(); f != nil; f = sh.q.pop() {
+			drained = append(drained, f)
+		}
+		sh.depth.Set(0)
+		var unref []*specmgr.Entry
+		for _, f := range drained {
+			if f.cacheable {
+				delete(sh.inflight, f.k)
+				if sh.derefEntryLocked(f.ek, f.entry) {
+					// Last reference: the entry just left byFn, so the sweep
+					// below cannot reach it anymore.
+					unref = append(unref, f.entry)
+				}
+			}
+			for _, t := range f.tickets {
+				t.complete(Outcome{Addr: f.req.Fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
 			}
 		}
-		for _, t := range f.tickets {
-			t.complete(Outcome{Addr: f.req.Fn, Degraded: true, Reason: ReasonShutdown, Err: ErrClosed})
-		}
-	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
 
-	// Private entries of drained flights are owned by nobody else; shared
-	// (cacheable) entries still referenced are swept via byFn/cache below.
-	for _, e := range unref {
-		s.mgr.Release(e)
-	}
-	for _, f := range drained {
-		if !f.cacheable && !f.promo {
-			s.mgr.Release(f.entry)
+		// Private entries of drained flights are owned by nobody else;
+		// shared (cacheable) entries still referenced are swept via
+		// byFn/cache below.
+		for _, e := range unref {
+			s.mgr.Release(e)
+		}
+		for _, f := range drained {
+			if !f.cacheable && !f.promo {
+				s.mgr.Release(f.entry)
+			}
 		}
 	}
 	s.wg.Wait()
 
-	s.mu.Lock()
-	orphans := s.orphans
-	s.orphans = nil
-	shared := make([]*specmgr.Entry, 0, len(s.byFn))
-	for ek, se := range s.byFn {
-		shared = append(shared, se.e)
-		delete(s.byFn, ek)
-	}
-	s.mu.Unlock()
-	for _, e := range orphans {
-		s.mgr.Release(e)
-	}
-	for _, e := range shared {
-		s.mgr.Release(e)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		orphans := sh.orphans
+		sh.orphans = nil
+		shared := make([]*specmgr.Entry, 0, len(sh.byFn))
+		for ek, se := range sh.byFn {
+			shared = append(shared, se.e)
+			delete(sh.byFn, ek)
+		}
+		sh.mu.Unlock()
+		for _, e := range orphans {
+			s.mgr.Release(e)
+		}
+		for _, e := range shared {
+			s.mgr.Release(e)
+		}
 	}
 	// Release is idempotent: slots whose entries were just swept via byFn
 	// are harmless repeats.
@@ -807,11 +1008,11 @@ func (s *Service) Close() {
 	// Bounded persist-queue drain: give the store's remote write-behind a
 	// chance to flush, but never hang on a put stuck in retry backoff
 	// (the local tier already has every record).
-	if s.opt.Store != nil {
-		d := s.opt.PersistDrainTimeout
+	if s.cfg.store != nil {
+		d := s.cfg.drainTimeout
 		if d <= 0 {
 			d = 2 * time.Second
 		}
-		s.opt.Store.Drain(d)
+		s.cfg.store.Drain(d)
 	}
 }

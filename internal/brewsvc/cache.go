@@ -1,7 +1,7 @@
 package brewsvc
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/specmgr"
 )
@@ -17,32 +17,41 @@ type cacheVal struct {
 }
 
 // cache is the sharded specialized-code cache: key-partitioned shards,
-// each an independently locked LRU over installed variants. Shard locks
-// are leaves (nothing is acquired under them), so lookups from many
-// submitters and inserts from many workers never serialize on one mutex.
-// Eviction returns the victims to the caller, which removes the variants
-// and drops the entry references outside the shard lock.
+// each an LRU over installed variants published as an immutable map
+// snapshot behind an atomic pointer. The hit path is LOCK-FREE: get
+// loads the snapshot, looks the key up, and bumps two atomics (the shard
+// clock and the slot's last-use stamp) — it never acquires a mutex, so a
+// warm hit takes zero service locks (the E10f bar, lockstat.go). Writers
+// (put, remove, drain) serialize on the shard's svcMutex and publish a
+// fresh copied map; shards hold at most perShard entries, so the
+// copy-on-write cost is small and off the serve path (put follows a
+// multi-millisecond trace). Writer locks are leaves: nothing is acquired
+// under them, and eviction victims are returned to the caller for
+// reclamation outside the lock.
 type cache struct {
 	shards []cacheShard
 }
 
 type cacheShard struct {
-	mu       sync.Mutex
+	mu       svcMutex // writers only; readers go through snap
 	perShard int
-	ents     map[cacheKey]*cacheEnt
-	clock    uint64
+	snap     atomic.Pointer[map[cacheKey]*cacheEnt]
+	clock    atomic.Uint64
 }
 
+// cacheEnt is one published slot. val is immutable after publication;
+// lastUse is the only mutable field and is written lock-free by readers.
 type cacheEnt struct {
 	val     cacheVal
-	lastUse uint64
+	lastUse atomic.Uint64
 }
 
 func newCache(shards, perShard int) *cache {
 	c := &cache{shards: make([]cacheShard, shards)}
 	for i := range c.shards {
 		c.shards[i].perShard = perShard
-		c.shards[i].ents = make(map[cacheKey]*cacheEnt)
+		m := make(map[cacheKey]*cacheEnt)
+		c.shards[i].snap.Store(&m)
 	}
 	return c
 }
@@ -51,18 +60,28 @@ func (c *cache) shardFor(k cacheKey) *cacheShard {
 	return &c.shards[k.hash()%uint64(len(c.shards))]
 }
 
-// get returns the cached value for k (touching its LRU slot).
+// get returns the cached value for k, touching its LRU stamp. Lock-free:
+// snapshot load, map read, two atomic bumps. A get racing a put may miss
+// a just-published slot or touch a just-evicted one — both are benign
+// (the former re-traces through singleflight, the latter is a harmless
+// stamp on a dead object).
 func (c *cache) get(k cacheKey) (cacheVal, bool) {
 	s := c.shardFor(k)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ent := s.ents[k]
+	ent := (*s.snap.Load())[k]
 	if ent == nil {
 		return cacheVal{}, false
 	}
-	s.clock++
-	ent.lastUse = s.clock
+	ent.lastUse.Store(s.clock.Add(1))
 	return ent.val, true
+}
+
+// cloneEnts copies the snapshot map for a writer about to publish.
+func cloneEnts(old map[cacheKey]*cacheEnt) map[cacheKey]*cacheEnt {
+	m := make(map[cacheKey]*cacheEnt, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	return m
 }
 
 // put inserts an installed variant and returns the values evicted to make
@@ -72,32 +91,37 @@ func (c *cache) put(k cacheKey, val cacheVal) []cacheVal {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ents := cloneEnts(*s.snap.Load())
 	var evicted []cacheVal
-	if old := s.ents[k]; old != nil {
+	if old := ents[k]; old != nil {
 		// Singleflight admission makes a same-key race impossible, but a
 		// re-trace after a demotion or an external Release lands here; keep
 		// the newer code.
 		evicted = append(evicted, old.val)
 	}
-	s.clock++
-	s.ents[k] = &cacheEnt{val: val, lastUse: s.clock}
-	for len(s.ents) > s.perShard {
+	ent := &cacheEnt{val: val}
+	ent.lastUse.Store(s.clock.Add(1))
+	ents[k] = ent
+	for len(ents) > s.perShard {
 		var victimKey cacheKey
 		var victim *cacheEnt
-		for vk, ve := range s.ents {
+		var victimUse uint64
+		for vk, ve := range ents {
 			if ve.val.v == val.v {
 				continue // never evict the just-inserted variant
 			}
-			if victim == nil || ve.lastUse < victim.lastUse {
-				victimKey, victim = vk, ve
+			use := ve.lastUse.Load()
+			if victim == nil || use < victimUse {
+				victimKey, victim, victimUse = vk, ve, use
 			}
 		}
 		if victim == nil {
 			break
 		}
-		delete(s.ents, victimKey)
+		delete(ents, victimKey)
 		evicted = append(evicted, victim.val)
 	}
+	s.snap.Store(&ents)
 	return evicted
 }
 
@@ -108,11 +132,14 @@ func (c *cache) remove(k cacheKey, v *specmgr.Variant) bool {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ent := s.ents[k]
+	old := *s.snap.Load()
+	ent := old[k]
 	if ent == nil || ent.val.v != v {
 		return false
 	}
-	delete(s.ents, k)
+	ents := cloneEnts(old)
+	delete(ents, k)
+	s.snap.Store(&ents)
 	return true
 }
 
@@ -122,10 +149,11 @@ func (c *cache) drain() []cacheVal {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for _, ent := range s.ents {
+		for _, ent := range *s.snap.Load() {
 			out = append(out, ent.val)
 		}
-		s.ents = make(map[cacheKey]*cacheEnt)
+		empty := make(map[cacheKey]*cacheEnt)
+		s.snap.Store(&empty)
 		s.mu.Unlock()
 	}
 	return out
@@ -136,10 +164,7 @@ func (c *cache) drain() []cacheVal {
 func (c *cache) shardLens() []int {
 	out := make([]int, len(c.shards))
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		out[i] = len(s.ents)
-		s.mu.Unlock()
+		out[i] = len(*c.shards[i].snap.Load())
 	}
 	return out
 }
@@ -148,10 +173,7 @@ func (c *cache) shardLens() []int {
 func (c *cache) len() int {
 	n := 0
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += len(s.ents)
-		s.mu.Unlock()
+		n += len(*c.shards[i].snap.Load())
 	}
 	return n
 }

@@ -1,0 +1,9 @@
+package brewsvc
+
+// ShardIndexOf exposes the admission routing decision: the index of the
+// shard that owns req's entry key. Tests use it to place requests on
+// specific shards (cross-shard isolation) and to predict ShardStats
+// attribution.
+func (s *Service) ShardIndexOf(req *Request) int {
+	return s.shardOf(entryKeyOf(req)).id
+}

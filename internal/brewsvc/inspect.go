@@ -51,27 +51,53 @@ type EntryInspect struct {
 	// Refs counts the service references (flights + cache slots) keeping
 	// the entry alive.
 	Refs int `json:"refs"`
+	// Shard is the service shard that owns the entry.
+	Shard int `json:"shard"`
 	// Variants is the live variant table.
 	Variants []VariantInspect `json:"variants,omitempty"`
 }
 
-// Inspection is a structured point-in-time snapshot of the service: the
-// live-introspection surface behind brew-top and the /inspect endpoint.
-type Inspection struct {
-	// QueueDepths is the queued-flight count per priority (low, normal,
-	// high); QueueLen their sum, QueueCap the admission bound.
+// ShardInspect is one service shard's state in an inspection snapshot.
+type ShardInspect struct {
+	// QueueDepths is the shard's queued-flight count per priority (low,
+	// normal, high); QueueLen their sum, QueueCap the shard's admission
+	// bound.
 	QueueDepths [3]int `json:"queue_depths"`
 	QueueLen    int    `json:"queue_len"`
 	QueueCap    int    `json:"queue_cap"`
-	Workers     int    `json:"workers"`
-	Closed      bool   `json:"closed,omitempty"`
-	// Stats is the unconditional service counter snapshot.
+	// TrackedPromotions counts tier-0 variants this shard tracks.
+	TrackedPromotions int `json:"tracked_promotions"`
+	// EwmaRewriteNS is the shard's observed rewrite latency average,
+	// feeding its admission-control wait estimate.
+	EwmaRewriteNS uint64 `json:"ewma_rewrite_ns"`
+	// Stats is the shard's own counter snapshot.
 	Stats Stats `json:"stats"`
+}
+
+// Inspection is a structured point-in-time snapshot of the service: the
+// live-introspection surface behind brew-top and the /inspect endpoint.
+// The top-level queue and worker fields aggregate across shards; Shards
+// carries the per-shard breakdown.
+type Inspection struct {
+	// QueueDepths is the queued-flight count per priority (low, normal,
+	// high) summed across shards; QueueLen their sum, QueueCap the total
+	// admission bound (per-shard cap times shard count).
+	QueueDepths [3]int `json:"queue_depths"`
+	QueueLen    int    `json:"queue_len"`
+	QueueCap    int    `json:"queue_cap"`
+	// Workers is the total rewriter goroutine count (all shards).
+	Workers int  `json:"workers"`
+	Closed  bool `json:"closed,omitempty"`
+	// Stats is the unconditional service counter snapshot (all shards).
+	Stats Stats `json:"stats"`
+	// Shards is the per-shard breakdown, indexed by shard ID.
+	Shards []ShardInspect `json:"shards"`
 	// CacheLen is the total cached slots; CacheShards the per-shard
 	// occupancy (skew here is a hash-quality signal).
 	CacheLen    int   `json:"cache_len"`
 	CacheShards []int `json:"cache_shards"`
-	// TrackedPromotions counts tier-0 variants tracked for promotion.
+	// TrackedPromotions counts tier-0 variants tracked for promotion
+	// across all shards.
 	TrackedPromotions int `json:"tracked_promotions"`
 	// Entries are the shared variant-table entries, sorted by Fn.
 	Entries []EntryInspect `json:"entries"`
@@ -90,34 +116,50 @@ type Inspection struct {
 const inspectEventTail = 32
 
 // Inspect assembles a structured snapshot of the service's live state:
-// queue depths per priority, per-entry variant tables with tiers,
-// hotness and guard hit/miss accounting, cache shard occupancy, stage
-// quantiles and the flight-recorder tail. Safe for concurrent use; the
-// snapshot is internally consistent per subsystem but not a global
-// atomic cut (queue and cache are sampled in sequence).
+// per-shard queue depths and counters, per-entry variant tables with
+// tiers, hotness and guard hit/miss accounting, cache shard occupancy,
+// stage quantiles and the flight-recorder tail. Safe for concurrent use;
+// the snapshot is internally consistent per subsystem but not a global
+// atomic cut (shards, queue and cache are sampled in sequence).
 func (s *Service) Inspect() Inspection {
-	s.mu.Lock()
 	ins := Inspection{
-		QueueDepths:       s.q.depths(),
-		QueueLen:          s.q.len(),
-		QueueCap:          s.opt.QueueCap,
-		Workers:           s.opt.Workers,
-		Closed:            s.closed.Load(),
-		TrackedPromotions: len(s.tracked),
+		Workers: len(s.shards) * s.cfg.workers,
+		Closed:  s.closed.Load(),
+		Shards:  make([]ShardInspect, len(s.shards)),
 	}
 	type entRef struct {
-		e    *specmgr.Entry
-		refs int
+		e     *specmgr.Entry
+		refs  int
+		shard int
 	}
-	ents := make([]entRef, 0, len(s.byFn))
-	for _, se := range s.byFn {
-		ents = append(ents, entRef{e: se.e, refs: se.refs})
-	}
-	s.mu.Unlock()
+	var ents []entRef
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		si := ShardInspect{
+			QueueDepths:       sh.q.depths(),
+			QueueLen:          sh.q.len(),
+			QueueCap:          s.cfg.queueCap,
+			TrackedPromotions: len(sh.tracked),
+		}
+		for _, se := range sh.byFn {
+			ents = append(ents, entRef{e: se.e, refs: se.refs, shard: i})
+		}
+		sh.mu.Unlock()
+		si.EwmaRewriteNS = sh.ewmaNS.Load()
+		si.Stats = sh.st.snapshot()
+		ins.Shards[i] = si
 
-	ins.Stats = s.Stats()
-	if s.opt.Store != nil {
-		st := s.opt.Store.Stats()
+		for p, d := range si.QueueDepths {
+			ins.QueueDepths[p] += d
+		}
+		ins.QueueLen += si.QueueLen
+		ins.QueueCap += si.QueueCap
+		ins.TrackedPromotions += si.TrackedPromotions
+		ins.Stats.add(si.Stats)
+	}
+
+	if s.cfg.store != nil {
+		st := s.cfg.store.Stats()
 		ins.Persist = &st
 	}
 	ins.CacheShards = s.cache.shardLens()
@@ -125,7 +167,9 @@ func (s *Service) Inspect() Inspection {
 		ins.CacheLen += n
 	}
 	for _, er := range ents {
-		ins.Entries = append(ins.Entries, inspectEntry(er.e, er.refs))
+		ei := inspectEntry(er.e, er.refs)
+		ei.Shard = er.shard
+		ins.Entries = append(ins.Entries, ei)
 	}
 	sort.Slice(ins.Entries, func(i, j int) bool { return ins.Entries[i].Fn < ins.Entries[j].Fn })
 	if obs.Enabled() {
@@ -174,15 +218,19 @@ func inspectEntry(e *specmgr.Entry, refs int) EntryInspect {
 }
 
 // Render formats the inspection as the human-readable dashboard brew-top
-// prints: service counters, queue/cache occupancy, stage quantiles, the
-// entry/variant tables and the flight-recorder tail.
+// prints: service counters, queue/cache occupancy, per-shard lines, stage
+// quantiles, the entry/variant tables and the flight-recorder tail.
 func (i Inspection) Render() string {
 	var b strings.Builder
 	state := "running"
 	if i.Closed {
 		state = "closed"
 	}
-	fmt.Fprintf(&b, "service   %s, %d workers\n", state, i.Workers)
+	fmt.Fprintf(&b, "service   %s, %d workers", state, i.Workers)
+	if len(i.Shards) > 1 {
+		fmt.Fprintf(&b, " across %d shards", len(i.Shards))
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "queue     %d/%d (high=%d normal=%d low=%d)\n",
 		i.QueueLen, i.QueueCap, i.QueueDepths[PriorityHigh], i.QueueDepths[PriorityNormal], i.QueueDepths[PriorityLow])
 	fmt.Fprintf(&b, "cache     %d slots, shards %v\n", i.CacheLen, i.CacheShards)
@@ -191,6 +239,11 @@ func (i Inspection) Render() string {
 		st.Submitted, st.CoalesceHits, st.CacheHits, st.CacheMisses, st.Rejected)
 	fmt.Fprintf(&b, "rewrites  traces=%d installed=%d degraded=%d evictions=%d\n",
 		st.Traces, st.Promoted, st.Degraded, st.Evictions)
+	if sheds := st.Sheds[0] + st.Sheds[1] + st.Sheds[2]; sheds > 0 || st.DeadlineSheds > 0 {
+		fmt.Fprintf(&b, "admission sheds=%d (high=%d normal=%d low=%d) deadline=%d\n",
+			sheds, st.Sheds[PriorityHigh], st.Sheds[PriorityNormal], st.Sheds[PriorityLow],
+			st.DeadlineSheds)
+	}
 	if p := i.Persist; p != nil {
 		fmt.Fprintf(&b, "persist   warm_hits=%d reval_fails=%d quarantined=%d puts=%d gen=%d remote[hits=%d puts=%d timeouts=%d errs=%d queue=%d] breaker_open=%v\n",
 			p.WarmHits, p.RevalFails, p.Quarantined, p.Puts, p.Generation,
@@ -198,6 +251,18 @@ func (i Inspection) Render() string {
 	}
 	fmt.Fprintf(&b, "tiering   tracked=%d promoted=%d failed=%d\n",
 		i.TrackedPromotions, st.TierPromotions, st.TierDemotions)
+
+	if len(i.Shards) > 1 {
+		fmt.Fprintf(&b, "\n%-6s %9s %9s %9s %9s %9s %9s %12s\n",
+			"shard", "queue", "submitted", "hits", "traces", "sheds", "tracked", "ewma")
+		for id, sh := range i.Shards {
+			ss := sh.Stats
+			fmt.Fprintf(&b, "s%-5d %4d/%-4d %9d %9d %9d %9d %9d %12s\n",
+				id, sh.QueueLen, sh.QueueCap, ss.Submitted, ss.CacheHits, ss.Traces,
+				ss.Sheds[0]+ss.Sheds[1]+ss.Sheds[2], sh.TrackedPromotions,
+				fmtNS(int64(sh.EwmaRewriteNS)))
+		}
+	}
 
 	if len(i.Stages) > 0 {
 		fmt.Fprintf(&b, "\n%-12s %-5s %9s %12s %12s %12s %12s\n",

@@ -146,10 +146,10 @@ func TestTraceReconstructionCoalescedBurst(t *testing.T) {
 		}
 	}
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		t.Fatalf("%d promotions pumped, want 1", len(tks))
+	if tks.Len() != 1 {
+		t.Fatalf("%d promotions pumped, want 1", tks.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	if p := tks.Tickets()[0].Outcome(); p.Degraded {
 		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 

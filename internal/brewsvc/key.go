@@ -117,3 +117,15 @@ func (k cacheKey) hash() uint64 {
 	h = keyMix(h, k.vals)
 	return h
 }
+
+// hash folds the entry key into one word for service-shard selection.
+// Partitioning the service by entry key (not cache key) keeps sibling
+// guard-value variants — which share a variant-table entry — on one shard,
+// while unrelated fingerprints land on different shards and never contend.
+func (k entryKey) hash() uint64 {
+	h := keyOffset64
+	h = keyMix(h, k.fn)
+	h = keyMix(h, k.cfg)
+	h = keyMix(h, k.vals)
+	return h
+}

@@ -1,0 +1,42 @@
+//go:build brewsvc_lockstat
+
+package brewsvc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Lock-acquisition accounting for the "warm serve path takes zero service
+// locks" acceptance bar. Built only under the brewsvc_lockstat tag so the
+// default build pays nothing: svcMutex is then a plain sync.Mutex
+// (lockstat_off.go) and LockAcquisitions reports counting disabled.
+//
+// Every service-owned mutex — the per-shard admission locks and the cache
+// writer locks — is a svcMutex, so the counter covers the complete set of
+// locks a Submit could possibly touch. cmd/brew-load snapshots the
+// counter around its quiesced warm phase and emits the delta as the E10f
+// row; scripts/checkjson requires it to be exactly zero.
+
+// lockAcqs counts every svcMutex.Lock call process-wide.
+var lockAcqs atomic.Uint64
+
+// svcMutex is a counted mutex: Lock bumps the process-wide acquisition
+// counter before acquiring. It implements sync.Locker, so sync.NewCond
+// accepts it; Cond.Wait re-acquisitions are counted too (they are real
+// lock traffic).
+type svcMutex struct {
+	mu sync.Mutex
+}
+
+func (m *svcMutex) Lock() {
+	lockAcqs.Add(1)
+	m.mu.Lock()
+}
+
+func (m *svcMutex) Unlock() { m.mu.Unlock() }
+
+// LockAcquisitions returns the number of service lock acquisitions since
+// process start and true. In default builds (no brewsvc_lockstat tag) it
+// returns 0, false.
+func LockAcquisitions() (uint64, bool) { return lockAcqs.Load(), true }

@@ -1,0 +1,14 @@
+//go:build !brewsvc_lockstat
+
+package brewsvc
+
+import "sync"
+
+// Default build: svcMutex is a plain sync.Mutex and lock-acquisition
+// counting is unavailable. See lockstat.go (brewsvc_lockstat tag) for the
+// counted variant behind the E10f zero-lock acceptance bar.
+type svcMutex = sync.Mutex
+
+// LockAcquisitions reports that lock counting is disabled in this build.
+// Build with -tags brewsvc_lockstat to enable it.
+func LockAcquisitions() (uint64, bool) { return 0, false }

@@ -1,0 +1,56 @@
+package brewsvc_test
+
+import (
+	"testing"
+
+	"repro/internal/brewsvc"
+)
+
+// TestWarmPathZeroLocks is the lock-free serve-path acceptance test: once
+// a key is cached, Submit serves it from the immutable cache snapshot
+// without acquiring ANY service lock. It needs the counted-mutex build —
+// run with
+//
+//	go test -tags brewsvc_lockstat ./internal/brewsvc/
+//
+// and is skipped otherwise (the default build's mutex is a plain
+// sync.Mutex with no counter).
+func TestWarmPathZeroLocks(t *testing.T) {
+	if _, ok := brewsvc.LockAcquisitions(); !ok {
+		t.Skip("lock accounting disabled; build with -tags brewsvc_lockstat")
+	}
+
+	m, w := newStencil(t)
+	svc := brewsvc.Open(m, brewsvc.WithWorkers(2))
+	defer svc.Close()
+
+	cfg, args := w.ApplyConfig()
+	seed := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+	if seed.Degraded {
+		t.Fatalf("seed trace degraded: %s (%v)", seed.Reason, seed.Err)
+	}
+
+	// Settle: one warm hit, then snapshot the global acquisition counter.
+	cfg, args = w.ApplyConfig()
+	if out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args}); !out.CacheHit {
+		t.Fatal("second submit missed the cache")
+	}
+	before, _ := brewsvc.LockAcquisitions()
+
+	const hits = 1000
+	for i := 0; i < hits; i++ {
+		cfg, args := w.ApplyConfig()
+		out := svc.Do(&brewsvc.Request{Config: cfg, Fn: w.Apply, Args: args})
+		if out.Degraded {
+			t.Fatalf("hit %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+		if !out.CacheHit {
+			t.Fatalf("hit %d was not served from the cache", i)
+		}
+	}
+
+	after, _ := brewsvc.LockAcquisitions()
+	if after != before {
+		t.Fatalf("warm serve path acquired %d service locks over %d hits, want 0", after-before, hits)
+	}
+}

@@ -21,7 +21,10 @@ var (
 	mTierPromotions = telemetry.Default.Counter("brewsvc.tier_promotions")
 	mTierDemotions  = telemetry.Default.Counter("brewsvc.tier_demotions")
 
-	mQueueDepth = telemetry.Default.Gauge("brewsvc.queue_depth")
+	// Admission control (admission.go): overload and deadline sheds across
+	// all shards and priority classes (per-class splits live in Stats).
+	// Queue depth is per shard: brewsvc.queue_depth.s<id>, created at Open.
+	mSheds = telemetry.Default.Counter("brewsvc.sheds")
 
 	// Worker-observed rewrite latency in microseconds: all rewrites, plus
 	// per-tier splits (the E6 wall-clock companion to the deterministic

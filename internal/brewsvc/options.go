@@ -1,0 +1,215 @@
+package brewsvc
+
+import (
+	"time"
+
+	"repro/internal/specmgr"
+	"repro/internal/spstore"
+	"repro/internal/vm"
+)
+
+// svcConfig is the resolved service configuration Open builds from its
+// functional options. All sizes are per service shard unless noted.
+type svcConfig struct {
+	shards   int // service shards (queue + worker pool + promotion pump each)
+	workers  int // rewriter goroutines per shard
+	queueCap int // bounded-queue capacity per shard
+
+	cacheShards   int // specialized-code cache shards (global across service shards)
+	cachePerShard int // LRU capacity per cache shard
+
+	manager      *specmgr.Manager
+	policy       specmgr.Policy
+	promoteAfter int
+	store        *spstore.Store
+	drainTimeout time.Duration
+	admission    *Admission
+}
+
+func defaultConfig() svcConfig {
+	return svcConfig{
+		shards:        1,
+		workers:       4,
+		queueCap:      64,
+		cacheShards:   8,
+		cachePerShard: 32,
+	}
+}
+
+// Option configures a Service at Open.
+type Option func(*svcConfig)
+
+// WithShards sets the service shard count (default 1). Requests are
+// partitioned by their entry key — the function, the Config fingerprint,
+// the known-parameter values and the guard parameter set — so sibling
+// guard values share a shard (and a variant table) while unrelated
+// fingerprints never contend: each shard owns its own admission lock,
+// bounded priority queue, worker pool and promotion pump.
+func WithShards(n int) Option {
+	return func(c *svcConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
+// WithWorkers sets the rewriter goroutine count per shard (default 4).
+func WithWorkers(n int) Option {
+	return func(c *svcConfig) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithQueueCap bounds each shard's queued (not yet running) requests
+// across all priority levels (default 64).
+func WithQueueCap(n int) Option {
+	return func(c *svcConfig) {
+		if n > 0 {
+			c.queueCap = n
+		}
+	}
+}
+
+// WithCache sets the specialized-code cache geometry: shard count and LRU
+// capacity per shard (defaults 8 and 32). The cache is global across
+// service shards and its serve path is lock-free; size it generously —
+// eviction releases the entry's code, so an evicted entry's Addr must no
+// longer be used (the specmgr.Release contract).
+func WithCache(shards, perShard int) Option {
+	return func(c *svcConfig) {
+		if shards > 0 {
+			c.cacheShards = shards
+		}
+		if perShard > 0 {
+			c.cachePerShard = perShard
+		}
+	}
+}
+
+// WithManager installs through an externally owned specialization manager
+// instead of creating one.
+func WithManager(m *specmgr.Manager) Option {
+	return func(c *svcConfig) { c.manager = m }
+}
+
+// WithPolicy configures the internally created manager (ignored with
+// WithManager). Detached service entries are exempt from MaxLive.
+func WithPolicy(p specmgr.Policy) Option {
+	return func(c *svcConfig) { c.policy = p }
+}
+
+// WithPromotion sets the tiered-rewriting hotness threshold: a cached
+// tier-0 (brew.EffortQuick) variant whose hotness — managed calls plus
+// profiler samples attributed by NoteSample — reaches after becomes due
+// for promotion. The EffortFull re-rewrite and hot-swap start only from
+// an explicit PumpPromotions call, whose PromotionBatch the host must
+// await before resuming emulated execution (promote.go). Zero or
+// negative disables promotion.
+func WithPromotion(after int) Option {
+	return func(c *svcConfig) { c.promoteAfter = after }
+}
+
+// WithStore attaches the persistent rewrite store (warm start): workers
+// consult it before tracing a cacheable request — a record passing full
+// revalidation (persist.go) is adopted instead of re-traced — and persist
+// every successful install write-behind.
+func WithStore(st *spstore.Store) Option {
+	return func(c *svcConfig) { c.store = st }
+}
+
+// WithPersistDrainTimeout bounds Close's wait for the store's remote
+// write-behind queue (default 2s; only used with WithStore). Close never
+// hangs on a remote put stuck in backoff.
+func WithPersistDrainTimeout(d time.Duration) Option {
+	return func(c *svcConfig) { c.drainTimeout = d }
+}
+
+// WithAdmission enables real admission control: per-priority queue-wait
+// SLOs with deadline-aware shedding and an explicit per-class overload
+// decision, replacing the blanket degrade-on-full default (see
+// admission.go). The Admission value is copied at Open.
+func WithAdmission(a Admission) Option {
+	return func(c *svcConfig) { c.admission = &a }
+}
+
+// Open starts a specialization service over machine m. The returned
+// service owns its worker goroutines until Close.
+//
+//	svc := brewsvc.Open(m, brewsvc.WithShards(8), brewsvc.WithWorkers(2))
+//
+// With no options the service runs one shard with four workers, a
+// 64-deep queue and an 8x32 cache — the legacy New defaults.
+func Open(m *vm.Machine, opts ...Option) *Service {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return open(m, cfg)
+}
+
+// Options configures a Service for the legacy New constructor. Zero
+// fields take the documented defaults.
+//
+// Deprecated: use Open with functional options (WithShards, WithWorkers,
+// WithQueueCap, WithCache, WithManager, WithPolicy, WithPromotion,
+// WithStore, WithPersistDrainTimeout, WithAdmission).
+type Options struct {
+	// Workers is the rewriter goroutine count (default 4).
+	Workers int
+	// QueueCap bounds the total queued (not yet running) requests across
+	// all priority levels; a full queue rejects with ErrQueueFull
+	// (default 64).
+	QueueCap int
+	// Shards is the specialized-code cache shard count (default 8);
+	// PerShard the LRU capacity of each shard (default 32).
+	Shards   int
+	PerShard int
+	// Manager, when non-nil, is the externally owned specialization
+	// manager to install through; otherwise the service creates one with
+	// Policy.
+	Manager *specmgr.Manager
+	// Policy configures the internally created manager (ignored when
+	// Manager is set).
+	Policy specmgr.Policy
+	// PromoteAfter is the tiered-rewriting hotness threshold (see
+	// WithPromotion). Zero or negative disables promotion.
+	PromoteAfter int
+	// Store, when non-nil, is the persistent rewrite store (see
+	// WithStore).
+	Store *spstore.Store
+	// PersistDrainTimeout bounds Close's wait for the store's remote
+	// write-behind queue (default 2s; only used when Store is set).
+	PersistDrainTimeout time.Duration
+}
+
+// New starts a single-shard service over machine m with the legacy
+// Options surface. It is an exact-compatibility shim: one service shard,
+// so Workers and QueueCap mean what they always did, and Shards/PerShard
+// remain the cache geometry.
+//
+// Deprecated: use Open with functional options.
+func New(m *vm.Machine, opt Options) *Service {
+	cfg := defaultConfig()
+	if opt.Workers > 0 {
+		cfg.workers = opt.Workers
+	}
+	if opt.QueueCap > 0 {
+		cfg.queueCap = opt.QueueCap
+	}
+	if opt.Shards > 0 {
+		cfg.cacheShards = opt.Shards
+	}
+	if opt.PerShard > 0 {
+		cfg.cachePerShard = opt.PerShard
+	}
+	cfg.manager = opt.Manager
+	cfg.policy = opt.Policy
+	cfg.promoteAfter = opt.PromoteAfter
+	cfg.store = opt.Store
+	cfg.drainTimeout = opt.PersistDrainTimeout
+	return open(m, cfg)
+}

@@ -1,6 +1,6 @@
 package brewsvc
 
-// Warm start and write-behind persistence (Options.Store). The worker
+// Warm start and write-behind persistence (WithStore). The worker
 // consults the persistent rewrite store before tracing a cacheable
 // flight and persists every successful install; the revalidate-before-
 // adopt discipline lives in spstore.Adopt, the watchpoint re-arming in
@@ -18,7 +18,7 @@ import (
 // quarantined the record; either way the caller traces fresh). The
 // store's counters and flight-recorder events account for both paths.
 func (s *Service) warmAdopt(f *flight) *brew.Outcome {
-	out, _, err := s.opt.Store.Adopt(s.m, f.req.Config, f.req.Fn, f.req.Args, f.req.FArgs, f.req.Guards)
+	out, _, err := s.cfg.store.Adopt(s.m, f.req.Config, f.req.Fn, f.req.Args, f.req.FArgs, f.req.Guards)
 	if err != nil || out == nil {
 		return nil
 	}
@@ -31,5 +31,5 @@ func (s *Service) warmAdopt(f *flight) *brew.Outcome {
 // inside the store. Persistence is an optimization: a failure to
 // capture or write is dropped, never surfaced to the caller.
 func (s *Service) persist(f *flight, out *brew.Outcome) {
-	_, _ = s.opt.Store.CapturePut(s.m, f.req.Config, f.req.Fn, f.req.Args, f.req.FArgs, f.req.Guards, out)
+	_, _ = s.cfg.store.CapturePut(s.m, f.req.Config, f.req.Fn, f.req.Args, f.req.FArgs, f.req.Guards, out)
 }

@@ -45,7 +45,7 @@ func TestPromotionHotSwapViaCalls(t *testing.T) {
 			t.Fatalf("tier-0 call %d = %g, %v; want %g", i, got, err, want)
 		}
 	}
-	if tks := svc.PumpPromotions(); len(tks) != 0 {
+	if tks := svc.PumpPromotions(); tks.Len() != 0 {
 		t.Fatalf("promoted after %d calls, threshold is %d", after-1, after)
 	}
 
@@ -57,10 +57,10 @@ func TestPromotionHotSwapViaCalls(t *testing.T) {
 		t.Fatalf("hotness = %d calls + %d samples, want %d + 0", calls, samples, after)
 	}
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		t.Fatalf("%d promotions enqueued, want 1", len(tks))
+	if tks.Len() != 1 {
+		t.Fatalf("%d promotions enqueued, want 1", tks.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	if p := tks.Tickets()[0].Outcome(); p.Degraded {
 		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 	if got := e.Tier(); got != brew.EffortFull {
@@ -74,7 +74,7 @@ func TestPromotionHotSwapViaCalls(t *testing.T) {
 	}
 
 	// One shot: the entry left the tracking set, further pumps are no-ops.
-	if tks := svc.PumpPromotions(); len(tks) != 0 {
+	if tks := svc.PumpPromotions(); tks.Len() != 0 {
 		t.Fatalf("entry promoted twice")
 	}
 
@@ -114,10 +114,10 @@ func TestSubmitDoesNotAutoPromote(t *testing.T) {
 	// enqueues the flight. Had Submit auto-pumped, the one-shot queued
 	// flag would already be set and this pump would return nothing.
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		t.Fatalf("%d promotions from the explicit pump, want 1 (a Submit started the flight)", len(tks))
+	if tks.Len() != 1 {
+		t.Fatalf("%d promotions from the explicit pump, want 1 (a Submit started the flight)", tks.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	if p := tks.Tickets()[0].Outcome(); p.Degraded {
 		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 	if got := qout.Entry.Tier(); got != brew.EffortFull {
@@ -201,12 +201,12 @@ func TestPromotionNoTornAddress(t *testing.T) {
 	}
 
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
+	if tks.Len() != 1 {
 		close(stop)
 		wg.Wait()
-		t.Fatalf("%d promotions enqueued, want 1", len(tks))
+		t.Fatalf("%d promotions enqueued, want 1", tks.Len())
 	}
-	pout := tks[0].Outcome() // blocks until the hot-swap happened
+	pout := tks.Tickets()[0].Outcome() // blocks until the hot-swap happened
 	close(stop)
 	wg.Wait()
 
@@ -326,10 +326,10 @@ func TestCacheNeverServesQuickToFull(t *testing.T) {
 		qout.Entry.NoteSample()
 	}
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		t.Fatalf("%d promotions enqueued, want 1", len(tks))
+	if tks.Len() != 1 {
+		t.Fatalf("%d promotions enqueued, want 1", tks.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	if p := tks.Tickets()[0].Outcome(); p.Degraded {
 		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 	if got := qout.Entry.Tier(); got != brew.EffortFull {

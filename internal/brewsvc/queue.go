@@ -41,6 +41,45 @@ func (q *queue) push(f *flight) {
 	q.n++
 }
 
+// depthAtOrAbove counts queued flights at priority p or higher: the work
+// an arriving request at p must wait behind (admission-control wait
+// estimation).
+func (q *queue) depthAtOrAbove(p Priority) int {
+	if p > PriorityHigh {
+		p = PriorityHigh
+	}
+	n := 0
+	for l := int(p); l <= int(PriorityHigh); l++ {
+		n += len(q.levels[l])
+	}
+	return n
+}
+
+// evictLowestBelow removes and returns the oldest queued flight of the
+// lowest non-empty priority level strictly below p, skipping promotion
+// flights (a pumped promotion was promised to its awaiter and frees a
+// tier-0 body — shedding one would break the pump-and-await contract).
+// Returns nil when no evictable flight exists.
+func (q *queue) evictLowestBelow(p Priority) *flight {
+	if p > PriorityHigh {
+		p = PriorityHigh
+	}
+	for l := int(PriorityLow); l < int(p); l++ {
+		for i, f := range q.levels[l] {
+			if f.promo {
+				continue
+			}
+			q.levels[l] = append(q.levels[l][:i], q.levels[l][i+1:]...)
+			if len(q.levels[l]) == 0 {
+				q.levels[l] = nil
+			}
+			q.n--
+			return f
+		}
+	}
+	return nil
+}
+
 // pop removes the oldest flight of the highest non-empty level, or nil.
 func (q *queue) pop() *flight {
 	for p := int(PriorityHigh); p >= int(PriorityLow); p-- {

@@ -1,0 +1,270 @@
+package brewsvc_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// loadFleet compiles n small distinct functions and returns their
+// addresses. Distinct function addresses mean distinct entry keys, so a
+// multi-shard service spreads them across shards.
+func loadFleet(t *testing.T, m *vm.Machine, n int) []uint64 {
+	t.Helper()
+	var src strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src, `
+long fleet%d(long x, long k) {
+    long r = %d;
+    for (long i = 0; i < k; i++) { r = r + x + %d; }
+    return r;
+}`, i, i+1, i)
+	}
+	l, err := minc.CompileAndLink(m, src.String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		fns[i], err = l.FuncAddr(fmt.Sprintf("fleet%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fns
+}
+
+// TestShardRouting: entry-key routing is deterministic, sibling guard
+// values share a shard, and a multi-function fleet actually spreads
+// across shards (the partitioning is not degenerate).
+func TestShardRouting(t *testing.T) {
+	m := vm.MustNew()
+	fns := loadFleet(t, m, 8)
+	svc := brewsvc.Open(m, brewsvc.WithShards(4), brewsvc.WithWorkers(1))
+	defer svc.Close()
+
+	if got := svc.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4", got)
+	}
+	used := make(map[int]bool)
+	for _, fn := range fns {
+		req := &brewsvc.Request{Config: brew.NewConfig(), Fn: fn}
+		idx := svc.ShardIndexOf(req)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("shard index %d out of range", idx)
+		}
+		if again := svc.ShardIndexOf(req); again != idx {
+			t.Fatalf("routing not deterministic: %d then %d", idx, again)
+		}
+		// Sibling guard values share the variant table (the entry key
+		// carries the guard param SET, not the values), so they must all
+		// route to one shard — though not necessarily the unguarded
+		// base's, whose param set is empty.
+		base := svc.ShardIndexOf(&brewsvc.Request{Config: brew.NewConfig(), Fn: fn,
+			Guards: []brew.ParamGuard{{Param: 2, Value: 3}}})
+		for _, k := range []uint64{5, 9} {
+			g := &brewsvc.Request{Config: brew.NewConfig(), Fn: fn,
+				Guards: []brew.ParamGuard{{Param: 2, Value: k}}}
+			if gi := svc.ShardIndexOf(g); gi != base {
+				t.Fatalf("guard value %d routed to shard %d, sibling value 3 to %d", k, gi, base)
+			}
+		}
+		used[idx] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("8 functions all routed to one shard: partitioning is degenerate (%v)", used)
+	}
+}
+
+// TestCrossShardIsolation: a fault storm on one shard's function never
+// degrades concurrent clean requests owned by another shard, and the
+// per-shard stats attribute the damage to the stormed shard only.
+func TestCrossShardIsolation(t *testing.T) {
+	m := vm.MustNew()
+	fns := loadFleet(t, m, 8)
+	svc := brewsvc.Open(m, brewsvc.WithShards(4), brewsvc.WithWorkers(2))
+	defer svc.Close()
+
+	// Pick two functions whose request shapes land on different shards.
+	// Routing uses the entry key — fn plus config fingerprint plus guard
+	// param set — so shards are computed from the exact shapes submitted
+	// below: unguarded storm requests vs guarded clean requests.
+	stormFn, cleanFn := fns[0], uint64(0)
+	stormShard := svc.ShardIndexOf(&brewsvc.Request{Config: brew.NewConfig(), Fn: stormFn})
+	cleanShard := -1
+	for _, fn := range fns[1:] {
+		idx := svc.ShardIndexOf(&brewsvc.Request{Config: brew.NewConfig(), Fn: fn,
+			Guards: []brew.ParamGuard{{Param: 2, Value: 0}}})
+		if idx != stormShard {
+			cleanFn, cleanShard = fn, idx
+			break
+		}
+	}
+	if cleanShard < 0 {
+		t.Fatal("no request shape found on a second shard")
+	}
+
+	const rounds = 24
+	stormErr := errors.New("injected storm fault")
+	var wg sync.WaitGroup
+	stormOuts := make([]brewsvc.Outcome, rounds)
+	cleanOuts := make([]brewsvc.Outcome, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			cfg := brew.NewConfig()
+			cfg.Inject = func(site string) error { return stormErr }
+			stormOuts[i] = svc.Do(&brewsvc.Request{Config: cfg, Fn: stormFn, Args: []uint64{1, 4}})
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			// A fresh guard value per round forces a fresh trace (no cache
+			// hit), so every round exercises the clean shard's full path.
+			cleanOuts[i] = svc.Do(&brewsvc.Request{
+				Config: brew.NewConfig(), Fn: cleanFn,
+				Guards: []brew.ParamGuard{{Param: 2, Value: uint64(i)}},
+				Args:   []uint64{0, 0},
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, out := range stormOuts {
+		if !out.Degraded {
+			t.Fatalf("storm round %d: injected fault did not degrade", i)
+		}
+		if out.Addr == 0 {
+			t.Fatalf("storm round %d: degraded outcome has no callable address", i)
+		}
+	}
+	for i, out := range cleanOuts {
+		if out.Degraded {
+			t.Fatalf("clean round %d degraded: %s (%v) — fault leaked across shards", i, out.Reason, out.Err)
+		}
+	}
+
+	per := svc.ShardStats()
+	if got := per[stormShard].Degraded; got != rounds {
+		t.Errorf("storm shard %d degraded = %d, want %d", stormShard, got, rounds)
+	}
+	if got := per[cleanShard].Degraded; got != 0 {
+		t.Errorf("clean shard %d degraded = %d, want 0", cleanShard, got)
+	}
+	if got := per[cleanShard].Traces; got != rounds {
+		t.Errorf("clean shard %d traces = %d, want %d", cleanShard, got, rounds)
+	}
+	agg := svc.Stats()
+	var sum brewsvc.Stats
+	for _, st := range per {
+		sum.Submitted += st.Submitted
+		sum.Traces += st.Traces
+		sum.Degraded += st.Degraded
+	}
+	if agg.Submitted != sum.Submitted || agg.Traces != sum.Traces || agg.Degraded != sum.Degraded {
+		t.Errorf("Stats() aggregate %+v does not sum ShardStats %+v", agg, sum)
+	}
+}
+
+// TestSubmitBatchJoinsSingleflight: duplicates inside one batch coalesce
+// onto one flight per distinct key — a batch of 4 distinct keys x 3
+// duplicates runs exactly 4 traces, exactly as 12 concurrent Submits
+// would.
+func TestSubmitBatchJoinsSingleflight(t *testing.T) {
+	m := vm.MustNew()
+	fn := loadPoly(t, m)
+	svc := brewsvc.Open(m, brewsvc.WithWorkers(2), brewsvc.WithQueueCap(32))
+	defer svc.Close()
+
+	const keys, dups = 4, 3
+	var reqs []*brewsvc.Request
+	for d := 0; d < dups; d++ {
+		for k := 0; k < keys; k++ {
+			reqs = append(reqs, &brewsvc.Request{
+				Config: brew.NewConfig(), Fn: fn,
+				Guards: []brew.ParamGuard{{Param: 2, Value: uint64(3 + k)}},
+				Args:   []uint64{0, 0},
+			})
+		}
+	}
+	tickets := svc.SubmitBatch(reqs)
+	if len(tickets) != len(reqs) {
+		t.Fatalf("%d tickets for %d requests", len(tickets), len(reqs))
+	}
+	for i, tk := range tickets {
+		out := tk.Outcome()
+		if out.Degraded {
+			t.Fatalf("request %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+		if out.Addr != tk.Addr() {
+			t.Fatalf("request %d outcome addr %#x != ticket addr %#x", i, out.Addr, tk.Addr())
+		}
+	}
+
+	st := svc.Stats()
+	if st.Traces != keys {
+		t.Fatalf("traces = %d, want %d (batch duplicates must singleflight)", st.Traces, keys)
+	}
+	if shared := st.CoalesceHits + st.CacheHits; shared != keys*(dups-1) {
+		t.Fatalf("coalesce (%d) + cache (%d) = %d shared, want %d",
+			st.CoalesceHits, st.CacheHits, shared, keys*(dups-1))
+	}
+	if st.Submitted != keys*dups {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, keys*dups)
+	}
+
+	// A second identical batch is all warm: zero new traces.
+	for i, tk := range svc.SubmitBatch(reqs) {
+		out := tk.Outcome()
+		if out.Degraded {
+			t.Fatalf("warm request %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+		if !out.CacheHit {
+			t.Fatalf("warm request %d not a cache hit", i)
+		}
+	}
+	if st := svc.Stats(); st.Traces != keys {
+		t.Fatalf("warm batch ran %d extra traces", st.Traces-keys)
+	}
+}
+
+// TestSubmitBatchAcrossShards: one batch spanning every shard completes
+// fully — the per-shard lock transactions are independent and the
+// tickets come back in input order.
+func TestSubmitBatchAcrossShards(t *testing.T) {
+	m := vm.MustNew()
+	fns := loadFleet(t, m, 8)
+	svc := brewsvc.Open(m, brewsvc.WithShards(4), brewsvc.WithWorkers(2))
+	defer svc.Close()
+
+	var reqs []*brewsvc.Request
+	for _, fn := range fns {
+		reqs = append(reqs, &brewsvc.Request{Config: brew.NewConfig(), Fn: fn, Args: []uint64{2, 5}})
+	}
+	// Invalid requests keep their input slots without disturbing the rest.
+	reqs = append(reqs, nil, &brewsvc.Request{Config: nil, Fn: fns[0]})
+
+	tickets := svc.SubmitBatch(reqs)
+	for i := 0; i < len(fns); i++ {
+		out := tickets[i].Outcome()
+		if out.Degraded {
+			t.Fatalf("fn %d degraded: %s (%v)", i, out.Reason, out.Err)
+		}
+	}
+	for i := len(fns); i < len(reqs); i++ {
+		out := tickets[i].Outcome()
+		if !out.Degraded || out.Reason != brew.ReasonBadConfig {
+			t.Fatalf("invalid request %d: degraded=%v reason=%q, want bad-config", i, out.Degraded, out.Reason)
+		}
+	}
+	if st := svc.Stats(); st.Traces != uint64(len(fns)) {
+		t.Fatalf("traces = %d, want %d", st.Traces, len(fns))
+	}
+}

@@ -109,7 +109,7 @@ func TestPumpVsEvictionRace(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for j := 0; j < 200; j++ {
-			for _, tk := range s.PumpPromotions() {
+			for _, tk := range s.PumpPromotions().Tickets() {
 				tk.Outcome()
 			}
 		}
@@ -118,19 +118,21 @@ func TestPumpVsEvictionRace(t *testing.T) {
 
 	// Drain stragglers that became due after the pump goroutine's last
 	// round, then check the tracking set's integrity.
-	for _, tk := range s.PumpPromotions() {
+	for _, tk := range s.PumpPromotions().Tickets() {
 		tk.Outcome()
 	}
-	s.mu.Lock()
-	for v, tr := range s.tracked {
-		if tr.queued {
-			t.Errorf("tracked variant %p left with a stuck queued flag", v)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for v, tr := range sh.tracked {
+			if tr.queued {
+				t.Errorf("tracked variant %p left with a stuck queued flag", v)
+			}
+			if !v.Live() {
+				t.Errorf("dead variant %p still tracked", v)
+			}
 		}
-		if !v.Live() {
-			t.Errorf("dead variant %p still tracked", v)
-		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	s.Close()
 	if free := m.JITFreeBytes(); free != base {

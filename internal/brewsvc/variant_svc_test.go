@@ -223,10 +223,10 @@ func TestDispatchSampleAttribution(t *testing.T) {
 	// The sole tracked variant of the entry inherits the entry-level
 	// signal and promotes.
 	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		t.Fatalf("%d promotions enqueued, want 1", len(tks))
+	if tks.Len() != 1 {
+		t.Fatalf("%d promotions enqueued, want 1", tks.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	if p := tks.Tickets()[0].Outcome(); p.Degraded {
 		t.Fatalf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 	if got := v.Tier(); got != brew.EffortFull {

@@ -1,0 +1,434 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/brew"
+	"repro/internal/brewsvc"
+	"repro/internal/minc"
+	"repro/internal/vm"
+)
+
+// LoadConfig sizes the E10 service load harness.
+type LoadConfig struct {
+	// Requests is the total mixed-scenario request count across all
+	// phases; the warm serve phase gets whatever the cold/burst/fault/
+	// overload phases do not consume.
+	Requests int
+	// Shards and Workers shape the measured service (brewsvc.WithShards /
+	// WithWorkers).
+	Shards  int
+	Workers int
+	// Callers is the number of concurrent submitter goroutines in the
+	// burst and warm phases.
+	Callers int
+	// Keys is the number of distinct specialization keys (functions x
+	// guard values) the workload cycles through.
+	Keys int
+	// Seed varies the warm phase's per-caller key order.
+	Seed int64
+}
+
+// fillLoad applies the brew-load defaults to unset fields.
+func (lc LoadConfig) fill() LoadConfig {
+	if lc.Requests == 0 {
+		lc.Requests = 20000
+	}
+	if lc.Shards == 0 {
+		lc.Shards = 8
+	}
+	if lc.Workers == 0 {
+		lc.Workers = 2
+	}
+	if lc.Callers == 0 {
+		lc.Callers = 8
+	}
+	if lc.Keys == 0 {
+		lc.Keys = 96
+	}
+	if lc.Seed == 0 {
+		lc.Seed = 1
+	}
+	return lc
+}
+
+// loadKey is one distinct specialization key of the workload: a function
+// plus a guard value (the key space is fns x guard values).
+type loadKey struct {
+	fn  uint64
+	fni int
+	val uint64
+}
+
+func (k loadKey) request(prio brewsvc.Priority) *brewsvc.Request {
+	return &brewsvc.Request{
+		Config:   brew.NewConfig(),
+		Fn:       k.fn,
+		Guards:   []brew.ParamGuard{{Param: 2, Value: k.val}},
+		Args:     []uint64{0, 0},
+		Priority: prio,
+	}
+}
+
+// loadFleetSrc generates n distinct small functions; distinct function
+// addresses mean distinct entry keys, so the service spreads them across
+// shards. The loop bound is a fixed constant — NOT the guarded param — so
+// every key costs the same trace work regardless of its guard value, and
+// the modeled makespan rows measure shard balance, not workload skew.
+func loadFleetSrc(n int) string {
+	var src strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src, `
+long load%d(long x, long k) {
+    long r = %d;
+    for (long i = 0; i < 8; i++) { r = r + x + k + i; }
+    return r;
+}`, i, i+1)
+	}
+	return src.String()
+}
+
+// RunLoadConfig is E10: the sharded-service load harness behind
+// cmd/brew-load. It drives a mixed scenario — cold specialization of
+// every key, coalesced bursts, fault-injected degradations, a measured
+// warm serve phase, and a deterministic admission-control overload phase
+// — and reports tail latency, throughput, modeled shard speedup, warm-
+// path lock acquisitions, and shed accounting. The harness self-asserts
+// its correctness invariants (clean requests never degrade, warm hits
+// are cache hits, priority SLOs are honored) and returns an error on any
+// violation; scripts/checkjson re-enforces the E10 bars from the JSON.
+//
+// Throughput note: the host is time-shared and possibly single-core, so
+// the scaling row is a deterministic modeled makespan over rewrite work
+// units (brew.Result.TracedInstrs, accumulated per shard): E10a is the
+// makespan with every trace serialized through one shard's worker pool,
+// E10b the max per-shard work with the measured shard count. Their ratio
+// is the structural speedup sharding buys — shard count times balance —
+// independent of host scheduling noise.
+func RunLoadConfig(o Options, lc LoadConfig) ([]Row, error) {
+	o = o.fill()
+	lc = lc.fill()
+	// Shard routing is per entry key — function plus guard param SET, not
+	// guard values — so sibling guard values of one function share a shard
+	// by design (they share a variant table). Shard balance therefore
+	// needs many distinct functions, not just many guard values.
+	fleetFns := lc.Keys / 2
+	if fleetFns < 12 {
+		fleetFns = 12
+	}
+	if fleetFns > 64 {
+		fleetFns = 64
+	}
+	if lc.Keys < fleetFns {
+		lc.Keys = fleetFns
+	}
+
+	m := vm.MustNew()
+	l, err := minc.CompileAndLink(m, loadFleetSrc(fleetFns), nil)
+	if err != nil {
+		return nil, fmt.Errorf("E10: fleet compile: %w", err)
+	}
+	fns := make([]uint64, fleetFns)
+	for i := range fns {
+		if fns[i], err = l.FuncAddr(fmt.Sprintf("load%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]loadKey, lc.Keys)
+	for i := range keys {
+		keys[i] = loadKey{fn: fns[i%fleetFns], fni: i % fleetFns, val: uint64(3 + i/fleetFns)}
+	}
+
+	// Admission control: only the Low class carries an SLO, and the
+	// deterministic Inject seam sheds it only while the overload phase
+	// arms it — so every other phase is exempt by class and the shed
+	// counts are exact, not timing-dependent.
+	var overloadArmed atomic.Bool
+	svc := brewsvc.Open(m,
+		brewsvc.WithShards(lc.Shards),
+		brewsvc.WithWorkers(lc.Workers),
+		brewsvc.WithQueueCap(256),
+		brewsvc.WithCache(8, 64),
+		brewsvc.WithAdmission(brewsvc.Admission{
+			SLO:    [3]time.Duration{brewsvc.PriorityLow: time.Millisecond},
+			Inject: func() bool { return overloadArmed.Load() },
+		}))
+	defer svc.Close()
+
+	submitted := 0
+
+	// Phase 1 — cold: one batch specializes every key (one queue
+	// transaction per shard). Nothing may degrade; every key traces once.
+	coldReqs := make([]*brewsvc.Request, len(keys))
+	for i, k := range keys {
+		coldReqs[i] = k.request(brewsvc.PriorityNormal)
+	}
+	coldOuts := make([]brewsvc.Outcome, len(keys))
+	for i, tk := range svc.SubmitBatch(coldReqs) {
+		coldOuts[i] = tk.Outcome()
+		if coldOuts[i].Degraded {
+			return nil, fmt.Errorf("E10 cold: key %d degraded: %s (%v)",
+				i, coldOuts[i].Reason, coldOuts[i].Err)
+		}
+	}
+	submitted += len(keys)
+	if st := svc.Stats(); st.Traces != uint64(len(keys)) {
+		return nil, fmt.Errorf("E10 cold: %d traces for %d keys", st.Traces, len(keys))
+	}
+
+	// Correctness probe (machine idle, no flights in flight): specialized
+	// code must compute the reference result.
+	for _, i := range []int{0, len(keys) / 2, len(keys) - 1} {
+		k := keys[i]
+		got, cerr := m.Call(coldOuts[i].Addr, 7, k.val)
+		if cerr != nil {
+			return nil, fmt.Errorf("E10 probe key %d: %w", i, cerr)
+		}
+		// r = fni+1, then 8 iterations of r += x + k + j (j = 0..7).
+		want := uint64(k.fni+1) + 8*7 + 8*k.val + 28
+		if got != want {
+			return nil, fmt.Errorf("E10 probe key %d: got %d, want %d", i, got, want)
+		}
+	}
+
+	// Phase 2 — coalesced bursts: fresh keys, Callers concurrent
+	// submitters per key; each burst runs exactly one trace.
+	const burstRounds = 4
+	tracesBefore := svc.Stats().Traces
+	for r := 0; r < burstRounds; r++ {
+		bk := loadKey{fn: fns[r%fleetFns], fni: r % fleetFns, val: uint64(1000 + r)}
+		tks := make([]*brewsvc.Ticket, lc.Callers)
+		var wg sync.WaitGroup
+		for c := 0; c < lc.Callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				prio := brewsvc.PriorityNormal
+				if c%2 == 1 {
+					prio = brewsvc.PriorityHigh
+				}
+				tks[c] = svc.Submit(bk.request(prio))
+			}(c)
+		}
+		wg.Wait()
+		for c, tk := range tks {
+			if out := tk.Outcome(); out.Degraded {
+				return nil, fmt.Errorf("E10 burst %d caller %d degraded: %s (%v)", r, c, out.Reason, out.Err)
+			}
+		}
+		submitted += lc.Callers
+	}
+	if got := svc.Stats().Traces - tracesBefore; got != burstRounds {
+		return nil, fmt.Errorf("E10 burst: %d traces across %d bursts, want one each", got, burstRounds)
+	}
+
+	// Phase 3 — fault storm: injected faults degrade only their own
+	// (uncacheable) requests; the service stays healthy.
+	const faulty = 32
+	stormErr := errors.New("injected load-harness fault")
+	for i := 0; i < faulty; i++ {
+		cfg := brew.NewConfig()
+		cfg.Inject = func(site string) error { return stormErr }
+		out := svc.Do(&brewsvc.Request{Config: cfg, Fn: fns[i%fleetFns], Args: []uint64{1, 4}})
+		if !out.Degraded {
+			return nil, fmt.Errorf("E10 fault %d: injected fault did not degrade", i)
+		}
+	}
+	submitted += faulty
+
+	// Phase 4 — warm serve (the measured phase). Quiesce first so worker
+	// wind-down lock traffic cannot be attributed to the serve path.
+	const overloadLow, overloadHigh = 64, 16
+	warmN := lc.Requests - submitted - overloadLow - overloadHigh
+	if min := lc.Callers * 10; warmN < min {
+		warmN = min
+	}
+	time.Sleep(200 * time.Millisecond)
+	locksBefore, lockstat := brewsvc.LockAcquisitions()
+
+	perCaller := warmN / lc.Callers
+	warmN = perCaller * lc.Callers
+	lats := make([][]int64, lc.Callers)
+	warmErrs := make([]error, lc.Callers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < lc.Callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(lc.Seed + int64(c)))
+			my := make([]int64, perCaller)
+			for i := 0; i < perCaller; i++ {
+				k := keys[rng.Intn(len(keys))]
+				prio := brewsvc.PriorityNormal
+				if i%4 == 3 {
+					prio = brewsvc.PriorityHigh
+				}
+				t0 := time.Now()
+				out := svc.Do(k.request(prio))
+				my[i] = time.Since(t0).Nanoseconds()
+				if out.Degraded {
+					warmErrs[c] = fmt.Errorf("caller %d op %d degraded: %s (%v)", c, i, out.Reason, out.Err)
+					return
+				}
+				if !out.CacheHit {
+					warmErrs[c] = fmt.Errorf("caller %d op %d missed the cache", c, i)
+					return
+				}
+			}
+			lats[c] = my
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, werr := range warmErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("E10 warm: %w", werr)
+		}
+	}
+	submitted += warmN
+	locksAfter, _ := brewsvc.LockAcquisitions()
+	lockDelta := locksAfter - locksBefore
+	if lockstat && lockDelta != 0 {
+		return nil, fmt.Errorf("E10 warm: serve path acquired %d service locks over %d hits, want 0",
+			lockDelta, warmN)
+	}
+
+	all := make([]int64, 0, warmN)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) uint64 {
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return uint64(all[i])
+	}
+	p50, p99, p999 := pct(0.50), pct(0.99), pct(0.999)
+	rps := float64(warmN) / elapsed.Seconds()
+
+	// Phase 5 — overload: the armed admission seam sheds every Low-class
+	// arrival; High-class requests (fresh keys, real traces) ride through
+	// untouched. Counts are exact by construction.
+	shedsBefore := svc.Stats().Sheds
+	overloadArmed.Store(true)
+	for i := 0; i < overloadLow; i++ {
+		k := loadKey{fn: fns[i%fleetFns], fni: i % fleetFns, val: uint64(2000 + i)}
+		out := svc.Do(k.request(brewsvc.PriorityLow))
+		if !out.Degraded || !errors.Is(out.Err, brewsvc.ErrOverload) {
+			return nil, fmt.Errorf("E10 overload: low-priority request %d not shed (degraded=%v err=%v)",
+				i, out.Degraded, out.Err)
+		}
+	}
+	highTks := make([]*brewsvc.Ticket, overloadHigh)
+	for i := range highTks {
+		k := loadKey{fn: fns[i%fleetFns], fni: i % fleetFns, val: uint64(3000 + i)}
+		highTks[i] = svc.Submit(k.request(brewsvc.PriorityHigh))
+	}
+	for i, tk := range highTks {
+		if out := tk.Outcome(); out.Degraded {
+			return nil, fmt.Errorf("E10 overload: high-priority request %d degraded: %s (%v)",
+				i, out.Reason, out.Err)
+		}
+	}
+	overloadArmed.Store(false)
+	submitted += overloadLow + overloadHigh
+
+	st := svc.Stats()
+	lowSheds := st.Sheds[brewsvc.PriorityLow] - shedsBefore[brewsvc.PriorityLow]
+	highSheds := st.Sheds[brewsvc.PriorityHigh] - shedsBefore[brewsvc.PriorityHigh]
+	if lowSheds != overloadLow {
+		return nil, fmt.Errorf("E10 overload: %d low-class sheds, want %d", lowSheds, overloadLow)
+	}
+	if highSheds != 0 {
+		return nil, fmt.Errorf("E10 overload: %d high-class sheds, want 0 (SLO-exempt)", highSheds)
+	}
+	if st.Submitted != uint64(submitted) {
+		return nil, fmt.Errorf("E10: service counted %d submissions, harness drove %d", st.Submitted, submitted)
+	}
+
+	// Modeled makespan: total rewrite work serialized through one shard's
+	// worker pool vs the hottest shard's share at the measured shard
+	// count. Work units are deterministic (traced instructions), so the
+	// ratio is shard count x balance, free of host scheduling noise.
+	per := svc.ShardStats()
+	var totalWork, maxWork uint64
+	for _, s := range per {
+		totalWork += s.TraceWork
+		if s.TraceWork > maxWork {
+			maxWork = s.TraceWork
+		}
+	}
+	if totalWork == 0 || maxWork == 0 {
+		return nil, fmt.Errorf("E10: no trace work recorded")
+	}
+	workers := uint64(lc.Workers)
+	mk1 := totalWork / workers
+	mkN := maxWork / workers
+	speedup := float64(mk1) / float64(mkN)
+
+	lockNote := "lock accounting disabled (build with -tags brewsvc_lockstat to count)"
+	if lockstat {
+		lockNote = fmt.Sprintf("counted mutex armed; %d warm hits took 0 service locks", warmN)
+	}
+	return []Row{
+		{
+			ID: "E10a", Name: "modeled makespan, 1 shard",
+			Cycles: mk1, Ratio: speedup,
+			Note: fmt.Sprintf("all %d work units through one %d-worker pool (bar: >= 4x E10b at 8 shards)",
+				totalWork, lc.Workers),
+		},
+		{
+			ID: "E10b", Name: fmt.Sprintf("modeled makespan, %d shards", lc.Shards),
+			Cycles: mkN, Ratio: 1.0,
+			Note: fmt.Sprintf("hottest shard holds %d of %d work units (%.1fx structural speedup)",
+				maxWork, totalWork, speedup),
+		},
+		{
+			ID: "E10c", Name: "warm serve p50 latency",
+			Cycles: p50, Ratio: 1.0,
+			Note: fmt.Sprintf("ns/request over %d cache-hit requests from %d callers", warmN, lc.Callers),
+		},
+		{
+			ID: "E10d", Name: "warm serve p99 latency",
+			Cycles: p99, Ratio: float64(p99) / float64(p50),
+			Note: "ns/request",
+		},
+		{
+			ID: "E10e", Name: "warm serve p999 latency",
+			Cycles: p999, Ratio: float64(p999) / float64(p50),
+			Note: "ns/request (bar: <= 25ms)",
+		},
+		{
+			ID: "E10f", Name: "warm serve lock acquisitions",
+			Cycles: lockDelta, Ratio: 0,
+			Note: lockNote,
+		},
+		{
+			ID: "E10g", Name: "high-priority overload sheds",
+			Cycles: highSheds, Ratio: 0,
+			Note: fmt.Sprintf("bar: 0; %d low-priority arrivals shed by the armed admission seam", lowSheds),
+		},
+		{
+			ID: "E10h", Name: "warm serve throughput",
+			Cycles: uint64(rps), Ratio: 0,
+			Note: fmt.Sprintf("requests/s: %d warm requests in %v", warmN, elapsed.Round(time.Millisecond)),
+		},
+	}, nil
+}
+
+// RunLoad is the brew-bench entry for the E10 family: the full harness
+// at a smoke-sized request count (cmd/brew-load drives the >= 1M-request
+// version with flag control).
+func RunLoad(o Options) ([]Row, error) {
+	return RunLoadConfig(o, LoadConfig{})
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -68,7 +69,7 @@ func RunObservability(o Options) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	svc := brewsvc.New(w.M, brewsvc.Options{Workers: 2})
+	svc := brewsvc.Open(w.M, brewsvc.WithWorkers(2))
 	defer svc.Close()
 	cfg0, args0 := w.ApplyConfig()
 	out := svc.Do(&brewsvc.Request{Config: cfg0, Fn: w.Apply, Args: args0})
@@ -260,7 +261,10 @@ func traceReconstruction(o Options) (uint64, uint64, error) {
 		return 0, 0, err
 	}
 	const after = 8
-	svc := brewsvc.New(w.M, brewsvc.Options{Workers: 1, QueueCap: 128, PromoteAfter: after})
+	svc := brewsvc.Open(w.M,
+		brewsvc.WithWorkers(1),
+		brewsvc.WithQueueCap(128),
+		brewsvc.WithPromotion(after))
 	defer svc.Close()
 
 	// Deterministic coalescing, independent of scheduler timing: an
@@ -326,11 +330,15 @@ func traceReconstruction(o Options) (uint64, uint64, error) {
 			return 0, 0, fmt.Errorf("tier-0 call = %g, want %g", got, want)
 		}
 	}
-	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		return 0, 0, fmt.Errorf("%d promotions pumped, want 1", len(tks))
+	batch := svc.PumpPromotions()
+	if batch.Len() != 1 {
+		return 0, 0, fmt.Errorf("%d promotions pumped, want 1", batch.Len())
 	}
-	if p := tks[0].Outcome(); p.Degraded {
+	pouts, err := batch.AwaitAll(context.Background())
+	if err != nil {
+		return 0, 0, err
+	}
+	if p := pouts[0]; p.Degraded {
 		return 0, 0, fmt.Errorf("promotion degraded: %s (%v)", p.Reason, p.Err)
 	}
 

@@ -56,7 +56,7 @@ func RunPersist(o Options) ([]Row, error) {
 			return 0, 0, 0, 0, serr
 		}
 		defer st.Close()
-		svc := brewsvc.New(m, brewsvc.Options{Workers: 1, Store: st})
+		svc := brewsvc.Open(m, brewsvc.WithWorkers(1), brewsvc.WithStore(st))
 		defer svc.Close()
 
 		type kernel struct {

@@ -89,9 +89,9 @@ long poly(long x, long k) {
 		if err != nil {
 			return nil, err
 		}
-		svc := brewsvc.New(m, brewsvc.Options{
-			Workers: 1, Policy: specmgr.Policy{MaxVariants: maxVariants},
-		})
+		svc := brewsvc.Open(m,
+			brewsvc.WithWorkers(1),
+			brewsvc.WithPolicy(specmgr.Policy{MaxVariants: maxVariants}))
 		r := &mixResult{m: m, fn: fn, svc: svc}
 		for round := 0; round < rounds; round++ {
 			for _, k := range classes {

@@ -54,7 +54,7 @@ func RunService(o Options) ([]Row, error) {
 
 	// E5b: one concurrent burst through the service. All 64 requests carry
 	// the same assumptions, so they coalesce onto a single trace.
-	svc := brewsvc.New(m, brewsvc.Options{Workers: 4, QueueCap: callers * 2})
+	svc := brewsvc.Open(m, brewsvc.WithWorkers(4), brewsvc.WithQueueCap(callers*2))
 	defer svc.Close()
 
 	outs := make([]brewsvc.Outcome, callers)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -116,7 +117,7 @@ func RunTiered(o Options) ([]Row, error) {
 		return nil, err
 	}
 	const promoteAfter = 32
-	svc := brewsvc.New(ws.M, brewsvc.Options{Workers: 2, PromoteAfter: promoteAfter})
+	svc := brewsvc.Open(ws.M, brewsvc.WithWorkers(2), brewsvc.WithPromotion(promoteAfter))
 	defer svc.Close()
 
 	cfgS, argsS := ws.ApplyConfig()
@@ -147,11 +148,15 @@ func RunTiered(o Options) ([]Row, error) {
 			calls, samples, promoteAfter)
 	}
 
-	tks := svc.PumpPromotions()
-	if len(tks) != 1 {
-		return nil, fmt.Errorf("E6e: %d promotions enqueued, want 1", len(tks))
+	batch := svc.PumpPromotions()
+	if batch.Len() != 1 {
+		return nil, fmt.Errorf("E6e: %d promotions enqueued, want 1", batch.Len())
 	}
-	pout := tks[0].Outcome()
+	pouts, err := batch.AwaitAll(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("E6e: %w", err)
+	}
+	pout := pouts[0]
 	if pout.Degraded {
 		return nil, fmt.Errorf("E6e: promotion degraded: %s (%v)", pout.Reason, pout.Err)
 	}

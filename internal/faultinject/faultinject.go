@@ -59,10 +59,23 @@ const (
 	PointStoreRemoteErr Point = "store-remote-err"
 )
 
+// Service injection points (internal/brewsvc). Separate from the
+// rewrite-pipeline set so ArmAll keeps existing chaos decision streams.
+const (
+	// PointAdmission forces the service's admission control to treat the
+	// arriving request as over its SLO and shed it (ReasonOverload),
+	// regardless of the estimated queue wait. It exercises the overload
+	// path deterministically without needing a genuinely saturated shard.
+	PointAdmission Point = "admission"
+)
+
 // Points lists every rewrite-pipeline injection point (the set ArmAll
 // arms; store points are separate so existing chaos suites keep their
 // decision streams).
 var Points = []Point{PointJITAlloc, PointOpcode, PointBudget, PointPanic, PointDispatch}
+
+// ServicePoints lists every service-layer injection point.
+var ServicePoints = []Point{PointAdmission}
 
 // StorePoints lists every persistent-store injection point.
 var StorePoints = []Point{
@@ -214,6 +227,14 @@ func (in *Injector) Hook() func(site string) error {
 		}
 		return nil
 	}
+}
+
+// AdmissionHook adapts the Injector to the brewsvc Admission.Inject seam:
+// the returned hook makes the seeded PointAdmission decision for each
+// admission-controlled request (with the same recorded-event and Fired
+// accounting as every other point).
+func (in *Injector) AdmissionHook() func() bool {
+	return func() bool { return in.Should(PointAdmission) }
 }
 
 // StoreHook adapts the Injector to the spstore.Options.Inject seam: the

@@ -217,6 +217,19 @@ type Event struct {
 	Addr uint64 `json:"addr,omitempty"`
 	// Reason carries the deopt/degrade reason or fault point label.
 	Reason string `json:"reason,omitempty"`
+	// Shard attributes the event to one service shard. Stored 1-based so
+	// the zero value means "unattributed" (shard N is stored as N+1); read
+	// it through ShardID.
+	Shard int32 `json:"shard,omitempty"`
+}
+
+// ShardID returns the service shard this event is attributed to and
+// whether it carries an attribution at all.
+func (e Event) ShardID() (int, bool) {
+	if e.Shard == 0 {
+		return 0, false
+	}
+	return int(e.Shard) - 1, true
 }
 
 // Format renders the event as one human-readable line.
@@ -240,6 +253,9 @@ func (e Event) Format() string {
 	}
 	if e.Reason != "" {
 		fmt.Fprintf(&b, " reason=%s", e.Reason)
+	}
+	if id, ok := e.ShardID(); ok {
+		fmt.Fprintf(&b, " shard=%d", id)
 	}
 	return b.String()
 }
@@ -285,10 +301,20 @@ func EndSpan(tid TraceID, stage Stage, tier Tier, startNS int64, fn uint64, link
 	if tid == 0 || !enabled.Load() {
 		return
 	}
-	Default.endSpan(tid, stage, tier, startNS, fn, link)
+	Default.endSpan(tid, stage, tier, startNS, fn, link, 0)
 }
 
-func (o *Observer) endSpan(tid TraceID, stage Stage, tier Tier, startNS int64, fn uint64, link TraceID) {
+// EndSpanOn is EndSpan with a service-shard attribution: the recorded
+// event carries the shard that performed the work, so a flight-recorder
+// tail shows which shard a queue wait or rewrite ran on.
+func EndSpanOn(shard int, tid TraceID, stage Stage, tier Tier, startNS int64, fn uint64, link TraceID) {
+	if tid == 0 || !enabled.Load() {
+		return
+	}
+	Default.endSpan(tid, stage, tier, startNS, fn, link, int32(shard)+1)
+}
+
+func (o *Observer) endSpan(tid TraceID, stage Stage, tier Tier, startNS int64, fn uint64, link TraceID, shard int32) {
 	dur := int64(time.Since(epoch)) - startNS
 	if dur < 0 {
 		dur = 0
@@ -296,7 +322,7 @@ func (o *Observer) endSpan(tid TraceID, stage Stage, tier Tier, startNS int64, f
 	o.Tracer.observe(stage, tier, dur)
 	o.Recorder.Record(&Event{
 		Kind: KindSpan, Stage: stage, Tier: tier,
-		Trace: tid, Link: link, Fn: fn, Start: startNS, Dur: dur,
+		Trace: tid, Link: link, Fn: fn, Start: startNS, Dur: dur, Shard: shard,
 	})
 }
 

@@ -18,7 +18,14 @@
 // (E9a > 0), a warm boot re-traces at least 5x less (5*E9b <= E9a),
 // revalidation stays within 5% of the warm-boot wall plus an absolute
 // floor for its fixed per-record cost (E9c <= E9d/20 + noise), and the
-// persist/reload oracle reports zero divergences (E9e == 0).
+// persist/reload oracle reports zero divergences (E9e == 0). If the load
+// family (E10, cmd/brew-load) is present, the sharded-service bars are
+// enforced: the modeled single-shard makespan at least 4x the sharded one
+// (E10a >= 4*E10b — deterministic work units, so this is the structural
+// speedup, not wall clock), warm-path tail latency bounded (E10c <= E10e
+// <= 25ms), zero warm-path lock acquisitions (E10f == 0), zero
+// high-priority sheds under overload (E10g == 0), and nonzero warm
+// throughput (E10h > 0).
 // Used by scripts/verify.sh.
 package main
 
@@ -208,6 +215,61 @@ func main() {
 			// The persist/reload oracle must find cached == fresh, always.
 			if byID["E9e"] != 0 {
 				fmt.Fprintf(os.Stderr, "checkjson: persist: %d persist-oracle divergences\n", byID["E9e"])
+				os.Exit(1)
+			}
+		}
+		if f.Key == "load" {
+			byID := map[string]uint64{}
+			for _, r := range f.Rows {
+				byID[r.ID] = r.Cycles
+			}
+			for _, id := range []string{"E10a", "E10b", "E10c", "E10d", "E10e", "E10f", "E10g", "E10h"} {
+				if _, ok := byID[id]; !ok {
+					fmt.Fprintf(os.Stderr, "checkjson: load family is missing row %s\n", id)
+					os.Exit(1)
+				}
+			}
+			// E10a/E10b are deterministic modeled makespans over rewrite
+			// work units: sharding the service 8 ways must buy at least a
+			// 4x structural speedup (shard count times balance).
+			if byID["E10a"] < 4*byID["E10b"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: load: single-shard makespan %d is not >= 4x sharded makespan %d\n",
+					byID["E10a"], byID["E10b"])
+				os.Exit(1)
+			}
+			// E10c..E10e are warm serve-path latency percentiles in wall
+			// nanoseconds. The tail bar is generous (25ms) because the host
+			// is time-shared, but a cache hit that takes that long means the
+			// serve path is contending on something it must not touch.
+			if byID["E10e"] > 25_000_000 {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: load: warm p999 latency %d ns exceeds the 25ms tail bar\n", byID["E10e"])
+				os.Exit(1)
+			}
+			if byID["E10e"] < byID["E10c"] || byID["E10d"] < byID["E10c"] {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: load: latency percentiles not monotonic (p50 %d, p99 %d, p999 %d)\n",
+					byID["E10c"], byID["E10d"], byID["E10e"])
+				os.Exit(1)
+			}
+			// The warm serve path is lock-free by design; with the counted
+			// mutex armed (-tags brewsvc_lockstat) any nonzero count here is
+			// a regression. The harness itself also fails hard on this.
+			if byID["E10f"] != 0 {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: load: warm serve path acquired %d service locks, want 0\n", byID["E10f"])
+				os.Exit(1)
+			}
+			// Admission control must shed strictly by class: the overload
+			// phase arms the shed seam for the Low class only.
+			if byID["E10g"] != 0 {
+				fmt.Fprintf(os.Stderr,
+					"checkjson: load: %d high-priority requests shed under overload, want 0\n", byID["E10g"])
+				os.Exit(1)
+			}
+			if byID["E10h"] == 0 {
+				fmt.Fprintf(os.Stderr, "checkjson: load: zero warm throughput\n")
 				os.Exit(1)
 			}
 		}

@@ -37,6 +37,13 @@ if [ "${RACE:-1}" = 1 ]; then
     # per-effort coalescing keys, quick-vs-full cache isolation).
     echo "== go test -race (short budget: brewsvc)"
     go test -race -short ./internal/brewsvc/
+    # Lock-free serve path: the counted-mutex build proves warm cache hits
+    # take zero service locks, with the sharding/admission suite riding
+    # along under the same tag.
+    echo "== go test -race (brewsvc, counted mutex)"
+    go test -race -short -tags brewsvc_lockstat \
+        -run 'TestWarmPathZeroLocks|TestShardRouting|TestCrossShardIsolation|TestSubmitBatch|TestAdmission' \
+        ./internal/brewsvc/
     # The observability layer is lock-free by construction (ring-buffer
     # flight recorder, atomic span gating): full suite under -race,
     # including the concurrent ring-wrap writers and the disabled-path
@@ -57,6 +64,14 @@ fi
 echo "== deprecated rewrite API lint (cmd/, examples/)"
 if grep -rnE '\.(Rewrite|RewriteBatch|RewriteGuarded|RewriteOrDegrade)\(' cmd/ examples/; then
     echo "verify: FAIL — cmd/ or examples/ call deprecated rewrite entry points (use Do)" >&2
+    exit 1
+fi
+# First-party code opens the service with brewsvc.Open(m, opts...); the
+# deprecated brewsvc.New(m, Options{...}) shim exists only for external
+# callers mid-migration.
+echo "== deprecated brewsvc.New lint (cmd/, examples/, internal/exp)"
+if grep -rnE 'brewsvc\.New\(' cmd/ examples/ internal/exp; then
+    echo "verify: FAIL — first-party code calls deprecated brewsvc.New (use brewsvc.Open)" >&2
     exit 1
 fi
 
@@ -92,13 +107,26 @@ trap 'rm -f "$BENCH_JSON"' EXIT
 go run ./cmd/brew-bench -only stencil,service,tiered,polymorph,obs,persist -xs 16 -ys 12 -iters 1 -json "$BENCH_JSON" > /dev/null
 go run ./scripts/checkjson "$BENCH_JSON"
 
+# brew-load smoke: the sharded-service load harness with the counted
+# service mutex armed. The harness self-asserts its invariants (clean
+# requests never degrade, priority SLOs honored, warm hits lock-free) and
+# checkjson re-enforces the E10 bars from the JSON: modeled 8-shard
+# speedup >= 4x, warm p999 <= 25ms, zero warm-path lock acquisitions,
+# zero high-priority sheds. cmd/brew-load's default is the full
+# 1M-request run; verify drives a 20k-request smoke of the same phases.
+echo "== brew-load smoke (counted mutex, 8 shards)"
+LOAD_JSON="$(mktemp)"
+trap 'rm -f "$BENCH_JSON" "$LOAD_JSON"' EXIT
+go run -tags brewsvc_lockstat ./cmd/brew-load -requests 20000 -shards 8 -json "$LOAD_JSON" -quiet
+go run ./scripts/checkjson "$LOAD_JSON"
+
 # Persist/reload oracle smoke + brew-cache over the store it leaves
 # behind: every adopted record must be byte-identical to the fresh
 # rewrite, the store must list records, and fsck must find nothing
 # corrupt (exit 0).
 echo "== brew-verify -persist + brew-cache smoke"
 PERSIST_DIR="$(mktemp -d)"
-trap 'rm -f "$BENCH_JSON"; rm -rf "$PERSIST_DIR"' EXIT
+trap 'rm -f "$BENCH_JSON" "$LOAD_JSON"; rm -rf "$PERSIST_DIR"' EXIT
 go run ./cmd/brew-verify -seeds 3 -persist -store "$PERSIST_DIR" -q
 go run ./cmd/brew-cache -store "$PERSIST_DIR" ls | grep -q 'records, generation' || {
     echo "verify: FAIL — brew-cache ls shows no records from the persist smoke" >&2

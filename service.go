@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"repro/internal/brewsvc"
+	"time"
+)
+
+// Re-exported specialization-service types: the long-lived concurrent
+// front end over Do — sharded worker pools, request coalescing, a
+// lock-free specialization cache, hotness-driven tier promotion, and
+// admission control. See internal/brewsvc for the full API.
+type (
+	// Service is the sharded specialization service.
+	Service = brewsvc.Service
+	// ServiceRequest is one service submission (brewsvc.Request).
+	ServiceRequest = brewsvc.Request
+	// ServiceOutcome is the terminal result of a submission
+	// (brewsvc.Outcome).
+	ServiceOutcome = brewsvc.Outcome
+	// Ticket is the asynchronous handle returned by Submit/SubmitBatch.
+	Ticket = brewsvc.Ticket
+	// PromotionBatch is the awaitable handle returned by PumpPromotions.
+	PromotionBatch = brewsvc.PromotionBatch
+	// Admission configures per-priority SLOs and overload decisions.
+	Admission = brewsvc.Admission
+	// ServiceOption is a functional option for OpenService.
+	ServiceOption = brewsvc.Option
+	// ServiceStats are the service's cumulative counters.
+	ServiceStats = brewsvc.Stats
+	// Priority is a request's admission class.
+	Priority = brewsvc.Priority
+)
+
+// Request priorities (ServiceRequest.Priority).
+const (
+	PriorityLow    = brewsvc.PriorityLow
+	PriorityNormal = brewsvc.PriorityNormal
+	PriorityHigh   = brewsvc.PriorityHigh
+)
+
+// Service degradation sentinels.
+var (
+	ErrQueueFull     = brewsvc.ErrQueueFull
+	ErrServiceClosed = brewsvc.ErrClosed
+	ErrOverload      = brewsvc.ErrOverload
+	ShedDegrade      = brewsvc.ShedDegrade
+	ShedEvictLower   = brewsvc.ShedEvictLower
+)
+
+// OpenService starts a specialization service on the system's machine.
+// With no options it runs a single shard with library-default worker,
+// queue and cache geometry; compose With* options to scale out:
+//
+//	svc := repro.OpenService(sys,
+//	    repro.WithServiceShards(8),
+//	    repro.WithServiceWorkers(4))
+//	defer svc.Close()
+func OpenService(s *System, opts ...ServiceOption) *Service {
+	return brewsvc.Open(s.VM, opts...)
+}
+
+// WithServiceShards sets the number of independent service shards.
+func WithServiceShards(n int) ServiceOption { return brewsvc.WithShards(n) }
+
+// WithServiceWorkers sets the rewrite worker count per shard.
+func WithServiceWorkers(n int) ServiceOption { return brewsvc.WithWorkers(n) }
+
+// WithServiceQueueCap bounds each shard's pending-request queue.
+func WithServiceQueueCap(n int) ServiceOption { return brewsvc.WithQueueCap(n) }
+
+// WithServiceCache sets the specialization cache geometry.
+func WithServiceCache(shards, perShard int) ServiceOption {
+	return brewsvc.WithCache(shards, perShard)
+}
+
+// WithServicePromotion enables hotness-driven tier promotion after n
+// calls+samples.
+func WithServicePromotion(after int) ServiceOption { return brewsvc.WithPromotion(after) }
+
+// WithServiceAdmission installs per-priority admission control.
+func WithServiceAdmission(a Admission) ServiceOption { return brewsvc.WithAdmission(a) }
+
+// ServiceSLO is a convenience constructor for a uniform-deadline
+// admission policy: every priority class gets the same SLO and the
+// default shed-degrade overload decision.
+func ServiceSLO(d time.Duration) Admission {
+	return Admission{SLO: [3]time.Duration{d, d, d}}
+}
